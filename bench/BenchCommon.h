@@ -1,0 +1,125 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the figure/table harnesses: the paper's
+/// experimental schedule (§7.1) — 5 training runs, 10 production runs
+/// with the first (cold) run excluded — applied to one workload under
+/// one configuration, returning the aggregate measurements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_BENCH_BENCHCOMMON_H
+#define JANUS_BENCH_BENCHCOMMON_H
+
+#include "janus/support/Format.h"
+#include "janus/workloads/Workload.h"
+
+#include <string>
+
+namespace janus {
+namespace bench {
+
+/// One experiment's aggregated measurements.
+struct Measurement {
+  double Speedup = 0.0;     ///< Mean over counted production runs.
+  double RetryRatio = 0.0;  ///< Total retries / total commits.
+  uint64_t Commits = 0;
+  uint64_t Retries = 0;
+  size_t UniqueQueries = 0; ///< Sequence detector only.
+  size_t UniqueMisses = 0;  ///< Sequence detector only.
+  double MissRate() const {
+    return UniqueQueries
+               ? static_cast<double>(UniqueMisses) /
+                     static_cast<double>(UniqueQueries)
+               : 0.0;
+  }
+};
+
+/// Experiment knobs.
+struct ExperimentSpec {
+  unsigned Threads = 8;
+  core::DetectorKind Detector = core::DetectorKind::Sequence;
+  bool UseAbstraction = true;
+  /// On a cache miss, run the exact online check (the Figure 9/10
+  /// default here) instead of the paper's write-set fallback (used by
+  /// the Figure 11 miss-rate accounting, where aborting on misses is
+  /// part of the measured dynamics).
+  bool OnlineFallback = true;
+  /// Disable the define-before-use fast path so every query exercises
+  /// the cache (Figure 11 accounting).
+  bool DisableFastPath = false;
+  int TrainingRounds = 5;
+  int ProductionRounds = 4; ///< First is discarded as cold.
+  bool ProductionSized = true;
+};
+
+/// Runs the full schedule for \p WorkloadName and \returns the
+/// aggregated measurement. Fresh Janus instance per call.
+inline Measurement runExperiment(const std::string &WorkloadName,
+                                 const ExperimentSpec &Spec) {
+  using namespace janus::core;
+  using namespace janus::workloads;
+
+  auto W = workloadByName(WorkloadName);
+  JANUS_ASSERT(W != nullptr, "unknown workload");
+
+  JanusConfig Cfg;
+  Cfg.Threads = Spec.Threads;
+  Cfg.Detector = Spec.Detector;
+  Cfg.Sequence.UseAbstraction = Spec.UseAbstraction;
+  // Cache first; on a miss run the exact online check (our concrete
+  // per-location evaluator is linear-time, unlike the SAT-backed check
+  // the paper deemed too slow to run online — see EXPERIMENTS.md).
+  Cfg.Sequence.OnlineFallback = Spec.OnlineFallback;
+  Cfg.Sequence.RelaxationFastPath = !Spec.DisableFastPath;
+  Cfg.Training.InferWAWRelaxation = true;
+  Cfg.Training.MaxConcat = 8;
+  Janus J(Cfg);
+  W->setup(J);
+
+  if (Spec.Detector == DetectorKind::Sequence)
+    for (const PayloadSpec &P : W->trainingPayloads(Spec.TrainingRounds))
+      J.train(W->makeTasks(P));
+
+  Measurement M;
+  double SpeedupSum = 0.0;
+  int Counted = 0;
+  uint64_t BaseCommits = 0, BaseRetries = 0;
+  auto Payloads = W->productionPayloads(Spec.ProductionRounds);
+  for (int Round = 0; Round != Spec.ProductionRounds; ++Round) {
+    PayloadSpec P = Payloads[Round];
+    P.Production = Spec.ProductionSized;
+    RunOutcome O = W->runOn(J, P);
+    if (Round == 0) {
+      // Discard the cold run (paper §7.1), including its statistics.
+      BaseCommits = J.runStats().Commits.load();
+      BaseRetries = J.runStats().Retries.load();
+      if (auto *SD = J.sequenceDetector())
+        SD->resetUniqueQueryTracking();
+      continue;
+    }
+    SpeedupSum += O.speedup();
+    ++Counted;
+  }
+  M.Speedup = Counted ? SpeedupSum / Counted : 0.0;
+  M.Commits = J.runStats().Commits.load() - BaseCommits;
+  M.Retries = J.runStats().Retries.load() - BaseRetries;
+  M.RetryRatio = M.Commits ? static_cast<double>(M.Retries) /
+                                 static_cast<double>(M.Commits)
+                           : 0.0;
+  if (auto *SD = J.sequenceDetector()) {
+    M.UniqueQueries = SD->uniqueQueries();
+    M.UniqueMisses = SD->uniqueMisses();
+  }
+  return M;
+}
+
+/// The five benchmark names in Table 5 order.
+inline std::vector<std::string> benchmarkNames() {
+  return {"JFileSync", "JGraphT-1", "JGraphT-2", "PMD", "Weka"};
+}
+
+} // namespace bench
+} // namespace janus
+
+#endif // JANUS_BENCH_BENCHCOMMON_H

@@ -1,0 +1,60 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy graph coloring under JANUS (paper Figure 3 / JGraphT-1).
+///
+/// The greedy algorithm mandates ordered traversal, so the loop runs
+/// with runInOrder; Theorem 4.1 then guarantees the parallel execution
+/// produces exactly the sequential coloring. The demo colors a random
+/// graph under both detectors, checks the coloring, and prints the
+/// chromatic statistics and retry counts.
+///
+/// Build & run:  ./build/examples/coloring_demo
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/workloads/GraphColor.h"
+
+#include <cstdio>
+
+using namespace janus;
+using namespace janus::core;
+using namespace janus::workloads;
+
+int main() {
+  PayloadSpec Input{7, true}; // 1000 nodes, average degree 5.
+
+  for (DetectorKind Kind :
+       {DetectorKind::Sequence, DetectorKind::WriteSet}) {
+    GraphColorWorkload W;
+    JanusConfig Cfg;
+    Cfg.Threads = 8;
+    Cfg.Detector = Kind;
+    Cfg.Sequence.OnlineFallback = true;
+    Janus J(Cfg);
+    W.setup(J);
+
+    if (Kind == DetectorKind::Sequence)
+      for (const PayloadSpec &P : W.trainingPayloads())
+        J.train(W.makeTasks(P));
+
+    RunOutcome O = W.runOn(J, Input); // Ordered: greedy needs order.
+
+    // Chromatic statistics from the final shared state.
+    RandomGraph G = GraphColorWorkload::generateGraph(Input);
+    int64_t MaxColor = 0;
+    for (int64_t V = 0; V != static_cast<int64_t>(G.Neighbors.size()); ++V) {
+      Value C = J.valueAt(W.colorLocation(V));
+      if (C.isInt())
+        MaxColor = std::max(MaxColor, C.asInt());
+    }
+
+    std::printf("[%s] colored %zu nodes with %lld colors, speedup "
+                "%.2fx, retries %llu, coloring %s\n",
+                Kind == DetectorKind::Sequence ? "sequence" : "write-set",
+                G.Neighbors.size(), (long long)MaxColor, O.speedup(),
+                (unsigned long long)J.runStats().Retries.load(),
+                W.verify(J, Input) ? "valid" : "INVALID");
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Writing a custom transactional ADT with an abstraction specification
+/// (paper §6.1) and a consistency relaxation (paper §5.3).
+///
+/// The example builds a `TxTagSet` — a set of string tags backed by
+/// per-tag presence locations. Its relational specification is a unary
+/// relation over tags: `insert tag` / `remove tag` / `contains` as a
+/// select query. Because inserts of the same tag are equal writes and
+/// inserts of different tags touch different locations, concurrent
+/// taggers almost never conflict under sequence-based detection.
+///
+/// Build & run:  ./build/examples/custom_adt
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/core/Janus.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace janus;
+using namespace janus::core;
+
+namespace {
+
+/// A shared set of string tags.
+///
+/// Relational spec: a unary relation {tag}; `add` inserts the tuple
+/// (tag), `remove` removes it, `contains` is `select tag = t`. The
+/// per-location lowering stores Bool(true) at (object, tag) for
+/// presence and erases for absence — so concurrent `add` of one tag is
+/// the equal-writes pattern, which training turns into an
+/// unconditional commutativity entry.
+class TxTagSet {
+public:
+  static TxTagSet create(ObjectRegistry &Reg, std::string Name) {
+    TxTagSet S;
+    S.Obj = Reg.registerObject(std::move(Name), "tags.entry");
+    return S;
+  }
+
+  void add(stm::TxContext &Tx, const std::string &Tag) const {
+    Tx.write(Location(Obj, Tag), Value::of(true));
+  }
+
+  void remove(stm::TxContext &Tx, const std::string &Tag) const {
+    Tx.write(Location(Obj, Tag), Value::absent());
+  }
+
+  bool contains(stm::TxContext &Tx, const std::string &Tag) const {
+    return !Tx.read(Location(Obj, Tag)).isAbsent();
+  }
+
+  Location locationOf(const std::string &Tag) const {
+    return Location(Obj, Tag);
+  }
+
+private:
+  ObjectId Obj;
+};
+
+} // namespace
+
+int main() {
+  JanusConfig Cfg;
+  Cfg.Threads = 8;
+  Janus J(Cfg);
+  TxTagSet Tags = TxTagSet::create(J.registry(), "documentTags");
+
+  // Each "document processor" tags the shared set with the categories
+  // it discovers; many discover the same categories (equal writes).
+  auto MakeTasks = [&Tags](int NumDocs) {
+    std::vector<stm::TaskFn> Tasks;
+    for (int Doc = 0; Doc != NumDocs; ++Doc)
+      Tasks.push_back([&Tags, Doc](stm::TxContext &Tx) {
+        Tags.add(Tx, "category" + std::to_string(Doc % 4));
+        if (Doc % 2 == 0)
+          Tags.add(Tx, "even");
+        Tx.localWork(8.0);
+      });
+    return Tasks;
+  };
+
+  J.train(MakeTasks(6));
+  std::printf("trained: %llu cache entries\n",
+              (unsigned long long)J.cache()->size());
+
+  RunOutcome O = J.runOutOfOrder(MakeTasks(48));
+  std::printf("speedup %.2fx, retries %llu (equal writes commute)\n",
+              O.speedup(),
+              (unsigned long long)J.runStats().Retries.load());
+
+  // Inspect the final tag set.
+  for (const char *TagName :
+       {"category0", "category3", "even", "missing"}) {
+    std::string Tag(TagName);
+    Value V = J.valueAt(Tags.locationOf(Tag));
+    std::printf("  tag %-10s : %s\n", Tag.c_str(),
+                V.isAbsent() ? "absent" : "present");
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Temporary diagnostic: run one workload with the sequence detector and
+// dump the detector's unique queries, misses, and stats.
+#include "janus/workloads/Workload.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace janus;
+using namespace janus::core;
+using namespace janus::workloads;
+
+int main(int argc, char **argv) {
+  std::string Name = argc > 1 ? argv[1] : "JFileSync";
+  auto W = workloadByName(Name);
+  if (!W) {
+    std::fprintf(stderr, "unknown workload %s\n", Name.c_str());
+    return 1;
+  }
+  JanusConfig Cfg;
+  Cfg.Threads = 4;
+  Cfg.Training.InferWAWRelaxation = true;
+  Cfg.Training.MaxConcat = 8;
+  Janus J(Cfg);
+  W->setup(J);
+  for (const PayloadSpec &P : W->trainingPayloads(3))
+    J.train(W->makeTasks(P));
+  std::printf("cache entries after training: %zu\n", J.cache()->size());
+
+  PayloadSpec Prod{100, argc > 2 && std::string(argv[2]) == "-p"};
+  W->runOn(J, Prod);
+  const stm::DetectorStats &DS = J.detectorStats();
+  std::printf("commits=%llu retries=%llu\n",
+              (unsigned long long)J.runStats().Commits.load(),
+              (unsigned long long)J.runStats().Retries.load());
+  std::printf("pairQueries=%llu hits=%llu misses=%llu online=%llu "
+              "wsFallback=%llu conflicts=%llu\n",
+              (unsigned long long)DS.PairQueries.load(),
+              (unsigned long long)DS.CacheHits.load(),
+              (unsigned long long)DS.CacheMisses.load(),
+              (unsigned long long)DS.OnlineChecks.load(),
+              (unsigned long long)DS.WriteSetChecks.load(),
+              (unsigned long long)DS.ConflictsFound.load());
+  auto *SD = J.sequenceDetector();
+  std::printf("uniqueQueries=%zu uniqueMisses=%zu\n", SD->uniqueQueries(),
+              SD->uniqueMisses());
+
+  // Print cache keys (up to 40) and verify workload.
+  if (argc > 2 && std::string(argv[2]) == "-v") {
+    int N = 0;
+    J.cache()->forEach([&N](const conflict::CacheKey &K,
+                            const symbolic::Condition &C) {
+      if (N++ < 60)
+        std::printf("  entry: %s  => %s\n", K.toString().c_str(),
+                    C.toString().c_str());
+    });
+  }
+  auto Missed = SD->missedQueryKeys();
+  std::printf("missed keys (%zu):\n", Missed.size());
+  for (size_t I = 0; I != Missed.size() && I < 40; ++I)
+    std::printf("  MISS %s\n", Missed[I].c_str());
+  std::printf("verify: %s\n", W->verify(J, Prod) ? "OK" : "FAIL");
+  return 0;
+}

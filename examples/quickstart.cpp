@@ -1,0 +1,95 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Quickstart: the paper's Figure 1 motivating example on JANUS.
+///
+///   int work = 0;
+///   /* parallel */ foreach (item in items) process(item, work);
+///   process(Item item, int work) {
+///     work += weightOf(item);
+///     Result result = processItem(item);      // pure local work
+///     if (result.isSuccessful()) work -= weightOf(item);
+///     ...
+///   }
+///
+/// Most iterations restore `work` to its entry value, so speculation
+/// beats locking — but only if the conflict detector can see that the
+/// composite effect of each transaction on `work` commutes. Write-set
+/// detection aborts every overlapping pair; JANUS's sequence-based
+/// detection learns the add/subtract pattern during a training run and
+/// then lets all items process in parallel.
+///
+/// Build & run:  ./build/examples/quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/adt/TxCounter.h"
+#include "janus/core/Janus.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace janus;
+using namespace janus::core;
+
+namespace {
+
+/// Builds the parallel loop's task set over NumItems work items.
+std::vector<stm::TaskFn> makeTasks(adt::TxCounter Work, int NumItems) {
+  std::vector<stm::TaskFn> Tasks;
+  for (int Item = 1; Item <= NumItems; ++Item) {
+    Tasks.push_back([Work, Item](stm::TxContext &Tx) {
+      int64_t Weight = Item % 7 + 1;
+      Work.add(Tx, Weight);    // work += weightOf(item);
+      Tx.localWork(10.0);      // processItem(item): pure computation.
+      bool Successful = Item % 13 != 0;
+      if (Successful)
+        Work.sub(Tx, Weight);  // item processed successfully.
+    });
+  }
+  return Tasks;
+}
+
+void report(const char *Label, Janus &J, RunOutcome O,
+            const adt::TxCounter &Work) {
+  std::printf("%-22s speedup %.2fx  commits %llu  retries %llu  "
+              "pending work %lld\n",
+              Label, O.speedup(),
+              (unsigned long long)J.runStats().Commits.load(),
+              (unsigned long long)J.runStats().Retries.load(),
+              (long long)J.valueAt(Work.location()).asInt());
+}
+
+} // namespace
+
+int main() {
+  const int NumItems = 64;
+
+  // --- JANUS with sequence-based detection (the default). -----------
+  JanusConfig Cfg;
+  Cfg.Threads = 8; // Eight simulated cores.
+  Janus J(Cfg);
+  adt::TxCounter Work = adt::TxCounter::create(J.registry(), "work");
+
+  // Offline training on a small payload (paper §5.1): single-threaded,
+  // synchronization-free, mines the add/subtract pattern.
+  J.train(makeTasks(Work, 6));
+  std::printf("trained: %llu commutativity conditions cached\n\n",
+              (unsigned long long)J.trainStats().CachedEntries);
+
+  RunOutcome O = J.runOutOfOrder(makeTasks(Work, NumItems));
+  report("sequence-based:", J, O, Work);
+
+  // --- The same loop under write-set detection. ----------------------
+  JanusConfig WsCfg;
+  WsCfg.Threads = 8;
+  WsCfg.Detector = DetectorKind::WriteSet;
+  Janus JW(WsCfg);
+  adt::TxCounter Work2 = adt::TxCounter::create(JW.registry(), "work");
+  RunOutcome OW = JW.runOutOfOrder(makeTasks(Work2, NumItems));
+  report("write-set:", JW, OW, Work2);
+
+  std::printf("\nBoth end in the same state; only the wasted work "
+              "differs.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Regular sequence abstraction via the Kleene-cross operator
+/// (paper §5.2, "Generalization via Sequence Abstraction").
+///
+/// Concrete sequences on shared locations vary with the input (e.g. the
+/// add/subtract runs induced by `work` in Figure 2 are proportional to
+/// the input items). Caching commutativity information for concrete
+/// sequences alone would couple the cache to the training payloads, so
+/// JANUS generalizes: idempotent subsequences are collapsed into
+/// Kleene-cross groups — `{ work+=x; work-=x; }` abstracts to
+/// `{ work+=x; work-=x; }+` — and Lemma 5.1 guarantees CONFLICT cannot
+/// distinguish a sequence from one obtained by pumping an idempotent
+/// subsequence, so conditions computed on a single unrolling remain
+/// valid for every repetition count.
+///
+/// The abstraction procedure is deterministic and canonical: a
+/// training-time sequence and a production-time sequence differing only
+/// in the repetition counts of idempotent bodies produce identical
+/// signatures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ABSTRACTION_ABSTRACTSEQ_H
+#define JANUS_ABSTRACTION_ABSTRACTSEQ_H
+
+#include "janus/abstraction/Symbolize.h"
+#include "janus/symbolic/SymSeq.h"
+
+#include <optional>
+#include <set>
+#include <string>
+
+namespace janus {
+namespace abstraction {
+
+/// One element of an abstract sequence: a plain operation or a
+/// Kleene-cross group with a one-iteration body pattern.
+struct AbstractElem {
+  bool IsGroup = false;
+  symbolic::SymLocOp Op;      ///< Valid when !IsGroup.
+  symbolic::SymLocSeq Body;   ///< Valid when IsGroup. Read references
+                              ///< inside a body are body-local.
+
+  friend bool operator==(const AbstractElem &A, const AbstractElem &B) {
+    if (A.IsGroup != B.IsGroup)
+      return false;
+    return A.IsGroup ? A.Body == B.Body : A.Op == B.Op;
+  }
+};
+
+/// A canonical abstract sequence.
+class AbstractSeq {
+public:
+  std::vector<AbstractElem> Elems;
+
+  /// \returns the canonical textual signature used as a cache key,
+  /// e.g. "[A(p1), A(-p1)]+ | R | W(read#0+1)".
+  std::string signature() const;
+
+  /// \returns a single unrolling: every group body emitted once, read
+  /// references rewritten to global positions. Suitable for
+  /// commutativity-condition computation.
+  symbolic::SymLocSeq expandOnce() const;
+
+  friend bool operator==(const AbstractSeq &A, const AbstractSeq &B) {
+    return A.Elems == B.Elems;
+  }
+};
+
+/// Result of abstracting a symbolized sequence.
+struct AbstractResult {
+  AbstractSeq Seq;
+  /// Canonical parameter bindings for this concrete instance (group
+  /// parameters bound from the first repetition).
+  symbolic::Bindings Binds;
+  /// Canonical ids of parameters introduced inside group bodies.
+  /// Conditions referencing them cannot be cached (their values vary
+  /// across repetitions).
+  std::set<symbolic::SymId> GroupParams;
+};
+
+/// \returns true when \p Body is idempotent: applying it a second time
+/// (with fresh parameters) from its own post-state reproduces the same
+/// final state and the same read results (Lemma 5.1's premise).
+bool isIdempotent(std::span<const symbolic::SymLocOp> Body);
+
+/// Maximum group-body length considered during collapse.
+inline constexpr size_t MaxBodyLen = 8;
+
+/// Abstracts \p S canonically. With \p UseKleene false the sequence is
+/// only canonically renumbered (the "without sequence abstraction"
+/// configuration of Figure 11).
+AbstractResult abstractSequence(const SymbolizeResult &S, bool UseKleene);
+
+} // namespace abstraction
+} // namespace janus
+
+#endif // JANUS_ABSTRACTION_ABSTRACTSEQ_H

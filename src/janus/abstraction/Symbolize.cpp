@@ -1,0 +1,100 @@
+#include "janus/abstraction/Symbolize.h"
+
+using namespace janus;
+using namespace janus::abstraction;
+using namespace janus::symbolic;
+
+SymbolizeResult abstraction::symbolize(const LocOpSeq &Seq) {
+  SymbolizeResult Out;
+  // Introduced parameters, in order: (symbol, concrete value).
+  std::vector<std::pair<SymId, Value>> Params;
+  // Read results seen so far: (read index, value).
+  std::vector<Value> Reads;
+  SymId NextSym = 1; // 0 is reserved for V0.
+
+  auto FreshParam = [&](const Value &V) {
+    SymId S = NextSym++;
+    Params.emplace_back(S, V);
+    Out.Binds[S] = V;
+    return S;
+  };
+
+  /// Finds the most recent parameter bound to \p V; ~0u if none.
+  auto FindEqualParam = [&Params](const Value &V) -> SymId {
+    for (auto It = Params.rbegin(), E = Params.rend(); It != E; ++It)
+      if (It->second == V)
+        return It->first;
+    return ~0u;
+  };
+
+  /// Finds the most recent *integer* parameter bound to -V; ~0u if none.
+  auto FindNegatedParam = [&Params](int64_t V) -> SymId {
+    for (auto It = Params.rbegin(), E = Params.rend(); It != E; ++It)
+      if (It->second.isInt() && It->second.asInt() == -V)
+        return It->first;
+    return ~0u;
+  };
+
+  for (const LocOp &Op : Seq) {
+    switch (Op.Kind) {
+    case LocOpKind::Read:
+      Reads.push_back(Op.ReadResult);
+      Out.Seq.push_back(SymLocOp::read());
+      break;
+
+    case LocOpKind::Add: {
+      int64_t D = Op.Operand.asInt();
+      if (SymId S = FindEqualParam(Op.Operand); S != ~0u) {
+        Out.Seq.push_back(SymLocOp::add(Term::intSym(S)));
+        break;
+      }
+      if (SymId S = FindNegatedParam(D); S != ~0u) {
+        Out.Seq.push_back(SymLocOp::add(*Term::intSym(S).negated()));
+        break;
+      }
+      Out.Seq.push_back(SymLocOp::add(Term::intSym(FreshParam(Op.Operand))));
+      break;
+    }
+
+    case LocOpKind::Write: {
+      // Erasure (writing Absent) is structural, not a value choice:
+      // keep it a literal constant so erase/rewrite patterns (list
+      // cells, map removals) stay idempotent under fresh parameters.
+      if (Op.Operand.isAbsent()) {
+        Out.Seq.push_back(
+            SymLocOp::write(Term::constant(Value::absent())));
+        break;
+      }
+      // Prefer the read-plus-constant pattern: scan reads, most recent
+      // first.
+      if (Op.Operand.isInt()) {
+        bool Matched = false;
+        for (size_t RI = Reads.size(); RI-- > 0;) {
+          if (!Reads[RI].isInt())
+            continue;
+          int64_t Diff = Op.Operand.asInt() - Reads[RI].asInt();
+          if (Diff >= -MaxReadOffset && Diff <= MaxReadOffset) {
+            Out.Seq.push_back(SymLocOp::write(
+                Term::readPlus(static_cast<uint32_t>(RI), Diff)));
+            Matched = true;
+            break;
+          }
+        }
+        if (Matched)
+          break;
+      }
+      if (SymId S = FindEqualParam(Op.Operand); S != ~0u) {
+        Out.Seq.push_back(SymLocOp::write(Op.Operand.isInt()
+                                              ? Term::intSym(S)
+                                              : Term::opaqueSym(S)));
+        break;
+      }
+      SymId S = FreshParam(Op.Operand);
+      Out.Seq.push_back(SymLocOp::write(
+          Op.Operand.isInt() ? Term::intSym(S) : Term::opaqueSym(S)));
+      break;
+    }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,52 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolization of concrete per-location sequences.
+///
+/// Paper §5.1 step 3: "concrete values are substituted by symbolic
+/// values (e.g., { work+=x; work-=x; } for the sequence
+/// { work+=3; work-=3; })". Symbolization detects the value
+/// relationships inside a sequence that the commutativity machinery
+/// needs:
+///   - repeated operands share one symbol,
+///   - an Add operand equal to the negation of an earlier Add operand
+///     becomes the negated symbol (the identity pattern),
+///   - a Write operand equal to a previously read value plus a small
+///     constant becomes a read-reference term (the push/pop size
+///     updates of the JFileSync monitors),
+///   - anything else becomes a fresh symbol.
+///
+/// The procedure is deterministic and canonical (symbols numbered by
+/// first appearance), so training-time and production-time sequences
+/// with the same relationships produce structurally identical symbolic
+/// sequences — which is what cache matching compares.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ABSTRACTION_SYMBOLIZE_H
+#define JANUS_ABSTRACTION_SYMBOLIZE_H
+
+#include "janus/symbolic/SymSeq.h"
+
+namespace janus {
+namespace abstraction {
+
+/// A symbolized sequence plus the concrete values its symbols were
+/// bound to in this instance (used to evaluate cached conditions).
+struct SymbolizeResult {
+  symbolic::SymLocSeq Seq;
+  symbolic::Bindings Binds; ///< Param symbols only (not V0).
+};
+
+/// Maximum |offset| recognized when relating a written value to a
+/// previous read (read-plus-constant pattern).
+inline constexpr int64_t MaxReadOffset = 8;
+
+/// Symbolizes \p Seq canonically. Read results must be populated (they
+/// are, both in training logs and in production logs).
+SymbolizeResult symbolize(const symbolic::LocOpSeq &Seq);
+
+} // namespace abstraction
+} // namespace janus
+
+#endif // JANUS_ABSTRACTION_SYMBOLIZE_H

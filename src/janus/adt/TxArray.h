@@ -1,0 +1,94 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared arrays with per-element locations.
+///
+/// Element i of the array is the location (object, i); learned
+/// commutativity information generalizes across elements because all
+/// elements share the object's location class (paper §5.1). This is how
+/// the JGraphT color[] array and the PMD/Weka per-item state are
+/// modeled.
+///
+/// Relational spec: a 2-ary relation {idx, val} with FD idx → val;
+/// writeAt is `insert (i, v)`, readAt is `select idx = i`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ADT_TXARRAY_H
+#define JANUS_ADT_TXARRAY_H
+
+#include "janus/stm/TxContext.h"
+
+#include <string>
+
+namespace janus {
+namespace adt {
+
+/// A shared array of integers, indexed sparsely (unwritten elements
+/// read as \p Default).
+class TxIntArray {
+public:
+  TxIntArray() = default;
+
+  static TxIntArray create(ObjectRegistry &Reg, std::string Name,
+                           RelaxationSpec Relax = {}) {
+    TxIntArray A;
+    std::string Class = Name + ".elem";
+    A.Obj = Reg.registerObject(std::move(Name), std::move(Class), Relax);
+    return A;
+  }
+
+  int64_t readAt(stm::TxContext &Tx, int64_t Idx, int64_t Default = 0) const {
+    Value V = Tx.read(Location(Obj, Idx));
+    return V.isInt() ? V.asInt() : Default;
+  }
+
+  void writeAt(stm::TxContext &Tx, int64_t Idx, int64_t V) const {
+    Tx.write(Location(Obj, Idx), Value::of(V));
+  }
+
+  /// Commutative per-element reduction update.
+  void addAt(stm::TxContext &Tx, int64_t Idx, int64_t Delta) const {
+    Tx.add(Location(Obj, Idx), Delta);
+  }
+
+  Location locationAt(int64_t Idx) const { return Location(Obj, Idx); }
+  ObjectId object() const { return Obj; }
+
+private:
+  ObjectId Obj;
+};
+
+/// A shared array of strings.
+class TxStrArray {
+public:
+  TxStrArray() = default;
+
+  static TxStrArray create(ObjectRegistry &Reg, std::string Name,
+                           RelaxationSpec Relax = {}) {
+    TxStrArray A;
+    std::string Class = Name + ".elem";
+    A.Obj = Reg.registerObject(std::move(Name), std::move(Class), Relax);
+    return A;
+  }
+
+  std::string readAt(stm::TxContext &Tx, int64_t Idx) const {
+    Value V = Tx.read(Location(Obj, Idx));
+    return V.isStr() ? V.asStr() : std::string();
+  }
+
+  void writeAt(stm::TxContext &Tx, int64_t Idx, std::string V) const {
+    Tx.write(Location(Obj, Idx), Value::of(std::move(V)));
+  }
+
+  Location locationAt(int64_t Idx) const { return Location(Obj, Idx); }
+  ObjectId object() const { return Obj; }
+
+private:
+  ObjectId Obj;
+};
+
+} // namespace adt
+} // namespace janus
+
+#endif // JANUS_ADT_TXARRAY_H

@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared bit set with the paper's running relational specification.
+///
+/// Paper §3 step 1: "The BitSet class used in Figure 3 can be encoded
+/// as a 2-ary relation mapping integral values to boolean values. A
+/// relational description of the get operation is then specified as a
+/// select query, and setting the bit at index n to value x translates
+/// into removing the (unique) tuple whose first component is n and then
+/// inserting (n, x)."
+///
+/// JGraphT-1 uses its `usedColors` BitSet in the shared-as-local
+/// pattern: each iteration clears it and rebuilds it, so instances are
+/// typically registered with a tolerate-WAW relaxation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ADT_TXBITSET_H
+#define JANUS_ADT_TXBITSET_H
+
+#include "janus/stm/TxContext.h"
+
+#include <string>
+
+namespace janus {
+namespace adt {
+
+/// A fixed-capacity shared bit set; bit i is location (object, i).
+class TxBitSet {
+public:
+  TxBitSet() = default;
+
+  static TxBitSet create(ObjectRegistry &Reg, std::string Name,
+                         int64_t Capacity, RelaxationSpec Relax = {}) {
+    JANUS_ASSERT(Capacity > 0, "bit set capacity must be positive");
+    TxBitSet B;
+    std::string Class = Name + ".bit";
+    B.Obj = Reg.registerObject(std::move(Name), std::move(Class), Relax);
+    B.Capacity = Capacity;
+    return B;
+  }
+
+  /// \returns the bit at \p Idx (unset bits read as false).
+  bool get(stm::TxContext &Tx, int64_t Idx) const {
+    JANUS_ASSERT(Idx >= 0 && Idx < Capacity, "bit index out of range");
+    Value V = Tx.read(Location(Obj, Idx));
+    return V.isBool() && V.asBool();
+  }
+
+  /// Sets the bit at \p Idx.
+  void set(stm::TxContext &Tx, int64_t Idx) const {
+    JANUS_ASSERT(Idx >= 0 && Idx < Capacity, "bit index out of range");
+    Tx.write(Location(Obj, Idx), Value::of(true));
+  }
+
+  /// Clears the bit at \p Idx.
+  void clear(stm::TxContext &Tx, int64_t Idx) const {
+    JANUS_ASSERT(Idx >= 0 && Idx < Capacity, "bit index out of range");
+    Tx.write(Location(Obj, Idx), Value::of(false));
+  }
+
+  /// Clears every bit (the scratch-pad reset of Figure 3's
+  /// usedColors.clear()).
+  void clearAll(stm::TxContext &Tx) const {
+    for (int64_t I = 0; I != Capacity; ++I)
+      Tx.write(Location(Obj, I), Value::of(false));
+  }
+
+  int64_t capacity() const { return Capacity; }
+  ObjectId object() const { return Obj; }
+
+private:
+  ObjectId Obj;
+  int64_t Capacity = 0;
+};
+
+} // namespace adt
+} // namespace janus
+
+#endif // JANUS_ADT_TXBITSET_H

@@ -1,0 +1,123 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared raster canvas (the Weka GraphVisualizer's Graphics2D).
+///
+/// Figure 5's rendering loop exemplifies the equal-writes pattern:
+/// "distinct iterations accessing the same pixel do not conflict if
+/// they have set the Graphics object to the same color". The canvas
+/// models the display device as one location per pixel; the drawing
+/// primitives lower to pixel writes of the color value, so two tasks
+/// painting an overlapping region with the same color produce
+/// equal-writes sequences that the sequence detector admits.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ADT_TXCANVAS_H
+#define JANUS_ADT_TXCANVAS_H
+
+#include "janus/stm/TxContext.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace janus {
+namespace adt {
+
+/// A fixed-size shared pixel raster.
+class TxCanvas {
+public:
+  TxCanvas() = default;
+
+  static TxCanvas create(ObjectRegistry &Reg, std::string Name,
+                         int64_t Width, int64_t Height,
+                         RelaxationSpec Relax = {}) {
+    JANUS_ASSERT(Width > 0 && Height > 0, "canvas must be non-empty");
+    TxCanvas C;
+    std::string Class = Name + ".pixel";
+    C.Obj = Reg.registerObject(std::move(Name), std::move(Class), Relax);
+    C.Width = Width;
+    C.Height = Height;
+    return C;
+  }
+
+  int64_t width() const { return Width; }
+  int64_t height() const { return Height; }
+
+  /// Paints one pixel; coordinates outside the canvas are clipped.
+  void setPixel(stm::TxContext &Tx, int64_t X, int64_t Y,
+                const std::string &Color) const {
+    if (X < 0 || X >= Width || Y < 0 || Y >= Height)
+      return;
+    Tx.write(Location(Obj, Y * Width + X), Value::of(Color));
+  }
+
+  /// \returns the color at (X, Y), or "" when unpainted.
+  std::string getPixel(stm::TxContext &Tx, int64_t X, int64_t Y) const {
+    JANUS_ASSERT(X >= 0 && X < Width && Y >= 0 && Y < Height,
+                 "pixel out of range");
+    Value V = Tx.read(Location(Obj, Y * Width + X));
+    return V.isStr() ? V.asStr() : std::string();
+  }
+
+  /// Bresenham line from (X1, Y1) to (X2, Y2).
+  void drawLine(stm::TxContext &Tx, int64_t X1, int64_t Y1, int64_t X2,
+                int64_t Y2, const std::string &Color) const {
+    int64_t DX = std::llabs(X2 - X1), DY = -std::llabs(Y2 - Y1);
+    int64_t SX = X1 < X2 ? 1 : -1, SY = Y1 < Y2 ? 1 : -1;
+    int64_t Err = DX + DY;
+    while (true) {
+      setPixel(Tx, X1, Y1, Color);
+      if (X1 == X2 && Y1 == Y2)
+        return;
+      int64_t E2 = 2 * Err;
+      if (E2 >= DY) {
+        Err += DY;
+        X1 += SX;
+      }
+      if (E2 <= DX) {
+        Err += DX;
+        Y1 += SY;
+      }
+    }
+  }
+
+  /// Filled axis-aligned ellipse inside the given bounding box
+  /// (Graphics.fillOval).
+  void fillOval(stm::TxContext &Tx, int64_t X, int64_t Y, int64_t W,
+                int64_t H, const std::string &Color) const {
+    if (W <= 0 || H <= 0)
+      return;
+    // Center-and-radius form over the bounding box, integer sampled.
+    double CX = X + W / 2.0, CY = Y + H / 2.0;
+    double RX = W / 2.0, RY = H / 2.0;
+    for (int64_t PY = Y; PY < Y + H; ++PY) {
+      for (int64_t PX = X; PX < X + W; ++PX) {
+        double NX = (PX + 0.5 - CX) / RX, NY = (PY + 0.5 - CY) / RY;
+        if (NX * NX + NY * NY <= 1.0)
+          setPixel(Tx, PX, PY, Color);
+      }
+    }
+  }
+
+  /// Draws a label as a simple 1-pixel-per-character strip (stand-in
+  /// for Graphics.drawString; the workload only needs the writes).
+  void drawString(stm::TxContext &Tx, const std::string &Text, int64_t X,
+                  int64_t Y, const std::string &Color) const {
+    for (size_t I = 0, E = Text.size(); I != E; ++I)
+      setPixel(Tx, X + static_cast<int64_t>(I), Y,
+               Color + ":" + Text.substr(I, 1));
+  }
+
+  ObjectId object() const { return Obj; }
+
+private:
+  ObjectId Obj;
+  int64_t Width = 0;
+  int64_t Height = 0;
+};
+
+} // namespace adt
+} // namespace janus
+
+#endif // JANUS_ADT_TXCANVAS_H

@@ -1,0 +1,68 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared counter supporting commutative increments.
+///
+/// `add` is logged as a *semantic* Add operation rather than a
+/// read-modify-write pair, which lets sequence-based detection treat
+/// counter updates as the reduction pattern (paper §2): pure adds
+/// commute, and balanced add/subtract runs are the identity pattern the
+/// Figure 1 example motivates.
+///
+/// Relational spec: like a scalar, with `add d` expressed as the
+/// remove/insert pair over the concretized sum (§6.1; the trainer's SAT
+/// cross-check uses exactly this lowering).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ADT_TXCOUNTER_H
+#define JANUS_ADT_TXCOUNTER_H
+
+#include "janus/stm/TxContext.h"
+
+#include <string>
+
+namespace janus {
+namespace adt {
+
+/// A shared integer counter (absent counts as 0).
+class TxCounter {
+public:
+  TxCounter() = default;
+
+  static TxCounter create(ObjectRegistry &Reg, std::string Name,
+                          RelaxationSpec Relax = {}) {
+    TxCounter C;
+    C.Obj = Reg.registerObject(std::move(Name), "", Relax);
+    return C;
+  }
+
+  /// Adds \p Delta (a commutative reduction update).
+  void add(stm::TxContext &Tx, int64_t Delta) const {
+    Tx.add(Location(Obj), Delta);
+  }
+
+  /// Subtracts \p Delta.
+  void sub(stm::TxContext &Tx, int64_t Delta) const {
+    Tx.add(Location(Obj), -Delta);
+  }
+
+  /// Reads the current value. Note: reading introduces a read
+  /// dependency; counters used purely as reductions should be read only
+  /// after the parallel loop.
+  int64_t get(stm::TxContext &Tx) const {
+    Value V = Tx.read(Location(Obj));
+    return V.isInt() ? V.asInt() : 0;
+  }
+
+  Location location() const { return Location(Obj); }
+  ObjectId object() const { return Obj; }
+
+private:
+  ObjectId Obj;
+};
+
+} // namespace adt
+} // namespace janus
+
+#endif // JANUS_ADT_TXCOUNTER_H

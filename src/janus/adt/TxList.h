@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared list with stack-style push/pop (the JFileSync monitors).
+///
+/// JFileSync's `monitor.itemsStarted` / `monitor.itemsWeight` lists are
+/// appended to when work starts and popped when it completes
+/// (Figure 2), so each iteration's net effect is the identity — which
+/// the sequence-based detector recognizes from the per-location
+/// push/pop patterns on the size cell: R, W(read+1), …, R, W(read-1).
+///
+/// Layout: the element count lives at (object, "size"); element i at
+/// (object, i).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ADT_TXLIST_H
+#define JANUS_ADT_TXLIST_H
+
+#include "janus/stm/TxContext.h"
+
+#include <string>
+
+namespace janus {
+namespace adt {
+
+/// A shared growable list of values.
+class TxList {
+public:
+  TxList() = default;
+
+  static TxList create(ObjectRegistry &Reg, std::string Name,
+                       RelaxationSpec Relax = {}) {
+    TxList L;
+    std::string Class = Name + ".cell";
+    L.Obj = Reg.registerObject(std::move(Name), std::move(Class), Relax);
+    return L;
+  }
+
+  /// \returns the number of elements.
+  int64_t size(stm::TxContext &Tx) const {
+    Value V = Tx.read(sizeLocation());
+    return V.isInt() ? V.asInt() : 0;
+  }
+
+  /// Appends \p V (JFSProgressMonitor's add()).
+  void pushBack(stm::TxContext &Tx, Value V) const {
+    int64_t N = size(Tx);
+    Tx.write(sizeLocation(), Value::of(N + 1));
+    Tx.write(Location(Obj, N), std::move(V));
+  }
+
+  /// Removes the last element (the remove(size()-1) idiom of Figure 2).
+  /// The element cell is erased so a balanced push/pop pair acts as the
+  /// identity on every location it touched — which is what lets two
+  /// concurrent push/pop transactions commute.
+  void popBack(stm::TxContext &Tx) const {
+    int64_t N = size(Tx);
+    JANUS_ASSERT(N > 0, "pop from empty list");
+    Tx.write(sizeLocation(), Value::of(N - 1));
+    Tx.write(Location(Obj, N - 1), Value::absent());
+  }
+
+  /// \returns element \p Idx.
+  Value at(stm::TxContext &Tx, int64_t Idx) const {
+    return Tx.read(Location(Obj, Idx));
+  }
+
+  Location sizeLocation() const { return Location(Obj, "size"); }
+  ObjectId object() const { return Obj; }
+
+private:
+  ObjectId Obj;
+};
+
+} // namespace adt
+} // namespace janus
+
+#endif // JANUS_ADT_TXLIST_H

@@ -1,0 +1,82 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared string-keyed map (the PMD RuleContext attribute store).
+///
+/// Relational spec (§6.1): a relation {key, val} with FD key → val.
+/// `put` is `insert (k, v)`; `erase` removes the key's tuple; `get` and
+/// `contains` are select queries. Key presence is modeled by the
+/// location (object, key) holding Absent, which the training engine's
+/// "useful distinctions particular to container ADTs (such as the
+/// presence of a key in a Map object)" reasoning sees directly (§5.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ADT_TXMAP_H
+#define JANUS_ADT_TXMAP_H
+
+#include "janus/stm/TxContext.h"
+
+#include <optional>
+#include <string>
+
+namespace janus {
+namespace adt {
+
+/// A shared map from strings to values; entry k is location (object, k).
+class TxMap {
+public:
+  TxMap() = default;
+
+  static TxMap create(ObjectRegistry &Reg, std::string Name,
+                      RelaxationSpec Relax = {}) {
+    TxMap M;
+    std::string Class = Name + ".entry";
+    M.Obj = Reg.registerObject(std::move(Name), std::move(Class), Relax);
+    return M;
+  }
+
+  /// \returns the value mapped at \p Key, or nullopt when absent.
+  std::optional<Value> get(stm::TxContext &Tx, const std::string &Key) const {
+    Value V = Tx.read(Location(Obj, Key));
+    if (V.isAbsent())
+      return std::nullopt;
+    return V;
+  }
+
+  /// \returns whether \p Key is present.
+  bool contains(stm::TxContext &Tx, const std::string &Key) const {
+    return !Tx.read(Location(Obj, Key)).isAbsent();
+  }
+
+  /// Maps \p Key to \p V (displacing any previous value).
+  void put(stm::TxContext &Tx, const std::string &Key, Value V) const {
+    JANUS_ASSERT(!V.isAbsent(), "cannot store Absent; use erase");
+    Tx.write(Location(Obj, Key), std::move(V));
+  }
+
+  /// Removes \p Key.
+  void erase(stm::TxContext &Tx, const std::string &Key) const {
+    Tx.write(Location(Obj, Key), Value::absent());
+  }
+
+  /// Commutative reduction update of an integer-valued entry (e.g. the
+  /// per-rule AtomicLong counters of PMD's rules).
+  void addAt(stm::TxContext &Tx, const std::string &Key,
+             int64_t Delta) const {
+    Tx.add(Location(Obj, Key), Delta);
+  }
+
+  Location locationAt(const std::string &Key) const {
+    return Location(Obj, Key);
+  }
+  ObjectId object() const { return Obj; }
+
+private:
+  ObjectId Obj;
+};
+
+} // namespace adt
+} // namespace janus
+
+#endif // JANUS_ADT_TXMAP_H

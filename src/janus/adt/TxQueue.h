@@ -1,0 +1,98 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A shared FIFO queue.
+///
+/// Layout: a head counter at (object, "head"), a tail counter at
+/// (object, "tail"), and one cell per enqueued element at
+/// (object, index). `enqueue` advances the tail (the familiar
+/// read-then-write-plus-one pattern the abstraction recognizes);
+/// `dequeue` advances the head and erases the consumed cell.
+///
+/// A producer/consumer pair that enqueues and dequeues the same number
+/// of elements within one transaction is the identity on both counters
+/// — the same sequence-level reasoning that serves the JFileSync
+/// monitors. Producers touching only the tail never conflict with
+/// consumers touching only the head.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ADT_TXQUEUE_H
+#define JANUS_ADT_TXQUEUE_H
+
+#include "janus/stm/TxContext.h"
+
+#include <optional>
+#include <string>
+
+namespace janus {
+namespace adt {
+
+/// A shared growable FIFO.
+class TxQueue {
+public:
+  TxQueue() = default;
+
+  static TxQueue create(ObjectRegistry &Reg, std::string Name,
+                        RelaxationSpec Relax = {}) {
+    TxQueue Q;
+    std::string Class = Name + ".cell";
+    Q.Obj = Reg.registerObject(std::move(Name), std::move(Class), Relax);
+    return Q;
+  }
+
+  /// \returns the number of queued elements.
+  int64_t size(stm::TxContext &Tx) const {
+    return tail(Tx) - head(Tx);
+  }
+
+  bool empty(stm::TxContext &Tx) const { return size(Tx) == 0; }
+
+  /// Appends \p V at the tail.
+  void enqueue(stm::TxContext &Tx, Value V) const {
+    int64_t T = tail(Tx);
+    Tx.write(tailLocation(), Value::of(T + 1));
+    Tx.write(Location(Obj, T), std::move(V));
+  }
+
+  /// Removes and \returns the front element, or nullopt when empty.
+  std::optional<Value> dequeue(stm::TxContext &Tx) const {
+    int64_t H = head(Tx);
+    int64_t T = tail(Tx);
+    if (H == T)
+      return std::nullopt;
+    Value Front = Tx.read(Location(Obj, H));
+    Tx.write(headLocation(), Value::of(H + 1));
+    Tx.write(Location(Obj, H), Value::absent());
+    return Front;
+  }
+
+  /// \returns the front element without consuming it, or nullopt.
+  std::optional<Value> front(stm::TxContext &Tx) const {
+    int64_t H = head(Tx);
+    if (H == tail(Tx))
+      return std::nullopt;
+    return Tx.read(Location(Obj, H));
+  }
+
+  Location headLocation() const { return Location(Obj, "head"); }
+  Location tailLocation() const { return Location(Obj, "tail"); }
+  ObjectId object() const { return Obj; }
+
+private:
+  int64_t head(stm::TxContext &Tx) const {
+    Value V = Tx.read(headLocation());
+    return V.isInt() ? V.asInt() : 0;
+  }
+  int64_t tail(stm::TxContext &Tx) const {
+    Value V = Tx.read(tailLocation());
+    return V.isInt() ? V.asInt() : 0;
+  }
+
+  ObjectId Obj;
+};
+
+} // namespace adt
+} // namespace janus
+
+#endif // JANUS_ADT_TXQUEUE_H

@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar transactional variables.
+///
+/// The simplest shared objects: a single location holding an integer or
+/// string. Every access is routed through the transaction context, so
+/// it is logged with its read/write footprint — the role played by
+/// bytecode instrumentation in the paper's prototype (§7.1).
+///
+/// Relational abstraction spec (§6.1): a scalar is a single-cell
+/// relation over columns {slot, val} with FD slot → val; `set` is
+/// `insert (0, v)` and `get` is `select slot = 0`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ADT_TXVAR_H
+#define JANUS_ADT_TXVAR_H
+
+#include "janus/stm/TxContext.h"
+
+#include <string>
+
+namespace janus {
+namespace adt {
+
+/// A shared 64-bit integer variable.
+class TxIntVar {
+public:
+  TxIntVar() = default;
+
+  /// Registers a fresh shared integer named \p Name.
+  static TxIntVar create(ObjectRegistry &Reg, std::string Name,
+                         RelaxationSpec Relax = {}) {
+    TxIntVar V;
+    V.Obj = Reg.registerObject(std::move(Name), "", Relax);
+    return V;
+  }
+
+  /// \returns the current value, or \p Default when never written.
+  int64_t get(stm::TxContext &Tx, int64_t Default = 0) const {
+    Value V = Tx.read(Location(Obj));
+    return V.isInt() ? V.asInt() : Default;
+  }
+
+  /// Overwrites the value.
+  void set(stm::TxContext &Tx, int64_t V) const {
+    Tx.write(Location(Obj), Value::of(V));
+  }
+
+  Location location() const { return Location(Obj); }
+  ObjectId object() const { return Obj; }
+
+private:
+  ObjectId Obj;
+};
+
+/// A shared string variable.
+class TxStrVar {
+public:
+  TxStrVar() = default;
+
+  static TxStrVar create(ObjectRegistry &Reg, std::string Name,
+                         RelaxationSpec Relax = {}) {
+    TxStrVar V;
+    V.Obj = Reg.registerObject(std::move(Name), "", Relax);
+    return V;
+  }
+
+  /// \returns the current value, or the empty string when never
+  /// written.
+  std::string get(stm::TxContext &Tx) const {
+    Value V = Tx.read(Location(Obj));
+    return V.isStr() ? V.asStr() : std::string();
+  }
+
+  void set(stm::TxContext &Tx, std::string V) const {
+    Tx.write(Location(Obj), Value::of(std::move(V)));
+  }
+
+  Location location() const { return Location(Obj); }
+  ObjectId object() const { return Obj; }
+
+private:
+  ObjectId Obj;
+};
+
+} // namespace adt
+} // namespace janus
+
+#endif // JANUS_ADT_TXVAR_H

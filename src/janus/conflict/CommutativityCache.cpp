@@ -1,0 +1,88 @@
+#include "janus/conflict/CommutativityCache.h"
+
+#include "janus/support/Assert.h"
+
+#include <mutex>
+#include <sstream>
+
+using namespace janus;
+using namespace janus::conflict;
+
+void CommutativityCache::insert(CacheKey Key, symbolic::Condition Cond) {
+  std::unique_lock<std::shared_mutex> Guard(Mutex);
+  Entries[std::move(Key)] = std::move(Cond);
+}
+
+std::optional<symbolic::Condition>
+CommutativityCache::lookup(const CacheKey &Key) const {
+  std::shared_lock<std::shared_mutex> Guard(Mutex);
+  auto It = Entries.find(Key);
+  if (It == Entries.end())
+    return std::nullopt;
+  return It->second;
+}
+
+size_t CommutativityCache::size() const {
+  std::shared_lock<std::shared_mutex> Guard(Mutex);
+  return Entries.size();
+}
+
+std::string CommutativityCache::serialize() const {
+  std::shared_lock<std::shared_mutex> Guard(Mutex);
+  std::string Out = "janus-commutativity-cache v1\n";
+  for (const auto &[Key, Cond] : Entries) {
+    Out += "class " + Key.LocClass + "\n";
+    Out += "mine " + Key.MineSig + "\n";
+    Out += "theirs " + Key.TheirsSig + "\n";
+    Out += "cond ";
+    Cond.serialize(Out);
+    Out += "\n";
+  }
+  return Out;
+}
+
+bool CommutativityCache::deserializeInto(const std::string &In) {
+  std::unique_lock<std::shared_mutex> Guard(Mutex);
+  Entries.clear();
+
+  std::istringstream Stream(In);
+  std::string Line;
+  if (!std::getline(Stream, Line) || Line != "janus-commutativity-cache v1")
+    return false;
+  auto StripPrefix = [](const std::string &S, const char *Prefix,
+                        std::string &Rest) {
+    size_t Len = std::string(Prefix).size();
+    if (S.compare(0, Len, Prefix) != 0)
+      return false;
+    Rest = S.substr(Len);
+    return true;
+  };
+
+  auto Fail = [this]() {
+    Entries.clear();
+    return false;
+  };
+  while (std::getline(Stream, Line)) {
+    if (Line.empty())
+      continue;
+    CacheKey Key;
+    if (!StripPrefix(Line, "class ", Key.LocClass))
+      return Fail();
+    if (!std::getline(Stream, Line) ||
+        !StripPrefix(Line, "mine ", Key.MineSig))
+      return Fail();
+    if (!std::getline(Stream, Line) ||
+        !StripPrefix(Line, "theirs ", Key.TheirsSig))
+      return Fail();
+    std::string CondText;
+    if (!std::getline(Stream, Line) ||
+        !StripPrefix(Line, "cond ", CondText))
+      return Fail();
+    size_t Pos = 0;
+    auto Cond = symbolic::Condition::deserialize(CondText, Pos);
+    if (!Cond)
+      return Fail();
+    Entries.emplace(std::move(Key), std::move(*Cond));
+  }
+  return true;
+}

@@ -1,0 +1,92 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The commutativity cache built by offline training (paper §5.1).
+///
+/// Keys are (location class, abstract signature of the transaction's
+/// per-location sequence, abstract signature of the conflict history's
+/// per-location sequence); values are symbolic commutativity conditions
+/// over V0 and the sequences' canonical parameters. In production mode
+/// a commutativity query is answered positively from the cache when the
+/// sequences match a cached pair and the input state satisfies the
+/// designated condition; otherwise JANUS falls back to the configured
+/// default (§3 step 5).
+///
+/// The cache also supports textual (de)serialization so training
+/// artifacts persist across process runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_CONFLICT_COMMUTATIVITYCACHE_H
+#define JANUS_CONFLICT_COMMUTATIVITYCACHE_H
+
+#include "janus/symbolic/Condition.h"
+
+#include <map>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+
+namespace janus {
+namespace conflict {
+
+/// Offset added to the conflict-history sequence's parameter symbols so
+/// the pair's symbols are disjoint in conditions and bindings.
+inline constexpr symbolic::SymId TheirParamOffset = 1u << 15;
+
+/// A lookup key: location class plus the two canonical signatures.
+struct CacheKey {
+  std::string LocClass;
+  std::string MineSig;
+  std::string TheirsSig;
+
+  friend bool operator<(const CacheKey &A, const CacheKey &B) {
+    if (A.LocClass != B.LocClass)
+      return A.LocClass < B.LocClass;
+    if (A.MineSig != B.MineSig)
+      return A.MineSig < B.MineSig;
+    return A.TheirsSig < B.TheirsSig;
+  }
+
+  std::string toString() const {
+    return LocClass + " | " + MineSig + " | " + TheirsSig;
+  }
+};
+
+/// Thread-safe commutativity-condition store. Typically populated by
+/// the trainer before parallel execution; concurrent lookups during
+/// execution take a shared lock.
+class CommutativityCache {
+public:
+  /// Inserts (or overwrites) an entry.
+  void insert(CacheKey Key, symbolic::Condition Cond);
+
+  /// \returns the condition for \p Key, or nullopt on a miss.
+  std::optional<symbolic::Condition> lookup(const CacheKey &Key) const;
+
+  size_t size() const;
+
+  /// Renders the whole cache in a line-oriented text format.
+  std::string serialize() const;
+
+  /// Replaces this cache's contents with entries parsed from text
+  /// previously produced by serialize(). \returns false (leaving the
+  /// cache empty) on malformed input.
+  bool deserializeInto(const std::string &In);
+
+  /// Invokes \p Fn(key, condition) for every entry, in key order.
+  template <typename Fn> void forEach(Fn &&Callback) const {
+    std::shared_lock<std::shared_mutex> Guard(Mutex);
+    for (const auto &[Key, Cond] : Entries)
+      Callback(Key, Cond);
+  }
+
+private:
+  mutable std::shared_mutex Mutex;
+  std::map<CacheKey, symbolic::Condition> Entries;
+};
+
+} // namespace conflict
+} // namespace janus
+
+#endif // JANUS_CONFLICT_COMMUTATIVITYCACHE_H

@@ -1,0 +1,19 @@
+#include "janus/conflict/Decompose.h"
+
+using namespace janus;
+using namespace janus::conflict;
+
+Decomposition conflict::decompose(const stm::TxLog &Log) {
+  Decomposition Out;
+  for (const stm::LogEntry &E : Log)
+    Out[E.Loc].push_back(E.Op);
+  return Out;
+}
+
+Decomposition conflict::decomposeAll(const std::vector<stm::TxLogRef> &Logs) {
+  Decomposition Out;
+  for (const stm::TxLogRef &Log : Logs)
+    for (const stm::LogEntry &E : *Log)
+      Out[E.Loc].push_back(E.Op);
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DECOMPOSE: dependence-based decomposition of histories (Figure 8).
+///
+/// Sequence-based detection with projection reasons about the
+/// per-location subsequences of a history. DECOMPOSE reconstructs them
+/// from the logged read/write sets alone — the dynamic context needed
+/// is the same as in write-set detection (paper §5.3). Private
+/// locations (accessed by only one of the two histories) are safely
+/// ignored by the caller via the domain intersection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_CONFLICT_DECOMPOSE_H
+#define JANUS_CONFLICT_DECOMPOSE_H
+
+#include "janus/stm/Log.h"
+#include "janus/symbolic/LocOp.h"
+
+#include <map>
+#include <vector>
+
+namespace janus {
+namespace conflict {
+
+/// Per-location operation sequences, ordered by location for
+/// deterministic iteration.
+using Decomposition = std::map<Location, symbolic::LocOpSeq>;
+
+/// Splits one log into its per-location subsequences.
+Decomposition decompose(const stm::TxLog &Log);
+
+/// Splits a committed history — the concatenation of \p Logs in commit
+/// order — into its per-location subsequences (Lemma 5.2 extends to
+/// multiple committing transactions).
+Decomposition decomposeAll(const std::vector<stm::TxLogRef> &Logs);
+
+} // namespace conflict
+} // namespace janus
+
+#endif // JANUS_CONFLICT_DECOMPOSE_H

@@ -1,0 +1,53 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable conflict explanations.
+///
+/// When a transaction aborts, developers want to know *which* location
+/// conflicted and *why* — which SAMEREAD or COMMUTE check of Figure 8
+/// failed, on which sequences, with which values. This diagnostic
+/// recomputes the exact online judgment with full bookkeeping and
+/// renders the first violation it finds. It is tooling on top of the
+/// detection algorithms (never used on the hot path).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_CONFLICT_EXPLAIN_H
+#define JANUS_CONFLICT_EXPLAIN_H
+
+#include "janus/conflict/Decompose.h"
+#include "janus/stm/Snapshot.h"
+
+#include <string>
+
+namespace janus {
+namespace conflict {
+
+/// Outcome of an explained conflict check.
+struct ConflictExplanation {
+  bool Conflicting = false;
+  /// Valid when Conflicting: the first offending location.
+  Location Loc;
+  std::string LocationName;
+  std::string MineSeq;   ///< Rendered transaction-side sequence.
+  std::string TheirsSeq; ///< Rendered history-side sequence.
+  std::string Reason;    ///< e.g. "COMMUTE violated: final 5 vs 7".
+
+  /// One-line rendering, e.g.
+  /// "conflict at color[3]: COMMUTE violated: final 5 vs 7
+  ///  (mine: R, W(5); theirs: W(7))".
+  std::string toString() const;
+};
+
+/// Recomputes the Figure 8 judgment of \p Mine against \p Committed
+/// (respecting the objects' relaxation specs) and explains the first
+/// violation, or reports no conflict.
+ConflictExplanation explainConflict(const stm::Snapshot &Entry,
+                                    const stm::TxLog &Mine,
+                                    const std::vector<stm::TxLogRef> &Committed,
+                                    const ObjectRegistry &Reg);
+
+} // namespace conflict
+} // namespace janus
+
+#endif // JANUS_CONFLICT_EXPLAIN_H

@@ -1,0 +1,26 @@
+#include "janus/conflict/OnlineConflict.h"
+
+using namespace janus;
+using namespace janus::conflict;
+using namespace janus::symbolic;
+
+bool conflict::conflictOnline(const Value &Entry, const LocOpSeq &Mine,
+                              const LocOpSeq &Theirs, ChecksSpec Checks) {
+  SeqEval AloneMine = evalSequence(Entry, Mine);
+  SeqEval AloneTheirs = evalSequence(Entry, Theirs);
+  SeqEval MineAfterTheirs = evalSequence(AloneTheirs.Final, Mine);
+  SeqEval TheirsAfterMine = evalSequence(AloneMine.Final, Theirs);
+
+  // SAMEREAD: reads of each sequence must be insensitive to whether the
+  // other sequence ran first.
+  if (Checks.SameReadA && AloneMine.Reads != MineAfterTheirs.Reads)
+    return true;
+  if (Checks.SameReadB && AloneTheirs.Reads != TheirsAfterMine.Reads)
+    return true;
+
+  // COMMUTE: the final value must be order-independent.
+  if (Checks.Commute &&
+      TheirsAfterMine.Final != MineAfterTheirs.Final)
+    return true;
+  return false;
+}

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CONFLICT test of Figure 8, evaluated online (concretely).
+///
+/// Given the entry state of the current transaction and the
+/// per-location sequences of the transaction and its conflict history,
+/// CONFLICT reports a conflict unless:
+///   - SAMEREAD: every read subsequence of either sequence yields the
+///     same value whether or not the other sequence is evaluated first
+///     (the conservative approximation of flow through local state that
+///     Lemma 5.2 requires — COMMUTE alone is insufficient), and
+///   - COMMUTE: the two evaluation orders agree on the location's final
+///     value.
+///
+/// This is the expensive exact check; JANUS consults the training-time
+/// cache first and uses this (or the write-set test) as the configured
+/// fallback (§5.3: "JANUS can be configured to perform the
+/// sequence-based check online").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_CONFLICT_ONLINECONFLICT_H
+#define JANUS_CONFLICT_ONLINECONFLICT_H
+
+#include "janus/support/Value.h"
+#include "janus/symbolic/LocOp.h"
+#include "janus/symbolic/SymSeq.h"
+
+namespace janus {
+namespace conflict {
+
+/// \returns true when \p Mine and \p Theirs conflict on a location
+/// whose value at the transaction's entry state is \p Entry, under the
+/// (possibly relaxed) checks of \p Checks.
+bool conflictOnline(const Value &Entry, const symbolic::LocOpSeq &Mine,
+                    const symbolic::LocOpSeq &Theirs,
+                    symbolic::ChecksSpec Checks = {});
+
+} // namespace conflict
+} // namespace janus
+
+#endif // JANUS_CONFLICT_ONLINECONFLICT_H

@@ -1,0 +1,264 @@
+#include "janus/conflict/SequenceDetector.h"
+
+using namespace janus;
+using namespace janus::conflict;
+using namespace janus::symbolic;
+using abstraction::abstractSequence;
+using abstraction::symbolize;
+
+ChecksSpec conflict::checksFor(const RelaxationSpec &Relax) {
+  ChecksSpec Checks;
+  if (Relax.TolerateRAW) {
+    // RAW conflicts tolerable: drop the SAMEREAD checks (cf. Figure 3).
+    Checks.SameReadA = false;
+    Checks.SameReadB = false;
+  }
+  if (Relax.TolerateWAW) {
+    // WAW conflicts tolerable: drop the final COMMUTE test (cf. Fig 4).
+    Checks.Commute = false;
+  }
+  return Checks;
+}
+
+PairQuery conflict::buildPairQuery(const std::string &LocClass,
+                                   const LocOpSeq &Mine,
+                                   const LocOpSeq &Theirs,
+                                   bool UseAbstraction) {
+  return buildPairQueryFrom(LocClass,
+                            abstractSequence(symbolize(Mine), UseAbstraction),
+                            abstractSequence(symbolize(Theirs),
+                                             UseAbstraction));
+}
+
+PairQuery conflict::buildPairQueryFrom(const std::string &LocClass,
+                                       abstraction::AbstractResult MineAbs,
+                                       abstraction::AbstractResult TheirsAbs) {
+  PairQuery Q;
+  Q.Key.LocClass = LocClass;
+  Q.Key.MineSig = MineAbs.Seq.signature();
+  Q.Key.TheirsSig = TheirsAbs.Seq.signature();
+  Q.MineAbs = std::move(MineAbs.Seq);
+  Q.TheirsAbs = std::move(TheirsAbs.Seq);
+
+  Q.Binds = std::move(MineAbs.Binds);
+  for (const auto &[Sym, Val] : TheirsAbs.Binds)
+    Q.Binds[Sym + TheirParamOffset] = Val;
+
+  Q.GroupParams = std::move(MineAbs.GroupParams);
+  for (SymId S : TheirsAbs.GroupParams)
+    Q.GroupParams.insert(S + TheirParamOffset);
+  return Q;
+}
+
+SequenceDetector::SequenceDetector(std::shared_ptr<CommutativityCache> Cache,
+                                   SequenceDetectorConfig Config)
+    : Cache(std::move(Cache)), Config(Config) {
+  JANUS_ASSERT(this->Cache != nullptr, "detector requires a cache");
+}
+
+/// Injective textual key over a concrete sequence: per op the kind,
+/// the length-prefixed operand rendering and the length-prefixed read
+/// result rendering.
+static std::string memoKey(const LocOpSeq &Seq) {
+  std::string Key;
+  Key.reserve(Seq.size() * 12);
+  for (const LocOp &Op : Seq) {
+    Key += static_cast<char>('0' + static_cast<int>(Op.Kind));
+    std::string OperandText = Op.Operand.toString();
+    Key += std::to_string(OperandText.size()) + ":" + OperandText;
+    std::string ReadText = Op.ReadResult.toString();
+    Key += std::to_string(ReadText.size()) + ":" + ReadText;
+  }
+  return Key;
+}
+
+abstraction::AbstractResult
+SequenceDetector::abstracted(const LocOpSeq &Seq) {
+  if (!Config.MemoizeSignatures)
+    return abstractSequence(symbolize(Seq), Config.UseAbstraction);
+  std::string Key = memoKey(Seq);
+  {
+    std::shared_lock<std::shared_mutex> Guard(MemoMutex);
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second;
+  }
+  abstraction::AbstractResult Result =
+      abstractSequence(symbolize(Seq), Config.UseAbstraction);
+  std::unique_lock<std::shared_mutex> Guard(MemoMutex);
+  if (Memo.size() < MaxMemoEntries)
+    Memo.emplace(std::move(Key), Result);
+  return Result;
+}
+
+std::string SequenceDetector::name() const {
+  std::string Name = "sequence";
+  if (!Config.UseAbstraction)
+    Name += "-noabs";
+  if (Config.OnlineFallback)
+    Name += "-online";
+  return Name;
+}
+
+size_t SequenceDetector::uniqueQueries() const {
+  std::lock_guard<std::mutex> Guard(UniqueMutex);
+  return SeenQueries.size();
+}
+
+size_t SequenceDetector::uniqueMisses() const {
+  std::lock_guard<std::mutex> Guard(UniqueMutex);
+  return MissedQueries.size();
+}
+
+std::vector<std::string> SequenceDetector::missedQueryKeys() const {
+  std::lock_guard<std::mutex> Guard(UniqueMutex);
+  return std::vector<std::string>(MissedQueries.begin(),
+                                  MissedQueries.end());
+}
+
+void SequenceDetector::resetUniqueQueryTracking() {
+  std::lock_guard<std::mutex> Guard(UniqueMutex);
+  SeenQueries.clear();
+  MissedQueries.clear();
+}
+
+/// \returns true when every read in \p Seq is preceded (within the
+/// sequence) by a Write to the location: such reads observe a value the
+/// sequence itself determined, so they are insensitive to the entry
+/// state and to any sequence evaluated before this one.
+static bool readsCoveredByOwnWrites(const LocOpSeq &Seq) {
+  bool Defined = false;
+  for (const LocOp &Op : Seq) {
+    switch (Op.Kind) {
+    case LocOpKind::Write:
+      Defined = true;
+      break;
+    case LocOpKind::Add:
+      // An Add folds the prior value in: reads after it become
+      // entry-dependent again unless a Write re-defines the cell.
+      if (!Defined)
+        return false;
+      break;
+    case LocOpKind::Read:
+      if (!Defined)
+        return false;
+      break;
+    }
+  }
+  return true;
+}
+
+bool SequenceDetector::locationConflicts(const Value &EntryVal,
+                                         const LocOpSeq &Mine,
+                                         const LocOpSeq &Theirs,
+                                         const ObjectInfo &Info) {
+  ChecksSpec Checks = checksFor(Info.Relax);
+
+  // Fast path for tolerate-WAW objects (§5.3): with the COMMUTE test
+  // dropped, the only remaining concern is SAMEREAD — and a sequence
+  // whose every read follows its own defining write observes values
+  // that are independent of the other sequence. This is exactly the
+  // define-before-use reasoning the paper gives for ignoring WAW
+  // dependencies; it needs no cache entry at all.
+  if (Config.RelaxationFastPath && !Checks.Commute &&
+      (!Checks.SameReadA || readsCoveredByOwnWrites(Mine)) &&
+      (!Checks.SameReadB || readsCoveredByOwnWrites(Theirs)))
+    return false;
+
+  PairQuery Q = buildPairQueryFrom(Info.LocClass, abstracted(Mine),
+                                   abstracted(Theirs));
+
+  std::optional<Condition> Cached = Cache->lookup(Q.Key);
+  {
+    std::lock_guard<std::mutex> Guard(UniqueMutex);
+    std::string KeyStr = Q.Key.toString();
+    SeenQueries.insert(KeyStr);
+    if (!Cached)
+      MissedQueries.insert(std::move(KeyStr));
+  }
+
+  if (Cached) {
+    ++Stats.CacheHits;
+    Bindings B = Q.Binds;
+    B[EntrySym] = EntryVal;
+    if (std::optional<bool> Commutes = Cached->evaluate(B))
+      return !*Commutes;
+    // The condition could not be evaluated under these bindings (e.g.
+    // V0 has an unexpected type); fall through to the default.
+  } else {
+    ++Stats.CacheMisses;
+  }
+
+  if (Config.OnlineFallback) {
+    ++Stats.OnlineChecks;
+    if (Config.MemoizeOnline && !Cached) {
+      // Online training: compute and install the condition the offline
+      // trainer would have produced for this pair, so the next
+      // occurrence of the query is a hit.
+      std::optional<Condition> Cond = commutativityCondition(
+          Q.MineAbs.expandOnce(),
+          [&Q]() {
+            SymLocSeq Theirs = Q.TheirsAbs.expandOnce();
+            for (SymLocOp &Op : Theirs)
+              if (Op.Kind != LocOpKind::Read)
+                Op.Operand = Op.Operand.mapSymbols([](SymId S) {
+                  return S == EntrySym ? S : S + TheirParamOffset;
+                });
+            return Theirs;
+          }(),
+          Checks);
+      if (Cond) {
+        bool UsesGroupParam = false;
+        if (Cond->isConditional()) {
+          std::map<SymId, bool> Used;
+          Cond->collectSymbols(Used);
+          for (const auto &[Sym, Flag] : Used) {
+            (void)Flag;
+            UsesGroupParam = UsesGroupParam || Q.GroupParams.count(Sym);
+          }
+        }
+        if (!UsesGroupParam)
+          Cache->insert(Q.Key, std::move(*Cond));
+      }
+    }
+    return conflictOnline(EntryVal, Mine, Theirs, Checks);
+  }
+
+  // Write-set fallback on this location: both histories access it, so
+  // there is a conflict exactly when either one writes it.
+  ++Stats.WriteSetChecks;
+  auto SeqWrites = [](const LocOpSeq &Seq) {
+    for (const LocOp &Op : Seq)
+      if (Op.Kind != LocOpKind::Read)
+        return true;
+    return false;
+  };
+  return SeqWrites(Mine) || SeqWrites(Theirs);
+}
+
+bool SequenceDetector::detectConflicts(const stm::Snapshot &Entry,
+                                       const stm::TxLog &Mine,
+                                       const std::vector<stm::TxLogRef> &Committed,
+                                       const ObjectRegistry &Reg) {
+  if (Committed.empty())
+    return false; // Validity: empty conflict history never conflicts.
+
+  Decomposition MineD = decompose(Mine);
+  Decomposition TheirsD = decomposeAll(Committed);
+
+  // Private locations are safely ignored: only the common domain is
+  // analyzed (Figure 8: loc ∈ DOM(mt) ∩ DOM(mc)).
+  for (const auto &[Loc, MySeq] : MineD) {
+    auto It = TheirsD.find(Loc);
+    if (It == TheirsD.end())
+      continue;
+    ++Stats.PairQueries;
+    const ObjectInfo &Info = Reg.info(Loc.Obj);
+    Value EntryVal = stm::snapshotValue(Entry, Loc);
+    if (locationConflicts(EntryVal, MySeq, It->second, Info)) {
+      ++Stats.ConflictsFound;
+      return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,149 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sequence-based conflict detection using projection (paper §5.3,
+/// Figure 8).
+///
+/// DETECTCONFLICTS decomposes the transaction's log and its conflict
+/// history into per-location sequences and tests each common location
+/// with CONFLICT. In practice CONFLICT consults the commutativity cache
+/// populated during training: the sequences are symbolized and
+/// abstracted, the (location class, signature pair) is looked up, and
+/// the cached condition is evaluated against the concrete bindings and
+/// the entry state. On a miss JANUS falls back to the configured
+/// default — the write-set test, or (optionally) the exact online
+/// sequence check.
+///
+/// Consistency relaxations (§5.3): objects marked tolerate-RAW skip the
+/// SAMEREAD tests; objects marked tolerate-WAW skip the final COMMUTE
+/// test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_CONFLICT_SEQUENCEDETECTOR_H
+#define JANUS_CONFLICT_SEQUENCEDETECTOR_H
+
+#include "janus/abstraction/AbstractSeq.h"
+#include "janus/conflict/CommutativityCache.h"
+#include "janus/conflict/Decompose.h"
+#include "janus/conflict/OnlineConflict.h"
+#include "janus/stm/Detector.h"
+
+#include <memory>
+#include <mutex>
+#include <set>
+#include <shared_mutex>
+#include <unordered_map>
+
+namespace janus {
+namespace conflict {
+
+/// \returns the Figure 8 checks to perform for an object with the
+/// given relaxation spec.
+symbolic::ChecksSpec checksFor(const RelaxationSpec &Relax);
+
+/// A prepared per-location commutativity query: the cache key and the
+/// concrete parameter bindings of both sequences (the conflict
+/// history's parameters offset by TheirParamOffset).
+struct PairQuery {
+  CacheKey Key;
+  symbolic::Bindings Binds;
+  /// Canonical parameter ids introduced inside Kleene groups (their
+  /// values vary across repetitions; conditions must not depend on
+  /// them).
+  std::set<symbolic::SymId> GroupParams;
+  abstraction::AbstractSeq MineAbs;
+  abstraction::AbstractSeq TheirsAbs;
+};
+
+/// Symbolizes and abstracts both sequences and assembles the query.
+PairQuery buildPairQuery(const std::string &LocClass,
+                         const symbolic::LocOpSeq &Mine,
+                         const symbolic::LocOpSeq &Theirs,
+                         bool UseAbstraction);
+
+/// Assembles a query from already-abstracted halves (the detector's
+/// memoized path and the trainer share this).
+PairQuery buildPairQueryFrom(const std::string &LocClass,
+                             abstraction::AbstractResult MineAbs,
+                             abstraction::AbstractResult TheirsAbs);
+
+/// Configuration of the sequence-based detector.
+struct SequenceDetectorConfig {
+  /// Kleene-cross sequence abstraction (§5.2). Figure 11 compares
+  /// detection with and without it.
+  bool UseAbstraction = true;
+  /// On a cache miss, run the exact online sequence check instead of
+  /// the write-set test ("JANUS can be configured to perform the
+  /// sequence-based check online", §5.3).
+  bool OnlineFallback = false;
+  /// Online training (§5.3: "memoization can be used to support online
+  /// training"): on a cache miss, additionally compute the symbolic
+  /// commutativity condition for the missed pair and install it, so
+  /// recurring queries stop missing. Requires OnlineFallback.
+  bool MemoizeOnline = false;
+  /// Answer define-before-use queries on tolerate-WAW objects directly
+  /// from the relaxation reasoning, without consulting the cache (an
+  /// extension beyond the paper; the Figure 11 harness disables it so
+  /// the cache sees the full query stream, as in the paper).
+  bool RelaxationFastPath = true;
+  /// Memoize symbolization + abstraction per distinct concrete
+  /// sequence. Per-location sequences recur constantly (the same task
+  /// shapes stream past the detector), so this removes nearly all of
+  /// the per-query canonicalization cost. Capped; pure caching, no
+  /// semantic effect.
+  bool MemoizeSignatures = true;
+};
+
+/// The JANUS detector. Thread-safe; shared by all transactions of a
+/// runtime.
+class SequenceDetector : public stm::ConflictDetector {
+public:
+  SequenceDetector(std::shared_ptr<CommutativityCache> Cache,
+                   SequenceDetectorConfig Config = {});
+
+  bool detectConflicts(const stm::Snapshot &Entry, const stm::TxLog &Mine,
+                       const std::vector<stm::TxLogRef> &Committed,
+                       const ObjectRegistry &Reg) override;
+  std::string name() const override;
+
+  const CommutativityCache &cache() const { return *Cache; }
+
+  /// Figure 11 accounting: distinct (class, signature pair) queries
+  /// seen in production, and how many of them missed the cache
+  /// ("multiple hits/misses for the same query are counted as one").
+  size_t uniqueQueries() const;
+  size_t uniqueMisses() const;
+  void resetUniqueQueryTracking();
+
+  /// \returns the distinct missed query keys (for diagnostics and the
+  /// Figure 11 harness output).
+  std::vector<std::string> missedQueryKeys() const;
+
+private:
+  bool locationConflicts(const Value &EntryVal,
+                         const symbolic::LocOpSeq &Mine,
+                         const symbolic::LocOpSeq &Theirs,
+                         const ObjectInfo &Info);
+
+  /// Memoized abstractSequence(symbolize(Seq), UseAbstraction).
+  abstraction::AbstractResult abstracted(const symbolic::LocOpSeq &Seq);
+
+  std::shared_ptr<CommutativityCache> Cache;
+  SequenceDetectorConfig Config;
+
+  mutable std::mutex UniqueMutex;
+  std::set<std::string> SeenQueries;
+  std::set<std::string> MissedQueries;
+
+  /// Signature memo: injective key over (kind, operand, read result)
+  /// triples → canonical abstraction.
+  mutable std::shared_mutex MemoMutex;
+  std::unordered_map<std::string, abstraction::AbstractResult> Memo;
+  static constexpr size_t MaxMemoEntries = 1u << 16;
+};
+
+} // namespace conflict
+} // namespace janus
+
+#endif // JANUS_CONFLICT_SEQUENCEDETECTOR_H

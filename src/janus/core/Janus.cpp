@@ -1,0 +1,150 @@
+#include "janus/core/Janus.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+using namespace janus;
+using namespace janus::core;
+
+Janus::Janus(JanusConfig ConfigIn)
+    : Config(ConfigIn),
+      Cache(std::make_shared<conflict::CommutativityCache>()) {
+  switch (Config.Detector) {
+  case DetectorKind::WriteSet:
+    Detector = std::make_unique<stm::WriteSetDetector>();
+    break;
+  case DetectorKind::Sequence: {
+    auto Seq =
+        std::make_unique<conflict::SequenceDetector>(Cache, Config.Sequence);
+    SeqDetector = Seq.get();
+    Detector = std::move(Seq);
+    break;
+  }
+  }
+  // Keep the trainer's abstraction setting aligned with the detector's:
+  // cache keys must be built identically on both sides.
+  Config.Training.UseAbstraction = Config.Sequence.UseAbstraction;
+  TrainerImpl =
+      std::make_unique<training::Trainer>(Reg, Cache, Config.Training);
+}
+
+bool Janus::saveCacheFile(const std::string &Path) const {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << Cache->serialize();
+  return static_cast<bool>(Out);
+}
+
+bool Janus::loadCacheFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  return Cache->deserializeInto(Buffer.str());
+}
+
+std::string Janus::exportTrainingArtifact() const {
+  std::string Out = "janus-training-artifact v1\n";
+  for (uint32_t Id = 0; Id != Reg.size(); ++Id) {
+    const ObjectInfo &Info = Reg.info(ObjectId{Id});
+    if (!Info.Relax.TolerateRAW && !Info.Relax.TolerateWAW)
+      continue;
+    Out += "relax " + std::string(Info.Relax.TolerateRAW ? "1" : "0") +
+           " " + std::string(Info.Relax.TolerateWAW ? "1" : "0") + " " +
+           Info.Name + "\n";
+  }
+  Out += "endrelax\n";
+  Out += Cache->serialize();
+  return Out;
+}
+
+bool Janus::importTrainingArtifact(const std::string &Text) {
+  std::istringstream Stream(Text);
+  std::string Line;
+  if (!std::getline(Stream, Line) || Line != "janus-training-artifact v1")
+    return false;
+  while (std::getline(Stream, Line)) {
+    if (Line == "endrelax")
+      break;
+    if (Line.rfind("relax ", 0) != 0 || Line.size() < 10)
+      return false;
+    bool Raw = Line[6] == '1';
+    bool Waw = Line[8] == '1';
+    std::string Name = Line.substr(10);
+    for (uint32_t Id = 0; Id != Reg.size(); ++Id) {
+      if (Reg.info(ObjectId{Id}).Name == Name)
+        Reg.setRelaxation(ObjectId{Id}, RelaxationSpec{Raw, Waw});
+    }
+  }
+  // The remainder is the cache.
+  std::string Rest;
+  std::ostringstream Buffer;
+  Buffer << Stream.rdbuf();
+  Rest = Buffer.str();
+  return Cache->deserializeInto(Rest);
+}
+
+void Janus::train(const std::vector<stm::TaskFn> &Tasks) {
+  stm::Snapshot Copy = State;
+  TrainerImpl->trainOn(Copy, Tasks);
+}
+
+RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
+                           bool Ordered) {
+  RunOutcome Outcome;
+
+  if (Config.Engine == EngineKind::Simulated) {
+    stm::SimConfig SimCfg;
+    SimCfg.NumCores = Config.Threads;
+    SimCfg.Ordered = Ordered;
+    SimCfg.Costs = Config.Costs;
+    stm::SimRuntime Runtime(Reg, *Detector, SimCfg);
+    Runtime.setInitialState(State);
+    stm::SimOutcome Sim = Runtime.run(Tasks);
+    State = Runtime.sharedState();
+    Outcome.ParallelTime = Sim.ParallelTime;
+    Outcome.SequentialTime = Sim.SequentialTime;
+    Stats.Tasks += Runtime.stats().Tasks.load();
+    Stats.Commits += Runtime.stats().Commits.load();
+    Stats.Retries += Runtime.stats().Retries.load();
+    Stats.ConflictChecks += Runtime.stats().ConflictChecks.load();
+    return Outcome;
+  }
+
+  // Threaded engine: time the sequential baseline on a state copy, then
+  // the parallel run on the live state.
+  using Clock = std::chrono::steady_clock;
+  {
+    stm::Snapshot Copy = State;
+    auto Start = Clock::now();
+    for (size_t I = 0, E = Tasks.size(); I != E; ++I) {
+      stm::TxContext Tx(Copy, static_cast<uint32_t>(I + 1), Reg);
+      Tasks[I](Tx);
+      for (const stm::LogEntry &Entry : Tx.log())
+        Copy = stm::applyToSnapshot(Copy, Entry.Loc, Entry.Op);
+    }
+    Outcome.SequentialTime =
+        std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  stm::ThreadedConfig ThreadCfg;
+  ThreadCfg.NumThreads = Config.Threads;
+  ThreadCfg.Ordered = Ordered;
+  ThreadCfg.ReclaimLogs = Config.ReclaimLogs;
+  stm::ThreadedRuntime Runtime(Reg, *Detector, ThreadCfg);
+  Runtime.setInitialState(State);
+  auto Start = Clock::now();
+  Runtime.run(Tasks);
+  Outcome.ParallelTime =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+  State = Runtime.sharedState();
+  Stats.Tasks += Runtime.stats().Tasks.load();
+  Stats.Commits += Runtime.stats().Commits.load();
+  Stats.Retries += Runtime.stats().Retries.load();
+  Stats.ConflictChecks += Runtime.stats().ConflictChecks.load();
+  Stats.ValidationFailures += Runtime.stats().ValidationFailures.load();
+  return Outcome;
+}

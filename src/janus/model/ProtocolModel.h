@@ -1,0 +1,115 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An executable model of the JANUS transition system.
+///
+/// The paper defers the formal transition system underlying the
+/// Figure 7 protocol to its technical report [22] and proves
+/// Theorem 4.1 (termination + serializability) from the detector's
+/// soundness and validity. This module makes those claims *checkable*:
+/// it exhaustively explores every interleaving of transaction begin and
+/// commit-attempt events for a set of scripted transactions, running
+/// the real conflict detector at each commit attempt, and verifies on
+/// every complete schedule that
+///
+///   - (serializability) the final shared state equals a sequential
+///     re-execution of the tasks in the schedule's commit order, and
+///     for ordered runs the commit order is the task order;
+///   - (validity) no transaction with an empty conflict history ever
+///     aborts;
+///   - (termination) every schedule completes within the retry budget
+///     (which Theorem 4.1 bounds by the number of tasks).
+///
+/// Because JANUS transactions execute entirely against a private
+/// snapshot and interact only at begin (snapshot) and commit
+/// (validate + publish), the begin/commit event orderings are exactly
+/// the observable interleavings — so small-scope exploration here is
+/// *exhaustive*, not sampled. The test suite uses this both positively
+/// (the shipped detectors uphold the theorem on every schedule) and
+/// negatively (an intentionally unsound detector is caught).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_MODEL_PROTOCOLMODEL_H
+#define JANUS_MODEL_PROTOCOLMODEL_H
+
+#include "janus/stm/Detector.h"
+
+#include <string>
+#include <vector>
+
+namespace janus {
+namespace model {
+
+/// One scripted operation: either a plain shared access with a fixed
+/// operand, or a *computed write* whose stored value is an affine
+/// function of the script's most recent read result — the read→write
+/// dataflow that makes stale snapshots observable in final states (and
+/// that the SAMEREAD checks exist to protect).
+struct ScriptOp {
+  stm::LogEntry Entry;
+  bool Computed = false; ///< Write Mul·lastRead + Off instead.
+  int64_t Mul = 1;
+  int64_t Off = 0;
+
+  static ScriptOp plain(Location Loc, symbolic::LocOp Op) {
+    return ScriptOp{stm::LogEntry{Loc, std::move(Op)}, false, 1, 0};
+  }
+  /// A write of Mul·lastRead + Off to \p Loc (lastRead counts 0 when
+  /// the script has not read yet or read a non-integer).
+  static ScriptOp computedWrite(Location Loc, int64_t Mul, int64_t Off) {
+    return ScriptOp{
+        stm::LogEntry{Loc, symbolic::LocOp::write(Value::of(int64_t(0)))},
+        true, Mul, Off};
+  }
+};
+
+/// A scripted transaction. Read results (and computed-write operands)
+/// are recomputed against whatever snapshot an attempt runs on, so
+/// retries observe fresh state exactly like re-executing a task body.
+using Script = std::vector<ScriptOp>;
+
+/// Exploration parameters.
+struct ModelConfig {
+  bool Ordered = false;
+  /// Abort budget per task; Theorem 4.1 bounds the necessary retries
+  /// by the task count, so exceeding TaskCount aborts per task is a
+  /// termination violation.
+  unsigned MaxRetriesPerTask = 8;
+  /// Safety valve on the exploration size.
+  uint64_t MaxSchedules = 1u << 20;
+};
+
+/// Exploration outcome.
+struct ModelResult {
+  uint64_t SchedulesExplored = 0;
+  uint64_t CommitEvents = 0;
+  uint64_t AbortEvents = 0;
+  bool SerializabilityHeld = true;
+  bool ValidityHeld = true;
+  bool TerminationHeld = true;
+  bool Exhausted = false; ///< Hit MaxSchedules before finishing.
+  /// Human-readable description of the first violation found.
+  std::string FirstViolation;
+
+  bool allHeld() const {
+    return SerializabilityHeld && ValidityHeld && TerminationHeld;
+  }
+};
+
+/// Exhaustively explores the protocol over \p Scripts with \p Detector
+/// deciding conflicts, starting from \p Initial.
+ModelResult exploreProtocol(const std::vector<Script> &Scripts,
+                            stm::ConflictDetector &Detector,
+                            const ObjectRegistry &Reg,
+                            const stm::Snapshot &Initial,
+                            ModelConfig Config = {});
+
+/// Evaluates \p Script against \p Entry, filling in read results.
+/// \returns the log an attempt started on \p Entry would produce.
+stm::TxLog evaluateScript(const Script &S, const stm::Snapshot &Entry);
+
+} // namespace model
+} // namespace janus
+
+#endif // JANUS_MODEL_PROTOCOLMODEL_H

@@ -1,0 +1,292 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fully persistent hash map (hash array mapped trie).
+///
+/// Paper §4.1 ("Versioning"): "To reduce the cost of state privatization
+/// ... (fully) persistent data structures can be used. A persistent data
+/// structure preserves the previous version of itself when modified; a
+/// data structure is fully persistent if every version can be both
+/// accessed and modified, which permits concurrent modification of the
+/// shared state by multiple simultaneous transactions."
+///
+/// JANUS snapshots the entire shared store at transaction begin
+/// (CREATETRANSACTION copies Sh into SharedPrivatized and
+/// SharedSnapshot); with this map the copy is O(1) and transactions
+/// mutate their private version via path copying without disturbing the
+/// global version. Structural sharing is via shared_ptr; all nodes are
+/// immutable after construction, so concurrent readers need no
+/// synchronization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_PERSIST_PERSISTENTMAP_H
+#define JANUS_PERSIST_PERSISTENTMAP_H
+
+#include "janus/support/Assert.h"
+
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace janus {
+namespace persist {
+
+/// Fully persistent hash map with O(log32 n) set/find/erase and O(1)
+/// whole-map snapshot (copy construction).
+template <typename K, typename V, typename Hasher = std::hash<K>>
+class PersistentMap {
+  static constexpr unsigned BitsPerLevel = 5;
+  static constexpr unsigned BranchFactor = 1u << BitsPerLevel;
+  static constexpr unsigned MaxShift = 60; // 12 levels of 5 bits.
+
+  struct Node {
+    // A node is either a branch (Bitmap != 0 or Children used) or a
+    // leaf bucket of entries sharing a full hash value. We use one
+    // struct with a discriminator to avoid virtual dispatch.
+    bool IsLeaf;
+    // Branch payload.
+    uint32_t Bitmap = 0;
+    std::vector<std::shared_ptr<const Node>> Children;
+    // Leaf payload.
+    uint64_t HashVal = 0;
+    std::vector<std::pair<K, V>> Entries;
+
+    static std::shared_ptr<const Node> makeLeaf(uint64_t H,
+                                                std::vector<std::pair<K, V>> E) {
+      auto N = std::make_shared<Node>();
+      N->IsLeaf = true;
+      N->HashVal = H;
+      N->Entries = std::move(E);
+      return N;
+    }
+
+    static std::shared_ptr<const Node>
+    makeBranch(uint32_t Bitmap,
+               std::vector<std::shared_ptr<const Node>> Children) {
+      auto N = std::make_shared<Node>();
+      N->IsLeaf = false;
+      N->Bitmap = Bitmap;
+      N->Children = std::move(Children);
+      return N;
+    }
+  };
+
+  using NodePtr = std::shared_ptr<const Node>;
+
+public:
+  PersistentMap() = default;
+
+  /// \returns the number of key-value pairs.
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  /// \returns a pointer to the value mapped at \p Key, or nullptr.
+  /// The pointer is valid as long as any map version sharing the node
+  /// is alive.
+  const V *find(const K &Key) const {
+    if (!Root)
+      return nullptr;
+    uint64_t H = Hasher()(Key);
+    const Node *N = Root.get();
+    unsigned Shift = 0;
+    while (!N->IsLeaf) {
+      uint32_t Idx = sliceHash(H, Shift);
+      uint32_t Bit = 1u << Idx;
+      if (!(N->Bitmap & Bit))
+        return nullptr;
+      N = N->Children[childSlot(N->Bitmap, Bit)].get();
+      Shift += BitsPerLevel;
+    }
+    if (N->HashVal != H)
+      return nullptr;
+    for (const auto &E : N->Entries)
+      if (E.first == Key)
+        return &E.second;
+    return nullptr;
+  }
+
+  /// \returns true if \p Key is present.
+  bool contains(const K &Key) const { return find(Key) != nullptr; }
+
+  /// \returns a new version with \p Key mapped to \p Val; this version
+  /// is unchanged.
+  PersistentMap set(const K &Key, V Val) const {
+    uint64_t H = Hasher()(Key);
+    bool Added = false;
+    NodePtr NewRoot =
+        Root ? setRec(Root, 0, H, Key, std::move(Val), Added)
+             : Node::makeLeaf(H, {{Key, std::move(Val)}});
+    if (!Root)
+      Added = true;
+    PersistentMap Out;
+    Out.Root = std::move(NewRoot);
+    Out.Count = Count + (Added ? 1 : 0);
+    return Out;
+  }
+
+  /// \returns a new version with \p Key removed; this version is
+  /// unchanged. Removing an absent key is a no-op.
+  PersistentMap erase(const K &Key) const {
+    if (!Root)
+      return *this;
+    uint64_t H = Hasher()(Key);
+    bool Removed = false;
+    NodePtr NewRoot = eraseRec(Root, 0, H, Key, Removed);
+    if (!Removed)
+      return *this;
+    PersistentMap Out;
+    Out.Root = std::move(NewRoot);
+    Out.Count = Count - 1;
+    return Out;
+  }
+
+  /// Invokes \p Fn(key, value) for every entry (unspecified order).
+  template <typename Fn> void forEach(Fn &&Callback) const {
+    if (Root)
+      forEachRec(Root.get(), Callback);
+  }
+
+  /// Structural equality (same key set, equal mapped values). O(n).
+  friend bool operator==(const PersistentMap &A, const PersistentMap &B) {
+    if (A.Count != B.Count)
+      return false;
+    if (A.Root == B.Root)
+      return true; // Shared structure fast path.
+    bool Equal = true;
+    A.forEach([&B, &Equal](const K &Key, const V &Val) {
+      if (!Equal)
+        return;
+      const V *Other = B.find(Key);
+      if (!Other || !(*Other == Val))
+        Equal = false;
+    });
+    return Equal;
+  }
+  friend bool operator!=(const PersistentMap &A, const PersistentMap &B) {
+    return !(A == B);
+  }
+
+private:
+  static uint32_t sliceHash(uint64_t H, unsigned Shift) {
+    if (Shift >= MaxShift)
+      return static_cast<uint32_t>((H >> MaxShift) & (BranchFactor - 1));
+    return static_cast<uint32_t>((H >> Shift) & (BranchFactor - 1));
+  }
+
+  static uint32_t childSlot(uint32_t Bitmap, uint32_t Bit) {
+    return std::popcount(Bitmap & (Bit - 1));
+  }
+
+  static NodePtr setRec(const NodePtr &N, unsigned Shift, uint64_t H,
+                        const K &Key, V Val, bool &Added) {
+    if (N->IsLeaf) {
+      if (N->HashVal == H) {
+        // Same full hash: replace in, or append to, the bucket.
+        std::vector<std::pair<K, V>> Entries = N->Entries;
+        for (auto &E : Entries) {
+          if (E.first == Key) {
+            E.second = std::move(Val);
+            return Node::makeLeaf(H, std::move(Entries));
+          }
+        }
+        Entries.emplace_back(Key, std::move(Val));
+        Added = true;
+        return Node::makeLeaf(H, std::move(Entries));
+      }
+      // Different hash: split into a branch and recurse.
+      NodePtr Branch = splitLeaf(N, Shift);
+      return setRec(Branch, Shift, H, Key, std::move(Val), Added);
+    }
+    uint32_t Idx = sliceHash(H, Shift);
+    uint32_t Bit = 1u << Idx;
+    uint32_t Slot = childSlot(N->Bitmap, Bit);
+    std::vector<NodePtr> Children = N->Children;
+    uint32_t Bitmap = N->Bitmap;
+    if (Bitmap & Bit) {
+      Children[Slot] = setRec(Children[Slot], Shift + BitsPerLevel, H, Key,
+                              std::move(Val), Added);
+    } else {
+      Children.insert(Children.begin() + Slot,
+                      Node::makeLeaf(H, {{Key, std::move(Val)}}));
+      Bitmap |= Bit;
+      Added = true;
+    }
+    return Node::makeBranch(Bitmap, std::move(Children));
+  }
+
+  /// Replaces a leaf by a single-child branch at this level, so an
+  /// insertion with a different hash can fan out.
+  static NodePtr splitLeaf(const NodePtr &Leaf, unsigned Shift) {
+    JANUS_ASSERT(Shift < MaxShift + BitsPerLevel,
+                 "hash exhausted while splitting");
+    uint32_t Idx = sliceHash(Leaf->HashVal, Shift);
+    return Node::makeBranch(1u << Idx, {Leaf});
+  }
+
+  static NodePtr eraseRec(const NodePtr &N, unsigned Shift, uint64_t H,
+                          const K &Key, bool &Removed) {
+    if (N->IsLeaf) {
+      if (N->HashVal != H)
+        return N;
+      std::vector<std::pair<K, V>> Entries;
+      Entries.reserve(N->Entries.size());
+      for (const auto &E : N->Entries) {
+        if (E.first == Key)
+          Removed = true;
+        else
+          Entries.push_back(E);
+      }
+      if (!Removed)
+        return N;
+      if (Entries.empty())
+        return nullptr;
+      return Node::makeLeaf(H, std::move(Entries));
+    }
+    uint32_t Idx = sliceHash(H, Shift);
+    uint32_t Bit = 1u << Idx;
+    if (!(N->Bitmap & Bit))
+      return N;
+    uint32_t Slot = childSlot(N->Bitmap, Bit);
+    NodePtr NewChild =
+        eraseRec(N->Children[Slot], Shift + BitsPerLevel, H, Key, Removed);
+    if (!Removed)
+      return N;
+    std::vector<NodePtr> Children = N->Children;
+    uint32_t Bitmap = N->Bitmap;
+    if (NewChild) {
+      Children[Slot] = std::move(NewChild);
+    } else {
+      Children.erase(Children.begin() + Slot);
+      Bitmap &= ~Bit;
+      if (Children.empty())
+        return nullptr;
+      // Collapse single-leaf branches to keep paths short.
+      if (Children.size() == 1 && Children[0]->IsLeaf)
+        return Children[0];
+    }
+    return Node::makeBranch(Bitmap, std::move(Children));
+  }
+
+  template <typename Fn>
+  static void forEachRec(const Node *N, Fn &&Callback) {
+    if (N->IsLeaf) {
+      for (const auto &E : N->Entries)
+        Callback(E.first, E.second);
+      return;
+    }
+    for (const auto &Child : N->Children)
+      forEachRec(Child.get(), Callback);
+  }
+
+  NodePtr Root;
+  size_t Count = 0;
+};
+
+} // namespace persist
+} // namespace janus
+
+#endif // JANUS_PERSIST_PERSISTENTMAP_H

@@ -1,0 +1,211 @@
+#include "janus/relational/Encoding.h"
+
+using namespace janus;
+using namespace janus::relational;
+using sat::Formula;
+using sat::FormulaArena;
+
+Formula AtomTable::atomFor(uint32_t Col, const Value &V) {
+  auto Key = std::make_pair(Col, V);
+  auto It = Atoms.find(Key);
+  if (It != Atoms.end())
+    return Arena.mkAtom(It->second);
+  uint32_t Id = static_cast<uint32_t>(AtomInfo.size());
+  Atoms.emplace(Key, Id);
+  AtomInfo.push_back(Key);
+  return Arena.mkAtom(Id);
+}
+
+/// Sentinel column id for uninterpreted initial-content atoms.
+static constexpr uint32_t ContentColumn = ~0u;
+
+Formula AtomTable::freshContentAtom() {
+  auto Key = std::make_pair(ContentColumn,
+                            Value::of(static_cast<int64_t>(NumContentAtoms)));
+  ++NumContentAtoms;
+  uint32_t Id = static_cast<uint32_t>(AtomInfo.size());
+  Atoms.emplace(Key, Id);
+  AtomInfo.push_back(Key);
+  return Arena.mkAtom(Id);
+}
+
+std::vector<Formula> AtomTable::mutexAxioms() const {
+  std::vector<Formula> Out;
+  // Group atoms by column; for each pair of distinct values emit
+  // ¬(a ∧ b). Atom counts per encoding session are small (bounded by
+  // the values appearing in the involved relations and operations).
+  // Content atoms (uninterpreted initial states) are unconstrained.
+  for (size_t I = 0, E = AtomInfo.size(); I != E; ++I) {
+    if (AtomInfo[I].first == ContentColumn)
+      continue;
+    for (size_t J = I + 1; J != E; ++J) {
+      if (AtomInfo[I].first != AtomInfo[J].first)
+        continue;
+      Formula A = Arena.mkAtom(static_cast<uint32_t>(I));
+      Formula B = Arena.mkAtom(static_cast<uint32_t>(J));
+      Out.push_back(Arena.mkNot(Arena.mkAnd(A, B)));
+    }
+  }
+  return Out;
+}
+
+std::vector<std::string> AtomTable::atomNames(const Schema &S) const {
+  std::vector<std::string> Names;
+  Names.reserve(AtomInfo.size());
+  for (const auto &[Col, V] : AtomInfo) {
+    if (Col == ContentColumn)
+      Names.push_back("in_r0#" + V.toString());
+    else
+      Names.push_back(S.columnName(Col) + "=" + V.toString());
+  }
+  return Names;
+}
+
+Formula relational::encodeRelation(FormulaArena &Arena, AtomTable &Atoms,
+                                   const Relation &R) {
+  Formula Out = Arena.mkFalse();
+  for (const Tuple &T : R.tuples()) {
+    Formula Conj = Arena.mkTrue();
+    for (uint32_t C = 0, E = static_cast<uint32_t>(R.schema().numColumns());
+         C != E; ++C)
+      Conj = Arena.mkAnd(Conj, Atoms.atomFor(C, T.at(C)));
+    Out = Arena.mkOr(Out, Conj);
+  }
+  return Out;
+}
+
+Formula relational::encodeTupleFormula(FormulaArena &Arena, AtomTable &Atoms,
+                                       const TupleFormula &F) {
+  switch (F.kind()) {
+  case TupleFormula::Kind::True:
+    return Arena.mkTrue();
+  case TupleFormula::Kind::False:
+    return Arena.mkFalse();
+  case TupleFormula::Kind::Eq:
+    return Atoms.atomFor(F.eqColumn(), F.eqValue());
+  case TupleFormula::Kind::Not:
+    return Arena.mkNot(encodeTupleFormula(Arena, Atoms, F.lhs()));
+  case TupleFormula::Kind::And:
+    return Arena.mkAnd(encodeTupleFormula(Arena, Atoms, F.lhs()),
+                       encodeTupleFormula(Arena, Atoms, F.rhs()));
+  case TupleFormula::Kind::Or:
+    return Arena.mkOr(encodeTupleFormula(Arena, Atoms, F.lhs()),
+                      encodeTupleFormula(Arena, Atoms, F.rhs()));
+  }
+  janusUnreachable("invalid TupleFormula kind");
+}
+
+/// \returns ⋀_{c ∈ Cols} (c = T_c) over the atom table.
+static Formula tupleDescription(FormulaArena &Arena, AtomTable &Atoms,
+                                const Tuple &T,
+                                const std::vector<uint32_t> &Cols) {
+  Formula Out = Arena.mkTrue();
+  for (uint32_t C : Cols)
+    Out = Arena.mkAnd(Out, Atoms.atomFor(C, T.at(C)));
+  return Out;
+}
+
+static std::vector<uint32_t> allColumns(const Schema &S) {
+  std::vector<uint32_t> Cols;
+  for (uint32_t C = 0, E = static_cast<uint32_t>(S.numColumns()); C != E; ++C)
+    Cols.push_back(C);
+  return Cols;
+}
+
+Formula relational::applyRelOpSymbolic(FormulaArena &Arena, AtomTable &Atoms,
+                                       const Schema &S, Formula StateFormula,
+                                       const RelOp &Op,
+                                       Formula *SelectedOut) {
+  switch (Op.kind()) {
+  case RelOp::Kind::Insert: {
+    // Table 4: f' = (f ∧ ¬⋀_{c∈Cdom} c=t_c) ∨ ⋀_{c∈C} c=t_c.
+    const std::vector<uint32_t> Dom =
+        S.hasFD() ? S.fdDomain() : allColumns(S);
+    Formula DomMatch = tupleDescription(Arena, Atoms, Op.tuple(), Dom);
+    Formula Full =
+        tupleDescription(Arena, Atoms, Op.tuple(), allColumns(S));
+    return Arena.mkOr(Arena.mkAnd(StateFormula, Arena.mkNot(DomMatch)),
+                      Full);
+  }
+  case RelOp::Kind::Remove: {
+    // Table 4: f' = f ∧ ¬⋀_{c∈C} c=t_c.
+    Formula Full =
+        tupleDescription(Arena, Atoms, Op.tuple(), allColumns(S));
+    return Arena.mkAnd(StateFormula, Arena.mkNot(Full));
+  }
+  case RelOp::Kind::Select: {
+    // Table 4: f_w = f ∧ φ; the state is unchanged.
+    if (SelectedOut)
+      *SelectedOut = Arena.mkAnd(
+          StateFormula, encodeTupleFormula(Arena, Atoms, Op.filter()));
+    return StateFormula;
+  }
+  }
+  janusUnreachable("invalid RelOp kind");
+}
+
+Formula relational::applyTransformerSymbolic(
+    FormulaArena &Arena, AtomTable &Atoms, const Schema &S,
+    Formula StateFormula, const Transformer &T,
+    std::vector<Formula> *Selections) {
+  for (const RelOp &Op : T.ops()) {
+    Formula Selected;
+    StateFormula =
+        applyRelOpSymbolic(Arena, Atoms, S, StateFormula, Op, &Selected);
+    if (Op.kind() == RelOp::Kind::Select && Selections)
+      Selections->push_back(Selected);
+  }
+  return StateFormula;
+}
+
+sat::Equivalence relational::formulasEquivalent(FormulaArena &Arena,
+                                                const AtomTable &Atoms,
+                                                Formula F, Formula G,
+                                                uint64_t ConflictBudget) {
+  return sat::checkEquivalent(Arena, F, G, Atoms.mutexAxioms(),
+                              ConflictBudget);
+}
+
+sat::Equivalence
+relational::transformersCommuteSymbolic(const Relation &State,
+                                        const Transformer &A,
+                                        const Transformer &B) {
+  FormulaArena Arena;
+  AtomTable Atoms(Arena);
+  const Schema &S = State.schema();
+  Formula Initial = encodeRelation(Arena, Atoms, State);
+
+  std::vector<Formula> SelAB, SelBA;
+  Formula AfterA =
+      applyTransformerSymbolic(Arena, Atoms, S, Initial, A, &SelAB);
+  Formula AfterAB =
+      applyTransformerSymbolic(Arena, Atoms, S, AfterA, B, &SelAB);
+  Formula AfterB =
+      applyTransformerSymbolic(Arena, Atoms, S, Initial, B, &SelBA);
+  Formula AfterBA =
+      applyTransformerSymbolic(Arena, Atoms, S, AfterB, A, &SelBA);
+
+  // Final states must be equivalent. Note: selection (read) equivalence
+  // is the SAMEREAD check of Figure 8, which the conflict module layers
+  // on top; here we decide state commutativity only.
+  return formulasEquivalent(Arena, Atoms, AfterAB, AfterBA);
+}
+
+sat::Equivalence
+relational::transformersCommuteForAllStates(const SchemaRef &S,
+                                            const Transformer &A,
+                                            const Transformer &B) {
+  FormulaArena Arena;
+  AtomTable Atoms(Arena);
+  Formula Initial = Atoms.freshContentAtom();
+
+  Formula AfterAB = applyTransformerSymbolic(
+      Arena, Atoms, *S,
+      applyTransformerSymbolic(Arena, Atoms, *S, Initial, A, nullptr), B,
+      nullptr);
+  Formula AfterBA = applyTransformerSymbolic(
+      Arena, Atoms, *S,
+      applyTransformerSymbolic(Arena, Atoms, *S, Initial, B, nullptr), A,
+      nullptr);
+  return formulasEquivalent(Arena, Atoms, AfterAB, AfterBA);
+}

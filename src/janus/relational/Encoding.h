@@ -1,0 +1,127 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Logical representation of relation contents and SAT-backed
+/// equivalence testing (paper §6.2, Table 4).
+///
+/// The content of a relation is expressed as a propositional formula
+/// over atoms `c = v` for values v drawn from the universe V: a
+/// satisfying assignment of the formula describes one tuple in the
+/// relation. Primitive operations update the formula per Table 4, e.g.
+/// `insert r t` conjoins the negated domain-match and disjoins the
+/// tuple's description. Equivalence between two representations f and φ
+/// of a relation is decided by asking the SAT solver for a satisfying
+/// assignment of ¬(f ↔ φ): if none exists (without timing out), the
+/// representations are equivalent.
+///
+/// Soundness of the propositional abstraction requires per-column
+/// consistency axioms: a tuple cannot hold two distinct values in one
+/// column, so atoms (c = v₁) and (c = v₂) with v₁ ≠ v₂ are mutually
+/// exclusive. AtomTable tracks the atoms created for an encoding session
+/// and produces those axioms.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_RELATIONAL_ENCODING_H
+#define JANUS_RELATIONAL_ENCODING_H
+
+#include "janus/relational/RelOp.h"
+#include "janus/sat/PropFormula.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace janus {
+namespace relational {
+
+/// Maps (column, value) equality atoms to propositional atom ids and
+/// generates per-column mutual-exclusion axioms.
+class AtomTable {
+public:
+  explicit AtomTable(sat::FormulaArena &Arena) : Arena(Arena) {}
+
+  /// \returns the propositional atom for `Col = V`, creating it on
+  /// first use.
+  sat::Formula atomFor(uint32_t Col, const Value &V);
+
+  /// \returns axioms asserting that, per column, at most one of the
+  /// atoms created so far is true.
+  std::vector<sat::Formula> mutexAxioms() const;
+
+  /// \returns the printable names of all atoms (indexed by atom id),
+  /// using \p S for column names.
+  std::vector<std::string> atomNames(const Schema &S) const;
+
+  /// \returns a fresh atom standing for membership of the model tuple in
+  /// an *unknown* initial relation. Using it as the initial state
+  /// formula makes equivalence queries quantify over all possible input
+  /// states, which is how training-time generalization stays sound for
+  /// states never observed (paper §3 step 3: "Generalization from
+  /// concrete observations ... is done using a theorem prover").
+  sat::Formula freshContentAtom();
+
+private:
+  sat::FormulaArena &Arena;
+  std::map<std::pair<uint32_t, Value>, uint32_t> Atoms;
+  std::vector<std::pair<uint32_t, Value>> AtomInfo;
+  uint32_t NumContentAtoms = 0;
+};
+
+/// Encodes the concrete content of \p R: the disjunction over tuples of
+/// the conjunction of their column equalities (false for the empty
+/// relation).
+sat::Formula encodeRelation(sat::FormulaArena &Arena, AtomTable &Atoms,
+                            const Relation &R);
+
+/// Encodes a tuple formula (selection criterion) over the atom table.
+sat::Formula encodeTupleFormula(sat::FormulaArena &Arena, AtomTable &Atoms,
+                                const TupleFormula &F);
+
+/// Applies one primitive operation to a content formula per Table 4:
+///   insert r t : (f ∧ ¬⋀_{c∈Cdom} c=t_c) ∨ ⋀_{c∈C} c=t_c
+///   remove r t : f ∧ ¬⋀_{c∈C} c=t_c
+///   select r φ : result formula f ∧ φ (state unchanged)
+/// \returns the new state formula; for select, also assigns the defined
+/// sub-relation's formula to \p SelectedOut when non-null.
+sat::Formula applyRelOpSymbolic(sat::FormulaArena &Arena, AtomTable &Atoms,
+                                const Schema &S, sat::Formula StateFormula,
+                                const RelOp &Op,
+                                sat::Formula *SelectedOut = nullptr);
+
+/// Applies a whole transformer symbolically; select results are appended
+/// to \p Selections when non-null.
+sat::Formula applyTransformerSymbolic(sat::FormulaArena &Arena,
+                                      AtomTable &Atoms, const Schema &S,
+                                      sat::Formula StateFormula,
+                                      const Transformer &T,
+                                      std::vector<sat::Formula> *Selections);
+
+/// Decides equivalence of two content formulas under the atom table's
+/// consistency axioms via the SAT solver (¬(F ↔ G) unsatisfiable).
+sat::Equivalence formulasEquivalent(sat::FormulaArena &Arena,
+                                    const AtomTable &Atoms, sat::Formula F,
+                                    sat::Formula G,
+                                    uint64_t ConflictBudget = 100000);
+
+/// Convenience: checks whether applying \p A then \p B to \p State
+/// yields the same relation content as \p B then \p A, per the SAT
+/// encoding. This is the COMMUTE check of Figure 8 instantiated
+/// relationally.
+sat::Equivalence transformersCommuteSymbolic(const Relation &State,
+                                             const Transformer &A,
+                                             const Transformer &B);
+
+/// Like transformersCommuteSymbolic, but quantifies over *all* initial
+/// states: the initial relation content is an uninterpreted formula, so
+/// Equivalent means the transformers commute on every input state of
+/// the given schema. Used during training to produce unconditional
+/// cache entries.
+sat::Equivalence transformersCommuteForAllStates(const SchemaRef &S,
+                                                 const Transformer &A,
+                                                 const Transformer &B);
+
+} // namespace relational
+} // namespace janus
+
+#endif // JANUS_RELATIONAL_ENCODING_H

@@ -1,0 +1,104 @@
+#include "janus/relational/RelOp.h"
+
+using namespace janus;
+using namespace janus::relational;
+
+std::string RelOp::toString(const Schema &S) const {
+  switch (K) {
+  case Kind::Insert:
+    return "insert " + T.toString();
+  case Kind::Remove:
+    return "remove " + T.toString();
+  case Kind::Select:
+    return "select " + Filter.toString(S);
+  }
+  janusUnreachable("invalid RelOp kind");
+}
+
+RelOpResult relational::applyRelOp(const Relation &State, const RelOp &Op) {
+  RelOpResult Out{State, Relation(State.schemaRef())};
+  switch (Op.kind()) {
+  case RelOp::Kind::Insert:
+    Out.NewState = State.insert(Op.tuple());
+    return Out;
+  case RelOp::Kind::Remove:
+    Out.NewState = State.remove(Op.tuple());
+    return Out;
+  case RelOp::Kind::Select:
+    Out.Selected = State.select(Op.filter());
+    return Out;
+  }
+  janusUnreachable("invalid RelOp kind");
+}
+
+void Footprint::unionWith(const Footprint &Other) {
+  Read.insert(Other.Read.begin(), Other.Read.end());
+  Write.insert(Other.Write.begin(), Other.Write.end());
+}
+
+bool Footprint::dependsOn(const Footprint &Other) const {
+  auto Overlaps = [](const std::set<Tuple> &A, const std::set<Tuple> &B) {
+    const std::set<Tuple> &Small = A.size() <= B.size() ? A : B;
+    const std::set<Tuple> &Large = A.size() <= B.size() ? B : A;
+    for (const Tuple &T : Small)
+      if (Large.count(T))
+        return true;
+    return false;
+  };
+  // Equation 1: (write₁ ∪ read₁·write-part) ∩ ... — concretely, one op's
+  // write overlapping the other's read or write, in either direction,
+  // plus read/read overlap (input dependencies are subsumed by Eq. 1).
+  return Overlaps(Write, Other.Write) || Overlaps(Write, Other.Read) ||
+         Overlaps(Read, Other.Write) || Overlaps(Read, Other.Read);
+}
+
+Footprint relational::footprintOf(const Relation &State, const RelOp &Op) {
+  Footprint FP;
+  switch (Op.kind()) {
+  case RelOp::Kind::Insert: {
+    // The displaced (matching) tuples are both read (they determine the
+    // effect) and written (they are removed); the new tuple is written.
+    for (const Tuple &M : State.matchingTuples(Op.tuple())) {
+      FP.Read.insert(M);
+      FP.Write.insert(M);
+    }
+    FP.Write.insert(Op.tuple());
+    return FP;
+  }
+  case RelOp::Kind::Remove: {
+    if (State.contains(Op.tuple()))
+      FP.Write.insert(Op.tuple());
+    else
+      FP.Read.insert(Op.tuple()); // Observes absence (Table 3 note).
+    return FP;
+  }
+  case RelOp::Kind::Select: {
+    Relation Selected = State.select(Op.filter());
+    for (const Tuple &T : Selected.tuples())
+      FP.Read.insert(T);
+    return FP;
+  }
+  }
+  janusUnreachable("invalid RelOp kind");
+}
+
+Transformer::Result Transformer::apply(const Relation &State) const {
+  Result R{State, {}};
+  for (const RelOp &Op : Ops) {
+    RelOpResult Step = applyRelOp(R.FinalState, Op);
+    R.FinalState = std::move(Step.NewState);
+    if (Op.kind() == RelOp::Kind::Select)
+      R.Selections.push_back(std::move(Step.Selected));
+  }
+  return R;
+}
+
+Footprint Transformer::footprint(const Relation &State) const {
+  Footprint Total;
+  Relation Cur = State;
+  for (const RelOp &Op : Ops) {
+    Total.unionWith(footprintOf(Cur, Op));
+    Cur = applyRelOp(Cur, Op).NewState;
+  }
+  return Total;
+}

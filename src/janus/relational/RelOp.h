@@ -1,0 +1,124 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Primitive relational operations, state transformers and footprints.
+///
+/// Paper Table 2 defines the meaning of the primitives; Table 3 defines
+/// their read/write footprints, which enable dependence-based
+/// decomposition of histories (the DECOMPOSE operation of Figure 8).
+/// State transformers — both concrete and abstract — are sequences over
+/// the primitive relational operations (§6.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_RELATIONAL_RELOP_H
+#define JANUS_RELATIONAL_RELOP_H
+
+#include "janus/relational/Relation.h"
+
+#include <set>
+#include <vector>
+
+namespace janus {
+namespace relational {
+
+/// One primitive relational operation (Table 2).
+class RelOp {
+public:
+  enum class Kind : uint8_t { Insert, Remove, Select };
+
+  /// `insert r t`: removes the tuples matching t, then adds t.
+  static RelOp insert(Tuple T) { return RelOp(Kind::Insert, std::move(T)); }
+  /// `remove r t`: ensures t is absent.
+  static RelOp remove(Tuple T) { return RelOp(Kind::Remove, std::move(T)); }
+  /// `w := select r f`: defines the sub-relation satisfying f.
+  static RelOp select(TupleFormula F) {
+    RelOp Op(Kind::Select, Tuple());
+    Op.Filter = std::move(F);
+    return Op;
+  }
+
+  Kind kind() const { return K; }
+  const Tuple &tuple() const {
+    JANUS_ASSERT(K != Kind::Select, "select has no tuple argument");
+    return T;
+  }
+  const TupleFormula &filter() const {
+    JANUS_ASSERT(K == Kind::Select, "only select has a filter");
+    return Filter;
+  }
+
+  std::string toString(const Schema &S) const;
+
+private:
+  RelOp(Kind K, Tuple T) : K(K), T(std::move(T)) {}
+
+  Kind K;
+  Tuple T;
+  TupleFormula Filter;
+};
+
+/// Result of applying one primitive op: the successor state, and — for
+/// select — the defined sub-relation.
+struct RelOpResult {
+  Relation NewState;
+  Relation Selected;
+};
+
+/// Applies \p Op to \p State per Table 2.
+RelOpResult applyRelOp(const Relation &State, const RelOp &Op);
+
+/// The footprint of an operation in a given pre-state (Table 3). For
+/// sound dependence tracking, tuple t belongs in the read set of
+/// `remove r t` when r does not contain t (observing absence), and the
+/// tuples displaced by `insert` are read (their identity determines the
+/// operation's effect).
+struct Footprint {
+  std::set<Tuple> Read;
+  std::set<Tuple> Write;
+
+  /// Accumulates \p Other into this footprint (cumulative footprint of
+  /// a transformer, §6.2).
+  void unionWith(const Footprint &Other);
+
+  /// Equation 1: two footprints are dependent if one's write overlaps
+  /// the other's read or write.
+  bool dependsOn(const Footprint &Other) const;
+};
+
+/// Computes the footprint of \p Op when applied in \p State.
+Footprint footprintOf(const Relation &State, const RelOp &Op);
+
+/// A state transformer: a sequence of primitive relational operations
+/// (§6.1). JANUS allows specifying different transformers for
+/// invocations of the same ADT operation with different arguments.
+class Transformer {
+public:
+  Transformer() = default;
+  explicit Transformer(std::vector<RelOp> Ops) : Ops(std::move(Ops)) {}
+
+  void append(RelOp Op) { Ops.push_back(std::move(Op)); }
+  const std::vector<RelOp> &ops() const { return Ops; }
+  bool empty() const { return Ops.empty(); }
+
+  /// Applies all operations in order; \returns the final state and the
+  /// concatenated select results (the transformer's observations).
+  struct Result {
+    Relation FinalState;
+    std::vector<Relation> Selections;
+  };
+  Result apply(const Relation &State) const;
+
+  /// The cumulative footprint over a run starting at \p State:
+  /// write(τ) = ∪ write(opᵢ), read(τ) = ∪ read(opᵢ), with each opᵢ's
+  /// footprint computed in its actual intermediate pre-state.
+  Footprint footprint(const Relation &State) const;
+
+private:
+  std::vector<RelOp> Ops;
+};
+
+} // namespace relational
+} // namespace janus
+
+#endif // JANUS_RELATIONAL_RELOP_H

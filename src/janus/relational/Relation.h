@@ -1,0 +1,204 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relational representation of object states (paper §6.1).
+///
+/// The semantic state of a shared data structure is specified as a set
+/// of relations; operations over the data structure are expressed using
+/// relational primitives (Table 2: insert / remove / select). Each
+/// relation has at most one functional dependency whose domain and range
+/// partition the columns, which "specializes the relation as a function
+/// mapping locations to their associated values".
+///
+/// Example (paper step 1): `BitSet` is a 2-ary relation mapping integral
+/// values to booleans; `get(n)` is a select query; `set(n, x)` removes
+/// the unique tuple whose first component is n and inserts (n, x).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_RELATIONAL_RELATION_H
+#define JANUS_RELATIONAL_RELATION_H
+
+#include "janus/support/Assert.h"
+#include "janus/support/Value.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace janus {
+namespace relational {
+
+/// Column schema of a relation, with an optional functional dependency
+/// (FD). When present, the FD's domain and range partition the columns.
+class Schema {
+public:
+  /// Creates a schema with no FD.
+  explicit Schema(std::vector<std::string> Columns);
+
+  /// Creates a schema whose FD maps \p DomainCols to the remaining
+  /// columns.
+  Schema(std::vector<std::string> Columns, std::vector<uint32_t> DomainCols);
+
+  size_t numColumns() const { return Columns.size(); }
+  const std::string &columnName(uint32_t Idx) const {
+    JANUS_ASSERT(Idx < Columns.size(), "column index out of range");
+    return Columns[Idx];
+  }
+
+  bool hasFD() const { return !FDDomain.empty(); }
+  const std::vector<uint32_t> &fdDomain() const { return FDDomain; }
+  const std::vector<uint32_t> &fdRange() const { return FDRange; }
+
+  /// \returns the index of the column named \p Name; asserts if absent.
+  uint32_t columnIndex(const std::string &Name) const;
+
+private:
+  std::vector<std::string> Columns;
+  std::vector<uint32_t> FDDomain;
+  std::vector<uint32_t> FDRange;
+};
+
+using SchemaRef = std::shared_ptr<const Schema>;
+
+/// A tuple: one value per schema column (positional).
+class Tuple {
+public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> Fields) : Fields(std::move(Fields)) {}
+
+  size_t size() const { return Fields.size(); }
+  const Value &at(uint32_t Col) const {
+    JANUS_ASSERT(Col < Fields.size(), "column index out of range");
+    return Fields[Col];
+  }
+
+  friend bool operator==(const Tuple &A, const Tuple &B) {
+    return A.Fields == B.Fields;
+  }
+  friend bool operator!=(const Tuple &A, const Tuple &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Tuple &A, const Tuple &B) {
+    return A.Fields < B.Fields;
+  }
+
+  /// \returns "(v1, v2, ...)".
+  std::string toString() const;
+
+private:
+  std::vector<Value> Fields;
+};
+
+/// Propositional formulas over tuples, per the grammar of Table 1:
+///   f := true | false | c = v | ¬f | f ∧ f | f ∨ f
+/// Nodes are immutable and shared.
+class TupleFormula {
+public:
+  enum class Kind : uint8_t { True, False, Eq, Not, And, Or };
+
+  /// Default-constructed formulas are invalid placeholders; every
+  /// accessor asserts a valid node.
+  TupleFormula() = default;
+  bool valid() const { return Node != nullptr; }
+
+  static TupleFormula mkTrue();
+  static TupleFormula mkFalse();
+  /// Atom `column = value`.
+  static TupleFormula mkEq(uint32_t Col, Value V);
+  static TupleFormula mkNot(TupleFormula F);
+  static TupleFormula mkAnd(TupleFormula A, TupleFormula B);
+  static TupleFormula mkOr(TupleFormula A, TupleFormula B);
+
+  Kind kind() const {
+    JANUS_ASSERT(valid(), "use of invalid TupleFormula");
+    return Node->K;
+  }
+  uint32_t eqColumn() const {
+    JANUS_ASSERT(kind() == Kind::Eq, "not an equality atom");
+    return Node->Col;
+  }
+  const Value &eqValue() const {
+    JANUS_ASSERT(kind() == Kind::Eq, "not an equality atom");
+    return Node->V;
+  }
+  TupleFormula lhs() const { return TupleFormula(Node->L); }
+  TupleFormula rhs() const { return TupleFormula(Node->R); }
+
+  /// \returns t |= f (Table 1 satisfaction).
+  bool satisfiedBy(const Tuple &T) const;
+
+  /// \returns a human-readable rendering using \p S for column names.
+  std::string toString(const Schema &S) const;
+
+private:
+  struct NodeData;
+  using NodePtr = std::shared_ptr<const NodeData>;
+  struct NodeData {
+    Kind K;
+    uint32_t Col = 0;
+    Value V;
+    NodePtr L, R;
+  };
+
+  explicit TupleFormula(NodePtr N) : Node(std::move(N)) {}
+
+  NodePtr Node;
+};
+
+/// A relation: a set of tuples over a shared schema (paper §6.1).
+/// Relations are value types; operations return new relations.
+class Relation {
+public:
+  explicit Relation(SchemaRef S) : Sch(std::move(S)) {}
+
+  const Schema &schema() const { return *Sch; }
+  const SchemaRef &schemaRef() const { return Sch; }
+  size_t size() const { return Tuples.size(); }
+  bool empty() const { return Tuples.empty(); }
+  bool contains(const Tuple &T) const { return Tuples.count(T) != 0; }
+  const std::set<Tuple> &tuples() const { return Tuples; }
+
+  /// Tuples t and t' *match* in this relation (t ~r t'): equal on the
+  /// FD's domain columns if the schema defines an FD, otherwise equal on
+  /// all columns (paper §6.1).
+  bool tuplesMatch(const Tuple &A, const Tuple &B) const;
+
+  /// \returns the tuples of this relation matching \p T.
+  std::vector<Tuple> matchingTuples(const Tuple &T) const;
+
+  /// Table 2 `insert r t`: removes the tuples matching t, then adds t.
+  Relation insert(const Tuple &T) const;
+
+  /// Table 2 `remove r t`: ensures t is not in the relation.
+  Relation remove(const Tuple &T) const;
+
+  /// Table 2 `select r f`: the tuples satisfying f.
+  Relation select(const TupleFormula &F) const;
+
+  /// Set-algebraic operations (the join/meet/subtraction of the paper's
+  /// subvalue lattice instantiated to relations, §6.1).
+  Relation unionWith(const Relation &Other) const;
+  Relation intersectWith(const Relation &Other) const;
+  Relation subtract(const Relation &Other) const;
+
+  friend bool operator==(const Relation &A, const Relation &B) {
+    return A.Tuples == B.Tuples;
+  }
+  friend bool operator!=(const Relation &A, const Relation &B) {
+    return !(A == B);
+  }
+
+  /// \returns "{(..), (..)}".
+  std::string toString() const;
+
+private:
+  SchemaRef Sch;
+  std::set<Tuple> Tuples;
+};
+
+} // namespace relational
+} // namespace janus
+
+#endif // JANUS_RELATIONAL_RELATION_H

@@ -1,0 +1,380 @@
+#include "janus/sat/Solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace janus;
+using namespace janus::sat;
+
+Solver::Solver() = default;
+
+Var Solver::newVar() {
+  Var V = static_cast<Var>(Assigns.size());
+  Assigns.push_back(LBool::Undef);
+  VarInfo.push_back(VarData{});
+  SavedPhase.push_back(LBool::False);
+  Activity.push_back(0.0);
+  Seen.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  return V;
+}
+
+Solver::ClauseRef Solver::allocClause(const std::vector<Lit> &Lits) {
+  ClauseRef C = static_cast<ClauseRef>(Arena.size());
+  Arena.push_back(static_cast<uint32_t>(Lits.size()));
+  for (Lit L : Lits)
+    Arena.push_back(L.code());
+  return C;
+}
+
+void Solver::attachClause(ClauseRef C) {
+  JANUS_ASSERT(clauseSize(C) >= 2, "attaching short clause");
+  Lit L0 = clauseLit(C, 0), L1 = clauseLit(C, 1);
+  Watches[(~L0).code()].push_back(Watcher{C, L1});
+  Watches[(~L1).code()].push_back(Watcher{C, L0});
+}
+
+bool Solver::addClause(const std::vector<Lit> &Lits) {
+  JANUS_ASSERT(TrailLimits.empty(), "clauses must be added at level 0");
+  if (Unsatisfiable)
+    return false;
+
+  // Simplify: sort, drop duplicates, drop false literals, detect
+  // tautologies and satisfied clauses.
+  std::vector<Lit> Simplified(Lits);
+  std::sort(Simplified.begin(), Simplified.end(),
+            [](Lit A, Lit B) { return A.code() < B.code(); });
+  std::vector<Lit> Out;
+  Lit Prev;
+  for (Lit L : Simplified) {
+    JANUS_ASSERT(L.var() < numVars(), "literal over unregistered variable");
+    if (Prev.valid() && L == ~Prev)
+      return true; // Tautology.
+    if (Prev.valid() && L == Prev)
+      continue;
+    if (value(L) == LBool::True)
+      return true; // Already satisfied at level 0.
+    if (value(L) == LBool::False)
+      continue; // Permanently false literal.
+    Out.push_back(L);
+    Prev = L;
+  }
+
+  if (Out.empty()) {
+    Unsatisfiable = true;
+    return false;
+  }
+  if (Out.size() == 1) {
+    enqueue(Out[0], InvalidClause);
+    if (propagate() != InvalidClause) {
+      Unsatisfiable = true;
+      return false;
+    }
+    return true;
+  }
+  attachClause(allocClause(Out));
+  return true;
+}
+
+void Solver::enqueue(Lit L, ClauseRef Reason) {
+  JANUS_ASSERT(value(L) == LBool::Undef, "enqueue of assigned literal");
+  Assigns[L.var()] = L.negated() ? LBool::False : LBool::True;
+  VarInfo[L.var()] =
+      VarData{Reason, static_cast<uint32_t>(TrailLimits.size())};
+  Trail.push_back(L);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (PropagationHead < Trail.size()) {
+    Lit P = Trail[PropagationHead++];
+    ++Statistics.Propagations;
+    std::vector<Watcher> &Ws = Watches[P.code()];
+    size_t Keep = 0;
+    for (size_t I = 0, E = Ws.size(); I != E; ++I) {
+      Watcher W = Ws[I];
+      if (value(W.Blocker) == LBool::True) {
+        Ws[Keep++] = W;
+        continue;
+      }
+      ClauseRef C = W.Cl;
+      // Normalize so the false watched literal (~P) is at index 1.
+      if (clauseLit(C, 0) == ~P) {
+        setClauseLit(C, 0, clauseLit(C, 1));
+        setClauseLit(C, 1, ~P);
+      }
+      Lit First = clauseLit(C, 0);
+      if (value(First) == LBool::True) {
+        Ws[Keep++] = Watcher{C, First};
+        continue;
+      }
+      // Search for a new watch.
+      bool Moved = false;
+      for (uint32_t K = 2, N = clauseSize(C); K != N; ++K) {
+        Lit L = clauseLit(C, K);
+        if (value(L) != LBool::False) {
+          setClauseLit(C, 1, L);
+          setClauseLit(C, K, ~P);
+          Watches[(~L).code()].push_back(Watcher{C, First});
+          Moved = true;
+          break;
+        }
+      }
+      if (Moved)
+        continue;
+      // Unit or conflicting.
+      Ws[Keep++] = Watcher{C, First};
+      if (value(First) == LBool::False) {
+        // Conflict: keep remaining watchers and bail out.
+        for (size_t J = I + 1; J != E; ++J)
+          Ws[Keep++] = Ws[J];
+        Ws.resize(Keep);
+        return C;
+      }
+      enqueue(First, C);
+    }
+    Ws.resize(Keep);
+  }
+  return InvalidClause;
+}
+
+void Solver::bumpVar(Var V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+}
+
+void Solver::decayActivities() { VarInc /= 0.95; }
+
+void Solver::analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
+                     uint32_t &BacktrackLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit()); // Placeholder for the asserting literal.
+  uint32_t CurLevel = static_cast<uint32_t>(TrailLimits.size());
+  int Counter = 0;
+  Lit P;
+  size_t TrailIdx = Trail.size();
+
+  ClauseRef Reason = Confl;
+  do {
+    JANUS_ASSERT(Reason != InvalidClause, "no reason during analysis");
+    for (uint32_t I = 0, N = clauseSize(Reason); I != N; ++I) {
+      // For the first (conflict) clause we scan all literals; for reason
+      // clauses index 0 holds the implied literal itself (normalized
+      // below) and is skipped.
+      if (P.valid() && I == 0)
+        continue;
+      Lit Q = clauseLit(Reason, I);
+      Var V = Q.var();
+      if (Seen[V] || VarInfo[V].Level == 0)
+        continue;
+      Seen[V] = 1;
+      bumpVar(V);
+      if (VarInfo[V].Level == CurLevel) {
+        ++Counter;
+      } else {
+        Learnt.push_back(Q);
+      }
+    }
+    // Select next literal on the trail to resolve on.
+    while (!Seen[Trail[TrailIdx - 1].var()])
+      --TrailIdx;
+    P = Trail[--TrailIdx];
+    Seen[P.var()] = 0;
+    Reason = VarInfo[P.var()].Reason;
+    if (Reason != InvalidClause && clauseLit(Reason, 0) != P) {
+      // Normalize the reason clause so the implied literal is first.
+      for (uint32_t I = 1, N = clauseSize(Reason); I != N; ++I) {
+        if (clauseLit(Reason, I) == P) {
+          setClauseLit(Reason, I, clauseLit(Reason, 0));
+          setClauseLit(Reason, 0, P);
+          break;
+        }
+      }
+    }
+    --Counter;
+  } while (Counter > 0);
+  Learnt[0] = ~P;
+
+  // Clear the seen flags of the learnt clause's variables and compute
+  // the backtrack level (second-highest level in the clause).
+  BacktrackLevel = 0;
+  size_t MaxIdx = 1;
+  for (size_t I = 1, E = Learnt.size(); I != E; ++I) {
+    uint32_t L = VarInfo[Learnt[I].var()].Level;
+    if (L > BacktrackLevel) {
+      BacktrackLevel = L;
+      MaxIdx = I;
+    }
+  }
+  if (Learnt.size() > 1)
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+  for (Lit L : Learnt)
+    Seen[L.var()] = 0;
+}
+
+void Solver::backtrack(uint32_t Level) {
+  if (TrailLimits.size() <= Level)
+    return;
+  uint32_t Limit = TrailLimits[Level];
+  for (size_t I = Trail.size(); I > Limit; --I) {
+    Lit L = Trail[I - 1];
+    SavedPhase[L.var()] = Assigns[L.var()];
+    Assigns[L.var()] = LBool::Undef;
+  }
+  Trail.resize(Limit);
+  TrailLimits.resize(Level);
+  PropagationHead = Trail.size();
+}
+
+Lit Solver::pickBranchLit() {
+  Var Best = 0;
+  double BestAct = -1.0;
+  for (Var V = 0, E = static_cast<Var>(numVars()); V != E; ++V) {
+    if (Assigns[V] != LBool::Undef)
+      continue;
+    if (Activity[V] > BestAct) {
+      BestAct = Activity[V];
+      Best = V;
+    }
+  }
+  if (BestAct < 0.0)
+    return Lit(); // All assigned.
+  return Lit(Best, SavedPhase[Best] != LBool::True);
+}
+
+uint64_t Solver::luby(uint64_t I) {
+  // Finite subsequences of the Luby sequence: 1 1 2 1 1 2 4 ...
+  uint64_t K = 1;
+  while ((1ULL << (K + 1)) <= I + 1)
+    ++K;
+  while ((1ULL << K) - 1 != I + 1) {
+    I = I - ((1ULL << K) - 1);
+    K = 1;
+    while ((1ULL << (K + 1)) <= I + 1)
+      ++K;
+  }
+  return 1ULL << (K - 1);
+}
+
+std::string Solver::toDimacs() const {
+  JANUS_ASSERT(TrailLimits.empty(), "dump requires decision level 0");
+  // Count clauses by walking the arena slabs, plus level-0 units.
+  size_t NumClauses = 0;
+  for (size_t Pos = 0; Pos < Arena.size(); Pos += Arena[Pos] + 1)
+    ++NumClauses;
+  NumClauses += Trail.size();
+  if (Unsatisfiable)
+    ++NumClauses; // The empty clause.
+
+  std::string Out = "p cnf " + std::to_string(numVars()) + " " +
+                    std::to_string(NumClauses) + "\n";
+  auto LitText = [](Lit L) {
+    return std::string(L.negated() ? "-" : "") +
+           std::to_string(L.var() + 1);
+  };
+  for (Lit L : Trail)
+    Out += LitText(L) + " 0\n";
+  for (size_t Pos = 0; Pos < Arena.size(); Pos += Arena[Pos] + 1) {
+    uint32_t Size = Arena[Pos];
+    for (uint32_t I = 0; I != Size; ++I)
+      Out += LitText(litFromCode(Arena[Pos + 1 + I])) + " ";
+    Out += "0\n";
+  }
+  if (Unsatisfiable)
+    Out += "0\n";
+  return Out;
+}
+
+SolveResult Solver::solve(uint64_t ConflictBudget) {
+  return solveWith({}, ConflictBudget);
+}
+
+SolveResult Solver::solveWith(const std::vector<Lit> &Assumptions,
+                              uint64_t ConflictBudget) {
+  if (Unsatisfiable)
+    return SolveResult::Unsat;
+  backtrack(0);
+  if (propagate() != InvalidClause) {
+    Unsatisfiable = true;
+    return SolveResult::Unsat;
+  }
+
+  uint64_t RestartIdx = 0;
+  uint64_t ConflictsUntilRestart = 32 * luby(RestartIdx);
+  uint64_t ConflictsThisRestart = 0;
+  std::vector<Lit> Learnt;
+
+  while (true) {
+    ClauseRef Confl = propagate();
+    if (Confl != InvalidClause) {
+      ++Statistics.Conflicts;
+      ++ConflictsThisRestart;
+      if (TrailLimits.empty()) {
+        Unsatisfiable = true;
+        return SolveResult::Unsat;
+      }
+      if (ConflictBudget && Statistics.Conflicts >= ConflictBudget) {
+        backtrack(0);
+        return SolveResult::Unknown;
+      }
+      uint32_t BtLevel = 0;
+      analyze(Confl, Learnt, BtLevel);
+      // Never backtrack into the assumption prefix: conflict clauses are
+      // still learnt, and the assumptions get re-decided below.
+      backtrack(BtLevel);
+      if (Learnt.size() == 1) {
+        if (value(Learnt[0]) == LBool::Undef) {
+          enqueue(Learnt[0], InvalidClause);
+        } else if (value(Learnt[0]) == LBool::False) {
+          Unsatisfiable = true;
+          return SolveResult::Unsat;
+        }
+      } else {
+        ClauseRef C = allocClause(Learnt);
+        attachClause(C);
+        ++Statistics.LearnedClauses;
+        enqueue(Learnt[0], C);
+      }
+      decayActivities();
+      continue;
+    }
+
+    if (ConflictsThisRestart >= ConflictsUntilRestart) {
+      ++Statistics.Restarts;
+      ++RestartIdx;
+      ConflictsThisRestart = 0;
+      ConflictsUntilRestart = 32 * luby(RestartIdx);
+      backtrack(0);
+      continue;
+    }
+
+    // Decide: first re-establish the assumption prefix, then branch.
+    Lit Decision;
+    if (TrailLimits.size() < Assumptions.size()) {
+      Lit A = Assumptions[TrailLimits.size()];
+      if (value(A) == LBool::False)
+        return SolveResult::Unsat; // Conflicting assumptions.
+      if (value(A) == LBool::True) {
+        // Already implied; open an empty level to keep indices aligned.
+        TrailLimits.push_back(static_cast<uint32_t>(Trail.size()));
+        continue;
+      }
+      Decision = A;
+    } else {
+      Decision = pickBranchLit();
+      if (!Decision.valid()) {
+        // All variables assigned: model found.
+        Model = Assigns;
+        backtrack(0);
+        return SolveResult::Sat;
+      }
+      ++Statistics.Decisions;
+    }
+    TrailLimits.push_back(static_cast<uint32_t>(Trail.size()));
+    enqueue(Decision, InvalidClause);
+  }
+}

@@ -1,0 +1,187 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning (CDCL) SAT solver.
+///
+/// This is the reproduction's stand-in for Sat4j (paper §6.2 / §7.1):
+/// JANUS resolves equivalence queries over the propositional encodings of
+/// relation contents (Table 4) by asking the solver for a satisfying
+/// assignment of the negated biconditional. The solver implements
+/// two-watched-literal unit propagation, first-UIP conflict analysis with
+/// clause learning, an EVSIDS-style activity heuristic with phase saving,
+/// and Luby restarts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SAT_SOLVER_H
+#define JANUS_SAT_SOLVER_H
+
+#include "janus/support/Assert.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace janus {
+namespace sat {
+
+/// A propositional variable (0-based index).
+using Var = uint32_t;
+
+/// A literal: variable plus sign, packed as 2*Var+Sign (Sign=1 means
+/// negated). The packing allows literals to index watch lists directly.
+class Lit {
+public:
+  Lit() : Code(~0u) {}
+  Lit(Var V, bool Negated) : Code(2 * V + (Negated ? 1 : 0)) {}
+
+  /// \returns the positive literal of \p V.
+  static Lit pos(Var V) { return Lit(V, false); }
+  /// \returns the negative literal of \p V.
+  static Lit neg(Var V) { return Lit(V, true); }
+
+  Var var() const { return Code >> 1; }
+  bool negated() const { return Code & 1; }
+  Lit operator~() const {
+    Lit L;
+    L.Code = Code ^ 1;
+    return L;
+  }
+  uint32_t code() const { return Code; }
+  bool valid() const { return Code != ~0u; }
+
+  friend bool operator==(Lit A, Lit B) { return A.Code == B.Code; }
+  friend bool operator!=(Lit A, Lit B) { return A.Code != B.Code; }
+
+private:
+  uint32_t Code;
+};
+
+/// Ternary truth value of a variable during search.
+enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
+
+/// Result of a solve() call.
+enum class SolveResult : uint8_t { Sat, Unsat, Unknown };
+
+/// The CDCL solver. Usage: newVar() for each variable, addClause() for
+/// each clause, then solve(); on Sat, modelValue() inspects the model.
+/// The solver may be re-solved after adding more clauses (incremental
+/// within one instance; no clause removal).
+class Solver {
+public:
+  Solver();
+
+  /// Creates a fresh variable and \returns it.
+  Var newVar();
+
+  /// Number of variables created so far.
+  size_t numVars() const { return Assigns.size(); }
+
+  /// Adds a clause (disjunction of \p Lits). \returns false if the
+  /// clause system is already unsatisfiable at level 0 (e.g. adding an
+  /// empty clause or a unit contradicting a prior unit).
+  bool addClause(const std::vector<Lit> &Lits);
+
+  /// Convenience overloads for short clauses.
+  bool addUnit(Lit A) { return addClause({A}); }
+  bool addBinary(Lit A, Lit B) { return addClause({A, B}); }
+  bool addTernary(Lit A, Lit B, Lit C) { return addClause({A, B, C}); }
+
+  /// Runs CDCL search. \p ConflictBudget bounds the number of conflicts
+  /// (0 means unbounded); exceeding the budget yields Unknown, matching
+  /// the paper's "without timing out" caveat for equivalence queries.
+  SolveResult solve(uint64_t ConflictBudget = 0);
+
+  /// Solves under the given assumption literals.
+  SolveResult solveWith(const std::vector<Lit> &Assumptions,
+                        uint64_t ConflictBudget = 0);
+
+  /// \returns the model value of \p V after a Sat result.
+  bool modelValue(Var V) const {
+    JANUS_ASSERT(V < Model.size(), "variable out of range");
+    return Model[V] == LBool::True;
+  }
+
+  /// Renders the current clause database (original and learnt) in
+  /// DIMACS CNF format, for debugging with external solvers. Level-0
+  /// assignments are emitted as unit clauses.
+  std::string toDimacs() const;
+
+  /// Statistics for micro-benchmarks and tests.
+  struct Stats {
+    uint64_t Conflicts = 0;
+    uint64_t Decisions = 0;
+    uint64_t Propagations = 0;
+    uint64_t Restarts = 0;
+    uint64_t LearnedClauses = 0;
+  };
+  const Stats &stats() const { return Statistics; }
+
+private:
+  // Clause storage: flattened arena. A clause is a [Size, Lit...] slab;
+  // ClauseRef is the arena offset of the size word.
+  using ClauseRef = uint32_t;
+  static constexpr ClauseRef InvalidClause = ~0u;
+
+  struct Watcher {
+    ClauseRef Cl;
+    Lit Blocker; ///< Fast path: if Blocker is true the clause is satisfied.
+  };
+
+  struct VarData {
+    ClauseRef Reason = InvalidClause;
+    uint32_t Level = 0;
+  };
+
+  LBool value(Lit L) const {
+    LBool V = Assigns[L.var()];
+    if (V == LBool::Undef)
+      return LBool::Undef;
+    bool B = (V == LBool::True) != L.negated();
+    return B ? LBool::True : LBool::False;
+  }
+
+  uint32_t clauseSize(ClauseRef C) const { return Arena[C]; }
+  Lit clauseLit(ClauseRef C, uint32_t I) const {
+    return litFromCode(Arena[C + 1 + I]);
+  }
+  void setClauseLit(ClauseRef C, uint32_t I, Lit L) {
+    Arena[C + 1 + I] = L.code();
+  }
+  static Lit litFromCode(uint32_t Code) {
+    Lit L = Lit::pos(Code >> 1);
+    return (Code & 1) ? ~L : L;
+  }
+
+  ClauseRef allocClause(const std::vector<Lit> &Lits);
+  void attachClause(ClauseRef C);
+  void enqueue(Lit L, ClauseRef Reason);
+  ClauseRef propagate();
+  void analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
+               uint32_t &BacktrackLevel);
+  void backtrack(uint32_t Level);
+  Lit pickBranchLit();
+  void bumpVar(Var V);
+  void decayActivities();
+  static uint64_t luby(uint64_t I);
+
+  std::vector<uint32_t> Arena;
+  std::vector<std::vector<Watcher>> Watches; ///< Indexed by Lit code.
+  std::vector<LBool> Assigns;
+  std::vector<VarData> VarInfo;
+  std::vector<LBool> SavedPhase;
+  std::vector<double> Activity;
+  std::vector<Lit> Trail;
+  std::vector<uint32_t> TrailLimits; ///< Decision-level boundaries.
+  size_t PropagationHead = 0;
+  double VarInc = 1.0;
+  std::vector<LBool> Model;
+  std::vector<uint8_t> Seen; ///< Scratch for conflict analysis.
+  bool Unsatisfiable = false;
+  Stats Statistics;
+};
+
+} // namespace sat
+} // namespace janus
+
+#endif // JANUS_SAT_SOLVER_H

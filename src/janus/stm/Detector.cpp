@@ -1,0 +1,41 @@
+#include "janus/stm/Detector.h"
+
+using namespace janus;
+using namespace janus::stm;
+
+ConflictDetector::~ConflictDetector() = default;
+
+bool stm::writeSetsConflict(const AccessSets &Mine, const AccessSets &Their) {
+  auto Overlaps = [](const std::unordered_set<Location> &A,
+                     const std::unordered_set<Location> &B) {
+    const auto &Small = A.size() <= B.size() ? A : B;
+    const auto &Large = A.size() <= B.size() ? B : A;
+    for (const Location &L : Small)
+      if (Large.count(L))
+        return true;
+    return false;
+  };
+  return Overlaps(Mine.Write, Their.Write) ||
+         Overlaps(Mine.Write, Their.Read) ||
+         Overlaps(Mine.Read, Their.Write);
+}
+
+bool WriteSetDetector::detectConflicts(const Snapshot &Entry,
+                                       const TxLog &Mine,
+                                       const std::vector<TxLogRef> &Committed,
+                                       const ObjectRegistry &Reg) {
+  (void)Entry;
+  (void)Reg;
+  if (Committed.empty())
+    return false; // Validity: empty conflict history never conflicts.
+  AccessSets MySets = accessSets(Mine);
+  ++Stats.PairQueries;
+  for (const TxLogRef &Log : Committed) {
+    AccessSets Theirs = accessSets(*Log);
+    if (writeSetsConflict(MySets, Theirs)) {
+      ++Stats.ConflictsFound;
+      return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,23 @@
+#include "janus/stm/Log.h"
+
+using namespace janus;
+using namespace janus::stm;
+
+AccessSets stm::accessSets(const TxLog &Log) {
+  AccessSets Sets;
+  for (const LogEntry &E : Log) {
+    switch (E.Op.Kind) {
+    case symbolic::LocOpKind::Read:
+      Sets.Read.insert(E.Loc);
+      break;
+    case symbolic::LocOpKind::Write:
+      Sets.Write.insert(E.Loc);
+      break;
+    case symbolic::LocOpKind::Add:
+      Sets.Read.insert(E.Loc);
+      Sets.Write.insert(E.Loc);
+      break;
+    }
+  }
+  return Sets;
+}

@@ -1,0 +1,157 @@
+#include "janus/stm/SimRuntime.h"
+
+#include <map>
+#include <queue>
+
+using namespace janus;
+using namespace janus::stm;
+
+SimRuntime::SimRuntime(const ObjectRegistry &Reg, ConflictDetector &Detector,
+                       SimConfig Config)
+    : Reg(Reg), Detector(Detector), Config(Config) {
+  JANUS_ASSERT(Config.NumCores >= 1, "need at least one core");
+}
+
+SimRuntime::Attempt SimRuntime::execute(const std::vector<TaskFn> &Tasks,
+                                        size_t Idx) {
+  Attempt A;
+  A.BeginSeq = CommitSeq;
+  A.Entry = Shared;
+  TxContext Tx(Shared, static_cast<uint32_t>(Idx + 1), Reg);
+  Tasks[Idx](Tx);
+  A.Log = std::make_shared<const TxLog>(Tx.log());
+  A.ExecCost = Config.Costs.BeginCost + Tx.virtualCost() +
+               Config.Costs.PerLogOp * static_cast<double>(A.Log->size());
+  return A;
+}
+
+SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
+  Stats.Tasks += Tasks.size();
+  SimOutcome Outcome;
+
+  // ---- Sequential baseline: the original loop, no STM overhead. ------
+  {
+    Snapshot State = Shared;
+    double Time = 0.0;
+    for (size_t I = 0, E = Tasks.size(); I != E; ++I) {
+      TxContext Tx(State, static_cast<uint32_t>(I + 1), Reg);
+      Tasks[I](Tx);
+      Time += Tx.virtualCost() +
+              Config.Costs.SeqPerOp * static_cast<double>(Tx.log().size());
+      for (const LogEntry &E2 : Tx.log())
+        State = applyToSnapshot(State, E2.Loc, E2.Op);
+    }
+    Outcome.SequentialTime = Time;
+  }
+
+  // ---- Parallel simulation. ------------------------------------------
+  History.clear();
+  CommitOrder.clear();
+  CommitSeq = 0;
+  double LockFreeAt = 0.0;
+  uint32_t NextOrderedTid = 1;
+
+  struct CoreTask {
+    size_t TaskIdx = 0;
+    Attempt Att;
+    bool Busy = false;
+  };
+  std::vector<CoreTask> Cores(Config.NumCores);
+
+  // Completion events: (time, tiebreak, core). Processed in time order;
+  // the tiebreak keeps the schedule deterministic.
+  using Event = std::tuple<double, uint64_t, unsigned>;
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Events;
+  uint64_t EventSeq = 0;
+
+  // Parked ordered-mode transactions: Tid -> (core, ready time).
+  std::map<uint32_t, std::pair<unsigned, double>> Parked;
+
+  size_t NextTask = 0;
+  double MakeSpan = 0.0;
+
+  auto StartTask = [&](unsigned Core, double Time) {
+    if (NextTask >= Tasks.size())
+      return;
+    size_t Idx = NextTask++;
+    Cores[Core].TaskIdx = Idx;
+    Cores[Core].Att = execute(Tasks, Idx);
+    Cores[Core].Busy = true;
+    Events.emplace(Time + Cores[Core].Att.ExecCost, EventSeq++, Core);
+  };
+
+  for (unsigned C = 0; C != Config.NumCores; ++C)
+    StartTask(C, 0.0);
+
+  while (!Events.empty()) {
+    auto [Time, Seq, Core] = Events.top();
+    Events.pop();
+    (void)Seq;
+    JANUS_ASSERT(Cores[Core].Busy, "event for idle core");
+    uint32_t Tid = static_cast<uint32_t>(Cores[Core].TaskIdx + 1);
+
+    // Ordered mode: wait for this transaction's turn.
+    if (Config.Ordered && Tid != NextOrderedTid) {
+      JANUS_ASSERT(Tid > NextOrderedTid, "predecessor turn already passed");
+      Parked.emplace(Tid, std::make_pair(Core, Time));
+      continue;
+    }
+
+    Attempt &Att = Cores[Core].Att;
+
+    // Detection cost: proportional to the operations examined,
+    // identical for both detectors (§7.1).
+    size_t Examined = Att.Log->size();
+    std::vector<TxLogRef> Window;
+    for (size_t I = Att.BeginSeq; I != History.size(); ++I) {
+      Window.push_back(History[I].Log);
+      Examined += History[I].Log->size();
+    }
+    double DetectCost =
+        Config.Costs.DetectPerOp * static_cast<double>(Examined);
+    double CommitAt = std::max(Time + DetectCost, LockFreeAt);
+
+    ++Stats.ConflictChecks;
+    if (Detector.detectConflicts(Att.Entry, *Att.Log, Window, Reg)) {
+      // Abort: re-execute from scratch on the same core.
+      ++Stats.Retries;
+      Att = execute(Tasks, Cores[Core].TaskIdx);
+      Events.emplace(CommitAt + Att.ExecCost, EventSeq++, Core);
+      continue;
+    }
+
+    // Commit: replay the log on global memory while holding the write
+    // lock; commits serialize on LockFreeAt.
+    ++CommitSeq;
+    CommitOrder.push_back(Tid);
+    for (const LogEntry &E : *Att.Log)
+      Shared = applyToSnapshot(Shared, E.Loc, E.Op);
+    History.push_back(Committed{CommitSeq, Att.Log});
+    double CommitEnd =
+        CommitAt +
+        Config.Costs.CommitPerOp * static_cast<double>(Att.Log->size());
+    LockFreeAt = CommitEnd;
+    MakeSpan = std::max(MakeSpan, CommitEnd);
+    ++Stats.Commits;
+    Cores[Core].Busy = false;
+
+    if (Config.Ordered) {
+      ++NextOrderedTid;
+      auto It = Parked.find(NextOrderedTid);
+      if (It != Parked.end()) {
+        // The successor finished executing earlier; it may attempt its
+        // commit as soon as this commit completes.
+        Events.emplace(std::max(It->second.second, CommitEnd), EventSeq++,
+                       It->second.first);
+        Parked.erase(It);
+      }
+    }
+
+    StartTask(Core, CommitEnd);
+  }
+
+  JANUS_ASSERT(Parked.empty(), "ordered run left parked transactions");
+  JANUS_ASSERT(NextTask == Tasks.size(), "tasks left unscheduled");
+  Outcome.ParallelTime = MakeSpan;
+  return Outcome;
+}

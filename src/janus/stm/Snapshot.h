@@ -1,0 +1,48 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared-state snapshots.
+///
+/// The shared store maps locations to values. Snapshots are fully
+/// persistent (paper §4.1 "Versioning"): CREATETRANSACTION copies the
+/// global state into the transaction's SharedSnapshot and
+/// SharedPrivatized in O(1), and private writes path-copy without
+/// disturbing other versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_STM_SNAPSHOT_H
+#define JANUS_STM_SNAPSHOT_H
+
+#include "janus/persist/PersistentMap.h"
+#include "janus/support/Location.h"
+#include "janus/support/Value.h"
+#include "janus/symbolic/LocOp.h"
+
+namespace janus {
+namespace stm {
+
+/// A persistent view of the entire shared store.
+using Snapshot = persist::PersistentMap<Location, Value>;
+
+/// \returns the value at \p Loc, or Absent when the location was never
+/// written.
+inline Value snapshotValue(const Snapshot &S, const Location &Loc) {
+  const Value *V = S.find(Loc);
+  return V ? *V : Value::absent();
+}
+
+/// Applies one per-location operation to the store (used both for
+/// private-state updates and for replaying logs at commit).
+inline Snapshot applyToSnapshot(const Snapshot &S, const Location &Loc,
+                                const symbolic::LocOp &Op) {
+  if (Op.Kind == symbolic::LocOpKind::Read)
+    return S;
+  Value New = symbolic::applyLocOp(snapshotValue(S, Loc), Op);
+  return S.set(Loc, New);
+}
+
+} // namespace stm
+} // namespace janus
+
+#endif // JANUS_STM_SNAPSHOT_H

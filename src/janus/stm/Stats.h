@@ -1,0 +1,63 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution and detection statistics.
+///
+/// These counters back the paper's evaluation: commits vs retries
+/// (Figure 10's retries-to-transactions ratio), conflict-query cache
+/// hits/misses (Figure 11), and the detector activity examined by the
+/// micro-benchmarks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_STM_STATS_H
+#define JANUS_STM_STATS_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace janus {
+namespace stm {
+
+/// Counters maintained by a runtime across one run() call.
+/// Thread-safe; read them after run() returns.
+struct RunStats {
+  std::atomic<uint64_t> Tasks{0};
+  std::atomic<uint64_t> Commits{0};
+  std::atomic<uint64_t> Retries{0};            ///< Aborted attempts.
+  std::atomic<uint64_t> ConflictChecks{0};     ///< DETECTCONFLICTS calls.
+  std::atomic<uint64_t> ValidationFailures{0}; ///< COMMIT-time now!=tcheck.
+
+  void reset() {
+    Tasks = Commits = Retries = ConflictChecks = ValidationFailures = 0;
+  }
+
+  /// Figure 10's metric: overall retries over the number of
+  /// transactions.
+  double retryRatio() const {
+    uint64_t C = Commits.load();
+    return C ? static_cast<double>(Retries.load()) / static_cast<double>(C)
+             : 0.0;
+  }
+};
+
+/// Counters maintained by a conflict detector. A "query" is one
+/// per-location sequence-pair commutativity question.
+struct DetectorStats {
+  std::atomic<uint64_t> PairQueries{0};   ///< Per-location queries issued.
+  std::atomic<uint64_t> CacheHits{0};     ///< Answered from the cache.
+  std::atomic<uint64_t> CacheMisses{0};   ///< No matching cache entry.
+  std::atomic<uint64_t> OnlineChecks{0};  ///< Answered by online evaluation.
+  std::atomic<uint64_t> WriteSetChecks{0};///< Fell back to write-set.
+  std::atomic<uint64_t> ConflictsFound{0};
+
+  void reset() {
+    PairQueries = CacheHits = CacheMisses = OnlineChecks = WriteSetChecks =
+        ConflictsFound = 0;
+  }
+};
+
+} // namespace stm
+} // namespace janus
+
+#endif // JANUS_STM_STATS_H

@@ -1,0 +1,164 @@
+#include "janus/stm/ThreadedRuntime.h"
+
+#include <algorithm>
+#include <thread>
+
+using namespace janus;
+using namespace janus::stm;
+
+ThreadedRuntime::ThreadedRuntime(const ObjectRegistry &Reg,
+                                 ConflictDetector &Detector,
+                                 ThreadedConfig Config)
+    : Reg(Reg), Detector(Detector), Config(Config) {
+  JANUS_ASSERT(Config.NumThreads >= 1, "need at least one thread");
+}
+
+std::vector<TxLogRef> ThreadedRuntime::committedHistory(uint64_t Begin,
+                                                        uint64_t Now) const {
+  // Caller holds at least the read lock. History is sorted by
+  // CommitTime; select the window (Begin, Now].
+  std::vector<TxLogRef> Out;
+  auto Lo = std::lower_bound(History.begin(), History.end(), Begin + 1,
+                             [](const CommittedRecord &R, uint64_t T) {
+                               return R.CommitTime < T;
+                             });
+  for (auto It = Lo; It != History.end() && It->CommitTime <= Now; ++It)
+    Out.push_back(It->Log);
+  return Out;
+}
+
+size_t ThreadedRuntime::historySize() const {
+  std::shared_lock<std::shared_mutex> Guard(Lock);
+  return History.size();
+}
+
+std::vector<uint32_t> ThreadedRuntime::commitOrder() const {
+  std::shared_lock<std::shared_mutex> Guard(Lock);
+  return CommitOrder;
+}
+
+bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid) {
+  // CREATETRANSACTION: Begin and the snapshot are read consistently
+  // under the read lock (multiple simultaneous initializations allowed).
+  uint64_t Begin;
+  Snapshot Entry;
+  {
+    std::shared_lock<std::shared_mutex> Guard(Lock);
+    Begin = Clock.load(std::memory_order_acquire);
+    Entry = Shared;
+    ActiveBegins.push_back(Begin);
+  }
+
+  // RUNSEQUENTIAL.
+  TxContext Tx(Entry, Tid, Reg);
+  Task(Tx);
+  TxLogRef Log = std::make_shared<const TxLog>(Tx.log());
+
+  auto RemoveActive = [this, Begin]() {
+    // Caller must hold the write lock.
+    auto It = std::find(ActiveBegins.begin(), ActiveBegins.end(), Begin);
+    JANUS_ASSERT(It != ActiveBegins.end(), "active begin disappeared");
+    ActiveBegins.erase(It);
+  };
+
+  // Ordered mode: a transaction may attempt to commit only once all
+  // preceding transactions (by task id) have committed, i.e. when the
+  // Clock has advanced to its own id.
+  if (Config.Ordered) {
+    // Task Tid's turn comes when the Tid-1 preceding tasks of this run
+    // have committed, i.e. the Clock reached OrderBase + Tid.
+    uint64_t Target = OrderBase.load(std::memory_order_acquire) + Tid;
+    std::unique_lock<std::mutex> Guard(OrderMutex);
+    OrderCv.wait(Guard, [this, Target]() {
+      return Clock.load(std::memory_order_acquire) >= Target;
+    });
+  }
+
+  while (true) {
+    uint64_t Now = Clock.load(std::memory_order_acquire);
+    std::vector<TxLogRef> OpsC;
+    {
+      std::shared_lock<std::shared_mutex> Guard(Lock);
+      OpsC = committedHistory(Begin, Now);
+    }
+    ++Stats.ConflictChecks;
+    if (Detector.detectConflicts(Entry, *Log, OpsC, Reg)) {
+      // Abort: drop this attempt; RUNTASK will be re-invoked.
+      std::unique_lock<std::shared_mutex> Guard(Lock);
+      RemoveActive();
+      return false;
+    }
+
+    // COMMIT(t, Now).
+    {
+      std::unique_lock<std::shared_mutex> Guard(Lock);
+      uint64_t Current = Clock.load(std::memory_order_acquire);
+      if (Current != Now) {
+        // The history evolved since detection: redo detection.
+        ++Stats.ValidationFailures;
+        continue;
+      }
+      uint64_t CommitTime = Current + 1;
+      Clock.store(CommitTime, std::memory_order_release);
+      // REPLAYLOGGEDOPERATIONS: replay semantic operations onto the
+      // global counterparts of the privatized objects.
+      for (const LogEntry &E : *Log)
+        Shared = applyToSnapshot(Shared, E.Loc, E.Op);
+      History.push_back(CommittedRecord{CommitTime, Log});
+      CommitOrder.push_back(Tid);
+      RemoveActive();
+      if (Config.ReclaimLogs) {
+        // Logs older than every active transaction's Begin can never be
+        // queried again (§7.2 discusses this engineering improvement).
+        uint64_t MinBegin = CommitTime;
+        for (uint64_t B : ActiveBegins)
+          MinBegin = std::min(MinBegin, B);
+        auto Keep = std::lower_bound(
+            History.begin(), History.end(), MinBegin + 1,
+            [](const CommittedRecord &R, uint64_t T) {
+              return R.CommitTime < T;
+            });
+        History.erase(History.begin(), Keep);
+      }
+    }
+    if (Config.Ordered) {
+      std::lock_guard<std::mutex> Guard(OrderMutex);
+      OrderCv.notify_all();
+    }
+    return true;
+  }
+}
+
+void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
+  Stats.Tasks += Tasks.size();
+  // Anchor ordered-mode turn-taking at the current Clock so repeated
+  // run() calls keep committing in task order.
+  OrderBase.store(Clock.load(std::memory_order_acquire) - 1,
+                  std::memory_order_release);
+  std::atomic<size_t> NextTask{0};
+
+  auto Worker = [this, &Tasks, &NextTask]() {
+    while (true) {
+      size_t Idx = NextTask.fetch_add(1, std::memory_order_relaxed);
+      if (Idx >= Tasks.size())
+        return;
+      uint32_t Tid = static_cast<uint32_t>(Idx + 1);
+      while (!runTask(Tasks[Idx], Tid))
+        ++Stats.Retries;
+      ++Stats.Commits;
+    }
+  };
+
+  unsigned N = std::min<unsigned>(Config.NumThreads,
+                                  std::max<size_t>(Tasks.size(), 1));
+  if (N <= 1) {
+    Worker();
+    return;
+  }
+  std::vector<std::thread> Threads;
+  Threads.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Threads.emplace_back(Worker);
+  for (std::thread &T : Threads)
+    T.join();
+}

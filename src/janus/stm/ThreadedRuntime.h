@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JANUS parallelization protocol on real threads (paper Figure 7).
+///
+/// DOPARALLEL runs the input tasks asynchronously until the pool is
+/// drained, retrying each task until it commits. Each attempt:
+///   1. CREATETRANSACTION — under the read lock, record Begin from the
+///      global Clock and snapshot the shared state (O(1), persistent).
+///   2. RUNSEQUENTIAL — run the task body against the privatized copy.
+///   3. If ordered, wait until Clock equals the task id (all preceding
+///      tasks committed).
+///   4. Loop: read `now` from Clock; under the read lock fetch the
+///      operations committed in (Begin, now]; DETECTCONFLICTS — on
+///      conflict, abort (retry from scratch). Otherwise COMMIT under
+///      the write lock: if the Clock moved since `now`, redo detection;
+///      else increment the Clock, replay the log onto global memory and
+///      publish it to the committed-history window.
+///
+/// Theorem 4.1: with a sound and valid detector this terminates, and
+/// ordered runs reach the sequential final state while unordered runs
+/// reach the final state of their commit order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_STM_THREADEDRUNTIME_H
+#define JANUS_STM_THREADEDRUNTIME_H
+
+#include "janus/stm/Detector.h"
+#include "janus/stm/Stats.h"
+#include "janus/stm/TxContext.h"
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+namespace janus {
+namespace stm {
+
+/// Configuration of a threaded run.
+struct ThreadedConfig {
+  unsigned NumThreads = 4;
+  /// In-order execution flag: commit in task order (Figure 7
+  /// `ordered`).
+  bool Ordered = false;
+  /// Reclaim committed logs no active transaction can still query
+  /// (the engineering improvement discussed in §7.2).
+  bool ReclaimLogs = false;
+};
+
+/// Runs task sets under optimistic synchronization with a pluggable
+/// conflict detector.
+class ThreadedRuntime {
+public:
+  /// \param Reg shared-object registry (must outlive the runtime).
+  /// \param Detector conflict-detection algorithm (must outlive the
+  ///        runtime).
+  ThreadedRuntime(const ObjectRegistry &Reg, ConflictDetector &Detector,
+                  ThreadedConfig Config);
+
+  /// Sets the initial configuration of the shared state.
+  void setInitialState(Snapshot S) { Shared = std::move(S); }
+
+  /// Executes \p Tasks to completion (DOPARALLEL). Task ids are their
+  /// 1-based positions. May be called repeatedly; state persists
+  /// between calls.
+  void run(const std::vector<TaskFn> &Tasks);
+
+  /// \returns the shared state after the last run.
+  const Snapshot &sharedState() const { return Shared; }
+
+  const RunStats &stats() const { return Stats; }
+  RunStats &stats() { return Stats; }
+
+  /// \returns the number of committed-history records currently
+  /// retained (for the log-reclamation ablation).
+  size_t historySize() const;
+
+  /// Task ids (1-based) in commit order over every run so far. The
+  /// parallel final state equals a sequential execution in this order
+  /// (Theorem 4.1).
+  std::vector<uint32_t> commitOrder() const;
+
+private:
+  struct CommittedRecord {
+    uint64_t CommitTime;
+    TxLogRef Log;
+  };
+
+  /// One RUNTASK attempt; \returns true when the transaction committed.
+  bool runTask(const TaskFn &Task, uint32_t Tid);
+
+  /// \returns the logs committed in (Begin, Now], in commit order.
+  std::vector<TxLogRef> committedHistory(uint64_t Begin, uint64_t Now) const;
+
+  const ObjectRegistry &Reg;
+  ConflictDetector &Detector;
+  ThreadedConfig Config;
+
+  std::atomic<uint64_t> Clock{1};
+  mutable std::shared_mutex Lock; ///< Guards Shared, History, ActiveBegins.
+  Snapshot Shared;
+  std::vector<CommittedRecord> History;
+  std::vector<uint64_t> ActiveBegins; ///< Multiset of active Begin times.
+  std::vector<uint32_t> CommitOrder;
+
+  std::mutex OrderMutex; ///< Ordered-mode wakeups.
+  std::condition_variable OrderCv;
+  std::atomic<uint64_t> OrderBase{0}; ///< Clock at the start of run().
+
+  RunStats Stats;
+};
+
+} // namespace stm
+} // namespace janus
+
+#endif // JANUS_STM_THREADEDRUNTIME_H

@@ -1,0 +1,22 @@
+#include "janus/stm/TxContext.h"
+
+using namespace janus;
+using namespace janus::stm;
+using symbolic::LocOp;
+
+Value TxContext::read(const Location &Loc) {
+  Value V = snapshotValue(Private, Loc);
+  Log.push_back(LogEntry{Loc, LocOp::read(V)});
+  return V;
+}
+
+void TxContext::write(const Location &Loc, Value V) {
+  Private = Private.set(Loc, V);
+  Log.push_back(LogEntry{Loc, LocOp::write(std::move(V))});
+}
+
+void TxContext::add(const Location &Loc, int64_t Delta) {
+  LocOp Op = LocOp::add(Delta);
+  Private = applyToSnapshot(Private, Loc, Op);
+  Log.push_back(LogEntry{Loc, std::move(Op)});
+}

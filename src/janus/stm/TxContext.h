@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transaction execution context.
+///
+/// RUNSEQUENTIAL (Figure 7) executes a task's program against the
+/// transaction record: reads and writes go to the privatized copy of
+/// the shared state (`SharedPrivatized`), every access is appended to
+/// the log, and the entry snapshot (`SharedSnapshot`) is kept for
+/// conflict detection. Tasks never touch global state directly; the
+/// ADT handles in `janus::adt` route every shared access through this
+/// context, which plays the role of the paper's automatically inserted
+/// instrumentation hooks (§7.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_STM_TXCONTEXT_H
+#define JANUS_STM_TXCONTEXT_H
+
+#include "janus/stm/Log.h"
+#include "janus/stm/Snapshot.h"
+#include "janus/support/Location.h"
+
+#include <functional>
+
+namespace janus {
+namespace stm {
+
+/// Per-attempt transaction state handed to the task body.
+class TxContext {
+public:
+  /// \param Entry the shared state at transaction begin (O(1) copy).
+  /// \param Tid 1-based task identifier.
+  /// \param Reg the shared-object registry.
+  TxContext(Snapshot Entry, uint32_t Tid, const ObjectRegistry &Reg)
+      : Entry(std::move(Entry)), Private(this->Entry), Tid(Tid), Reg(Reg) {}
+
+  // --- Client API (used by the ADT handles) ---------------------------
+
+  /// Reads \p Loc from the privatized state; logs the access.
+  Value read(const Location &Loc);
+
+  /// Writes \p V to \p Loc in the privatized state; logs the access.
+  void write(const Location &Loc, Value V);
+
+  /// Adds \p Delta to the integer value at \p Loc (absent counts as 0);
+  /// logs the access as a semantic Add so the commutativity machinery
+  /// can treat it as a reduction.
+  void add(const Location &Loc, int64_t Delta);
+
+  /// Accounts \p Units of non-shared computation. Ignored by the
+  /// threaded runtime; the simulator charges it to the owning core
+  /// (the "local work performed by the transaction" that amortizes
+  /// privatization costs, §7.2).
+  void localWork(double Units) { VirtualCost += Units; }
+
+  /// \returns the 1-based task identifier.
+  uint32_t taskId() const { return Tid; }
+
+  const ObjectRegistry &registry() const { return Reg; }
+
+  // --- Runtime API -----------------------------------------------------
+
+  const Snapshot &entrySnapshot() const { return Entry; }
+  const Snapshot &privatizedState() const { return Private; }
+  const TxLog &log() const { return Log; }
+  double virtualCost() const { return VirtualCost; }
+
+private:
+  Snapshot Entry;   ///< SharedSnapshot: state at Begin.
+  Snapshot Private; ///< SharedPrivatized: state seen by this attempt.
+  TxLog Log;
+  uint32_t Tid;
+  const ObjectRegistry &Reg;
+  double VirtualCost = 0.0;
+};
+
+/// A task body: the paper's (prog, o̅ → v̅) pair, closed over its
+/// initial data values.
+using TaskFn = std::function<void(TxContext &)>;
+
+} // namespace stm
+} // namespace janus
+
+#endif // JANUS_STM_TXCONTEXT_H

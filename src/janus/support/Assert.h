@@ -1,0 +1,40 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers used across the JANUS libraries.
+///
+/// Library code never throws; invariant violations abort with a message
+/// (mirroring LLVM's assert / llvm_unreachable discipline).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SUPPORT_ASSERT_H
+#define JANUS_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+/// Asserts \p Cond with an explanatory message in debug builds.
+#define JANUS_ASSERT(Cond, Msg) assert((Cond) && (Msg))
+
+namespace janus {
+
+/// Marks a point in the code that must never be reached. Always aborts,
+/// even in release builds, after printing \p Msg.
+[[noreturn]] inline void janusUnreachable(const char *Msg) {
+  std::fprintf(stderr, "janus: unreachable executed: %s\n", Msg);
+  std::abort();
+}
+
+/// Aborts with a message when a non-recoverable runtime invariant is
+/// violated in any build mode (the moral equivalent of
+/// llvm::report_fatal_error).
+[[noreturn]] inline void janusFatalError(const char *Msg) {
+  std::fprintf(stderr, "janus: fatal error: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace janus
+
+#endif // JANUS_SUPPORT_ASSERT_H

@@ -1,0 +1,64 @@
+#include "janus/support/Format.h"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace janus;
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  // Compute column widths over the header and all rows.
+  std::vector<size_t> Widths;
+  auto Widen = [&Widths](const std::vector<std::string> &Cells) {
+    if (Widths.size() < Cells.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0, E = Cells.size(); I != E; ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  auto RenderRow = [&Widths](const std::vector<std::string> &Cells) {
+    std::string Out;
+    for (size_t I = 0, E = Cells.size(); I != E; ++I) {
+      if (I)
+        Out += "  ";
+      Out += Cells[I];
+      Out.append(Widths[I] - Cells[I].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!Out.empty() && Out.back() == ' ')
+      Out.pop_back();
+    return Out + "\n";
+  };
+
+  std::string Out;
+  if (!Header.empty()) {
+    Out += RenderRow(Header);
+    size_t Total = 0;
+    for (size_t I = 0, E = Widths.size(); I != E; ++I)
+      Total += Widths[I] + (I ? 2 : 0);
+    Out += std::string(Total, '-') + "\n";
+  }
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}
+
+std::string janus::formatDouble(double V, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, V);
+  return Buf;
+}
+
+std::string janus::formatPercent(double Fraction, int Digits) {
+  return formatDouble(Fraction * 100.0, Digits) + "%";
+}

@@ -1,0 +1,43 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal text-table formatting used by the benchmark harnesses to print
+/// the rows/series of the paper's tables and figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SUPPORT_FORMAT_H
+#define JANUS_SUPPORT_FORMAT_H
+
+#include <string>
+#include <vector>
+
+namespace janus {
+
+/// Accumulates rows of cells and renders them as an aligned text table.
+class TextTable {
+public:
+  /// Sets the header row.
+  void setHeader(std::vector<std::string> Cells);
+
+  /// Appends a data row.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table with column alignment and a separator under the
+  /// header.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+/// Formats a double with \p Digits fractional digits.
+std::string formatDouble(double V, int Digits = 2);
+
+/// Formats a ratio as a percentage string, e.g. "17.3%".
+std::string formatPercent(double Fraction, int Digits = 1);
+
+} // namespace janus
+
+#endif // JANUS_SUPPORT_FORMAT_H

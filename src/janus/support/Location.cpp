@@ -1,0 +1,38 @@
+#include "janus/support/Location.h"
+
+using namespace janus;
+
+size_t Location::hash() const {
+  size_t H = std::hash<uint32_t>()(Obj.Id) * 0x9e3779b97f4a7c15ULL;
+  if (const int64_t *I = std::get_if<int64_t>(&Key))
+    return H ^ std::hash<int64_t>()(*I);
+  if (const std::string *S = std::get_if<std::string>(&Key))
+    return H ^ std::hash<std::string>()(*S);
+  return H;
+}
+
+static std::string keyToString(const LocKey &Key) {
+  if (const int64_t *I = std::get_if<int64_t>(&Key))
+    return "[" + std::to_string(*I) + "]";
+  if (const std::string *S = std::get_if<std::string>(&Key))
+    return "[\"" + *S + "\"]";
+  return "";
+}
+
+std::string Location::toString() const {
+  return "obj#" + std::to_string(Obj.Id) + keyToString(Key);
+}
+
+ObjectId ObjectRegistry::registerObject(std::string Name,
+                                        std::string LocClass,
+                                        RelaxationSpec Relax) {
+  ObjectId Id{static_cast<uint32_t>(Objects.size())};
+  if (LocClass.empty())
+    LocClass = Name;
+  Objects.push_back(ObjectInfo{std::move(Name), std::move(LocClass), Relax});
+  return Id;
+}
+
+std::string ObjectRegistry::locationName(const Location &Loc) const {
+  return info(Loc.Obj).Name + keyToString(Loc.Key);
+}

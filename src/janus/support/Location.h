@@ -1,0 +1,137 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared-memory locations and the shared-object registry.
+///
+/// A location identifies a single addressable cell of shared state: a
+/// shared object plus an optional key (array index, map key, pixel id).
+/// Conflict detection with projection (paper §5.3) reasons about
+/// per-location operation sequences, so locations must be cheap to hash
+/// and compare.
+///
+/// The registry records per-object metadata: a user-visible name, a
+/// *location class* used to generalize learned commutativity information
+/// across object instances and keys (paper §5.1), and consistency
+/// relaxations (tolerate-RAW / tolerate-WAW, paper §5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SUPPORT_LOCATION_H
+#define JANUS_SUPPORT_LOCATION_H
+
+#include "janus/support/Assert.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace janus {
+
+/// Identifier of a registered shared object.
+struct ObjectId {
+  uint32_t Id = 0;
+
+  friend bool operator==(ObjectId A, ObjectId B) { return A.Id == B.Id; }
+  friend bool operator!=(ObjectId A, ObjectId B) { return A.Id != B.Id; }
+  friend bool operator<(ObjectId A, ObjectId B) { return A.Id < B.Id; }
+};
+
+/// Optional sub-object key: none (scalar object), an integer (array
+/// index, bit index, pixel), or a string (map key, attribute name).
+using LocKey = std::variant<std::monostate, int64_t, std::string>;
+
+/// A single shared-memory cell: object plus key.
+struct Location {
+  ObjectId Obj;
+  LocKey Key;
+
+  Location() = default;
+  explicit Location(ObjectId O) : Obj(O) {}
+  Location(ObjectId O, int64_t K) : Obj(O), Key(K) {}
+  Location(ObjectId O, std::string K) : Obj(O), Key(std::move(K)) {}
+
+  friend bool operator==(const Location &A, const Location &B) {
+    return A.Obj == B.Obj && A.Key == B.Key;
+  }
+  friend bool operator!=(const Location &A, const Location &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Location &A, const Location &B) {
+    if (A.Obj != B.Obj)
+      return A.Obj < B.Obj;
+    return A.Key < B.Key;
+  }
+
+  size_t hash() const;
+
+  /// \returns "name[key]" or "name" for scalar objects (requires the
+  /// registry to resolve the name; this variant prints the raw id).
+  std::string toString() const;
+};
+
+/// Consistency relaxations a user may attach to a shared object
+/// (paper §5.3 "Relaxed Consistency").
+struct RelaxationSpec {
+  /// Read-after-write conflicts are tolerable: intermediate-read
+  /// (SAMEREAD) checks are dropped for the object's locations
+  /// (cf. Figure 3, maxColor).
+  bool TolerateRAW = false;
+  /// Write-after-write conflicts are tolerable: the final COMMUTE test
+  /// is dropped for the object's locations (cf. Figure 4, ctx fields).
+  bool TolerateWAW = false;
+};
+
+/// Static metadata for one registered shared object.
+struct ObjectInfo {
+  /// Human-readable instance name, e.g. "monitor.itemsWeight".
+  std::string Name;
+  /// Location class for commutativity-cache keys. Learned conditions
+  /// generalize across all locations whose objects share a class.
+  std::string LocClass;
+  /// User-provided consistency relaxations.
+  RelaxationSpec Relax;
+};
+
+/// Registry of shared objects for one JANUS instance.
+///
+/// Registration happens before parallel execution begins; lookups during
+/// execution are read-only, so no synchronization is required.
+class ObjectRegistry {
+public:
+  /// Registers a shared object and \returns its id. If \p LocClass is
+  /// empty the object's name is used as its class.
+  ObjectId registerObject(std::string Name, std::string LocClass = "",
+                          RelaxationSpec Relax = {});
+
+  const ObjectInfo &info(ObjectId Obj) const {
+    JANUS_ASSERT(Obj.Id < Objects.size(), "unregistered object id");
+    return Objects[Obj.Id];
+  }
+
+  /// Updates the relaxation spec of an already-registered object (used
+  /// by automatic relaxation inference, paper §5.3).
+  void setRelaxation(ObjectId Obj, RelaxationSpec Relax) {
+    JANUS_ASSERT(Obj.Id < Objects.size(), "unregistered object id");
+    Objects[Obj.Id].Relax = Relax;
+  }
+
+  size_t size() const { return Objects.size(); }
+
+  /// \returns "name" or "name[key]" for diagnostics.
+  std::string locationName(const Location &Loc) const;
+
+private:
+  std::vector<ObjectInfo> Objects;
+};
+
+} // namespace janus
+
+namespace std {
+template <> struct hash<janus::Location> {
+  size_t operator()(const janus::Location &L) const { return L.hash(); }
+};
+} // namespace std
+
+#endif // JANUS_SUPPORT_LOCATION_H

@@ -1,0 +1,54 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small deterministic PRNG (splitmix64) for input generation and
+/// randomized tests. Deterministic across platforms so training and
+/// production inputs (paper Table 6) are reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SUPPORT_RNG_H
+#define JANUS_SUPPORT_RNG_H
+
+#include "janus/support/Assert.h"
+
+#include <cstdint>
+
+namespace janus {
+
+/// splitmix64 generator; passes the usual statistical batteries and is
+/// trivially seedable.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// \returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// \returns a uniformly distributed value in [0, Bound).
+  uint64_t below(uint64_t Bound) {
+    JANUS_ASSERT(Bound > 0, "bound must be positive");
+    return next() % Bound;
+  }
+
+  /// \returns an int in the inclusive range [Lo, Hi].
+  int64_t range(int64_t Lo, int64_t Hi) {
+    JANUS_ASSERT(Lo <= Hi, "empty range");
+    return Lo + static_cast<int64_t>(below(static_cast<uint64_t>(Hi - Lo + 1)));
+  }
+
+  /// \returns true with probability Num/Den.
+  bool chance(uint64_t Num, uint64_t Den) { return below(Den) < Num; }
+
+private:
+  uint64_t State;
+};
+
+} // namespace janus
+
+#endif // JANUS_SUPPORT_RNG_H

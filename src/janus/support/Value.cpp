@@ -1,0 +1,35 @@
+#include "janus/support/Value.h"
+
+using namespace janus;
+
+size_t Value::hash() const {
+  size_t Seed = static_cast<size_t>(kind()) * 0x9e3779b97f4a7c15ULL;
+  switch (kind()) {
+  case Kind::Absent:
+  case Kind::Unit:
+    return Seed;
+  case Kind::Bool:
+    return Seed ^ (std::get<bool>(Storage) ? 0x1234567ULL : 0x89abcdeULL);
+  case Kind::Int:
+    return Seed ^ std::hash<int64_t>()(std::get<int64_t>(Storage));
+  case Kind::Str:
+    return Seed ^ std::hash<std::string>()(std::get<std::string>(Storage));
+  }
+  janusUnreachable("invalid Value kind");
+}
+
+std::string Value::toString() const {
+  switch (kind()) {
+  case Kind::Absent:
+    return "absent";
+  case Kind::Unit:
+    return "unit";
+  case Kind::Bool:
+    return std::get<bool>(Storage) ? "true" : "false";
+  case Kind::Int:
+    return std::to_string(std::get<int64_t>(Storage));
+  case Kind::Str:
+    return "\"" + std::get<std::string>(Storage) + "\"";
+  }
+  janusUnreachable("invalid Value kind");
+}

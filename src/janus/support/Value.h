@@ -1,0 +1,122 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scalar values stored at shared-memory locations.
+///
+/// JANUS models shared state as a map from locations to values (paper
+/// §5.1). A value is either Absent (the location holds nothing — used to
+/// model key presence in container ADTs), Unit, a boolean, a 64-bit
+/// integer, or a string. Values are ordered and hashable so they can key
+/// logs, footprints and caches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SUPPORT_VALUE_H
+#define JANUS_SUPPORT_VALUE_H
+
+#include "janus/support/Assert.h"
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <variant>
+
+namespace janus {
+
+/// A scalar value held at a single shared location.
+class Value {
+public:
+  /// Discriminator for the value's dynamic type.
+  enum class Kind : uint8_t { Absent, Unit, Bool, Int, Str };
+
+  /// Constructs the Absent value (location holds nothing).
+  Value() : Storage(AbsentTag{}) {}
+
+  /// \returns the Absent value.
+  static Value absent() { return Value(); }
+  /// \returns the Unit value.
+  static Value unit() { return Value(UnitTag{}); }
+  /// \returns a boolean value.
+  static Value of(bool B) { return Value(B); }
+  /// \returns an integer value.
+  static Value of(int64_t I) { return Value(I); }
+  /// \returns an integer value (disambiguates int literals).
+  static Value of(int I) { return Value(static_cast<int64_t>(I)); }
+  /// \returns a string value.
+  static Value of(std::string S) { return Value(std::move(S)); }
+  /// \returns a string value from a C literal.
+  static Value of(const char *S) { return Value(std::string(S)); }
+
+  Kind kind() const { return static_cast<Kind>(Storage.index()); }
+
+  bool isAbsent() const { return kind() == Kind::Absent; }
+  bool isUnit() const { return kind() == Kind::Unit; }
+  bool isBool() const { return kind() == Kind::Bool; }
+  bool isInt() const { return kind() == Kind::Int; }
+  bool isStr() const { return kind() == Kind::Str; }
+
+  /// \returns the boolean payload; asserts on kind mismatch.
+  bool asBool() const {
+    JANUS_ASSERT(isBool(), "Value is not a Bool");
+    return std::get<bool>(Storage);
+  }
+
+  /// \returns the integer payload; asserts on kind mismatch.
+  int64_t asInt() const {
+    JANUS_ASSERT(isInt(), "Value is not an Int");
+    return std::get<int64_t>(Storage);
+  }
+
+  /// \returns the string payload; asserts on kind mismatch.
+  const std::string &asStr() const {
+    JANUS_ASSERT(isStr(), "Value is not a Str");
+    return std::get<std::string>(Storage);
+  }
+
+  friend bool operator==(const Value &A, const Value &B) {
+    return A.Storage == B.Storage;
+  }
+  friend bool operator!=(const Value &A, const Value &B) { return !(A == B); }
+
+  /// Total order: by kind first, then payload. Used for deterministic
+  /// iteration over sets of values.
+  friend bool operator<(const Value &A, const Value &B) {
+    if (A.kind() != B.kind())
+      return A.kind() < B.kind();
+    return A.Storage < B.Storage;
+  }
+
+  /// \returns a stable hash of the value.
+  size_t hash() const;
+
+  /// \returns a human-readable rendering, e.g. "7", "\"abc\"", "absent".
+  std::string toString() const;
+
+private:
+  struct AbsentTag {
+    friend bool operator==(AbsentTag, AbsentTag) { return true; }
+    friend bool operator<(AbsentTag, AbsentTag) { return false; }
+  };
+  struct UnitTag {
+    friend bool operator==(UnitTag, UnitTag) { return true; }
+    friend bool operator<(UnitTag, UnitTag) { return false; }
+  };
+
+  explicit Value(UnitTag T) : Storage(T) {}
+  explicit Value(bool B) : Storage(B) {}
+  explicit Value(int64_t I) : Storage(I) {}
+  explicit Value(std::string S) : Storage(std::move(S)) {}
+
+  std::variant<AbsentTag, UnitTag, bool, int64_t, std::string> Storage;
+};
+
+} // namespace janus
+
+namespace std {
+template <> struct hash<janus::Value> {
+  size_t operator()(const janus::Value &V) const { return V.hash(); }
+};
+} // namespace std
+
+#endif // JANUS_SUPPORT_VALUE_H

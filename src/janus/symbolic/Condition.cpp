@@ -1,0 +1,116 @@
+#include "janus/symbolic/Condition.h"
+
+using namespace janus;
+using namespace janus::symbolic;
+
+void Condition::requireEqual(const Term &L, const Term &R) {
+  if (St == State::Never)
+    return;
+  if (auto Known = Term::staticallyEqual(L, R)) {
+    if (!*Known) {
+      St = State::Never;
+      Atoms.clear();
+    }
+    return;
+  }
+  for (const EqAtom &A : Atoms)
+    if ((A.L == L && A.R == R) || (A.L == R && A.R == L))
+      return;
+  Atoms.push_back(EqAtom{L, R});
+  St = State::Conditional;
+}
+
+std::optional<bool> Condition::evaluate(const Bindings &B) const {
+  if (St == State::Never)
+    return false;
+  for (const EqAtom &A : Atoms) {
+    std::optional<Value> L = A.L.evaluate(B);
+    std::optional<Value> R = A.R.evaluate(B);
+    if (!L || !R)
+      return std::nullopt;
+    if (*L != *R)
+      return false;
+  }
+  return true;
+}
+
+void Condition::collectSymbols(std::map<SymId, bool> &Out) const {
+  for (const EqAtom &A : Atoms) {
+    A.L.collectSymbols(Out);
+    A.R.collectSymbols(Out);
+  }
+}
+
+std::string Condition::toString() const {
+  if (St == State::Valid)
+    return "true";
+  if (St == State::Never)
+    return "false";
+  std::string Out;
+  for (size_t I = 0, E = Atoms.size(); I != E; ++I) {
+    if (I)
+      Out += " && ";
+    Out += Atoms[I].toString();
+  }
+  return Out;
+}
+
+void Condition::serialize(std::string &Out) const {
+  switch (St) {
+  case State::Valid:
+    Out += "V";
+    return;
+  case State::Never:
+    Out += "N";
+    return;
+  case State::Conditional:
+    Out += "C " + std::to_string(Atoms.size());
+    for (const EqAtom &A : Atoms) {
+      Out += " ";
+      A.L.serialize(Out);
+      Out += " ";
+      A.R.serialize(Out);
+    }
+    return;
+  }
+  janusUnreachable("invalid Condition state");
+}
+
+std::optional<Condition> Condition::deserialize(const std::string &In,
+                                                size_t &Pos) {
+  while (Pos < In.size() && In[Pos] == ' ')
+    ++Pos;
+  if (Pos >= In.size())
+    return std::nullopt;
+  char C = In[Pos];
+  if (C == 'V') {
+    ++Pos;
+    return Condition::valid();
+  }
+  if (C == 'N') {
+    ++Pos;
+    return Condition::never();
+  }
+  if (C != 'C')
+    return std::nullopt;
+  ++Pos;
+  // Parse the atom count.
+  while (Pos < In.size() && In[Pos] == ' ')
+    ++Pos;
+  size_t Start = Pos;
+  while (Pos < In.size() && In[Pos] >= '0' && In[Pos] <= '9')
+    ++Pos;
+  if (Pos == Start)
+    return std::nullopt;
+  size_t Count = static_cast<size_t>(std::stoull(In.substr(Start, Pos - Start)));
+  Condition Out;
+  Out.St = Count == 0 ? State::Valid : State::Conditional;
+  for (size_t I = 0; I != Count; ++I) {
+    auto L = Term::deserialize(In, Pos);
+    auto R = Term::deserialize(In, Pos);
+    if (!L || !R)
+      return std::nullopt;
+    Out.Atoms.push_back(EqAtom{std::move(*L), std::move(*R)});
+  }
+  return Out;
+}

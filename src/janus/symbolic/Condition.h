@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Commutativity conditions: conjunctions of symbolic equality atoms.
+///
+/// A condition is the "designated input states" of paper §3 step 3: the
+/// constraint over the entry value (V0) and the symbolized operand
+/// parameters under which a pair of sequences commutes. Training
+/// computes conditions offline; production evaluates them against
+/// concrete bindings obtained from the matched sequences and the
+/// transaction's snapshot — a cheap check, keeping runtime overhead on a
+/// par with write-set detection.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SYMBOLIC_CONDITION_H
+#define JANUS_SYMBOLIC_CONDITION_H
+
+#include "janus/symbolic/Term.h"
+
+#include <vector>
+
+namespace janus {
+namespace symbolic {
+
+/// An equality constraint between two symbolic terms.
+struct EqAtom {
+  Term L, R;
+
+  std::string toString() const { return L.toString() + " == " + R.toString(); }
+};
+
+/// A conjunction of equality atoms, with Valid (always true) and Never
+/// (statically false) short-circuits.
+class Condition {
+public:
+  enum class State : uint8_t { Valid, Never, Conditional };
+
+  /// \returns the always-true condition (unconditional commutativity).
+  static Condition valid() { return Condition(); }
+
+  /// \returns the always-false condition (the sequences never commute).
+  static Condition never() {
+    Condition C;
+    C.St = State::Never;
+    return C;
+  }
+
+  State state() const { return St; }
+  bool isValid() const { return St == State::Valid; }
+  bool isNever() const { return St == State::Never; }
+  bool isConditional() const { return St == State::Conditional; }
+
+  const std::vector<EqAtom> &atoms() const { return Atoms; }
+
+  /// Conjoins the constraint \p L == \p R, folding statically decidable
+  /// comparisons. Duplicated atoms are kept once.
+  void requireEqual(const Term &L, const Term &R);
+
+  /// Evaluates under concrete \p B. \returns nullopt when some term
+  /// cannot be evaluated (unbound symbol / type mismatch) — callers
+  /// treat that as "condition not established" and fall back.
+  std::optional<bool> evaluate(const Bindings &B) const;
+
+  /// Collects every symbol mentioned by the condition.
+  void collectSymbols(std::map<SymId, bool> &Out) const;
+
+  /// \returns "true", "false", or "a == b && c == d".
+  std::string toString() const;
+
+  /// Appends a compact single-line textual encoding to \p Out.
+  void serialize(std::string &Out) const;
+
+  /// Parses a condition starting at \p Pos (advancing it).
+  static std::optional<Condition> deserialize(const std::string &In,
+                                              size_t &Pos);
+
+private:
+  State St = State::Valid;
+  std::vector<EqAtom> Atoms;
+};
+
+} // namespace symbolic
+} // namespace janus
+
+#endif // JANUS_SYMBOLIC_CONDITION_H

@@ -1,0 +1,54 @@
+#include "janus/symbolic/LocOp.h"
+
+using namespace janus;
+using namespace janus::symbolic;
+
+std::string LocOp::toString() const {
+  switch (Kind) {
+  case LocOpKind::Read:
+    return "R";
+  case LocOpKind::Write:
+    return "W(" + Operand.toString() + ")";
+  case LocOpKind::Add: {
+    int64_t D = Operand.asInt();
+    return "A(" + std::string(D >= 0 ? "+" : "") + std::to_string(D) + ")";
+  }
+  }
+  janusUnreachable("invalid LocOpKind");
+}
+
+Value symbolic::applyLocOp(const Value &Cur, const LocOp &Op) {
+  switch (Op.Kind) {
+  case LocOpKind::Read:
+    return Cur;
+  case LocOpKind::Write:
+    return Op.Operand;
+  case LocOpKind::Add: {
+    // Counters start from 0 when the location is still unset.
+    int64_t Base = Cur.isAbsent() ? 0 : Cur.asInt();
+    return Value::of(Base + Op.Operand.asInt());
+  }
+  }
+  janusUnreachable("invalid LocOpKind");
+}
+
+SeqEval symbolic::evalSequence(const Value &Entry,
+                               std::span<const LocOp> Seq) {
+  SeqEval Out{Entry, {}};
+  for (const LocOp &Op : Seq) {
+    if (Op.Kind == LocOpKind::Read)
+      Out.Reads.push_back(Out.Final);
+    Out.Final = applyLocOp(Out.Final, Op);
+  }
+  return Out;
+}
+
+std::string symbolic::sequenceToString(std::span<const LocOp> Seq) {
+  std::string Out;
+  for (size_t I = 0, E = Seq.size(); I != E; ++I) {
+    if (I)
+      Out += ", ";
+    Out += Seq[I].toString();
+  }
+  return Out;
+}

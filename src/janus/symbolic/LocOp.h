@@ -1,0 +1,91 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-location operations and their concrete semantics.
+///
+/// Conflict detection with projection (paper §5.3) reasons about the
+/// sequences of dependent operations a transaction applies to a single
+/// shared location. This is the shared vocabulary: a `LocOp` is one
+/// operation restricted to one location — a read, an absolute write, or
+/// a commutative integer add (the reduction primitive). ADT operations
+/// lower to per-location `LocOp`s via their abstraction specifications
+/// (paper §6.1); plain shared scalars use them directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SYMBOLIC_LOCOP_H
+#define JANUS_SYMBOLIC_LOCOP_H
+
+#include "janus/support/Value.h"
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace janus {
+namespace symbolic {
+
+/// Kind of a per-location operation.
+enum class LocOpKind : uint8_t {
+  Read,  ///< Observes the location's current value.
+  Write, ///< Replaces the location's value with the operand.
+  Add,   ///< Adds the integer operand to the location's integer value.
+};
+
+/// One operation projected onto a single location.
+struct LocOp {
+  LocOpKind Kind;
+  /// Write: the stored value. Add: the integer delta. Read: unused.
+  Value Operand;
+  /// Read: the value observed during logging (used by training to
+  /// symbolize operand/read relationships). Unused otherwise.
+  Value ReadResult;
+
+  static LocOp read(Value Observed = Value::absent()) {
+    return LocOp{LocOpKind::Read, Value::absent(), std::move(Observed)};
+  }
+  static LocOp write(Value V) {
+    return LocOp{LocOpKind::Write, std::move(V), Value::absent()};
+  }
+  static LocOp add(int64_t Delta) {
+    return LocOp{LocOpKind::Add, Value::of(Delta), Value::absent()};
+  }
+
+  /// Operational equality ignores the logged read result: two ops are
+  /// the same operation if they have the same kind and operand.
+  friend bool operator==(const LocOp &A, const LocOp &B) {
+    return A.Kind == B.Kind && A.Operand == B.Operand;
+  }
+  friend bool operator!=(const LocOp &A, const LocOp &B) {
+    return !(A == B);
+  }
+
+  std::string toString() const;
+};
+
+/// A per-location operation sequence.
+using LocOpSeq = std::vector<LocOp>;
+
+/// Applies \p Op to the current value \p Cur of a location. Reads leave
+/// the value unchanged; Add on a non-integer (including Absent) treats
+/// the location as starting from 0 when absent and asserts otherwise,
+/// matching counter ADT semantics.
+Value applyLocOp(const Value &Cur, const LocOp &Op);
+
+/// Result of evaluating a sequence on an entry value: the final value
+/// and the result of each read, in order.
+struct SeqEval {
+  Value Final;
+  std::vector<Value> Reads;
+};
+
+/// Evaluates \p Seq starting from \p Entry.
+SeqEval evalSequence(const Value &Entry, std::span<const LocOp> Seq);
+
+/// \returns "R, W(3), A(+1)"-style rendering.
+std::string sequenceToString(std::span<const LocOp> Seq);
+
+} // namespace symbolic
+} // namespace janus
+
+#endif // JANUS_SYMBOLIC_LOCOP_H

@@ -1,0 +1,123 @@
+#include "janus/symbolic/SymSeq.h"
+
+using namespace janus;
+using namespace janus::symbolic;
+
+std::string SymLocOp::toString() const {
+  switch (Kind) {
+  case LocOpKind::Read:
+    return "R";
+  case LocOpKind::Write:
+    return "W(" + Operand.toString() + ")";
+  case LocOpKind::Add:
+    return "A(" + Operand.toString() + ")";
+  }
+  janusUnreachable("invalid LocOpKind");
+}
+
+/// Resolves read references in \p Operand against the reads produced so
+/// far by the same sequence.
+static std::optional<Term> resolveOperand(const Term &Operand,
+                                          const std::vector<Term> &Reads) {
+  if (Operand.kind() != Term::Kind::ReadPlus)
+    return Operand;
+  uint32_t Idx = Operand.readIndex();
+  if (Idx >= Reads.size())
+    return std::nullopt; // Reference to a read that has not happened.
+  return Reads[Idx].plusConst(Operand.readOffset());
+}
+
+std::optional<SymSeqEval> symbolic::evalSymbolic(const Term &Entry,
+                                                 std::span<const SymLocOp> Seq) {
+  SymSeqEval Out{Entry, {}};
+  for (const SymLocOp &Op : Seq) {
+    switch (Op.Kind) {
+    case LocOpKind::Read:
+      Out.Reads.push_back(Out.Final);
+      break;
+    case LocOpKind::Write: {
+      std::optional<Term> T = resolveOperand(Op.Operand, Out.Reads);
+      if (!T)
+        return std::nullopt;
+      Out.Final = *T;
+      break;
+    }
+    case LocOpKind::Add: {
+      std::optional<Term> T = resolveOperand(Op.Operand, Out.Reads);
+      if (!T)
+        return std::nullopt;
+      std::optional<Term> Sum = Term::add(Out.Final, *T);
+      if (!Sum)
+        return std::nullopt; // Non-numeric addition.
+      Out.Final = *Sum;
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+std::optional<Condition>
+symbolic::commutativityCondition(std::span<const SymLocOp> A,
+                                 std::span<const SymLocOp> B,
+                                 ChecksSpec Checks) {
+  // Pick the entry term's type: numeric if either sequence performs
+  // arithmetic on it (an Add, or a write of "previous read ± offset"),
+  // otherwise equality-only.
+  auto UsesArithmetic = [](std::span<const SymLocOp> Seq) {
+    for (const SymLocOp &Op : Seq) {
+      if (Op.Kind == LocOpKind::Add)
+        return true;
+      if (Op.Kind == LocOpKind::Write &&
+          Op.Operand.kind() == Term::Kind::ReadPlus &&
+          Op.Operand.readOffset() != 0)
+        return true;
+    }
+    return false;
+  };
+  Term V0 = (UsesArithmetic(A) || UsesArithmetic(B))
+                ? Term::intSym(EntrySym)
+                : Term::opaqueSym(EntrySym);
+
+  std::optional<SymSeqEval> AloneA = evalSymbolic(V0, A);
+  std::optional<SymSeqEval> AloneB = evalSymbolic(V0, B);
+  if (!AloneA || !AloneB)
+    return std::nullopt;
+  // Order A·B: A runs first, then B (and vice versa).
+  std::optional<SymSeqEval> BAfterA = evalSymbolic(AloneA->Final, B);
+  std::optional<SymSeqEval> AAfterB = evalSymbolic(AloneB->Final, A);
+  if (!BAfterA || !AAfterB)
+    return std::nullopt;
+
+  Condition Cond = Condition::valid();
+
+  // COMMUTE: identical final values in both orders.
+  if (Checks.Commute)
+    Cond.requireEqual(BAfterA->Final, AAfterB->Final);
+
+  // SAMEREAD: each read of A yields the same value whether A's prefix
+  // runs on the entry state or after B; symmetrically for B's reads.
+  if (Checks.SameReadA) {
+    JANUS_ASSERT(AloneA->Reads.size() == AAfterB->Reads.size(),
+                 "read count must be order-independent");
+    for (size_t I = 0, E = AloneA->Reads.size(); I != E; ++I)
+      Cond.requireEqual(AloneA->Reads[I], AAfterB->Reads[I]);
+  }
+  if (Checks.SameReadB) {
+    JANUS_ASSERT(AloneB->Reads.size() == BAfterA->Reads.size(),
+                 "read count must be order-independent");
+    for (size_t I = 0, E = AloneB->Reads.size(); I != E; ++I)
+      Cond.requireEqual(AloneB->Reads[I], BAfterA->Reads[I]);
+  }
+  return Cond;
+}
+
+std::string symbolic::symSeqToString(std::span<const SymLocOp> Seq) {
+  std::string Out;
+  for (size_t I = 0, E = Seq.size(); I != E; ++I) {
+    if (I)
+      Out += ", ";
+    Out += Seq[I].toString();
+  }
+  return Out;
+}

@@ -1,0 +1,97 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic per-location sequences and commutativity-condition
+/// computation (the offline half of paper §5.1 step 3).
+///
+/// A symbolic sequence is a per-location sequence whose operands are
+/// terms over the entry-value symbol V0 and operand parameters. Given
+/// two such sequences, `commutativityCondition` symbolically evaluates
+/// both execution orders and emits the condition under which Figure 8's
+/// CONFLICT finds no conflict:
+///   - the final values of both orders coincide (the COMMUTE test), and
+///   - every read of each sequence yields the same value whether or not
+///     the other sequence executed first (the SAMEREAD tests).
+/// Consistency relaxations (paper §5.3) drop the corresponding checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SYMBOLIC_SYMSEQ_H
+#define JANUS_SYMBOLIC_SYMSEQ_H
+
+#include "janus/symbolic/Condition.h"
+#include "janus/symbolic/LocOp.h"
+#include "janus/symbolic/Term.h"
+
+#include <span>
+#include <vector>
+
+namespace janus {
+namespace symbolic {
+
+/// One symbolic per-location operation. The operand term may reference
+/// the results of the sequence's own earlier reads (Term::readPlus).
+struct SymLocOp {
+  LocOpKind Kind = LocOpKind::Read;
+  Term Operand = Term::constant(Value::absent()); ///< Unused for reads.
+
+  static SymLocOp read() { return SymLocOp{}; }
+  static SymLocOp write(Term T) {
+    return SymLocOp{LocOpKind::Write, std::move(T)};
+  }
+  static SymLocOp add(Term T) {
+    return SymLocOp{LocOpKind::Add, std::move(T)};
+  }
+
+  friend bool operator==(const SymLocOp &A, const SymLocOp &B) {
+    if (A.Kind != B.Kind)
+      return false;
+    return A.Kind == LocOpKind::Read || A.Operand == B.Operand;
+  }
+  friend bool operator!=(const SymLocOp &A, const SymLocOp &B) {
+    return !(A == B);
+  }
+
+  std::string toString() const;
+};
+
+/// A symbolic per-location sequence.
+using SymLocSeq = std::vector<SymLocOp>;
+
+/// Result of symbolic evaluation: the final value term and one term per
+/// read, in order.
+struct SymSeqEval {
+  Term Final;
+  std::vector<Term> Reads;
+};
+
+/// Symbolically evaluates \p Seq starting from the entry term
+/// \p Entry. \returns nullopt when the sequence cannot be reasoned
+/// about symbolically (e.g. Add applied to a non-numeric term) — the
+/// caller then skips caching and relies on the runtime fallback.
+std::optional<SymSeqEval> evalSymbolic(const Term &Entry,
+                                       std::span<const SymLocOp> Seq);
+
+/// Which of Figure 8's checks to perform; relaxation specs clear flags
+/// (tolerate-RAW drops the SAMEREAD checks, tolerate-WAW drops the
+/// final COMMUTE test — paper §5.3).
+struct ChecksSpec {
+  bool SameReadA = true; ///< Intermediate reads of the first sequence.
+  bool SameReadB = true; ///< Intermediate reads of the second sequence.
+  bool Commute = true;   ///< Final-state equality.
+};
+
+/// Computes the condition under which \p A and \p B commute (in the
+/// CONFLICT sense of Figure 8) on a location whose entry value is V0.
+/// \returns nullopt when symbolic evaluation is impossible.
+std::optional<Condition> commutativityCondition(std::span<const SymLocOp> A,
+                                                std::span<const SymLocOp> B,
+                                                ChecksSpec Checks = {});
+
+/// Renders a symbolic sequence, e.g. "A(p1), A(-p1)".
+std::string symSeqToString(std::span<const SymLocOp> Seq);
+
+} // namespace symbolic
+} // namespace janus
+
+#endif // JANUS_SYMBOLIC_SYMSEQ_H

@@ -1,0 +1,150 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic terms over input-state and parameter symbols.
+///
+/// Training substitutes the concrete operand values observed in mined
+/// sequences by symbolic values (paper §3 step 3: "{ work+=x; work-=x; }")
+/// and computes commutativity conditions as constraints over those
+/// symbols. A term is one of:
+///   - a constant Value;
+///   - a linear integer expression  c + Σ kᵢ·sᵢ  over integer symbols;
+///   - an opaque (equality-only) symbol for non-numeric values;
+///   - `readPlus(i, c)`: the result of the sequence's i-th read plus an
+///     integer offset — the operand pattern produced when a logged write
+///     value equals a previously read value plus a constant (e.g. the
+///     push/pop size updates of the JFileSync monitors).
+///
+/// Symbol 0 is reserved for V0, the location's value at the
+/// transaction's entry state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SYMBOLIC_TERM_H
+#define JANUS_SYMBOLIC_TERM_H
+
+#include "janus/support/Value.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+namespace janus {
+namespace symbolic {
+
+/// Identifier of a symbolic value. Symbol 0 is V0 (the entry value of
+/// the location under analysis); higher ids are operand parameters.
+using SymId = uint32_t;
+
+/// The reserved symbol for the location's entry value.
+inline constexpr SymId EntrySym = 0;
+
+/// Concrete bindings for symbols, used to evaluate conditions at
+/// runtime (V0 from the transaction's snapshot, parameters from the
+/// matched concrete operands).
+using Bindings = std::map<SymId, Value>;
+
+/// A symbolic scalar term.
+class Term {
+public:
+  enum class Kind : uint8_t { Const, Lin, Opaque, ReadPlus };
+
+  /// \returns a constant term.
+  static Term constant(Value V);
+  /// \returns the integer symbol \p S (as a linear term).
+  static Term intSym(SymId S);
+  /// \returns an equality-only symbol for values of unknown type.
+  static Term opaqueSym(SymId S);
+  /// \returns the i-th read's result plus \p Offset.
+  static Term readPlus(uint32_t ReadIdx, int64_t Offset);
+
+  Kind kind() const { return K; }
+
+  const Value &constValue() const {
+    JANUS_ASSERT(K == Kind::Const, "not a constant term");
+    return ConstVal;
+  }
+  SymId opaqueSymbol() const {
+    JANUS_ASSERT(K == Kind::Opaque, "not an opaque symbol");
+    return Opaque;
+  }
+  uint32_t readIndex() const {
+    JANUS_ASSERT(K == Kind::ReadPlus, "not a read reference");
+    return ReadIdx;
+  }
+  int64_t readOffset() const {
+    JANUS_ASSERT(K == Kind::ReadPlus, "not a read reference");
+    return Base;
+  }
+
+  /// \returns whether this term is an integer-valued expression
+  /// (Lin, or an integer constant).
+  bool isNumeric() const {
+    return K == Kind::Lin || (K == Kind::Const && ConstVal.isInt());
+  }
+
+  /// Adds an integer constant. \returns nullopt when the term is not
+  /// numeric and not a read reference.
+  std::optional<Term> plusConst(int64_t C) const;
+
+  /// Adds two numeric terms. \returns nullopt on type mismatch.
+  static std::optional<Term> add(const Term &A, const Term &B);
+
+  /// \returns the negation of a numeric term, or nullopt.
+  std::optional<Term> negated() const;
+
+  /// Decides equality of two fully resolved terms (no ReadPlus):
+  ///  - returns true/false when decidable syntactically;
+  ///  - returns nullopt when the answer depends on symbol values.
+  static std::optional<bool> staticallyEqual(const Term &A, const Term &B);
+
+  /// Structural equality (same representation).
+  friend bool operator==(const Term &A, const Term &B) {
+    return A.K == B.K && A.ConstVal == B.ConstVal && A.Base == B.Base &&
+           A.Coefs == B.Coefs && A.Opaque == B.Opaque &&
+           A.ReadIdx == B.ReadIdx;
+  }
+  friend bool operator!=(const Term &A, const Term &B) { return !(A == B); }
+
+  /// Evaluates under concrete symbol bindings. \returns nullopt when a
+  /// needed symbol is unbound, the term still contains a read
+  /// reference, or types mismatch.
+  std::optional<Value> evaluate(const Bindings &B) const;
+
+  /// Collects the symbols this term mentions into \p Out.
+  void collectSymbols(std::map<SymId, bool> &Out) const;
+
+  /// \returns a copy with every symbol id rewritten through \p Map
+  /// (read references and constants are unaffected). Used by the
+  /// abstraction module for canonical renumbering and for renaming a
+  /// group body's parameters to fresh ids.
+  Term mapSymbols(const std::function<SymId(SymId)> &Map) const;
+
+  /// \returns e.g. "v0 + 2*p1 - 3", "p2", "\"abc\"", "read#1+1".
+  std::string toString() const;
+
+  /// Appends a compact textual encoding to \p Out (single line; string
+  /// constants are length-prefixed). Round-trips via deserialize().
+  void serialize(std::string &Out) const;
+
+  /// Parses a term starting at \p Pos (advancing it past the term).
+  /// \returns nullopt on malformed input.
+  static std::optional<Term> deserialize(const std::string &In, size_t &Pos);
+
+private:
+  Term() = default;
+
+  Kind K = Kind::Const;
+  Value ConstVal;                 ///< Const payload.
+  int64_t Base = 0;               ///< Lin constant / ReadPlus offset.
+  std::map<SymId, int64_t> Coefs; ///< Lin symbol coefficients.
+  SymId Opaque = 0;               ///< Opaque symbol id.
+  uint32_t ReadIdx = 0;           ///< ReadPlus read index.
+};
+
+} // namespace symbolic
+} // namespace janus
+
+#endif // JANUS_SYMBOLIC_TERM_H

@@ -1,0 +1,212 @@
+#include "janus/training/PatternReport.h"
+
+#include "janus/abstraction/Symbolize.h"
+
+#include <algorithm>
+
+using namespace janus;
+using namespace janus::training;
+using namespace janus::symbolic;
+
+std::string training::patternName(Pattern P) {
+  switch (P) {
+  case Pattern::Identity:
+    return "Identity";
+  case Pattern::Reduction:
+    return "Reduction";
+  case Pattern::SharedAsLocal:
+    return "Shared-as-local";
+  case Pattern::EqualWrites:
+    return "Equal-writes";
+  case Pattern::SpuriousReads:
+    return "Spurious-reads";
+  }
+  janusUnreachable("invalid Pattern");
+}
+
+bool training::exhibitsIdentity(const LocOpSeq &Seq) {
+  // Symbolic check: evaluating the symbolized sequence from the entry
+  // term yields the entry term again (net-zero adds, balanced
+  // push/pop), or the erased state for write/erase cells.
+  abstraction::SymbolizeResult S = abstraction::symbolize(Seq);
+  bool Arithmetic = false;
+  for (const SymLocOp &Op : S.Seq) {
+    if (Op.Kind == LocOpKind::Add)
+      Arithmetic = true;
+    if (Op.Kind == LocOpKind::Write &&
+        Op.Operand.kind() == Term::Kind::ReadPlus &&
+        Op.Operand.readOffset() != 0)
+      Arithmetic = true; // Push/pop-style size updates.
+  }
+  Term Entry =
+      Arithmetic ? Term::intSym(EntrySym) : Term::opaqueSym(EntrySym);
+  std::optional<SymSeqEval> E = evalSymbolic(Entry, S.Seq);
+  if (!E)
+    return false;
+  if (E->Final == Entry)
+    return true;
+  return E->Final == Term::constant(Value::absent());
+}
+
+bool training::exhibitsReduction(const LocOpSeq &Seq) {
+  if (Seq.empty())
+    return false;
+  for (const LocOp &Op : Seq)
+    if (Op.Kind != LocOpKind::Add)
+      return false;
+  return true;
+}
+
+bool training::exhibitsSharedAsLocal(const LocOpSeq &Seq) {
+  // Define-before-use with at least one use: the scratch-pad shape.
+  if (Seq.empty() || Seq.front().Kind != LocOpKind::Write)
+    return false;
+  bool AnyRead = false;
+  bool Defined = false;
+  for (const LocOp &Op : Seq) {
+    switch (Op.Kind) {
+    case LocOpKind::Write:
+      Defined = true;
+      break;
+    case LocOpKind::Add:
+      if (!Defined)
+        return false;
+      break;
+    case LocOpKind::Read:
+      if (!Defined)
+        return false;
+      AnyRead = true;
+      break;
+    }
+  }
+  return AnyRead;
+}
+
+bool training::isReadOnly(const LocOpSeq &Seq) {
+  for (const LocOp &Op : Seq)
+    if (Op.Kind != LocOpKind::Read)
+      return false;
+  return !Seq.empty();
+}
+
+std::vector<Pattern> ObjectPatternStats::prevalent() const {
+  std::vector<std::pair<uint64_t, Pattern>> Ranked;
+  for (const auto &[P, Count] : Hits) {
+    // A pattern is prevalent when it covers at least a quarter of the
+    // object's cross-task subsequences (and is not a one-off).
+    if (Count >= 2 && Count * 4 >= Subsequences)
+      Ranked.emplace_back(Count, P);
+  }
+  std::sort(Ranked.begin(), Ranked.end(), [](const auto &A, const auto &B) {
+    if (A.first != B.first)
+      return A.first > B.first;
+    return A.second < B.second;
+  });
+  std::vector<Pattern> Out;
+  for (const auto &[Count, P] : Ranked) {
+    (void)Count;
+    Out.push_back(P);
+  }
+  return Out;
+}
+
+PatternReport PatternReport::analyze(
+    const std::map<Location, std::vector<TaskSubsequence>> &Subs,
+    const ObjectRegistry &Reg) {
+  // Aggregate per object id.
+  std::map<uint32_t, ObjectPatternStats> ByObject;
+
+  for (const auto &[Loc, SubList] : Subs) {
+    if (SubList.size() < 2)
+      continue; // Single-task locations never participate in conflicts.
+    ObjectPatternStats &Stats =
+        ByObject.try_emplace(Loc.Obj.Id).first->second;
+    Stats.ObjectName = Reg.info(Loc.Obj).Name;
+    ++Stats.CrossTaskLocations;
+
+    // Equal-writes evidence: the final values written by the distinct
+    // tasks coincide.
+    std::vector<Value> FinalWrites;
+    for (const TaskSubsequence &Sub : SubList) {
+      Value Last = Value::absent();
+      bool Wrote = false;
+      for (const LocOp &Op : Sub.Seq)
+        if (Op.Kind == LocOpKind::Write) {
+          Last = Op.Operand;
+          Wrote = true;
+        }
+      if (Wrote)
+        FinalWrites.push_back(Last);
+    }
+    bool AllWritesEqual =
+        FinalWrites.size() >= 2 &&
+        std::all_of(FinalWrites.begin(), FinalWrites.end(),
+                    [&FinalWrites](const Value &V) {
+                      return V == FinalWrites.front();
+                    });
+    bool AnyWriter = !FinalWrites.empty();
+
+    for (const TaskSubsequence &Sub : SubList) {
+      ++Stats.Subsequences;
+      if (exhibitsIdentity(Sub.Seq))
+        ++Stats.Hits[Pattern::Identity];
+      if (exhibitsReduction(Sub.Seq))
+        ++Stats.Hits[Pattern::Reduction];
+      if (exhibitsSharedAsLocal(Sub.Seq))
+        ++Stats.Hits[Pattern::SharedAsLocal];
+      if (AllWritesEqual && !isReadOnly(Sub.Seq))
+        ++Stats.Hits[Pattern::EqualWrites];
+      if (isReadOnly(Sub.Seq) && AnyWriter)
+        ++Stats.Hits[Pattern::SpuriousReads];
+    }
+  }
+
+  PatternReport Out;
+  for (auto &[Id, Stats] : ByObject) {
+    (void)Id;
+    Out.Objects.push_back(std::move(Stats));
+  }
+  return Out;
+}
+
+std::string PatternReport::summary() const {
+  // Union of prevalent patterns over all shared objects, in taxonomy
+  // order.
+  std::map<Pattern, bool> Seen;
+  for (const ObjectPatternStats &Obj : Objects)
+    for (Pattern P : Obj.prevalent())
+      Seen[P] = true;
+  std::string Text;
+  for (const auto &[P, Flag] : Seen) {
+    (void)Flag;
+    if (!Text.empty())
+      Text += ", ";
+    Text += patternName(P);
+  }
+  return Text.empty() ? "(none)" : Text;
+}
+
+const ObjectPatternStats *
+PatternReport::objectByName(const std::string &Name) const {
+  for (const ObjectPatternStats &Obj : Objects)
+    if (Obj.ObjectName == Name)
+      return &Obj;
+  return nullptr;
+}
+
+void PatternReport::mergeWith(const PatternReport &Other) {
+  for (const ObjectPatternStats &Incoming : Other.Objects) {
+    ObjectPatternStats *Mine = nullptr;
+    for (ObjectPatternStats &Obj : Objects)
+      if (Obj.ObjectName == Incoming.ObjectName)
+        Mine = &Obj;
+    if (!Mine) {
+      Objects.push_back(Incoming);
+      continue;
+    }
+    Mine->Subsequences += Incoming.Subsequences;
+    Mine->CrossTaskLocations += Incoming.CrossTaskLocations;
+    for (const auto &[P, Count] : Incoming.Hits)
+      Mine->Hits[P] += Count;
+  }
+}

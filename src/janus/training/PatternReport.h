@@ -1,0 +1,103 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Automatic classification of the semantic patterns a training run
+/// exhibits (paper §2's taxonomy, reported per benchmark in Table 5).
+///
+/// The paper identified each benchmark's prevalent patterns manually
+/// (guided by the Hawkeye tool, §7.1). This module reconstructs that
+/// analysis from the mined per-location sequences:
+///
+///   - *Identity*: a task's sequence restores the location's entry
+///     value (net-zero add runs, balanced push/pop, write/erase pairs).
+///   - *Reduction*: sequences consist solely of commutative adds.
+///   - *Shared-as-local*: every task defines the location before any
+///     use (scratch-pad usage).
+///   - *Equal-writes*: distinct tasks write, and the values observed
+///     across tasks coincide.
+///   - *Spurious-reads*: tasks read the location but almost never
+///     write it (candidates for RAW tolerance / early release).
+///
+/// The classification is heuristic — it reports evidence, not proof —
+/// and is used by the Table 5 harness and as a relaxation-spec
+/// suggestion aid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_TRAINING_PATTERNREPORT_H
+#define JANUS_TRAINING_PATTERNREPORT_H
+
+#include "janus/support/Location.h"
+#include "janus/training/DependenceGraph.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace janus {
+namespace training {
+
+/// The §2 pattern taxonomy.
+enum class Pattern : uint8_t {
+  Identity,
+  Reduction,
+  SharedAsLocal,
+  EqualWrites,
+  SpuriousReads,
+};
+
+/// \returns the paper's name for \p P, e.g. "Identity".
+std::string patternName(Pattern P);
+
+/// Evidence counters for one shared object.
+struct ObjectPatternStats {
+  std::string ObjectName;
+  uint64_t Subsequences = 0;       ///< Mined per-task subsequences.
+  uint64_t CrossTaskLocations = 0; ///< Locations touched by >1 task.
+  std::map<Pattern, uint64_t> Hits; ///< Subsequences exhibiting each.
+
+  /// \returns the patterns backed by a majority of this object's
+  /// cross-task subsequences, most frequent first.
+  std::vector<Pattern> prevalent() const;
+};
+
+/// Whole-run pattern report.
+class PatternReport {
+public:
+  /// Classifies the mined subsequences of a training run. Only
+  /// locations accessed by more than one task matter (private state
+  /// never participates in conflicts).
+  static PatternReport
+  analyze(const std::map<Location, std::vector<TaskSubsequence>> &Subs,
+          const ObjectRegistry &Reg);
+
+  const std::vector<ObjectPatternStats> &objects() const { return Objects; }
+
+  /// \returns the comma-separated prevalent pattern names over all
+  /// shared objects, e.g. "Identity, Shared-as-local".
+  std::string summary() const;
+
+  /// \returns the stats for the object named \p Name, or nullptr.
+  const ObjectPatternStats *objectByName(const std::string &Name) const;
+
+  /// Accumulates \p Other's evidence into this report (summing the
+  /// counters of same-named objects). Used to aggregate over multiple
+  /// training rounds.
+  void mergeWith(const PatternReport &Other);
+
+private:
+  std::vector<ObjectPatternStats> Objects;
+};
+
+/// Classifies one per-task subsequence against each pattern (exposed
+/// for unit tests). Identity is decided symbolically: the sequence's
+/// final value term equals the entry term (or the erased/empty state).
+bool exhibitsIdentity(const symbolic::LocOpSeq &Seq);
+bool exhibitsReduction(const symbolic::LocOpSeq &Seq);
+bool exhibitsSharedAsLocal(const symbolic::LocOpSeq &Seq);
+bool isReadOnly(const symbolic::LocOpSeq &Seq);
+
+} // namespace training
+} // namespace janus
+
+#endif // JANUS_TRAINING_PATTERNREPORT_H

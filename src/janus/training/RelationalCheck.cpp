@@ -1,0 +1,111 @@
+#include "janus/training/RelationalCheck.h"
+
+using namespace janus;
+using namespace janus::training;
+using namespace janus::relational;
+using symbolic::LocOp;
+using symbolic::LocOpKind;
+using symbolic::LocOpSeq;
+
+namespace {
+
+/// The single-cell schema: one slot column (always 0) determining one
+/// value column.
+SchemaRef cellSchema() {
+  static SchemaRef S = std::make_shared<Schema>(
+      std::vector<std::string>{"slot", "val"}, std::vector<uint32_t>{0});
+  return S;
+}
+
+Tuple cellTuple(const Value &V) {
+  return Tuple({Value::of(int64_t(0)), V});
+}
+
+} // namespace
+
+std::optional<Transformer>
+training::lowerToRelational(const Value &Entry, const LocOpSeq &Seq) {
+  Transformer T;
+  Value Cur = Entry;
+  for (const LocOp &Op : Seq) {
+    switch (Op.Kind) {
+    case LocOpKind::Read:
+      T.append(RelOp::select(
+          TupleFormula::mkEq(0, Value::of(int64_t(0)))));
+      break;
+    case LocOpKind::Write:
+      T.append(RelOp::insert(cellTuple(Op.Operand)));
+      break;
+    case LocOpKind::Add: {
+      if (!Cur.isInt() && !Cur.isAbsent())
+        return std::nullopt;
+      // Concretize: the intermediate value is known on this entry.
+      Value Next = symbolic::applyLocOp(Cur, Op);
+      T.append(RelOp::insert(cellTuple(Next)));
+      Cur = Next;
+      continue;
+    }
+    }
+    Cur = symbolic::applyLocOp(Cur, Op);
+  }
+  return T;
+}
+
+std::optional<bool> training::commuteViaSat(const Value &Entry,
+                                            const LocOpSeq &A,
+                                            const LocOpSeq &B) {
+  // Note: Add lowering concretizes against the running value, which is
+  // order-dependent; restrict the SAT cross-check to sequences whose
+  // Adds appear only in one sequence or cancel out. To stay sound we
+  // simply lower each order independently.
+  Relation Init(cellSchema());
+  if (!Entry.isAbsent())
+    Init = Init.insert(cellTuple(Entry));
+
+  // Order A then B.
+  std::optional<Transformer> TA = lowerToRelational(Entry, A);
+  if (!TA)
+    return std::nullopt;
+  Relation AfterA = TA->apply(Init).FinalState;
+  Value MidAB = AfterA.empty() ? Value::absent()
+                               : AfterA.tuples().begin()->at(1);
+  std::optional<Transformer> TB_afterA = lowerToRelational(MidAB, B);
+  if (!TB_afterA)
+    return std::nullopt;
+
+  // Order B then A.
+  std::optional<Transformer> TB = lowerToRelational(Entry, B);
+  if (!TB)
+    return std::nullopt;
+  Relation AfterB = TB->apply(Init).FinalState;
+  Value MidBA = AfterB.empty() ? Value::absent()
+                               : AfterB.tuples().begin()->at(1);
+  std::optional<Transformer> TA_afterB = lowerToRelational(MidBA, A);
+  if (!TA_afterB)
+    return std::nullopt;
+
+  // Encode both orders symbolically (Table 4) and compare via SAT.
+  sat::FormulaArena Arena;
+  AtomTable Atoms(Arena);
+  const Schema &S = *cellSchema();
+  sat::Formula F0 = encodeRelation(Arena, Atoms, Init);
+
+  sat::Formula FA = applyTransformerSymbolic(Arena, Atoms, S, F0, *TA,
+                                             nullptr);
+  sat::Formula FAB = applyTransformerSymbolic(Arena, Atoms, S, FA,
+                                              *TB_afterA, nullptr);
+  sat::Formula FB = applyTransformerSymbolic(Arena, Atoms, S, F0, *TB,
+                                             nullptr);
+  sat::Formula FBA = applyTransformerSymbolic(Arena, Atoms, S, FB,
+                                              *TA_afterB, nullptr);
+
+  switch (formulasEquivalent(Arena, Atoms, FAB, FBA)) {
+  case sat::Equivalence::Equivalent:
+    return true;
+  case sat::Equivalence::Inequivalent:
+    return false;
+  case sat::Equivalence::Unknown:
+    return std::nullopt;
+  }
+  janusUnreachable("invalid equivalence result");
+}

@@ -1,0 +1,49 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Relational / SAT cross-validation of commutativity verdicts
+/// (paper §6: the relational instantiation).
+///
+/// The trainer can double-check the symbolic engine's unconditional
+/// verdicts through an independent pipeline: the per-location
+/// sequences, instantiated with their concrete training operands, are
+/// lowered to relational transformers over a single-cell relation
+/// (schema {slot, val} with FD slot → val); both execution orders are
+/// applied symbolically via the Table 4 formula encoding, and
+/// equivalence of the resulting content formulas is decided by the SAT
+/// solver (§6.2). A disagreement between the engines indicates a bug in
+/// one of them, so the trainer refuses to cache the entry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_TRAINING_RELATIONALCHECK_H
+#define JANUS_TRAINING_RELATIONALCHECK_H
+
+#include "janus/relational/Encoding.h"
+#include "janus/symbolic/LocOp.h"
+
+#include <optional>
+
+namespace janus {
+namespace training {
+
+/// Lowers a concrete per-location sequence, starting from \p Entry, to
+/// a relational transformer over the single-cell schema: Write v
+/// becomes `insert (0, v)`, Read becomes `select slot = 0`, and Add is
+/// concretized (via the known intermediate values) to an insert of the
+/// resulting sum. \returns nullopt when lowering is impossible (e.g.
+/// Add over a non-integer).
+std::optional<relational::Transformer>
+lowerToRelational(const Value &Entry, const symbolic::LocOpSeq &Seq);
+
+/// Decides, via the relational/SAT pipeline, whether the two sequences'
+/// state effects commute on \p Entry. \returns nullopt when lowering
+/// fails or the solver exceeds its budget.
+std::optional<bool> commuteViaSat(const Value &Entry,
+                                  const symbolic::LocOpSeq &A,
+                                  const symbolic::LocOpSeq &B);
+
+} // namespace training
+} // namespace janus
+
+#endif // JANUS_TRAINING_RELATIONALCHECK_H

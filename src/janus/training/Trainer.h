@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline training phase (paper §5.1).
+///
+/// The application is exercised in sequential (single-threaded) mode
+/// using training inputs, so no synchronization is required. Sequential
+/// dependencies are tracked between trace operations; per-location
+/// sequences of dependent operations belonging to different tasks are
+/// mined, symbolized, abstracted (§5.2), and commutativity conditions
+/// are computed for pairs of such sequences and cached. In production
+/// mode the cache saves the expensive work of sequence-based
+/// commutativity checking.
+///
+/// The trainer optionally:
+///   - cross-checks unconditional verdicts through the independent
+///     relational/SAT pipeline (§6.2), refusing to cache disagreements;
+///   - infers WAW consistency relaxations for objects whose tasks
+///     always define a location before using it, when out-of-order
+///     execution is permitted (§5.3, "limited automatic inference of
+///     relaxation specifications").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_TRAINING_TRAINER_H
+#define JANUS_TRAINING_TRAINER_H
+
+#include "janus/conflict/CommutativityCache.h"
+#include "janus/conflict/SequenceDetector.h"
+#include "janus/stm/TxContext.h"
+#include "janus/training/DependenceGraph.h"
+#include "janus/training/PatternReport.h"
+
+#include <memory>
+
+namespace janus {
+namespace training {
+
+/// Training configuration.
+struct TrainerConfig {
+  /// Kleene-cross sequence abstraction (§5.2). The Figure 11
+  /// experiment disables this to measure its contribution.
+  bool UseAbstraction = true;
+  /// Conflict histories at runtime concatenate the logs of several
+  /// committed transactions; the trainer also caches pairs whose
+  /// history side is the concatenation of up to this many consecutive
+  /// task subsequences.
+  unsigned MaxConcat = 3;
+  /// Cap on distinct sequence representatives per location class.
+  unsigned MaxUniqueSeqsPerClass = 64;
+  /// Cross-check unconditional commutativity verdicts via the
+  /// relational/SAT engine before caching them.
+  bool VerifyWithSat = false;
+  /// Automatically infer tolerate-WAW for define-before-use objects
+  /// (valid only for out-of-order parallelization).
+  bool InferWAWRelaxation = false;
+};
+
+/// Counters describing one training session.
+struct TrainStats {
+  uint64_t TasksRun = 0;
+  uint64_t LocationsMined = 0;
+  uint64_t SubsequencesMined = 0;
+  uint64_t CandidatePairs = 0;
+  uint64_t CachedEntries = 0;
+  uint64_t RejectedSymbolic = 0;    ///< Symbolic evaluation impossible.
+  uint64_t RejectedGroupParams = 0; ///< Condition depends on group params.
+  uint64_t SatCrossChecks = 0;
+  uint64_t SatDisagreements = 0;
+  uint64_t InferredWAWObjects = 0;
+};
+
+/// Runs training payloads sequentially and populates a commutativity
+/// cache.
+class Trainer {
+public:
+  Trainer(ObjectRegistry &Reg,
+          std::shared_ptr<conflict::CommutativityCache> Cache,
+          TrainerConfig Config = {});
+
+  /// Executes \p Tasks in order against \p State (which evolves as the
+  /// sequential run would leave it), then mines the logs into the
+  /// cache. Can be called repeatedly with different payloads (the
+  /// paper's evaluation runs 5 training rounds).
+  void trainOn(stm::Snapshot &State, const std::vector<stm::TaskFn> &Tasks);
+
+  const TrainStats &stats() const { return Stats; }
+
+  /// Pattern evidence accumulated over every trainOn() call (the
+  /// Table 5 "prevalent patterns" analysis).
+  const PatternReport &patternReport() const { return Patterns; }
+
+private:
+  struct Rep {
+    symbolic::LocOpSeq Seq;
+    Value SampleEntry; ///< Location value when the sequence started.
+  };
+
+  void inferRelaxations(
+      const std::map<Location, std::vector<TaskSubsequence>> &Subs);
+  void minePairs(
+      const std::map<Location, std::vector<TaskSubsequence>> &Subs,
+      const std::map<Location, std::vector<Value>> &SubEntryValues);
+  void cachePair(const std::string &LocClass, const Rep &Mine,
+                 const symbolic::LocOpSeq &Theirs,
+                 symbolic::ChecksSpec Checks);
+
+  ObjectRegistry &Reg;
+  std::shared_ptr<conflict::CommutativityCache> Cache;
+  TrainerConfig Config;
+  TrainStats Stats;
+  PatternReport Patterns;
+};
+
+} // namespace training
+} // namespace janus
+
+#endif // JANUS_TRAINING_TRAINER_H

@@ -1,0 +1,92 @@
+#include "janus/workloads/CodeScan.h"
+
+#include "janus/support/Rng.h"
+
+using namespace janus;
+using namespace janus::workloads;
+using stm::TaskFn;
+using stm::TxContext;
+
+std::vector<SourceFile>
+CodeScanWorkload::generateFiles(const PayloadSpec &Payload) {
+  const int NumFiles = Payload.Production ? 40 : 10;
+  Rng R(Payload.Seed * 6151 + (Payload.Production ? 99 : 0));
+  std::vector<SourceFile> Files;
+  Files.reserve(NumFiles);
+  for (int I = 0; I != NumFiles; ++I) {
+    SourceFile F;
+    F.Name = "src/File" + std::to_string(I) + "_" +
+             std::to_string(R.below(1000)) + ".java";
+    F.Tokens = R.range(50, Payload.Production ? 400 : 150);
+    int Hits = static_cast<int>(R.below(6));
+    for (int H = 0; H != Hits; ++H)
+      F.RuleHits.push_back(static_cast<int>(R.below(NumRules)));
+    Files.push_back(std::move(F));
+  }
+  return Files;
+}
+
+void CodeScanWorkload::setup(core::Janus &J) {
+  (void)J;
+  ObjectRegistry &Reg = J.registry();
+  // The ctx fields carry no explicit relaxation: the paper's automatic
+  // inference discovers tolerate-WAW for them from the training runs
+  // (every task defines them before use). Enable inference in the
+  // Janus configuration (TrainerConfig::InferWAWRelaxation) to benefit.
+  SourceCodeFilename = adt::TxStrVar::create(Reg, "ctx.sourceCodeFilename");
+  SourceCodeFile = adt::TxStrVar::create(Reg, "ctx.sourceCodeFile");
+  Attributes = adt::TxMap::create(Reg, "ctx.attributes");
+  Violations = adt::TxCounter::create(Reg, "report.violations");
+}
+
+std::vector<TaskFn>
+CodeScanWorkload::makeTasks(const PayloadSpec &Payload) {
+  std::vector<SourceFile> Files = generateFiles(Payload);
+  std::vector<TaskFn> Tasks;
+  Tasks.reserve(Files.size());
+  for (const SourceFile &File : Files) {
+    Tasks.push_back([this, File](TxContext &Tx) {
+      // Figure 4, one iteration: publish the file into the shared
+      // context (write-then-read: shared-as-local).
+      SourceCodeFilename.set(Tx, File.Name);
+      SourceCodeFile.set(Tx, "file://" + File.Name);
+      // rs.start(ctx): rules install their counters as attributes;
+      // GenericClassCounterRule uses an AtomicLong — a reduction.
+      // The intraprocedural analysis itself is local work.
+      Tx.localWork(static_cast<double>(File.Tokens) * 0.01);
+      for (int Rule : File.RuleHits) {
+        // The rule reads the context it defined earlier...
+        (void)SourceCodeFilename.get(Tx);
+        // ...and bumps its persistent counter attribute.
+        Attributes.addAt(Tx, "rule" + std::to_string(Rule) + ".count", 1);
+        Violations.add(Tx, 1);
+      }
+      // rs.end(ctx): one final read of the context fields.
+      (void)SourceCodeFile.get(Tx);
+    });
+  }
+  return Tasks;
+}
+
+bool CodeScanWorkload::verify(core::Janus &J, const PayloadSpec &Payload) {
+  std::vector<SourceFile> Files = generateFiles(Payload);
+  int64_t ExpectedViolations = 0;
+  std::vector<int64_t> PerRule(NumRules, 0);
+  for (const SourceFile &F : Files) {
+    ExpectedViolations += static_cast<int64_t>(F.RuleHits.size());
+    for (int Rule : F.RuleHits)
+      ++PerRule[Rule];
+  }
+  if (J.valueAt(Violations.location()) != Value::of(ExpectedViolations))
+    return false;
+  for (int Rule = 0; Rule != NumRules; ++Rule) {
+    Value Count = J.valueAt(
+        Attributes.locationAt("rule" + std::to_string(Rule) + ".count"));
+    int64_t Got = Count.isInt() ? Count.asInt() : 0;
+    if (Got != PerRule[Rule])
+      return false;
+  }
+  // Shared-as-local: the context names some input file.
+  Value Name = J.valueAt(SourceCodeFilename.location());
+  return Name.isStr() && Name.asStr().rfind("src/File", 0) == 0;
+}

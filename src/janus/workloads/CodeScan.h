@@ -1,0 +1,77 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The PMD workload: a source-code scanner (paper Figure 4, Table 5
+/// row 3).
+///
+/// The main loop iterates over source files and analyzes each one
+/// intraprocedurally. Most fields of the shared RuleContext are treated
+/// as local by the iterations — each first writes sourceCodeFilename /
+/// sourceCodeFile and only later reads them (the *shared-as-local*
+/// pattern; the trainer's automatic WAW inference discovers it) — while
+/// sharing persists through attributes stored in the context (the
+/// per-rule counters installed by GenericClassCounterRule.start), which
+/// are commutative reductions.
+///
+/// Inputs are synthetic "source files": token streams generated from
+/// the seed (Table 6: file lists of length 10 for training, 100 for
+/// production, scaled down to keep the harness fast).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_WORKLOADS_CODESCAN_H
+#define JANUS_WORKLOADS_CODESCAN_H
+
+#include "janus/adt/TxCounter.h"
+#include "janus/adt/TxMap.h"
+#include "janus/adt/TxVar.h"
+#include "janus/workloads/Workload.h"
+
+namespace janus {
+namespace workloads {
+
+/// One synthetic source file: rule hits by rule index.
+struct SourceFile {
+  std::string Name;
+  int64_t Tokens;
+  std::vector<int> RuleHits; ///< Index into the rule set, per finding.
+};
+
+/// The PMD benchmark.
+class CodeScanWorkload : public Workload {
+public:
+  std::string name() const override { return "PMD"; }
+  std::string description() const override {
+    return "Java source code analyzer";
+  }
+  std::string patterns() const override {
+    return "Shared-as-local, Reduction";
+  }
+  std::string trainingInputDesc() const override {
+    return "Random source-file lists of length 10";
+  }
+  std::string productionInputDesc() const override {
+    return "Random source-file lists of length 40";
+  }
+  bool ordered() const override { return false; }
+
+  void setup(core::Janus &J) override;
+  std::vector<stm::TaskFn> makeTasks(const PayloadSpec &Payload) override;
+  bool verify(core::Janus &J, const PayloadSpec &Payload) override;
+
+  static std::vector<SourceFile> generateFiles(const PayloadSpec &Payload);
+
+  /// Number of distinct rules in the rule set.
+  static constexpr int NumRules = 4;
+
+private:
+  adt::TxStrVar SourceCodeFilename; ///< ctx.sourceCodeFilename
+  adt::TxStrVar SourceCodeFile;     ///< ctx.sourceCodeFile
+  adt::TxMap Attributes;            ///< ctx.{set,get}Attribute
+  adt::TxCounter Violations;        ///< Report size (reduction).
+};
+
+} // namespace workloads
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_CODESCAN_H

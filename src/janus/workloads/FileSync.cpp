@@ -1,0 +1,109 @@
+#include "janus/workloads/FileSync.h"
+
+#include "janus/support/Rng.h"
+
+using namespace janus;
+using namespace janus::workloads;
+using stm::TaskFn;
+using stm::TxContext;
+
+std::vector<DirPair>
+FileSyncWorkload::generatePairs(const PayloadSpec &Payload) {
+  // Table 6: training lists of length 5, production lists of length 25.
+  const int NumPairs = Payload.Production ? 25 : 5;
+  const int MaxChildren = Payload.Production ? 8 : 4;
+  Rng R(Payload.Seed * 7919 + (Payload.Production ? 1 : 0));
+  std::vector<DirPair> Pairs;
+  Pairs.reserve(NumPairs);
+  for (int I = 0; I != NumPairs; ++I) {
+    DirPair P;
+    P.Id = static_cast<int64_t>(R.below(1000000));
+    int Children = static_cast<int>(R.below(MaxChildren + 1));
+    for (int C = 0; C != Children; ++C)
+      P.ChildFileCounts.push_back(R.range(1, 20));
+    Pairs.push_back(std::move(P));
+  }
+  return Pairs;
+}
+
+void FileSyncWorkload::setup(core::Janus &J) {
+  ObjectRegistry &Reg = J.registry();
+  ItemsStarted = adt::TxList::create(Reg, "monitor.itemsStarted");
+  ItemsWeight = adt::TxList::create(Reg, "monitor.itemsWeight");
+  // Shared-as-local (Figure 2): each iteration defines the root URIs
+  // before reading them, so write-after-write conflicts are tolerable
+  // (user-provided relaxation spec, paper §5.3).
+  RelaxationSpec SharedAsLocal{/*TolerateRAW=*/false, /*TolerateWAW=*/true};
+  RootUriSrc = adt::TxStrVar::create(Reg, "monitor.rootUriSrc",
+                                     SharedAsLocal);
+  RootUriTgt = adt::TxStrVar::create(Reg, "monitor.rootUriTgt",
+                                     SharedAsLocal);
+  Cancelled = adt::TxIntVar::create(Reg, "progress.cancelled");
+  Updates = adt::TxCounter::create(Reg, "progress.updates");
+  J.setInitial(Cancelled.location(), Value::of(int64_t(0)));
+  // The monitor lists start out empty (size 0), exactly as JFileSync
+  // constructs them; seeding the size cells keeps the very first
+  // transactions' size sequences shaped like every later one's.
+  J.setInitial(ItemsStarted.sizeLocation(), Value::of(int64_t(0)));
+  J.setInitial(ItemsWeight.sizeLocation(), Value::of(int64_t(0)));
+}
+
+std::vector<TaskFn>
+FileSyncWorkload::makeTasks(const PayloadSpec &Payload) {
+  std::vector<DirPair> Pairs = generatePairs(Payload);
+  std::vector<TaskFn> Tasks;
+  Tasks.reserve(Pairs.size());
+  for (const DirPair &Pair : Pairs) {
+    Tasks.push_back([this, Pair](TxContext &Tx) {
+      // Figure 2, one iteration of the parallel loop.
+      ItemsStarted.pushBack(Tx, Value::of(int64_t(2)));
+      ItemsWeight.pushBack(Tx, Value::of(int64_t(1)));
+      RootUriSrc.set(Tx, "src://" + std::to_string(Pair.Id));
+      RootUriTgt.set(Tx, "tgt://" + std::to_string(Pair.Id));
+      if (Cancelled.get(Tx) == 0) {
+        // compareFiles over each child directory, making balanced
+        // add/remove calls per subdirectory.
+        for (int64_t Files : Pair.ChildFileCounts) {
+          ItemsStarted.pushBack(Tx, Value::of(Files));
+          ItemsWeight.pushBack(Tx, Value::of(Files / 2 + 1));
+          Updates.add(Tx, 1); // progress.fireUpdate()
+          // The actual file comparison: pure local work proportional
+          // to the number of files.
+          Tx.localWork(static_cast<double>(Files) * 0.5);
+          // The monitor fields stay readable during the comparison
+          // (shared-as-local: written above, read here).
+          (void)RootUriSrc.get(Tx);
+          (void)RootUriTgt.get(Tx);
+          ItemsStarted.popBack(Tx);
+          ItemsWeight.popBack(Tx);
+        }
+      }
+      ItemsStarted.popBack(Tx);
+      ItemsWeight.popBack(Tx);
+      Updates.add(Tx, 1); // Final progress.fireUpdate().
+    });
+  }
+  return Tasks;
+}
+
+bool FileSyncWorkload::verify(core::Janus &J, const PayloadSpec &Payload) {
+  // Identity: the monitor lists are back to their pre-loop state.
+  Value Size = J.valueAt(ItemsStarted.sizeLocation());
+  if (!(Size.isAbsent() || Size == Value::of(int64_t(0))))
+    return false;
+  Value WSize = J.valueAt(ItemsWeight.sizeLocation());
+  if (!(WSize.isAbsent() || WSize == Value::of(int64_t(0))))
+    return false;
+
+  // Reduction: one fireUpdate per child directory plus one per pair.
+  int64_t Expected = 0;
+  for (const DirPair &P : generatePairs(Payload))
+    Expected += static_cast<int64_t>(P.ChildFileCounts.size()) + 1;
+  if (J.valueAt(Updates.location()) != Value::of(Expected))
+    return false;
+
+  // Shared-as-local: the root URIs hold *some* pair's value (the last
+  // committer's — unordered runs admit any commit order).
+  Value Src = J.valueAt(RootUriSrc.location());
+  return Src.isStr() && Src.asStr().rfind("src://", 0) == 0;
+}

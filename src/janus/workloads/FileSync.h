@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JFileSync workload (paper Figure 2, Table 5 row 1).
+///
+/// "Utility for synchronizing pairs of directories" — the main loop
+/// iterates over directory pairs and computes synchronization metadata
+/// for each pair. Every iteration pushes progress bookkeeping onto the
+/// shared monitor lists when a work item starts and pops it when the
+/// item completes (the *identity* pattern), publishes the pair's root
+/// URIs into shared monitor fields it later reads back (the
+/// *shared-as-local* pattern), and notifies observers through the
+/// shared progress object (a commutative reduction).
+///
+/// Inputs are synthetic directory pairs: a seed determines each pair's
+/// child-directory count and per-child file counts (Table 6: random
+/// lists of length 5 for training, length 25 for production).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_WORKLOADS_FILESYNC_H
+#define JANUS_WORKLOADS_FILESYNC_H
+
+#include "janus/adt/TxCounter.h"
+#include "janus/adt/TxList.h"
+#include "janus/adt/TxVar.h"
+#include "janus/workloads/Workload.h"
+
+namespace janus {
+namespace workloads {
+
+/// One synthetic directory pair.
+struct DirPair {
+  int64_t Id;
+  std::vector<int64_t> ChildFileCounts; ///< Files per child directory.
+};
+
+/// The JFileSync benchmark.
+class FileSyncWorkload : public Workload {
+public:
+  std::string name() const override { return "JFileSync"; }
+  std::string description() const override {
+    return "Utility for synchronizing pairs of directories";
+  }
+  std::string patterns() const override {
+    return "Identity, Shared-as-local";
+  }
+  std::string trainingInputDesc() const override {
+    return "Random directory-pair lists of length 5";
+  }
+  std::string productionInputDesc() const override {
+    return "Random directory-pair lists of length 25";
+  }
+  bool ordered() const override { return false; }
+
+  void setup(core::Janus &J) override;
+  std::vector<stm::TaskFn> makeTasks(const PayloadSpec &Payload) override;
+  bool verify(core::Janus &J, const PayloadSpec &Payload) override;
+
+  /// Generates the payload's directory pairs (deterministic in the
+  /// seed; exposed for tests).
+  static std::vector<DirPair> generatePairs(const PayloadSpec &Payload);
+
+private:
+  adt::TxList ItemsStarted;  ///< monitor.itemsStarted
+  adt::TxList ItemsWeight;   ///< monitor.itemsWeight
+  adt::TxStrVar RootUriSrc;  ///< monitor.rootUriSrc (shared-as-local)
+  adt::TxStrVar RootUriTgt;  ///< monitor.rootUriTgt (shared-as-local)
+  adt::TxIntVar Cancelled;   ///< progress.isCanceled()
+  adt::TxCounter Updates;    ///< progress.fireUpdate() notifications
+};
+
+} // namespace workloads
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_FILESYNC_H

@@ -1,0 +1,105 @@
+#include "janus/workloads/GraphColor.h"
+
+#include "janus/support/Rng.h"
+
+#include <algorithm>
+
+using namespace janus;
+using namespace janus::workloads;
+using stm::TaskFn;
+using stm::TxContext;
+
+RandomGraph RandomGraph::generate(uint64_t Seed, int Nodes, int AvgDegree) {
+  RandomGraph G;
+  G.Neighbors.resize(Nodes);
+  Rng R(Seed * 104729 + Nodes);
+  // Expected edges = Nodes * AvgDegree / 2.
+  int64_t Edges = static_cast<int64_t>(Nodes) * AvgDegree / 2;
+  for (int64_t E = 0; E != Edges; ++E) {
+    int64_t U = static_cast<int64_t>(R.below(Nodes));
+    int64_t V = static_cast<int64_t>(R.below(Nodes));
+    if (U == V)
+      continue;
+    // Keep the graph simple.
+    auto &NU = G.Neighbors[U];
+    if (std::find(NU.begin(), NU.end(), V) != NU.end())
+      continue;
+    NU.push_back(V);
+    G.Neighbors[V].push_back(U);
+  }
+  return G;
+}
+
+RandomGraph GraphColorWorkload::generateGraph(const PayloadSpec &Payload) {
+  // Table 6: 100 nodes / degree 5 training, 1000 nodes / degree 5
+  // production.
+  int Nodes = Payload.Production ? 1000 : 100;
+  return RandomGraph::generate(Payload.Seed, Nodes, 5);
+}
+
+void GraphColorWorkload::setup(core::Janus &J) {
+  ObjectRegistry &Reg = J.registry();
+  Color = adt::TxIntArray::create(Reg, "color");
+  // Shared-as-local scratch pad: WAW conflicts are tolerable.
+  UsedColors = adt::TxBitSet::create(
+      Reg, "usedColors", /*Capacity=*/64,
+      RelaxationSpec{/*TolerateRAW=*/false, /*TolerateWAW=*/true});
+  // Spurious reads: RAW conflicts are tolerable (early-release style).
+  MaxColor = adt::TxIntVar::create(
+      Reg, "maxColor", RelaxationSpec{/*TolerateRAW=*/true,
+                                      /*TolerateWAW=*/false});
+  J.setInitial(MaxColor.location(), Value::of(int64_t(1)));
+}
+
+std::vector<TaskFn>
+GraphColorWorkload::makeTasks(const PayloadSpec &Payload) {
+  Graph = std::make_shared<RandomGraph>(generateGraph(Payload));
+  std::shared_ptr<RandomGraph> G = Graph;
+  std::vector<TaskFn> Tasks;
+  Tasks.reserve(G->Neighbors.size());
+  for (int64_t V = 0, N = static_cast<int64_t>(G->Neighbors.size()); V != N;
+       ++V) {
+    Tasks.push_back([this, G, V](TxContext &Tx) {
+      // Figure 3, one iteration (node V in traversal order).
+      const std::vector<int64_t> &Nb = G->Neighbors[V];
+      // usedColors.clear(): scratch reset. Clearing only the bits this
+      // iteration may probe keeps the log linear in the degree.
+      int64_t Limit = std::min<int64_t>(
+          static_cast<int64_t>(Nb.size()) + 2, UsedColors.capacity());
+      for (int64_t I = 0; I != Limit; ++I)
+        UsedColors.clear(Tx, I);
+      for (int64_t NbV : Nb) {
+        int64_t C = Color.readAt(Tx, NbV);
+        if (C > 0 && C < Limit)
+          UsedColors.set(Tx, C);
+      }
+      int64_t Chosen = 1;
+      while (UsedColors.get(Tx, Chosen))
+        ++Chosen;
+      Color.writeAt(Tx, V, Chosen);
+      Tx.localWork(5.0 + static_cast<double>(Nb.size()) * 1.0);
+      if (Chosen > MaxColor.get(Tx))
+        MaxColor.set(Tx, Chosen);
+    });
+  }
+  return Tasks;
+}
+
+bool GraphColorWorkload::verify(core::Janus &J, const PayloadSpec &Payload) {
+  RandomGraph G = generateGraph(Payload);
+  int64_t Max = 0;
+  for (int64_t V = 0, N = static_cast<int64_t>(G.Neighbors.size()); V != N;
+       ++V) {
+    Value CV = J.valueAt(Color.locationAt(V));
+    if (!CV.isInt() || CV.asInt() <= 0)
+      return false; // Every node must be colored.
+    Max = std::max(Max, CV.asInt());
+    for (int64_t Nb : G.Neighbors[V]) {
+      if (J.valueAt(Color.locationAt(Nb)) == CV)
+        return false; // Proper coloring: no monochromatic edge.
+    }
+  }
+  // maxColor must equal the largest color used (its conflicting writes
+  // are still synchronized; only its reads are relaxed).
+  return J.valueAt(MaxColor.location()) == Value::of(std::max<int64_t>(Max, 1));
+}

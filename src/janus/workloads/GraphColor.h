@@ -1,0 +1,85 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JGraphT-1 workload: greedy graph coloring (paper Figure 3,
+/// Table 5 row 2a).
+///
+/// Each iteration colors one node with the smallest color unused by its
+/// neighbors, maintaining:
+///   - `color[]`, the per-node colors (real inter-iteration data flow);
+///   - `usedColors`, a shared BitSet used as a scratch pad — the
+///     *shared-as-local* pattern (each iteration clears and rebuilds
+///     it), registered with a tolerate-WAW relaxation;
+///   - `maxColor`, updated only when a larger color appears — the
+///     *spurious-reads* pattern, registered with a tolerate-RAW
+///     relaxation (cf. the paper: "if one (or both) of the transactions
+///     merely reads this variable, then there is no threat of
+///     conflict").
+///
+/// The greedy algorithm mandates ordered traversal over the nodes, so
+/// the loop runs in-order. Inputs are random simple graphs sized per
+/// Table 6 (100 nodes / avg degree 5 for training; 1000 nodes / avg
+/// degree 5 for production).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_WORKLOADS_GRAPHCOLOR_H
+#define JANUS_WORKLOADS_GRAPHCOLOR_H
+
+#include "janus/adt/TxArray.h"
+#include "janus/adt/TxBitSet.h"
+#include "janus/adt/TxVar.h"
+#include "janus/workloads/Workload.h"
+
+namespace janus {
+namespace workloads {
+
+/// A random simple graph as adjacency lists.
+struct RandomGraph {
+  std::vector<std::vector<int64_t>> Neighbors;
+
+  /// Generates an Erdős–Rényi-style simple graph with \p Nodes nodes
+  /// and expected average degree \p AvgDegree.
+  static RandomGraph generate(uint64_t Seed, int Nodes, int AvgDegree);
+};
+
+/// The JGraphT greedy-coloring benchmark.
+class GraphColorWorkload : public Workload {
+public:
+  std::string name() const override { return "JGraphT-1"; }
+  std::string description() const override {
+    return "Greedy graph-coloring algorithm";
+  }
+  std::string patterns() const override {
+    return "Shared-as-local, Spurious-reads";
+  }
+  std::string trainingInputDesc() const override {
+    return "Random simple graph: 100 nodes, average degree 5";
+  }
+  std::string productionInputDesc() const override {
+    return "Random simple graph: 1000 nodes, average degree 5";
+  }
+  bool ordered() const override { return true; }
+
+  void setup(core::Janus &J) override;
+  std::vector<stm::TaskFn> makeTasks(const PayloadSpec &Payload) override;
+  bool verify(core::Janus &J, const PayloadSpec &Payload) override;
+
+  static RandomGraph generateGraph(const PayloadSpec &Payload);
+
+  /// \returns the shared location of node \p V's color (for clients
+  /// inspecting the final coloring).
+  Location colorLocation(int64_t V) const { return Color.locationAt(V); }
+
+private:
+  adt::TxIntArray Color;
+  adt::TxBitSet UsedColors;
+  adt::TxIntVar MaxColor;
+  /// Kept alive for the tasks of the last makeTasks() call.
+  std::shared_ptr<RandomGraph> Graph;
+};
+
+} // namespace workloads
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_GRAPHCOLOR_H

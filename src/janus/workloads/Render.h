@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Weka workload: rendering a graph to a display device (paper
+/// Figure 5, Table 5 row 4).
+///
+/// GraphVisualizer traverses the nodes of a (Bayesian-network) graph
+/// and paints each one: normal nodes get a filled oval in the darkened
+/// background color plus a white label; evidence nodes get a vertical
+/// line; every node draws the connecting edges to its parents. Distinct
+/// iterations frequently touch the same pixels — oval borders, shared
+/// edges — but they paint them the *same* color, the *equal-writes*
+/// pattern: "distinct iterations accessing the same pixel do not
+/// conflict if they have set the Graphics object to the same color".
+///
+/// Inputs are random layered DAGs ("parameters for creation of a random
+/// Bayesian network", Table 6) with node positions on a small canvas so
+/// overlaps actually occur.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_WORKLOADS_RENDER_H
+#define JANUS_WORKLOADS_RENDER_H
+
+#include "janus/adt/TxCanvas.h"
+#include "janus/workloads/Workload.h"
+
+namespace janus {
+namespace workloads {
+
+/// One node of the network to draw.
+struct GraphNode {
+  int64_t X, Y;
+  bool Normal; ///< Normal node (oval + label) vs evidence node (line).
+  std::string Label;
+  std::vector<int> Parents; ///< Edges drawn from this node's center.
+};
+
+/// A generated drawing scene.
+struct RenderScene {
+  int64_t Width, Height;
+  std::vector<GraphNode> Nodes;
+};
+
+/// The Weka GraphVisualizer benchmark.
+class RenderWorkload : public Workload {
+public:
+  std::string name() const override { return "Weka"; }
+  std::string description() const override {
+    return "Machine-learning library for data-mining tasks "
+           "(graph visualizer)";
+  }
+  std::string patterns() const override { return "Equal-writes"; }
+  std::string trainingInputDesc() const override {
+    return "Random Bayesian network: 30 nodes";
+  }
+  std::string productionInputDesc() const override {
+    return "Random Bayesian network: 120 nodes";
+  }
+  bool ordered() const override { return false; }
+
+  void setup(core::Janus &J) override;
+  std::vector<stm::TaskFn> makeTasks(const PayloadSpec &Payload) override;
+  bool verify(core::Janus &J, const PayloadSpec &Payload) override;
+
+  static RenderScene generateScene(const PayloadSpec &Payload);
+
+  /// Node geometry (Figure 5's nodeWidth/nodeHeight).
+  static constexpr int64_t NodeWidth = 8;
+  static constexpr int64_t NodeHeight = 6;
+
+private:
+  adt::TxCanvas Canvas;
+  std::shared_ptr<RenderScene> Scene;
+};
+
+} // namespace workloads
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_RENDER_H

@@ -1,0 +1,76 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JGraphT-2 workload: saturation-degree node ordering for heuristic
+/// graph coloring (paper Table 5 row 2b).
+///
+/// The saturation-degree (DSATUR-style) pass colors nodes in a fixed
+/// priority order while maintaining *six* shared data containers whose
+/// access patterns are determined dynamically by the input graph —
+/// which is why "manual or static identification of commutative
+/// patterns … can be challenging" (§7.2) and why the paper observes
+/// that "the transactions in this benchmark make intensive access to
+/// shared memory (comprising 6 data containers) all across their
+/// execution", making speedup modest even though sequence-based
+/// detection eliminates nearly all retries.
+///
+/// Containers: colorOf[] (real data flow), saturation[] (commutative
+/// per-neighbor reductions), a scratch bit set (shared-as-local),
+/// maxColor (spurious reads), colorCounts (reduction map), and a
+/// colored-nodes counter (reduction).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_WORKLOADS_SATURATION_H
+#define JANUS_WORKLOADS_SATURATION_H
+
+#include "janus/adt/TxArray.h"
+#include "janus/adt/TxBitSet.h"
+#include "janus/adt/TxCounter.h"
+#include "janus/adt/TxMap.h"
+#include "janus/adt/TxVar.h"
+#include "janus/workloads/GraphColor.h"
+#include "janus/workloads/Workload.h"
+
+namespace janus {
+namespace workloads {
+
+/// The JGraphT saturation-degree benchmark.
+class SaturationWorkload : public Workload {
+public:
+  std::string name() const override { return "JGraphT-2"; }
+  std::string description() const override {
+    return "Saturation-degree node-ordering algorithm for heuristic "
+           "graph coloring";
+  }
+  std::string patterns() const override {
+    return "Shared-as-local, Equal-writes";
+  }
+  std::string trainingInputDesc() const override {
+    return "Random simple graph: 100 nodes, average degree 10";
+  }
+  std::string productionInputDesc() const override {
+    return "Random simple graph: 1000 nodes, average degree 10";
+  }
+  bool ordered() const override { return true; }
+
+  void setup(core::Janus &J) override;
+  std::vector<stm::TaskFn> makeTasks(const PayloadSpec &Payload) override;
+  bool verify(core::Janus &J, const PayloadSpec &Payload) override;
+
+  static RandomGraph generateGraph(const PayloadSpec &Payload);
+
+private:
+  adt::TxIntArray ColorOf;
+  adt::TxIntArray SaturationDeg;
+  adt::TxBitSet Scratch;
+  adt::TxIntVar MaxColor;
+  adt::TxMap ColorCounts;
+  adt::TxCounter ColoredNodes;
+  std::shared_ptr<RandomGraph> Graph;
+};
+
+} // namespace workloads
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_SATURATION_H

@@ -1,0 +1,43 @@
+#include "janus/workloads/Workload.h"
+
+#include "janus/workloads/CodeScan.h"
+#include "janus/workloads/FileSync.h"
+#include "janus/workloads/GraphColor.h"
+#include "janus/workloads/Render.h"
+#include "janus/workloads/Saturation.h"
+
+using namespace janus;
+using namespace janus::workloads;
+
+Workload::~Workload() = default;
+
+std::vector<PayloadSpec> Workload::trainingPayloads(int Count) const {
+  std::vector<PayloadSpec> Out;
+  for (int I = 0; I != Count; ++I)
+    Out.push_back(PayloadSpec{static_cast<uint64_t>(I + 1), false});
+  return Out;
+}
+
+std::vector<PayloadSpec> Workload::productionPayloads(int Count) const {
+  std::vector<PayloadSpec> Out;
+  for (int I = 0; I != Count; ++I)
+    Out.push_back(PayloadSpec{static_cast<uint64_t>(100 + I), true});
+  return Out;
+}
+
+std::vector<std::unique_ptr<Workload>> workloads::allWorkloads() {
+  std::vector<std::unique_ptr<Workload>> Out;
+  Out.push_back(std::make_unique<FileSyncWorkload>());
+  Out.push_back(std::make_unique<GraphColorWorkload>());
+  Out.push_back(std::make_unique<SaturationWorkload>());
+  Out.push_back(std::make_unique<CodeScanWorkload>());
+  Out.push_back(std::make_unique<RenderWorkload>());
+  return Out;
+}
+
+std::unique_ptr<Workload> workloads::workloadByName(const std::string &Name) {
+  for (auto &W : allWorkloads())
+    if (W->name() == Name)
+      return std::move(W);
+  return nullptr;
+}

@@ -1,0 +1,467 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit and property tests for sequence abstraction (paper §5.2):
+/// canonical symbolization, idempotence detection, Kleene-cross
+/// collapse, and the Lemma 5.1 pumping property — a sequence and its
+/// pumped variants must abstract to identical signatures, and CONFLICT
+/// verdicts must be unchanged by pumping.
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/abstraction/AbstractSeq.h"
+#include "janus/abstraction/Symbolize.h"
+#include "janus/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace janus;
+using namespace janus::abstraction;
+using namespace janus::symbolic;
+
+// ---------------------------------------------------------------------------
+// Symbolization.
+// ---------------------------------------------------------------------------
+
+TEST(SymbolizeTest, FreshParamsNumberedByAppearance) {
+  LocOpSeq Seq{LocOp::add(2), LocOp::add(5)};
+  SymbolizeResult R = symbolize(Seq);
+  EXPECT_EQ(symSeqToString(R.Seq), "A(p1), A(p2)");
+  EXPECT_EQ(R.Binds.at(1), Value::of(2));
+  EXPECT_EQ(R.Binds.at(2), Value::of(5));
+}
+
+TEST(SymbolizeTest, NegatedAddSharesSymbol) {
+  // { work+=3; work-=3 } → { work+=x; work-=x } (paper §5.1).
+  LocOpSeq Seq{LocOp::add(3), LocOp::add(-3)};
+  SymbolizeResult R = symbolize(Seq);
+  EXPECT_EQ(symSeqToString(R.Seq), "A(p1), A(-p1)");
+  EXPECT_EQ(R.Binds.size(), 1u);
+}
+
+TEST(SymbolizeTest, RepeatedOperandSharesSymbol) {
+  LocOpSeq Seq{LocOp::add(4), LocOp::add(4)};
+  EXPECT_EQ(symSeqToString(symbolize(Seq).Seq), "A(p1), A(p1)");
+  LocOpSeq WSeq{LocOp::write(Value::of("c")), LocOp::write(Value::of("c"))};
+  EXPECT_EQ(symSeqToString(symbolize(WSeq).Seq), "W(q1), W(q1)");
+}
+
+TEST(SymbolizeTest, WriteOfReadPlusOffset) {
+  // Push: read size (5), write 6 → W(read#0 + 1).
+  LocOpSeq Seq{LocOp::read(Value::of(5)), LocOp::write(Value::of(6))};
+  EXPECT_EQ(symSeqToString(symbolize(Seq).Seq), "R, W(read#0+1)");
+  // Write-back of the read value itself.
+  LocOpSeq Seq2{LocOp::read(Value::of(5)), LocOp::write(Value::of(5))};
+  EXPECT_EQ(symSeqToString(symbolize(Seq2).Seq), "R, W(read#0)");
+}
+
+TEST(SymbolizeTest, FarWriteGetsFreshSymbol) {
+  // Offset beyond MaxReadOffset: not a read-plus pattern.
+  LocOpSeq Seq{LocOp::read(Value::of(5)), LocOp::write(Value::of(100))};
+  EXPECT_EQ(symSeqToString(symbolize(Seq).Seq), "R, W(p1)");
+}
+
+TEST(SymbolizeTest, NonIntWritesAreOpaque) {
+  LocOpSeq Seq{LocOp::write(Value::of("black"))};
+  SymbolizeResult R = symbolize(Seq);
+  EXPECT_EQ(symSeqToString(R.Seq), "W(q1)");
+  EXPECT_EQ(R.Binds.at(1), Value::of("black"));
+}
+
+TEST(SymbolizeTest, DeterministicAndCanonical) {
+  LocOpSeq A{LocOp::add(7), LocOp::read(Value::of(7)), LocOp::add(-7)};
+  LocOpSeq B{LocOp::add(9), LocOp::read(Value::of(9)), LocOp::add(-9)};
+  // Same relationships, different values: identical symbolic structure.
+  EXPECT_EQ(symbolize(A).Seq, symbolize(B).Seq);
+}
+
+// ---------------------------------------------------------------------------
+// Idempotence.
+// ---------------------------------------------------------------------------
+
+TEST(IdempotenceTest, BalancedAddPairIsIdempotent) {
+  SymLocSeq Body{SymLocOp::add(Term::intSym(1)),
+                 SymLocOp::add(*Term::intSym(1).negated())};
+  EXPECT_TRUE(isIdempotent(Body));
+}
+
+TEST(IdempotenceTest, SingleAddIsNot) {
+  SymLocSeq Body{SymLocOp::add(Term::intSym(1))};
+  EXPECT_FALSE(isIdempotent(Body));
+}
+
+TEST(IdempotenceTest, SingleWriteIsNotAcrossFreshParams) {
+  // W(p); W(p') yields p' — collapsing W(p) to a group would be
+  // unsound, so the fresh-parameter check must reject it.
+  SymLocSeq Body{SymLocOp::write(Term::opaqueSym(1))};
+  EXPECT_FALSE(isIdempotent(Body));
+}
+
+TEST(IdempotenceTest, PureReadIsIdempotent) {
+  SymLocSeq Body{SymLocOp::read()};
+  EXPECT_TRUE(isIdempotent(Body));
+}
+
+TEST(IdempotenceTest, PushPopIsIdempotent) {
+  SymLocSeq Body{SymLocOp::read(), SymLocOp::write(Term::readPlus(0, 1)),
+                 SymLocOp::read(), SymLocOp::write(Term::readPlus(1, -1))};
+  EXPECT_TRUE(isIdempotent(Body));
+}
+
+TEST(IdempotenceTest, WriteBackOfReadIsIdempotent) {
+  SymLocSeq Body{SymLocOp::read(), SymLocOp::write(Term::readPlus(0, 0))};
+  EXPECT_TRUE(isIdempotent(Body));
+}
+
+// ---------------------------------------------------------------------------
+// Abstraction (Kleene collapse).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string sigOf(const LocOpSeq &Seq, bool Kleene = true) {
+  return abstractSequence(symbolize(Seq), Kleene).Seq.signature();
+}
+
+} // namespace
+
+TEST(AbstractSeqTest, CollapsesBalancedAddRuns) {
+  // { +=2, -=2, +=1, -=1 }: the add-run collapse subsumes the paper's
+  // { work+=x; work-=x; }+ abstraction — any adjacent add run becomes a
+  // single add of its total, so every balanced run shares one
+  // signature.
+  LocOpSeq Seq{LocOp::add(2), LocOp::add(-2), LocOp::add(1), LocOp::add(-1)};
+  EXPECT_EQ(sigOf(Seq), "A(p1)");
+  // A single balanced pair abstracts to the same signature.
+  LocOpSeq One{LocOp::add(9), LocOp::add(-9)};
+  EXPECT_EQ(sigOf(One), sigOf(Seq));
+  // The synthetic parameter is bound to the run's total (0 here).
+  AbstractResult R = abstractSequence(symbolize(One), true);
+  ASSERT_EQ(R.Binds.size(), 1u);
+  EXPECT_EQ(R.Binds.begin()->second, Value::of(int64_t(0)));
+}
+
+TEST(AbstractSeqTest, PumpingInvariance) {
+  // Lemma 5.1: any repetition count yields the same signature.
+  std::string Expected;
+  for (int Reps = 1; Reps <= 5; ++Reps) {
+    LocOpSeq Seq;
+    for (int I = 0; I != Reps; ++I) {
+      Seq.push_back(LocOp::add(I + 1));
+      Seq.push_back(LocOp::add(-(I + 1)));
+    }
+    std::string Sig = sigOf(Seq);
+    if (Reps == 1)
+      Expected = Sig;
+    EXPECT_EQ(Sig, Expected) << Reps << " repetitions";
+  }
+}
+
+TEST(AbstractSeqTest, ReadRunsCollapse) {
+  LocOpSeq One{LocOp::read(Value::of(1))};
+  LocOpSeq Many{LocOp::read(Value::of(1)), LocOp::read(Value::of(1)),
+                LocOp::read(Value::of(1))};
+  EXPECT_EQ(sigOf(One), sigOf(Many));
+  EXPECT_EQ(sigOf(One), "[R]+");
+}
+
+TEST(AbstractSeqTest, UnbalancedAddRunsMergeToTheirTotal) {
+  LocOpSeq Seq{LocOp::add(2), LocOp::add(3)};
+  EXPECT_EQ(sigOf(Seq), "A(p1)");
+  AbstractResult R = abstractSequence(symbolize(Seq), true);
+  EXPECT_EQ(R.Binds.begin()->second, Value::of(int64_t(5)));
+  // A read in between prevents merging: the intermediate value is
+  // observable.
+  LocOpSeq WithRead{LocOp::add(2), LocOp::read(Value::of(2)),
+                    LocOp::add(3)};
+  EXPECT_EQ(sigOf(WithRead), "A(p1), [R]+, A(p2)");
+}
+
+TEST(AbstractSeqTest, DeadWritesAreEliminated) {
+  // Adjacent writes: only the last is observable per-location, so the
+  // canonical form keeps just it.
+  LocOpSeq Seq{LocOp::write(Value::of(1)), LocOp::write(Value::of(2))};
+  EXPECT_EQ(sigOf(Seq), "W(p1)");
+  // A write also kills a preceding add (its effect is overwritten).
+  LocOpSeq AddThenWrite{LocOp::add(5), LocOp::write(Value::of(2))};
+  EXPECT_EQ(sigOf(AddThenWrite), "W(p1)");
+  // A read in between keeps both writes (the intermediate value is
+  // observable). Values are chosen far apart so the second write is
+  // not a read-plus pattern.
+  LocOpSeq Seq2{LocOp::write(Value::of(1)), LocOp::read(Value::of(1)),
+                LocOp::write(Value::of(50))};
+  EXPECT_EQ(sigOf(Seq2), "W(p1), [R]+, W(p2)");
+  // Without abstraction the concrete shape is preserved.
+  EXPECT_EQ(sigOf(Seq, false), "W(p1), W(p2)");
+}
+
+TEST(AbstractSeqTest, PushPopCollapsesAcrossDepths) {
+  // JFileSync: nested balanced push/pop runs of varying depth.
+  auto PushPop = [](LocOpSeq &Seq, int64_t Size) {
+    Seq.push_back(LocOp::read(Value::of(Size)));
+    Seq.push_back(LocOp::write(Value::of(Size + 1)));
+    Seq.push_back(LocOp::read(Value::of(Size + 1)));
+    Seq.push_back(LocOp::write(Value::of(Size)));
+  };
+  LocOpSeq One, Three;
+  PushPop(One, 4);
+  PushPop(Three, 4);
+  PushPop(Three, 4);
+  PushPop(Three, 4);
+  EXPECT_EQ(sigOf(One), sigOf(Three));
+  EXPECT_EQ(sigOf(One), "[R, W(read#0+1), R, W(read#1-1)]+");
+}
+
+TEST(AbstractSeqTest, NoKleeneKeepsConcreteShape) {
+  LocOpSeq Seq{LocOp::add(2), LocOp::add(-2), LocOp::add(1), LocOp::add(-1)};
+  EXPECT_EQ(sigOf(Seq, /*Kleene=*/false), "A(p1), A(-p1), A(p2), A(-p2)");
+  // Without abstraction, pumped variants have distinct signatures.
+  LocOpSeq Short{LocOp::add(2), LocOp::add(-2)};
+  EXPECT_NE(sigOf(Seq, false), sigOf(Short, false));
+}
+
+TEST(AbstractSeqTest, ListCellHistoriesNormalizeToErase) {
+  // The list element cells of the JFileSync monitors see write/erase
+  // pairs; dead-write elimination reduces any balanced history to the
+  // final erase, so every depth and value yields one signature.
+  LocOpSeq Seq{LocOp::write(Value::of(7)), LocOp::write(Value::absent()),
+               LocOp::write(Value::of(9)), LocOp::write(Value::absent())};
+  EXPECT_EQ(sigOf(Seq), "[W(absent)]+");
+  LocOpSeq One{LocOp::write(Value::of(3)), LocOp::write(Value::absent())};
+  EXPECT_EQ(sigOf(One), sigOf(Seq));
+  // Without abstraction each shape stays distinct.
+  EXPECT_NE(sigOf(One, false), sigOf(Seq, false));
+}
+
+TEST(AbstractSeqTest, MixedSequencePreservesOrder) {
+  // The read result (42) is far from the written value (3), so the
+  // write is a fresh parameter, not a read-plus pattern. The add run is
+  // dead (overwritten by the write with no read in between).
+  LocOpSeq Seq{LocOp::read(Value::of(42)), LocOp::add(5), LocOp::add(-5),
+               LocOp::write(Value::of(3))};
+  EXPECT_EQ(sigOf(Seq), "[R]+, W(p1)");
+  // With a read separating them, the adds survive and merge.
+  LocOpSeq Seq2{LocOp::read(Value::of(42)), LocOp::add(5), LocOp::add(-5),
+                LocOp::read(Value::of(42)), LocOp::write(Value::of(3))};
+  EXPECT_EQ(sigOf(Seq2), "[R]+, A(p1), [R]+, W(p2)");
+}
+
+TEST(AbstractSeqTest, ExpandOnceRebuildsGlobalReadIndices) {
+  LocOpSeq Seq{LocOp::read(Value::of(7)), LocOp::write(Value::of(8)),
+               LocOp::read(Value::of(8)), LocOp::write(Value::of(7))};
+  AbstractResult R = abstractSequence(symbolize(Seq), true);
+  SymLocSeq Expanded = R.Seq.expandOnce();
+  // One unrolling of the push/pop body.
+  EXPECT_EQ(symSeqToString(Expanded), "R, W(read#0+1), R, W(read#1-1)");
+}
+
+TEST(AbstractSeqTest, BindingsSurviveRenumbering) {
+  // The read between the add and the write keeps both live.
+  LocOpSeq Seq{LocOp::add(7), LocOp::read(Value::of(7)),
+               LocOp::write(Value::of("x"))};
+  AbstractResult R = abstractSequence(symbolize(Seq), true);
+  // Two params total; both bound.
+  EXPECT_EQ(R.Binds.size(), 2u);
+  bool SawInt = false, SawStr = false;
+  for (const auto &[S, V] : R.Binds) {
+    (void)S;
+    SawInt = SawInt || V == Value::of(7);
+    SawStr = SawStr || V == Value::of("x");
+  }
+  EXPECT_TRUE(SawInt && SawStr);
+}
+
+/// Property: abstraction signatures are invariant under pumping any
+/// collapsed group, for random mixed sequences.
+class PumpingProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PumpingProperty, SignaturesInvariantUnderPumping) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter != 50; ++Iter) {
+    // Generate a random base sequence of identity-ish fragments and
+    // noise ops.
+    LocOpSeq Base;
+    int64_t Cur = R.range(0, 5);
+    LocOpSeq Pumped;
+    for (int Frag = 0, E = 1 + static_cast<int>(R.below(4)); Frag != E;
+         ++Frag) {
+      switch (R.below(3)) {
+      case 0: { // Balanced add pair; pumped twice in the variant.
+        int64_t D = R.range(1, 6);
+        for (int K = 0; K != 1; ++K) {
+          Base.push_back(LocOp::add(D));
+          Base.push_back(LocOp::add(-D));
+        }
+        int64_t D2 = R.range(1, 6);
+        Pumped.push_back(LocOp::add(D));
+        Pumped.push_back(LocOp::add(-D));
+        Pumped.push_back(LocOp::add(D2));
+        Pumped.push_back(LocOp::add(-D2));
+        break;
+      }
+      case 1: { // A read (pumped: several reads).
+        Base.push_back(LocOp::read(Value::of(Cur)));
+        Pumped.push_back(LocOp::read(Value::of(Cur)));
+        Pumped.push_back(LocOp::read(Value::of(Cur)));
+        break;
+      }
+      default: { // An unbalanced add: not collapsible, kept verbatim.
+        int64_t D = R.range(1, 6);
+        Base.push_back(LocOp::add(D));
+        Pumped.push_back(LocOp::add(D));
+        Cur += D;
+        break;
+      }
+      }
+    }
+    EXPECT_EQ(sigOf(Base), sigOf(Pumped)) << "iteration " << Iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PumpingProperty,
+                         ::testing::Values(31, 41, 59, 26));
+
+// ---------------------------------------------------------------------------
+// Lemma 5.1, behaviorally: if a body is idempotent, pumping it inside a
+// sequence never changes any CONFLICT verdict against any other
+// sequence. (The signature-invariance tests above check the cache view;
+// this checks the semantics the lemma actually claims.)
+// ---------------------------------------------------------------------------
+
+#include "janus/conflict/OnlineConflict.h"
+
+namespace {
+
+/// Instantiates a symbolic body with fresh concrete operands and
+/// appends it to \p Seq, tracking the running value for read results.
+void appendInstance(LocOpSeq &Seq, const SymLocSeq &Body, Rng &R,
+                    Value &Running) {
+  Bindings Binds;
+  std::map<SymId, bool> Syms;
+  for (const SymLocOp &Op : Body)
+    if (Op.Kind != LocOpKind::Read)
+      Op.Operand.collectSymbols(Syms);
+  for (const auto &[S, Flag] : Syms) {
+    (void)Flag;
+    if (S != EntrySym)
+      Binds[S] = Value::of(R.range(-3, 3));
+  }
+  std::vector<Term> Reads;
+  for (const SymLocOp &Op : Body) {
+    switch (Op.Kind) {
+    case LocOpKind::Read:
+      Seq.push_back(LocOp::read(Running));
+      break;
+    case LocOpKind::Write: {
+      Value V;
+      if (Op.Operand.kind() == Term::Kind::ReadPlus) {
+        // The bodies used here always reference their most recent read,
+        // whose observed value is recoverable from the emitted ops.
+        int64_t Base = 0;
+        for (auto It = Seq.rbegin(); It != Seq.rend(); ++It)
+          if (It->Kind == LocOpKind::Read) {
+            Base = It->ReadResult.isInt() ? It->ReadResult.asInt() : 0;
+            break;
+          }
+        V = Value::of(Base + Op.Operand.readOffset());
+      } else {
+        std::optional<Value> Eval = Op.Operand.evaluate(Binds);
+        V = Eval ? *Eval : Value::of(int64_t(0));
+      }
+      Seq.push_back(LocOp::write(V));
+      break;
+    }
+    case LocOpKind::Add: {
+      std::optional<Value> Eval = Op.Operand.evaluate(Binds);
+      int64_t D = Eval && Eval->isInt() ? Eval->asInt() : 1;
+      Seq.push_back(LocOp::add(D));
+      break;
+    }
+    }
+    Running = applyLocOp(Running, Seq.back());
+  }
+}
+
+} // namespace
+
+class Lemma51Behavioral : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Lemma51Behavioral, PumpingPreservesConflictVerdicts) {
+  Rng R(GetParam());
+  // Idempotent bodies drawn from the shapes the workloads produce.
+  const std::vector<SymLocSeq> Bodies = {
+      {SymLocOp::read()},
+      {SymLocOp::add(Term::intSym(1)), SymLocOp::add(*Term::intSym(1).negated())},
+      {SymLocOp::read(), SymLocOp::write(Term::readPlus(0, 1)),
+       SymLocOp::read(), SymLocOp::write(Term::readPlus(1, -1))},
+      {SymLocOp::write(Term::intSym(2)),
+       SymLocOp::write(Term::constant(Value::absent()))},
+  };
+  for (int Iter = 0; Iter != 120; ++Iter) {
+    const SymLocSeq &Body = Bodies[R.below(Bodies.size())];
+    ASSERT_TRUE(isIdempotent(Body));
+
+    int64_t EntryInt = R.range(0, 5);
+    Value Entry = Value::of(EntryInt);
+
+    // Both sequences share an identical prefix, first body instance and
+    // suffix; the pumped variant inserts extra instances after the
+    // first (Lemma 5.1's s1 · s2 · s2 · s3 shape).
+    bool WithPrefix = R.chance(1, 2);
+    int64_t PrefixDelta = R.range(-2, 2);
+    bool WithSuffix = R.chance(1, 2);
+    uint64_t FirstSeed = R.next();
+    uint64_t ExtraSeed = R.next();
+    int ExtraReps = 1 + static_cast<int>(R.below(3));
+
+    auto Build = [&](bool Pump) {
+      LocOpSeq Seq;
+      Value Running = Entry;
+      if (WithPrefix) {
+        Seq.push_back(LocOp::add(PrefixDelta));
+        Running = applyLocOp(Running, Seq.back());
+      }
+      Rng First(FirstSeed);
+      appendInstance(Seq, Body, First, Running);
+      if (Pump) {
+        Rng Extra(ExtraSeed);
+        for (int K = 0; K != ExtraReps; ++K)
+          appendInstance(Seq, Body, Extra, Running);
+      }
+      if (WithSuffix)
+        Seq.push_back(LocOp::read(Running));
+      return Seq;
+    };
+    LocOpSeq Once = Build(false);
+    LocOpSeq Pumped = Build(true);
+
+    // Random other sequence.
+    LocOpSeq Other;
+    for (int K = 0, E = 1 + static_cast<int>(R.below(3)); K != E; ++K) {
+      switch (R.below(3)) {
+      case 0:
+        Other.push_back(LocOp::add(R.range(-2, 2)));
+        break;
+      case 1:
+        Other.push_back(LocOp::read());
+        break;
+      default:
+        Other.push_back(LocOp::write(Value::of(R.range(0, 4))));
+        break;
+      }
+    }
+
+    EXPECT_EQ(janus::conflict::conflictOnline(Entry, Once, Other),
+              janus::conflict::conflictOnline(Entry, Pumped, Other))
+        << "iteration " << Iter
+        << "\n once   = " << sequenceToString(Once)
+        << "\n pumped = " << sequenceToString(Pumped)
+        << "\n other  = " << sequenceToString(Other);
+    EXPECT_EQ(janus::conflict::conflictOnline(Entry, Other, Once),
+              janus::conflict::conflictOnline(Entry, Other, Pumped))
+        << "iteration " << Iter << " (history side)";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma51Behavioral,
+                         ::testing::Values(1001, 1002, 1003));

@@ -1,0 +1,408 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit and property tests for the conflict module: DECOMPOSE, the
+/// online CONFLICT test of Figure 8, the commutativity cache (incl.
+/// serialization round-trips) and the sequence-based detector's
+/// fallback chain.
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/conflict/CommutativityCache.h"
+#include "janus/conflict/Decompose.h"
+#include "janus/conflict/OnlineConflict.h"
+#include "janus/conflict/SequenceDetector.h"
+#include "janus/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace janus;
+using namespace janus::conflict;
+using namespace janus::symbolic;
+using stm::LogEntry;
+using stm::TxLog;
+using stm::TxLogRef;
+
+namespace {
+
+TxLogRef logOf(std::initializer_list<LogEntry> Entries) {
+  return std::make_shared<const TxLog>(Entries);
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// DECOMPOSE.
+// ---------------------------------------------------------------------------
+
+TEST(DecomposeTest, SplitsByLocationPreservingOrder) {
+  ObjectId A{1}, B{2};
+  TxLog Log{{Location(A), LocOp::add(1)},
+            {Location(B), LocOp::write(Value::of(5))},
+            {Location(A), LocOp::add(-1)},
+            {Location(A, 3), LocOp::read()}};
+  Decomposition D = decompose(Log);
+  EXPECT_EQ(D.size(), 3u);
+  ASSERT_EQ(D[Location(A)].size(), 2u);
+  EXPECT_EQ(D[Location(A)][0], LocOp::add(1));
+  EXPECT_EQ(D[Location(A)][1], LocOp::add(-1));
+  EXPECT_EQ(D[Location(B)].size(), 1u);
+  EXPECT_EQ(D[Location(A, 3)].size(), 1u);
+}
+
+TEST(DecomposeTest, ConcatenatesCommittedLogsInOrder) {
+  ObjectId A{1};
+  auto L1 = logOf({{Location(A), LocOp::write(Value::of(1))}});
+  auto L2 = logOf({{Location(A), LocOp::write(Value::of(2))}});
+  Decomposition D = decomposeAll({L1, L2});
+  ASSERT_EQ(D[Location(A)].size(), 2u);
+  EXPECT_EQ(D[Location(A)][0].Operand, Value::of(1));
+  EXPECT_EQ(D[Location(A)][1].Operand, Value::of(2));
+}
+
+// ---------------------------------------------------------------------------
+// Online CONFLICT (Figure 8).
+// ---------------------------------------------------------------------------
+
+TEST(OnlineConflictTest, AddsNeverConflict) {
+  LocOpSeq Mine{LocOp::add(3)};
+  LocOpSeq Theirs{LocOp::add(-7)};
+  EXPECT_FALSE(conflictOnline(Value::of(0), Mine, Theirs));
+}
+
+TEST(OnlineConflictTest, IdentityVsIdentityNoConflict) {
+  LocOpSeq Mine{LocOp::add(4), LocOp::add(-4)};
+  LocOpSeq Theirs{LocOp::add(9), LocOp::add(-9)};
+  EXPECT_FALSE(conflictOnline(Value::of(10), Mine, Theirs));
+}
+
+TEST(OnlineConflictTest, ReadVsWriteConflictsUnlessValueRestored) {
+  LocOpSeq Mine{LocOp::read()};
+  LocOpSeq SameWrite{LocOp::write(Value::of(5))};
+  LocOpSeq OtherWrite{LocOp::write(Value::of(6))};
+  EXPECT_FALSE(conflictOnline(Value::of(5), Mine, SameWrite));
+  EXPECT_TRUE(conflictOnline(Value::of(5), Mine, OtherWrite));
+}
+
+TEST(OnlineConflictTest, EqualWritesDoNotConflict) {
+  LocOpSeq Mine{LocOp::write(Value::of("black"))};
+  LocOpSeq Theirs{LocOp::write(Value::of("black"))};
+  EXPECT_FALSE(conflictOnline(Value::absent(), Mine, Theirs));
+  LocOpSeq Other{LocOp::write(Value::of("white"))};
+  EXPECT_TRUE(conflictOnline(Value::absent(), Mine, Other));
+}
+
+TEST(OnlineConflictTest, SameReadCatchesControlFlowDependence) {
+  // The paper's §5.3 counterexample: COMMUTE alone is insufficient —
+  // a read whose value differs between orders must conflict even if the
+  // final value agrees.
+  LocOpSeq Mine{LocOp::read(), LocOp::write(Value::of(1))};
+  LocOpSeq Theirs{LocOp::write(Value::of(1))};
+  // Final value is 1 in both orders (COMMUTE holds), but Mine's read
+  // sees 0 vs 1.
+  EXPECT_TRUE(conflictOnline(Value::of(0), Mine, Theirs));
+}
+
+TEST(OnlineConflictTest, RelaxationsDropChecks) {
+  LocOpSeq Mine{LocOp::read()};
+  LocOpSeq Theirs{LocOp::write(Value::of(6))};
+  ChecksSpec RelaxRAW;
+  RelaxRAW.SameReadA = RelaxRAW.SameReadB = false;
+  EXPECT_FALSE(conflictOnline(Value::of(5), Mine, Theirs, RelaxRAW));
+
+  LocOpSeq W1{LocOp::write(Value::of(1))};
+  LocOpSeq W2{LocOp::write(Value::of(2))};
+  ChecksSpec RelaxWAW;
+  RelaxWAW.Commute = false;
+  EXPECT_FALSE(conflictOnline(Value::of(0), W1, W2, RelaxWAW));
+  EXPECT_TRUE(conflictOnline(Value::of(0), W1, W2));
+}
+
+// ---------------------------------------------------------------------------
+// Cache.
+// ---------------------------------------------------------------------------
+
+TEST(CommutativityCacheTest, InsertLookup) {
+  CommutativityCache C;
+  CacheKey K{"work", "[A(p1), A(-p1)]+", "[A(p1), A(-p1)]+"};
+  EXPECT_EQ(C.lookup(K), std::nullopt);
+  C.insert(K, Condition::valid());
+  ASSERT_TRUE(C.lookup(K).has_value());
+  EXPECT_TRUE(C.lookup(K)->isValid());
+  EXPECT_EQ(C.size(), 1u);
+  // Distinct keys are distinct entries.
+  CacheKey K2 = K;
+  K2.TheirsSig = "W(p1)";
+  EXPECT_EQ(C.lookup(K2), std::nullopt);
+}
+
+TEST(CommutativityCacheTest, SerializationRoundTrip) {
+  CommutativityCache C;
+  C.insert(CacheKey{"work", "A(p1)", "A(p1)"}, Condition::valid());
+  C.insert(CacheKey{"flag", "W(q1)", "W(q1)"}, Condition::never());
+  Condition Conditional = Condition::valid();
+  Conditional.requireEqual(Term::opaqueSym(1),
+                           Term::opaqueSym(1 + TheirParamOffset));
+  Conditional.requireEqual(Term::intSym(EntrySym),
+                           Term::constant(Value::of(7)));
+  C.insert(CacheKey{"pixel", "W(q1)", "W(q2)"}, Conditional);
+
+  std::string Text = C.serialize();
+  CommutativityCache D;
+  ASSERT_TRUE(D.deserializeInto(Text));
+  EXPECT_EQ(D.size(), 3u);
+  EXPECT_TRUE(D.lookup(CacheKey{"work", "A(p1)", "A(p1)"})->isValid());
+  EXPECT_TRUE(D.lookup(CacheKey{"flag", "W(q1)", "W(q1)"})->isNever());
+  auto Cond = D.lookup(CacheKey{"pixel", "W(q1)", "W(q2)"});
+  ASSERT_TRUE(Cond.has_value());
+  EXPECT_TRUE(Cond->isConditional());
+  EXPECT_EQ(Cond->atoms().size(), 2u);
+  // Re-serialization is stable.
+  EXPECT_EQ(D.serialize(), Text);
+}
+
+TEST(CommutativityCacheTest, DeserializeRejectsGarbage) {
+  CommutativityCache C;
+  EXPECT_FALSE(C.deserializeInto("not a cache"));
+  EXPECT_FALSE(C.deserializeInto("janus-commutativity-cache v1\nbogus"));
+  EXPECT_TRUE(C.deserializeInto("janus-commutativity-cache v1\n"));
+  EXPECT_EQ(C.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Sequence detector fallback chain.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct DetectorWorld {
+  ObjectRegistry Reg;
+  ObjectId Work;
+  std::shared_ptr<CommutativityCache> Cache;
+  DetectorWorld() : Cache(std::make_shared<CommutativityCache>()) {
+    Work = Reg.registerObject("work");
+  }
+};
+
+} // namespace
+
+TEST(SequenceDetectorTest, EmptyHistoryNeverConflicts) {
+  DetectorWorld W;
+  SequenceDetector D(W.Cache);
+  TxLog Mine{{Location(W.Work), LocOp::add(1)}};
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Mine, {}, W.Reg));
+}
+
+TEST(SequenceDetectorTest, MissWithWriteSetFallbackIsConservative) {
+  DetectorWorld W;
+  SequenceDetectorConfig Cfg;
+  Cfg.OnlineFallback = false;
+  SequenceDetector D(W.Cache, Cfg);
+  TxLog Mine{{Location(W.Work), LocOp::add(1)}};
+  auto Theirs = logOf({{Location(W.Work), LocOp::add(2)}});
+  // Empty cache: write-set fallback flags the add/add pair.
+  EXPECT_TRUE(D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg));
+  EXPECT_EQ(D.stats().CacheMisses.load(), 1u);
+  EXPECT_EQ(D.stats().WriteSetChecks.load(), 1u);
+}
+
+TEST(SequenceDetectorTest, MissWithOnlineFallbackIsPrecise) {
+  DetectorWorld W;
+  SequenceDetectorConfig Cfg;
+  Cfg.OnlineFallback = true;
+  SequenceDetector D(W.Cache, Cfg);
+  TxLog Mine{{Location(W.Work), LocOp::add(1)}};
+  auto Theirs = logOf({{Location(W.Work), LocOp::add(2)}});
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg));
+  EXPECT_EQ(D.stats().OnlineChecks.load(), 1u);
+}
+
+TEST(SequenceDetectorTest, CacheHitAnswersQuery) {
+  DetectorWorld W;
+  SequenceDetector D(W.Cache);
+  TxLog Mine{{Location(W.Work), LocOp::add(1)}};
+  auto Theirs = logOf({{Location(W.Work), LocOp::add(2)}});
+
+  // Populate the cache the way the trainer would.
+  PairQuery Q = buildPairQuery("work", {LocOp::add(1)}, {LocOp::add(2)},
+                               /*UseAbstraction=*/true);
+  W.Cache->insert(Q.Key, Condition::valid());
+
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg));
+  EXPECT_EQ(D.stats().CacheHits.load(), 1u);
+  EXPECT_EQ(D.stats().CacheMisses.load(), 0u);
+}
+
+TEST(SequenceDetectorTest, CachedNeverConditionConflicts) {
+  DetectorWorld W;
+  SequenceDetector D(W.Cache);
+  TxLog Mine{{Location(W.Work), LocOp::write(Value::of(1))}};
+  auto Theirs = logOf({{Location(W.Work), LocOp::write(Value::of(2))}});
+  PairQuery Q = buildPairQuery("work", {LocOp::write(Value::of(1))},
+                               {LocOp::write(Value::of(2))}, true);
+  W.Cache->insert(Q.Key, Condition::never());
+  EXPECT_TRUE(D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg));
+}
+
+TEST(SequenceDetectorTest, ConditionalEntryEvaluatesBindings) {
+  // Equal-writes: cache "W(q1) vs W(q2) commute iff q1 == q2".
+  DetectorWorld W;
+  SequenceDetector D(W.Cache);
+  PairQuery Q = buildPairQuery("work", {LocOp::write(Value::of("a"))},
+                               {LocOp::write(Value::of("b"))}, true);
+  Condition Cond = Condition::valid();
+  Cond.requireEqual(Term::opaqueSym(1),
+                    Term::opaqueSym(1 + TheirParamOffset));
+  W.Cache->insert(Q.Key, Cond);
+
+  auto Check = [&](const char *MineVal, const char *TheirVal) {
+    TxLog Mine{{Location(W.Work), LocOp::write(Value::of(MineVal))}};
+    auto Theirs = logOf({{Location(W.Work), LocOp::write(Value::of(TheirVal))}});
+    return D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg);
+  };
+  EXPECT_FALSE(Check("black", "black")); // Equal writes commute.
+  EXPECT_TRUE(Check("black", "white"));  // Different values conflict.
+}
+
+TEST(SequenceDetectorTest, UniqueQueryTracking) {
+  DetectorWorld W;
+  SequenceDetector D(W.Cache);
+  TxLog Mine{{Location(W.Work), LocOp::add(1)}};
+  auto Theirs = logOf({{Location(W.Work), LocOp::add(2)}});
+  // The same query repeated counts once (Figure 11 methodology).
+  for (int I = 0; I != 5; ++I)
+    D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg);
+  EXPECT_EQ(D.uniqueQueries(), 1u);
+  EXPECT_EQ(D.uniqueMisses(), 1u);
+  EXPECT_EQ(D.stats().CacheMisses.load(), 5u);
+  D.resetUniqueQueryTracking();
+  EXPECT_EQ(D.uniqueQueries(), 0u);
+}
+
+TEST(SequenceDetectorTest, RelaxedObjectsUseRelaxedChecks) {
+  // maxColor-style spurious reads: with tolerate-RAW, a pure read never
+  // conflicts with a write (online fallback path).
+  DetectorWorld W;
+  ObjectId MaxColor = W.Reg.registerObject(
+      "maxColor", "", RelaxationSpec{/*TolerateRAW=*/true,
+                                     /*TolerateWAW=*/false});
+  SequenceDetectorConfig Cfg;
+  Cfg.OnlineFallback = true;
+  SequenceDetector D(W.Cache, Cfg);
+  TxLog Mine{{Location(MaxColor), LocOp::read()}};
+  auto Theirs = logOf({{Location(MaxColor), LocOp::write(Value::of(7))}});
+  stm::Snapshot S;
+  S = S.set(Location(MaxColor), Value::of(3));
+  EXPECT_FALSE(D.detectConflicts(S, Mine, {Theirs}, W.Reg));
+}
+
+// ---------------------------------------------------------------------------
+// Property: the online CONFLICT answer matches brute-force two-order
+// evaluation across random sequences, and sequence detection is never
+// *less* precise than write-set when falling back online.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+LocOpSeq randomSeq(Rng &R) {
+  LocOpSeq Seq;
+  for (int I = 0, E = 1 + static_cast<int>(R.below(4)); I != E; ++I) {
+    switch (R.below(3)) {
+    case 0:
+      Seq.push_back(LocOp::read());
+      break;
+    case 1:
+      Seq.push_back(LocOp::add(R.range(-3, 3)));
+      break;
+    default:
+      Seq.push_back(LocOp::write(Value::of(R.range(0, 4))));
+      break;
+    }
+  }
+  return Seq;
+}
+
+bool bruteForceCommute(const Value &Entry, const LocOpSeq &A,
+                       const LocOpSeq &B) {
+  SeqEval AloneA = evalSequence(Entry, A);
+  SeqEval AloneB = evalSequence(Entry, B);
+  SeqEval AAfterB = evalSequence(AloneB.Final, A);
+  SeqEval BAfterA = evalSequence(AloneA.Final, B);
+  return BAfterA.Final == AAfterB.Final && AloneA.Reads == AAfterB.Reads &&
+         AloneB.Reads == BAfterA.Reads;
+}
+
+} // namespace
+
+class OnlineConflictProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OnlineConflictProperty, MatchesBruteForce) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter != 400; ++Iter) {
+    LocOpSeq A = randomSeq(R), B = randomSeq(R);
+    Value Entry = Value::of(R.range(-3, 3));
+    EXPECT_EQ(conflictOnline(Entry, A, B),
+              !bruteForceCommute(Entry, A, B))
+        << "iteration " << Iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineConflictProperty,
+                         ::testing::Values(3, 5, 7, 11));
+
+TEST(SequenceDetectorTest, SignatureMemoDoesNotChangeVerdicts) {
+  // Same queries with and without the memo must produce identical
+  // answers and identical cache-hit accounting.
+  DetectorWorld W1, W2;
+  PairQuery Q = buildPairQuery("work", {LocOp::add(1), LocOp::add(-1)},
+                               {LocOp::add(2), LocOp::add(-2)}, true);
+  W1.Cache->insert(Q.Key, Condition::valid());
+  W2.Cache->insert(Q.Key, Condition::valid());
+
+  SequenceDetectorConfig WithMemo;
+  WithMemo.MemoizeSignatures = true;
+  SequenceDetectorConfig NoMemo;
+  NoMemo.MemoizeSignatures = false;
+  SequenceDetector D1(W1.Cache, WithMemo), D2(W2.Cache, NoMemo);
+
+  for (int I = 0; I != 20; ++I) {
+    TxLog Mine{{Location(W1.Work), LocOp::add(I + 1)},
+               {Location(W1.Work), LocOp::add(-(I + 1))}};
+    auto Theirs = logOf({{Location(W1.Work), LocOp::add(5)},
+                         {Location(W1.Work), LocOp::add(-5)}});
+    bool V1 = D1.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W1.Reg);
+    // W2 has the same object layout (same registration order).
+    bool V2 = D2.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W2.Reg);
+    EXPECT_EQ(V1, V2) << "iteration " << I;
+    EXPECT_FALSE(V1);
+  }
+  EXPECT_EQ(D1.stats().CacheHits.load(), D2.stats().CacheHits.load());
+}
+
+TEST(SequenceDetectorTest, MemoDistinguishesReadResults) {
+  // Two sequences with identical kinds/operands but different read
+  // results symbolize differently (read-plus patterns); the memo key
+  // must not conflate them.
+  DetectorWorld W;
+  SequenceDetectorConfig Cfg;
+  Cfg.OnlineFallback = true;
+  SequenceDetector D(W.Cache, Cfg);
+
+  stm::Snapshot S5;
+  S5 = S5.set(Location(W.Work), Value::of(int64_t(5)));
+  // Mine reads 5 and writes 6 (read-plus). Theirs writes 6 as well:
+  // equal writes + consistent read ⇒ no conflict.
+  TxLog MineA{{Location(W.Work), LocOp::read(Value::of(int64_t(5)))},
+              {Location(W.Work), LocOp::write(Value::of(int64_t(6)))}};
+  auto TheirsSame = logOf({{Location(W.Work), LocOp::write(Value::of(int64_t(6)))}});
+  // Read 5 then their write 6: my read differs across orders → conflict.
+  EXPECT_TRUE(D.detectConflicts(S5, MineA, {TheirsSame}, W.Reg));
+
+  // Identical ops but the read observed 6 (snapshot already 6): in both
+  // orders my read sees 6 and both final writes agree → no conflict.
+  stm::Snapshot S6;
+  S6 = S6.set(Location(W.Work), Value::of(int64_t(6)));
+  TxLog MineB{{Location(W.Work), LocOp::read(Value::of(int64_t(6)))},
+              {Location(W.Work), LocOp::write(Value::of(int64_t(6)))}};
+  EXPECT_FALSE(D.detectConflicts(S6, MineB, {TheirsSame}, W.Reg));
+}

@@ -1,0 +1,171 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests for the Janus façade (paper §7.1 API): configuration, the
+/// train-then-run pipeline, both engines, both detectors, cache
+/// export/import, and the Figure 1 motivating example end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/adt/TxCounter.h"
+#include "janus/adt/TxVar.h"
+#include "janus/core/Janus.h"
+
+#include <gtest/gtest.h>
+
+using namespace janus;
+using namespace janus::core;
+using stm::TaskFn;
+using stm::TxContext;
+
+namespace {
+
+/// Builds the Figure 1 work-accumulation tasks: each item adds its
+/// weight, processes, and (on success) subtracts it again.
+std::vector<TaskFn> figure1Tasks(adt::TxCounter Work, int NumItems,
+                                 int FailEvery = 0) {
+  std::vector<TaskFn> Tasks;
+  for (int I = 1; I <= NumItems; ++I) {
+    bool Fails = FailEvery && I % FailEvery == 0;
+    Tasks.push_back([Work, I, Fails](TxContext &Tx) {
+      Work.add(Tx, I);     // work += weightOf(item)
+      Tx.localWork(5.0);   // processItem(item)
+      if (!Fails)
+        Work.sub(Tx, I);   // item processed successfully
+    });
+  }
+  return Tasks;
+}
+
+} // namespace
+
+TEST(JanusTest, DefaultsAreSequenceSimulated) {
+  Janus J;
+  EXPECT_EQ(J.config().Detector, DetectorKind::Sequence);
+  EXPECT_EQ(J.config().Engine, EngineKind::Simulated);
+  EXPECT_NE(J.sequenceDetector(), nullptr);
+  EXPECT_EQ(J.detector().name(), "sequence");
+}
+
+TEST(JanusTest, WriteSetConfiguration) {
+  JanusConfig Cfg;
+  Cfg.Detector = DetectorKind::WriteSet;
+  Janus J(Cfg);
+  EXPECT_EQ(J.sequenceDetector(), nullptr);
+  EXPECT_EQ(J.detector().name(), "write-set");
+}
+
+TEST(JanusTest, Figure1EndToEnd) {
+  JanusConfig Cfg;
+  Cfg.Threads = 8;
+  Janus J(Cfg);
+  adt::TxCounter Work = adt::TxCounter::create(J.registry(), "work");
+
+  // Training: small item list.
+  J.train(figure1Tasks(Work, 4));
+  EXPECT_GT(J.trainStats().CachedEntries, 0u);
+
+  // Production: all items succeed, so work nets to zero; with
+  // sequence-based detection there are no retries at all.
+  RunOutcome O = J.runOutOfOrder(figure1Tasks(Work, 40));
+  EXPECT_EQ(J.valueAt(Work.location()), Value::of(int64_t(0)));
+  EXPECT_EQ(J.runStats().Retries.load(), 0u);
+  EXPECT_EQ(J.runStats().Commits.load(), 40u);
+  EXPECT_GT(O.speedup(), 1.0); // 8 simulated cores, mostly local work.
+}
+
+TEST(JanusTest, Figure1WriteSetSerializes) {
+  JanusConfig Cfg;
+  Cfg.Threads = 8;
+  Cfg.Detector = DetectorKind::WriteSet;
+  Janus J(Cfg);
+  adt::TxCounter Work = adt::TxCounter::create(J.registry(), "work");
+  RunOutcome O = J.runOutOfOrder(figure1Tasks(Work, 40));
+  EXPECT_EQ(J.valueAt(Work.location()), Value::of(int64_t(0)));
+  // Write-set detection aborts overlapping add transactions.
+  EXPECT_GT(J.runStats().Retries.load(), 0u);
+  // And the sequence version beats it.
+  JanusConfig SeqCfg;
+  SeqCfg.Threads = 8;
+  Janus JS(SeqCfg);
+  adt::TxCounter Work2 = adt::TxCounter::create(JS.registry(), "work");
+  JS.train(figure1Tasks(Work2, 4));
+  RunOutcome OS = JS.runOutOfOrder(figure1Tasks(Work2, 40));
+  EXPECT_GT(OS.speedup(), O.speedup());
+}
+
+TEST(JanusTest, FailedItemsLeavePendingWork) {
+  Janus J;
+  adt::TxCounter Work = adt::TxCounter::create(J.registry(), "work");
+  J.train(figure1Tasks(Work, 4));
+  // Every third item fails: its weight stays accumulated.
+  J.runOutOfOrder(figure1Tasks(Work, 30, /*FailEvery=*/3));
+  int64_t Expected = 0;
+  for (int I = 3; I <= 30; I += 3)
+    Expected += I;
+  EXPECT_EQ(J.valueAt(Work.location()), Value::of(Expected));
+}
+
+TEST(JanusTest, OrderedRunsMatchSequentialState) {
+  for (EngineKind Engine : {EngineKind::Simulated, EngineKind::Threaded}) {
+    JanusConfig Cfg;
+    Cfg.Engine = Engine;
+    Cfg.Threads = 4;
+    Janus J(Cfg);
+    adt::TxIntVar Last = adt::TxIntVar::create(J.registry(), "last");
+    std::vector<TaskFn> Tasks;
+    for (int I = 1; I <= 20; ++I)
+      Tasks.push_back([Last, I](TxContext &Tx) { Last.set(Tx, I); });
+    J.runInOrder(Tasks);
+    EXPECT_EQ(J.valueAt(Last.location()), Value::of(int64_t(20)))
+        << "engine " << static_cast<int>(Engine);
+  }
+}
+
+TEST(JanusTest, SetInitialSeedsState) {
+  Janus J;
+  adt::TxIntVar X = adt::TxIntVar::create(J.registry(), "x");
+  J.setInitial(X.location(), Value::of(int64_t(100)));
+  J.runOutOfOrder({[X](TxContext &Tx) {
+    int64_t V = X.get(Tx);
+    X.set(Tx, V + 1);
+  }});
+  EXPECT_EQ(J.valueAt(X.location()), Value::of(int64_t(101)));
+}
+
+TEST(JanusTest, TrainingDoesNotDisturbSharedState) {
+  Janus J;
+  adt::TxCounter Work = adt::TxCounter::create(J.registry(), "work");
+  J.train({[Work](TxContext &Tx) { Work.add(Tx, 99); }});
+  EXPECT_EQ(J.valueAt(Work.location()), Value::absent());
+}
+
+TEST(JanusTest, CacheExportImportRoundTrip) {
+  Janus A;
+  adt::TxCounter Work = adt::TxCounter::create(A.registry(), "work");
+  A.train(figure1Tasks(Work, 4));
+  std::string Exported = A.exportCache();
+  EXPECT_GT(A.cache()->size(), 0u);
+
+  // A fresh instance imports the training artifact and hits the cache
+  // without any training of its own.
+  Janus B;
+  adt::TxCounter Work2 = adt::TxCounter::create(B.registry(), "work");
+  ASSERT_TRUE(B.importCache(Exported));
+  EXPECT_EQ(B.cache()->size(), A.cache()->size());
+  B.runOutOfOrder(figure1Tasks(Work2, 20));
+  EXPECT_EQ(B.runStats().Retries.load(), 0u);
+  EXPECT_GT(B.detectorStats().CacheHits.load(), 0u);
+}
+
+TEST(JanusTest, OnlineFallbackAvoidsRetriesWithoutTraining) {
+  JanusConfig Cfg;
+  Cfg.Sequence.OnlineFallback = true;
+  Janus J(Cfg);
+  adt::TxCounter Work = adt::TxCounter::create(J.registry(), "work");
+  // No training at all: every query misses, but the online check is
+  // precise.
+  J.runOutOfOrder(figure1Tasks(Work, 20));
+  EXPECT_EQ(J.runStats().Retries.load(), 0u);
+  EXPECT_GT(J.detectorStats().OnlineChecks.load(), 0u);
+}

@@ -1,0 +1,390 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit and property tests for the relational instantiation (paper §6):
+/// primitive operations (Table 2), footprints (Table 3), the logical
+/// encoding of relation contents (Table 4) and SAT-backed equivalence /
+/// commutativity testing (§6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/relational/Encoding.h"
+#include "janus/relational/RelOp.h"
+#include "janus/relational/Relation.h"
+#include "janus/support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace janus;
+using namespace janus::relational;
+
+namespace {
+
+/// The paper's running example: BitSet as a 2-ary relation mapping
+/// integral indices to boolean values, with FD {idx} -> {val}.
+SchemaRef bitSetSchema() {
+  return std::make_shared<Schema>(
+      std::vector<std::string>{"idx", "val"}, std::vector<uint32_t>{0});
+}
+
+Tuple bit(int64_t Idx, bool Val) {
+  return Tuple({Value::of(Idx), Value::of(Val)});
+}
+
+/// A schema with no FD (a plain set of pairs).
+SchemaRef pairSchema() {
+  return std::make_shared<Schema>(std::vector<std::string>{"a", "b"});
+}
+
+Tuple pairT(int64_t A, int64_t B) {
+  return Tuple({Value::of(A), Value::of(B)});
+}
+
+} // namespace
+
+TEST(SchemaTest, FDPartitionsColumns) {
+  SchemaRef S = bitSetSchema();
+  EXPECT_TRUE(S->hasFD());
+  EXPECT_EQ(S->fdDomain(), (std::vector<uint32_t>{0}));
+  EXPECT_EQ(S->fdRange(), (std::vector<uint32_t>{1}));
+  EXPECT_EQ(S->columnIndex("val"), 1u);
+  EXPECT_FALSE(pairSchema()->hasFD());
+}
+
+TEST(RelationTest, InsertDisplacesMatchingTuplesUnderFD) {
+  // Paper §3 step 1: "setting the bit at index n to value x translates
+  // into removing the (unique) tuple whose first component is n and
+  // then inserting (n, x)". Our insert does both at once (Table 2).
+  Relation R(bitSetSchema());
+  R = R.insert(bit(3, false));
+  R = R.insert(bit(3, true)); // Displaces (3,false).
+  EXPECT_EQ(R.size(), 1u);
+  EXPECT_TRUE(R.contains(bit(3, true)));
+  EXPECT_FALSE(R.contains(bit(3, false)));
+}
+
+TEST(RelationTest, InsertWithoutFDDisplacesOnlyExactDuplicates) {
+  Relation R(pairSchema());
+  R = R.insert(pairT(1, 2));
+  R = R.insert(pairT(1, 3)); // No FD: both stay.
+  EXPECT_EQ(R.size(), 2u);
+  R = R.insert(pairT(1, 2)); // Exact duplicate: idempotent.
+  EXPECT_EQ(R.size(), 2u);
+}
+
+TEST(RelationTest, RemoveEnsuresAbsence) {
+  Relation R(bitSetSchema());
+  R = R.insert(bit(1, true)).insert(bit(2, false));
+  R = R.remove(bit(1, true));
+  EXPECT_EQ(R.size(), 1u);
+  R = R.remove(bit(9, true)); // Absent: no-op.
+  EXPECT_EQ(R.size(), 1u);
+}
+
+TEST(RelationTest, SelectIsAQuery) {
+  // Paper: "a relational description of the get operation is a select
+  // query".
+  Relation R(bitSetSchema());
+  R = R.insert(bit(1, true)).insert(bit(2, false)).insert(bit(3, true));
+  Relation TrueBits = R.select(TupleFormula::mkEq(1, Value::of(true)));
+  EXPECT_EQ(TrueBits.size(), 2u);
+  Relation Bit2 = R.select(TupleFormula::mkEq(0, Value::of(int64_t(2))));
+  EXPECT_EQ(Bit2.size(), 1u);
+  EXPECT_TRUE(Bit2.contains(bit(2, false)));
+}
+
+TEST(RelationTest, SetAlgebra) {
+  Relation A(pairSchema()), B(pairSchema());
+  A = A.insert(pairT(1, 1)).insert(pairT(2, 2));
+  B = B.insert(pairT(2, 2)).insert(pairT(3, 3));
+  EXPECT_EQ(A.unionWith(B).size(), 3u);
+  EXPECT_EQ(A.intersectWith(B).size(), 1u);
+  EXPECT_EQ(A.subtract(B).size(), 1u);
+  EXPECT_TRUE(A.subtract(B).contains(pairT(1, 1)));
+}
+
+TEST(TupleFormulaTest, Satisfaction) {
+  // t |= c = v iff t_c = v; plus the boolean connectives (Table 1).
+  Tuple T = bit(5, true);
+  EXPECT_TRUE(TupleFormula::mkTrue().satisfiedBy(T));
+  EXPECT_FALSE(TupleFormula::mkFalse().satisfiedBy(T));
+  EXPECT_TRUE(TupleFormula::mkEq(0, Value::of(int64_t(5))).satisfiedBy(T));
+  EXPECT_FALSE(TupleFormula::mkEq(0, Value::of(int64_t(6))).satisfiedBy(T));
+  auto F = TupleFormula::mkAnd(TupleFormula::mkEq(1, Value::of(true)),
+                               TupleFormula::mkNot(TupleFormula::mkEq(
+                                   0, Value::of(int64_t(9)))));
+  EXPECT_TRUE(F.satisfiedBy(T));
+  auto G = TupleFormula::mkOr(TupleFormula::mkEq(0, Value::of(int64_t(9))),
+                              TupleFormula::mkFalse());
+  EXPECT_FALSE(G.satisfiedBy(T));
+}
+
+TEST(FootprintTest, InsertReadsAndWritesDisplacedTuples) {
+  Relation R(bitSetSchema());
+  R = R.insert(bit(3, false));
+  Footprint FP = footprintOf(R, RelOp::insert(bit(3, true)));
+  EXPECT_TRUE(FP.Read.count(bit(3, false)));
+  EXPECT_TRUE(FP.Write.count(bit(3, false)));
+  EXPECT_TRUE(FP.Write.count(bit(3, true)));
+}
+
+TEST(FootprintTest, RemoveOfAbsentTupleIsARead) {
+  // Table 3 note: "tuple t belongs in the read set of remove r t if r
+  // does not contain t".
+  Relation R(bitSetSchema());
+  Footprint Absent = footprintOf(R, RelOp::remove(bit(1, true)));
+  EXPECT_TRUE(Absent.Read.count(bit(1, true)));
+  EXPECT_TRUE(Absent.Write.empty());
+
+  R = R.insert(bit(1, true));
+  Footprint Present = footprintOf(R, RelOp::remove(bit(1, true)));
+  EXPECT_TRUE(Present.Write.count(bit(1, true)));
+  EXPECT_TRUE(Present.Read.empty());
+}
+
+TEST(FootprintTest, SelectReadsSelectedTuples) {
+  Relation R(bitSetSchema());
+  R = R.insert(bit(1, true)).insert(bit(2, false));
+  Footprint FP =
+      footprintOf(R, RelOp::select(TupleFormula::mkEq(1, Value::of(true))));
+  EXPECT_EQ(FP.Read.size(), 1u);
+  EXPECT_TRUE(FP.Read.count(bit(1, true)));
+  EXPECT_TRUE(FP.Write.empty());
+}
+
+TEST(FootprintTest, DependencyPerEquationOne) {
+  Footprint A, B, C;
+  A.Write.insert(bit(1, true));
+  B.Read.insert(bit(1, true));
+  C.Read.insert(bit(2, true));
+  EXPECT_TRUE(A.dependsOn(B));
+  EXPECT_TRUE(B.dependsOn(A));
+  EXPECT_FALSE(A.dependsOn(C));
+  // Input (read-read) dependencies are subsumed by Equation 1.
+  Footprint D;
+  D.Read.insert(bit(1, true));
+  EXPECT_TRUE(B.dependsOn(D));
+}
+
+TEST(TransformerTest, AppliesInOrderAndCollectsSelections) {
+  // BitSet::set(3, true); BitSet::get(3).
+  Transformer T;
+  T.append(RelOp::insert(bit(3, true)));
+  T.append(RelOp::select(TupleFormula::mkEq(0, Value::of(int64_t(3)))));
+  Relation R(bitSetSchema());
+  auto Result = T.apply(R);
+  EXPECT_EQ(Result.FinalState.size(), 1u);
+  ASSERT_EQ(Result.Selections.size(), 1u);
+  EXPECT_TRUE(Result.Selections[0].contains(bit(3, true)));
+}
+
+TEST(TransformerTest, CumulativeFootprint) {
+  Relation R(bitSetSchema());
+  R = R.insert(bit(1, false));
+  Transformer T;
+  T.append(RelOp::insert(bit(1, true)));
+  T.append(RelOp::select(TupleFormula::mkEq(0, Value::of(int64_t(1)))));
+  Footprint FP = T.footprint(R);
+  EXPECT_TRUE(FP.Write.count(bit(1, true)));
+  EXPECT_TRUE(FP.Write.count(bit(1, false)));
+  EXPECT_TRUE(FP.Read.count(bit(1, true))); // Select sees the new tuple.
+}
+
+// ---------------------------------------------------------------------------
+// Logical encoding (Table 4) and SAT-backed equivalence (§6.2).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Oracle: checks that the encoding of relation R is satisfied exactly
+/// by assignments describing tuples of R, over the atom universe.
+void expectEncodingMatches(const Relation &R) {
+  sat::FormulaArena Arena;
+  AtomTable Atoms(Arena);
+  sat::Formula F = encodeRelation(Arena, Atoms, R);
+  for (const Tuple &T : R.tuples()) {
+    // Build the assignment corresponding to T and evaluate.
+    std::vector<uint32_t> AtomIds;
+    Arena.collectAtoms(F, AtomIds);
+    uint32_t MaxAtom = 0;
+    for (uint32_t A : AtomIds)
+      MaxAtom = std::max(MaxAtom, A);
+    std::vector<bool> Assign(MaxAtom + 1, false);
+    for (uint32_t C = 0; C != R.schema().numColumns(); ++C) {
+      sat::Formula AtomF = Atoms.atomFor(C, T.at(C));
+      Assign.resize(
+          std::max<size_t>(Assign.size(), Arena.atomId(AtomF) + 1), false);
+      Assign[Arena.atomId(AtomF)] = true;
+    }
+    EXPECT_TRUE(Arena.evaluate(F, Assign))
+        << "tuple " << T.toString() << " not described by encoding";
+  }
+}
+
+} // namespace
+
+TEST(EncodingTest, EmptyRelationEncodesFalse) {
+  sat::FormulaArena Arena;
+  AtomTable Atoms(Arena);
+  Relation R(bitSetSchema());
+  sat::Formula F = encodeRelation(Arena, Atoms, R);
+  EXPECT_EQ(Arena.connective(F), sat::Connective::False);
+}
+
+TEST(EncodingTest, TuplesSatisfyTheirEncoding) {
+  Relation R(bitSetSchema());
+  R = R.insert(bit(1, true)).insert(bit(2, false)).insert(bit(7, true));
+  expectEncodingMatches(R);
+}
+
+TEST(EncodingTest, SymbolicApplicationMatchesConcrete) {
+  // Property: for random op sequences, the Table 4 symbolic application
+  // starting from the encoded initial state is SAT-equivalent to the
+  // encoding of the concretely computed final state.
+  Rng Rand(2024);
+  for (int Iter = 0; Iter != 30; ++Iter) {
+    Relation State(bitSetSchema());
+    // Random initial content.
+    for (int I = 0, E = static_cast<int>(Rand.below(4)); I != E; ++I)
+      State = State.insert(bit(Rand.below(3), Rand.chance(1, 2)));
+
+    Transformer T;
+    for (int I = 0, E = 1 + static_cast<int>(Rand.below(5)); I != E; ++I) {
+      int64_t Idx = static_cast<int64_t>(Rand.below(3));
+      bool Val = Rand.chance(1, 2);
+      switch (Rand.below(3)) {
+      case 0:
+        T.append(RelOp::insert(bit(Idx, Val)));
+        break;
+      case 1:
+        T.append(RelOp::remove(bit(Idx, Val)));
+        break;
+      default:
+        T.append(RelOp::select(TupleFormula::mkEq(0, Value::of(Idx))));
+        break;
+      }
+    }
+
+    Relation Final = T.apply(State).FinalState;
+
+    sat::FormulaArena Arena;
+    AtomTable Atoms(Arena);
+    sat::Formula Initial = encodeRelation(Arena, Atoms, State);
+    sat::Formula SymFinal = applyTransformerSymbolic(
+        Arena, Atoms, *State.schemaRef(), Initial, T, nullptr);
+    sat::Formula ConcreteFinal = encodeRelation(Arena, Atoms, Final);
+    EXPECT_EQ(formulasEquivalent(Arena, Atoms, SymFinal, ConcreteFinal),
+              sat::Equivalence::Equivalent)
+        << "iteration " << Iter;
+  }
+}
+
+TEST(CommutativityTest, BitSetWritesToDistinctIndicesCommute) {
+  Relation Empty(bitSetSchema());
+  Transformer SetBit1, SetBit2;
+  SetBit1.append(RelOp::insert(bit(1, true)));
+  SetBit2.append(RelOp::insert(bit(2, true)));
+  EXPECT_EQ(transformersCommuteSymbolic(Empty, SetBit1, SetBit2),
+            sat::Equivalence::Equivalent);
+}
+
+TEST(CommutativityTest, ConflictingWritesDoNotCommute) {
+  Relation Empty(bitSetSchema());
+  Transformer SetTrue, SetFalse;
+  SetTrue.append(RelOp::insert(bit(1, true)));
+  SetFalse.append(RelOp::insert(bit(1, false)));
+  EXPECT_EQ(transformersCommuteSymbolic(Empty, SetTrue, SetFalse),
+            sat::Equivalence::Inequivalent);
+}
+
+TEST(CommutativityTest, EqualWritesCommute) {
+  // The equal-writes pattern (paper §2, Weka): distinct transactions
+  // assigning the same value commute.
+  Relation Empty(bitSetSchema());
+  Transformer A, B;
+  A.append(RelOp::insert(bit(1, true)));
+  B.append(RelOp::insert(bit(1, true)));
+  EXPECT_EQ(transformersCommuteSymbolic(Empty, A, B),
+            sat::Equivalence::Equivalent);
+}
+
+TEST(CommutativityTest, IdentitySequencesCommuteOnAllStates) {
+  // The identity pattern (paper §2, JFileSync): insert-then-remove of
+  // the same tuple is the identity on states not containing it; for
+  // all-states quantification the pair of balanced sequences on
+  // *different* tuples commutes.
+  SchemaRef S = pairSchema();
+  Transformer A, B;
+  A.append(RelOp::insert(pairT(1, 1)));
+  A.append(RelOp::remove(pairT(1, 1)));
+  B.append(RelOp::insert(pairT(2, 2)));
+  B.append(RelOp::remove(pairT(2, 2)));
+  EXPECT_EQ(transformersCommuteForAllStates(S, A, B),
+            sat::Equivalence::Equivalent);
+}
+
+TEST(CommutativityTest, AllStatesQuantificationIsStrongerThanConcrete) {
+  // insert(1,true) vs insert(1,false): on the empty state they disagree;
+  // for-all-states must also say Inequivalent.
+  SchemaRef S = bitSetSchema();
+  Transformer A, B;
+  A.append(RelOp::insert(bit(1, true)));
+  B.append(RelOp::insert(bit(1, false)));
+  EXPECT_EQ(transformersCommuteForAllStates(S, A, B),
+            sat::Equivalence::Inequivalent);
+
+  // Remove-remove of the same tuple commutes on every state.
+  Transformer C, D;
+  C.append(RelOp::remove(bit(3, true)));
+  D.append(RelOp::remove(bit(3, true)));
+  EXPECT_EQ(transformersCommuteForAllStates(S, C, D),
+            sat::Equivalence::Equivalent);
+}
+
+TEST(CommutativityTest, InsertRemoveOrderMatters) {
+  // insert t vs remove t do not commute (final presence of t differs).
+  SchemaRef S = bitSetSchema();
+  Transformer Ins, Rem;
+  Ins.append(RelOp::insert(bit(1, true)));
+  Rem.append(RelOp::remove(bit(1, true)));
+  EXPECT_EQ(transformersCommuteForAllStates(S, Ins, Rem),
+            sat::Equivalence::Inequivalent);
+}
+
+/// Property: symbolic commutativity (on a concrete state) agrees with
+/// direct concrete evaluation of both orders.
+class CommuteRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CommuteRandom, SymbolicMatchesConcrete) {
+  Rng Rand(GetParam());
+  for (int Iter = 0; Iter != 25; ++Iter) {
+    Relation State(bitSetSchema());
+    for (int I = 0, E = static_cast<int>(Rand.below(3)); I != E; ++I)
+      State = State.insert(bit(Rand.below(3), Rand.chance(1, 2)));
+
+    auto RandomTransformer = [&Rand]() {
+      Transformer T;
+      for (int I = 0, E = 1 + static_cast<int>(Rand.below(3)); I != E; ++I) {
+        int64_t Idx = static_cast<int64_t>(Rand.below(3));
+        bool Val = Rand.chance(1, 2);
+        if (Rand.chance(1, 2))
+          T.append(RelOp::insert(bit(Idx, Val)));
+        else
+          T.append(RelOp::remove(bit(Idx, Val)));
+      }
+      return T;
+    };
+
+    Transformer A = RandomTransformer(), B = RandomTransformer();
+    Relation AB = B.apply(A.apply(State).FinalState).FinalState;
+    Relation BA = A.apply(B.apply(State).FinalState).FinalState;
+    bool ConcreteEq = (AB == BA);
+    EXPECT_EQ(transformersCommuteSymbolic(State, A, B) ==
+                  sat::Equivalence::Equivalent,
+              ConcreteEq)
+        << "iteration " << Iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CommuteRandom,
+                         ::testing::Values(7, 17, 27, 37));

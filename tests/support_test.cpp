@@ -1,0 +1,165 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the support module: Value, Location, ObjectRegistry,
+/// Rng determinism, and TextTable formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/support/Format.h"
+#include "janus/support/Location.h"
+#include "janus/support/Rng.h"
+#include "janus/support/Value.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+using namespace janus;
+
+TEST(ValueTest, KindsAndAccessors) {
+  EXPECT_TRUE(Value::absent().isAbsent());
+  EXPECT_TRUE(Value::unit().isUnit());
+  EXPECT_TRUE(Value::of(true).isBool());
+  EXPECT_TRUE(Value::of(true).asBool());
+  EXPECT_FALSE(Value::of(false).asBool());
+  EXPECT_EQ(Value::of(int64_t(42)).asInt(), 42);
+  EXPECT_EQ(Value::of(7).asInt(), 7);
+  EXPECT_EQ(Value::of("abc").asStr(), "abc");
+  EXPECT_EQ(Value::of(std::string("xy")).asStr(), "xy");
+}
+
+TEST(ValueTest, EqualityDistinguishesKinds) {
+  EXPECT_EQ(Value::absent(), Value::absent());
+  EXPECT_NE(Value::absent(), Value::unit());
+  EXPECT_NE(Value::of(0), Value::of(false));
+  EXPECT_NE(Value::of(1), Value::of("1"));
+  EXPECT_EQ(Value::of(5), Value::of(int64_t(5)));
+  EXPECT_NE(Value::of(5), Value::of(6));
+  EXPECT_EQ(Value::of("a"), Value::of(std::string("a")));
+}
+
+TEST(ValueTest, OrderingIsTotalAndConsistent) {
+  std::vector<Value> Vals = {Value::absent(),  Value::unit(),
+                             Value::of(false), Value::of(true),
+                             Value::of(-3),    Value::of(10),
+                             Value::of("a"),   Value::of("b")};
+  for (size_t I = 0; I != Vals.size(); ++I) {
+    for (size_t J = 0; J != Vals.size(); ++J) {
+      if (I == J) {
+        EXPECT_FALSE(Vals[I] < Vals[J]);
+      } else {
+        EXPECT_TRUE((Vals[I] < Vals[J]) != (Vals[J] < Vals[I]));
+      }
+    }
+  }
+}
+
+TEST(ValueTest, HashDistinguishesTypicalValues) {
+  std::unordered_set<Value> Set;
+  Set.insert(Value::of(1));
+  Set.insert(Value::of(2));
+  Set.insert(Value::of("1"));
+  Set.insert(Value::absent());
+  EXPECT_EQ(Set.size(), 4u);
+  EXPECT_TRUE(Set.count(Value::of(1)));
+  EXPECT_FALSE(Set.count(Value::of(3)));
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::absent().toString(), "absent");
+  EXPECT_EQ(Value::of(12).toString(), "12");
+  EXPECT_EQ(Value::of("hi").toString(), "\"hi\"");
+  EXPECT_EQ(Value::of(true).toString(), "true");
+}
+
+TEST(LocationTest, EqualityAndHashing) {
+  ObjectId A{1}, B{2};
+  Location Scalar(A);
+  Location Indexed(A, 3);
+  Location Keyed(A, "k");
+  EXPECT_EQ(Scalar, Location(A));
+  EXPECT_NE(Scalar, Indexed);
+  EXPECT_NE(Indexed, Location(A, 4));
+  EXPECT_EQ(Indexed, Location(A, 3));
+  EXPECT_NE(Indexed, Location(B, 3));
+  EXPECT_NE(Keyed, Location(A, "j"));
+
+  std::unordered_set<Location> Set{Scalar, Indexed, Keyed};
+  EXPECT_EQ(Set.size(), 3u);
+  EXPECT_TRUE(Set.count(Location(A, 3)));
+}
+
+TEST(LocationTest, OrderingGroupsByObject) {
+  ObjectId A{1}, B{2};
+  std::set<Location> Set{Location(B), Location(A, 5), Location(A)};
+  auto It = Set.begin();
+  EXPECT_EQ(It->Obj, A);
+  ++It;
+  EXPECT_EQ(It->Obj, A);
+  ++It;
+  EXPECT_EQ(It->Obj, B);
+}
+
+TEST(ObjectRegistryTest, RegistrationAndClassDefaults) {
+  ObjectRegistry Reg;
+  ObjectId Work = Reg.registerObject("work");
+  ObjectId Color = Reg.registerObject("color", "color.elem");
+  EXPECT_EQ(Reg.info(Work).Name, "work");
+  EXPECT_EQ(Reg.info(Work).LocClass, "work");
+  EXPECT_EQ(Reg.info(Color).LocClass, "color.elem");
+  EXPECT_EQ(Reg.size(), 2u);
+  EXPECT_EQ(Reg.locationName(Location(Color, 7)), "color[7]");
+  EXPECT_EQ(Reg.locationName(Location(Work)), "work");
+}
+
+TEST(ObjectRegistryTest, RelaxationUpdate) {
+  ObjectRegistry Reg;
+  ObjectId O = Reg.registerObject("maxColor");
+  EXPECT_FALSE(Reg.info(O).Relax.TolerateRAW);
+  Reg.setRelaxation(O, RelaxationSpec{/*TolerateRAW=*/true,
+                                      /*TolerateWAW=*/false});
+  EXPECT_TRUE(Reg.info(O).Relax.TolerateRAW);
+  EXPECT_FALSE(Reg.info(O).Relax.TolerateWAW);
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, RangeStaysInBounds) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    int64_t V = R.range(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(RngTest, BelowCoversAllResidues) {
+  Rng R(99);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 200; ++I)
+    Seen.insert(R.below(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable T;
+  T.setHeader({"bench", "speedup"});
+  T.addRow({"filesync", "2.48"});
+  T.addRow({"pmd", "1.61"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("bench"), std::string::npos);
+  EXPECT_NE(Out.find("filesync  2.48"), std::string::npos);
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(FormatTest, Numbers) {
+  EXPECT_EQ(formatDouble(1.234, 2), "1.23");
+  EXPECT_EQ(formatDouble(2.0, 1), "2.0");
+  EXPECT_EQ(formatPercent(0.173, 1), "17.3%");
+}

@@ -1,0 +1,445 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit and property tests for the symbolic module: per-location
+/// operation semantics, terms, conditions, and symbolic commutativity
+/// conditions (paper §5.1 step 3).
+///
+/// The central property test validates conditions against concrete
+/// ground truth: for random concrete sequence pairs and entry states,
+/// evaluating the learned condition under the concrete bindings must
+/// match a direct two-order evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/support/Rng.h"
+#include "janus/symbolic/Condition.h"
+#include "janus/symbolic/LocOp.h"
+#include "janus/symbolic/SymSeq.h"
+
+#include <gtest/gtest.h>
+
+using namespace janus;
+using namespace janus::symbolic;
+
+// ---------------------------------------------------------------------------
+// LocOp concrete semantics.
+// ---------------------------------------------------------------------------
+
+TEST(LocOpTest, ReadLeavesValueAndRecordsIt) {
+  LocOpSeq Seq = {LocOp::read(), LocOp::write(Value::of(5)), LocOp::read()};
+  SeqEval E = evalSequence(Value::of(3), Seq);
+  EXPECT_EQ(E.Final, Value::of(5));
+  ASSERT_EQ(E.Reads.size(), 2u);
+  EXPECT_EQ(E.Reads[0], Value::of(3));
+  EXPECT_EQ(E.Reads[1], Value::of(5));
+}
+
+TEST(LocOpTest, AddAccumulates) {
+  LocOpSeq Seq = {LocOp::add(2), LocOp::add(-5)};
+  EXPECT_EQ(evalSequence(Value::of(10), Seq).Final, Value::of(7));
+}
+
+TEST(LocOpTest, AddOnAbsentStartsFromZero) {
+  EXPECT_EQ(evalSequence(Value::absent(), LocOpSeq{LocOp::add(4)}).Final,
+            Value::of(4));
+}
+
+TEST(LocOpTest, WriteOverwritesAnyKind) {
+  EXPECT_EQ(
+      evalSequence(Value::of("old"), LocOpSeq{LocOp::write(Value::of(1))})
+          .Final,
+      Value::of(1));
+}
+
+TEST(LocOpTest, OperationalEqualityIgnoresReadResult) {
+  EXPECT_EQ(LocOp::read(Value::of(1)), LocOp::read(Value::of(2)));
+  EXPECT_NE(LocOp::write(Value::of(1)), LocOp::write(Value::of(2)));
+  EXPECT_NE(LocOp::add(1), LocOp::write(Value::of(1)));
+}
+
+TEST(LocOpTest, ToStringIsReadable) {
+  EXPECT_EQ(LocOp::add(-3).toString(), "A(-3)");
+  EXPECT_EQ(LocOp::add(3).toString(), "A(+3)");
+  EXPECT_EQ(LocOp::write(Value::of(9)).toString(), "W(9)");
+  EXPECT_EQ(sequenceToString(LocOpSeq{LocOp::read(), LocOp::add(1)}),
+            "R, A(+1)");
+}
+
+// ---------------------------------------------------------------------------
+// Terms.
+// ---------------------------------------------------------------------------
+
+TEST(TermTest, IntConstantsCanonicalizeToLinear) {
+  Term A = Term::constant(Value::of(3));
+  Term B = Term::constant(Value::of(3));
+  EXPECT_EQ(A, B);
+  EXPECT_TRUE(A.isNumeric());
+  auto Sum = Term::add(A, Term::constant(Value::of(4)));
+  ASSERT_TRUE(Sum.has_value());
+  EXPECT_EQ(Sum->evaluate({}).value(), Value::of(7));
+}
+
+TEST(TermTest, LinearArithmetic) {
+  Term X = Term::intSym(1), Y = Term::intSym(2);
+  auto Sum = Term::add(X, Y);
+  ASSERT_TRUE(Sum);
+  auto MinusX = X.negated();
+  ASSERT_TRUE(MinusX);
+  auto Zero = Term::add(X, *MinusX);
+  ASSERT_TRUE(Zero);
+  EXPECT_EQ(Term::staticallyEqual(*Zero, Term::constant(Value::of(0))),
+            std::make_optional(true));
+  // x + y evaluated under x=2, y=5.
+  Bindings B{{1, Value::of(2)}, {2, Value::of(5)}};
+  EXPECT_EQ(Sum->evaluate(B).value(), Value::of(7));
+}
+
+TEST(TermTest, StaticEqualityDecisions) {
+  Term X = Term::intSym(1);
+  // x == x: true; x == x+1: false; x == y: unknown.
+  EXPECT_EQ(Term::staticallyEqual(X, X), std::make_optional(true));
+  EXPECT_EQ(Term::staticallyEqual(X, *X.plusConst(1)),
+            std::make_optional(false));
+  EXPECT_EQ(Term::staticallyEqual(X, Term::intSym(2)), std::nullopt);
+  // Opaque symbols: same id true, different unknown.
+  Term Q1 = Term::opaqueSym(7), Q2 = Term::opaqueSym(8);
+  EXPECT_EQ(Term::staticallyEqual(Q1, Q1), std::make_optional(true));
+  EXPECT_EQ(Term::staticallyEqual(Q1, Q2), std::nullopt);
+  // A string constant can never equal an integer expression.
+  EXPECT_EQ(Term::staticallyEqual(Term::constant(Value::of("s")), X),
+            std::make_optional(false));
+  EXPECT_EQ(Term::staticallyEqual(Term::constant(Value::of("s")),
+                                  Term::constant(Value::of("s"))),
+            std::make_optional(true));
+}
+
+TEST(TermTest, EvaluationFailsOnUnboundOrNonInt) {
+  Term X = Term::intSym(1);
+  EXPECT_EQ(X.evaluate({}), std::nullopt);
+  Bindings B{{1, Value::of("str")}};
+  EXPECT_EQ(X.evaluate(B), std::nullopt);
+  Term Q = Term::opaqueSym(1);
+  EXPECT_EQ(Q.evaluate(B).value(), Value::of("str"));
+}
+
+TEST(TermTest, ReadPlusMustBeResolved) {
+  Term R = Term::readPlus(0, 1);
+  EXPECT_EQ(R.evaluate({}), std::nullopt);
+  EXPECT_EQ(R.readIndex(), 0u);
+  EXPECT_EQ(R.readOffset(), 1);
+  EXPECT_EQ(R.plusConst(2)->readOffset(), 3);
+}
+
+TEST(TermTest, ToString) {
+  Term T = *Term::add(Term::intSym(EntrySym),
+                      *Term::intSym(1).negated());
+  EXPECT_EQ(T.toString(), "v0 - p1");
+  EXPECT_EQ(Term::constant(Value::of(0)).toString(), "0");
+  EXPECT_EQ(Term::readPlus(1, 1).toString(), "read#1+1");
+}
+
+// ---------------------------------------------------------------------------
+// Conditions.
+// ---------------------------------------------------------------------------
+
+TEST(ConditionTest, StaticFolding) {
+  Condition C = Condition::valid();
+  EXPECT_TRUE(C.isValid());
+  C.requireEqual(Term::constant(Value::of(1)), Term::constant(Value::of(1)));
+  EXPECT_TRUE(C.isValid());
+  C.requireEqual(Term::intSym(1), Term::intSym(1));
+  EXPECT_TRUE(C.isValid());
+  C.requireEqual(Term::constant(Value::of(1)), Term::constant(Value::of(2)));
+  EXPECT_TRUE(C.isNever());
+  // Never absorbs further constraints.
+  C.requireEqual(Term::intSym(1), Term::intSym(2));
+  EXPECT_TRUE(C.isNever());
+  EXPECT_EQ(C.evaluate({}), std::make_optional(false));
+}
+
+TEST(ConditionTest, ConditionalEvaluation) {
+  Condition C = Condition::valid();
+  C.requireEqual(Term::intSym(1), Term::intSym(2));
+  EXPECT_TRUE(C.isConditional());
+  EXPECT_EQ(C.evaluate({{1, Value::of(3)}, {2, Value::of(3)}}),
+            std::make_optional(true));
+  EXPECT_EQ(C.evaluate({{1, Value::of(3)}, {2, Value::of(4)}}),
+            std::make_optional(false));
+  EXPECT_EQ(C.evaluate({{1, Value::of(3)}}), std::nullopt);
+}
+
+TEST(ConditionTest, DuplicateAtomsAreKeptOnce) {
+  Condition C = Condition::valid();
+  C.requireEqual(Term::intSym(1), Term::intSym(2));
+  C.requireEqual(Term::intSym(2), Term::intSym(1)); // Symmetric duplicate.
+  EXPECT_EQ(C.atoms().size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic evaluation and commutativity conditions.
+// ---------------------------------------------------------------------------
+
+TEST(SymSeqTest, EvalResolvesReadReferences) {
+  // Push pattern: R (observe size n), W(read#0 + 1).
+  SymLocSeq Push = {SymLocOp::read(),
+                    SymLocOp::write(Term::readPlus(0, 1))};
+  auto E = evalSymbolic(Term::intSym(EntrySym), Push);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->Final.toString(), "v0 + 1");
+}
+
+TEST(SymSeqTest, EvalFailsOnForwardReadReference) {
+  SymLocSeq Bad = {SymLocOp::write(Term::readPlus(0, 0)), SymLocOp::read()};
+  EXPECT_EQ(evalSymbolic(Term::intSym(EntrySym), Bad), std::nullopt);
+}
+
+TEST(SymSeqTest, EvalFailsOnNonNumericAdd) {
+  SymLocSeq Seq = {SymLocOp::write(Term::constant(Value::of("abc"))),
+                   SymLocOp::add(Term::constant(Value::of(1)))};
+  EXPECT_EQ(evalSymbolic(Term::opaqueSym(EntrySym), Seq), std::nullopt);
+}
+
+TEST(CommutativityConditionTest, BalancedAddsCommuteUnconditionally) {
+  // The motivating example (Figure 1): { work+=x; work-=x } vs
+  // { work+=y; work-=y } — identity pattern, commutes always.
+  Term X = Term::intSym(1), Y = Term::intSym(2);
+  SymLocSeq A = {SymLocOp::add(X), SymLocOp::add(*X.negated())};
+  SymLocSeq B = {SymLocOp::add(Y), SymLocOp::add(*Y.negated())};
+  auto C = commutativityCondition(A, B);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->isValid());
+}
+
+TEST(CommutativityConditionTest, AddsCommuteEvenUnbalanced) {
+  // Reduction pattern: pure adds always commute.
+  SymLocSeq A = {SymLocOp::add(Term::intSym(1))};
+  SymLocSeq B = {SymLocOp::add(Term::intSym(2)),
+                 SymLocOp::add(Term::intSym(3))};
+  auto C = commutativityCondition(A, B);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->isValid());
+}
+
+TEST(CommutativityConditionTest, EqualWritesCondition) {
+  // Two writes commute iff they write the same value (equal-writes
+  // pattern, Weka).
+  SymLocSeq A = {SymLocOp::write(Term::opaqueSym(1))};
+  SymLocSeq B = {SymLocOp::write(Term::opaqueSym(2))};
+  auto C = commutativityCondition(A, B);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->isConditional());
+  EXPECT_EQ(C->evaluate({{1, Value::of(7)}, {2, Value::of(7)}}),
+            std::make_optional(true));
+  EXPECT_EQ(C->evaluate({{1, Value::of(7)}, {2, Value::of(8)}}),
+            std::make_optional(false));
+}
+
+TEST(CommutativityConditionTest, ReadVsWriteRequiresRestoringValue) {
+  // A reads; B writes p1. They commute iff p1 == v0 (B restores the
+  // entry value), since A's read must be unaffected.
+  SymLocSeq A = {SymLocOp::read()};
+  SymLocSeq B = {SymLocOp::write(Term::opaqueSym(1))};
+  auto C = commutativityCondition(A, B);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->isConditional());
+  EXPECT_EQ(C->evaluate({{EntrySym, Value::of(4)}, {1, Value::of(4)}}),
+            std::make_optional(true));
+  EXPECT_EQ(C->evaluate({{EntrySym, Value::of(4)}, {1, Value::of(5)}}),
+            std::make_optional(false));
+}
+
+TEST(CommutativityConditionTest, RelaxationsDropChecks) {
+  // With RAW tolerated (drop SAMEREAD), a read never conflicts with a
+  // write — the spurious-reads pattern (JGraphT-1's maxColor).
+  SymLocSeq A = {SymLocOp::read()};
+  SymLocSeq B = {SymLocOp::write(Term::opaqueSym(1))};
+  ChecksSpec Relaxed;
+  Relaxed.SameReadA = false;
+  Relaxed.SameReadB = false;
+  auto C = commutativityCondition(A, B, Relaxed);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->isValid()); // A is read-only: final state is B's write.
+
+  // With WAW tolerated (drop COMMUTE), two blind writes never conflict —
+  // the shared-as-local pattern (PMD's ctx fields).
+  SymLocSeq W1 = {SymLocOp::write(Term::opaqueSym(1))};
+  SymLocSeq W2 = {SymLocOp::write(Term::opaqueSym(2))};
+  ChecksSpec NoCommute;
+  NoCommute.Commute = false;
+  auto C2 = commutativityCondition(W1, W2, NoCommute);
+  ASSERT_TRUE(C2.has_value());
+  EXPECT_TRUE(C2->isValid());
+}
+
+TEST(CommutativityConditionTest, PushPopIdentityOnList) {
+  // JFileSync monitor: push = R, W(read#0+1); pop = R, W(read#0-1).
+  // A balanced push;pop sequence restores the size, so two such
+  // sequences commute unconditionally.
+  SymLocSeq PushPop = {SymLocOp::read(), SymLocOp::write(Term::readPlus(0, 1)),
+                       SymLocOp::read(),
+                       SymLocOp::write(Term::readPlus(1, -1))};
+  auto C = commutativityCondition(PushPop, PushPop);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->isValid());
+}
+
+TEST(CommutativityConditionTest, UnbalancedPushesConflict) {
+  SymLocSeq Push = {SymLocOp::read(),
+                    SymLocOp::write(Term::readPlus(0, 1))};
+  SymLocSeq ReadOnly = {SymLocOp::read()};
+  auto C = commutativityCondition(Push, ReadOnly);
+  ASSERT_TRUE(C.has_value());
+  // ReadOnly's read differs by 1 between orders: never commutes.
+  EXPECT_TRUE(C->isNever());
+}
+
+// ---------------------------------------------------------------------------
+// Property: symbolic conditions are sound and complete against concrete
+// two-order evaluation on random sequences.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Builds a random symbolic sequence and a concrete instantiation of
+/// its parameters.
+struct RandomSeq {
+  SymLocSeq Sym;
+  LocOpSeq Concrete;
+};
+
+RandomSeq randomSeq(Rng &R, Bindings &B, SymId &NextSym) {
+  RandomSeq Out;
+  size_t Len = 1 + R.below(4);
+  for (size_t I = 0; I != Len; ++I) {
+    switch (R.below(3)) {
+    case 0:
+      Out.Sym.push_back(SymLocOp::read());
+      Out.Concrete.push_back(LocOp::read());
+      break;
+    case 1: {
+      SymId S = NextSym++;
+      int64_t V = R.range(-3, 3);
+      B[S] = Value::of(V);
+      Out.Sym.push_back(SymLocOp::add(Term::intSym(S)));
+      Out.Concrete.push_back(LocOp::add(V));
+      break;
+    }
+    default: {
+      SymId S = NextSym++;
+      int64_t V = R.range(-3, 3);
+      B[S] = Value::of(V);
+      Out.Sym.push_back(SymLocOp::write(Term::intSym(S)));
+      Out.Concrete.push_back(LocOp::write(Value::of(V)));
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+/// Ground truth: Figure 8's conflict semantics evaluated concretely.
+bool concretelyCommute(const Value &Entry, const LocOpSeq &A,
+                       const LocOpSeq &B) {
+  SeqEval AloneA = evalSequence(Entry, A);
+  SeqEval AloneB = evalSequence(Entry, B);
+  SeqEval AAfterB = evalSequence(AloneB.Final, A);
+  SeqEval BAfterA = evalSequence(AloneA.Final, B);
+  if (BAfterA.Final != AAfterB.Final)
+    return false;
+  if (AloneA.Reads != AAfterB.Reads)
+    return false;
+  if (AloneB.Reads != BAfterA.Reads)
+    return false;
+  return true;
+}
+
+} // namespace
+
+class ConditionSoundness : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConditionSoundness, MatchesConcreteGroundTruth) {
+  Rng R(GetParam());
+  for (int Iter = 0; Iter != 300; ++Iter) {
+    Bindings B;
+    SymId NextSym = 1;
+    RandomSeq SA = randomSeq(R, B, NextSym);
+    RandomSeq SB = randomSeq(R, B, NextSym);
+    int64_t Entry = R.range(-4, 4);
+    B[EntrySym] = Value::of(Entry);
+
+    auto Cond = commutativityCondition(SA.Sym, SB.Sym);
+    ASSERT_TRUE(Cond.has_value()) << "iteration " << Iter;
+    auto Verdict = Cond->evaluate(B);
+    ASSERT_TRUE(Verdict.has_value()) << "iteration " << Iter;
+
+    bool Truth =
+        concretelyCommute(Value::of(Entry), SA.Concrete, SB.Concrete);
+    EXPECT_EQ(*Verdict, Truth)
+        << "iteration " << Iter << "\n A = " << symSeqToString(SA.Sym)
+        << "\n B = " << symSeqToString(SB.Sym)
+        << "\n cond = " << Cond->toString() << "\n entry = " << Entry;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConditionSoundness,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+// ---------------------------------------------------------------------------
+// Container-presence distinctions (§5.1: "we further support certain
+// useful distinctions that are particular to container ADTs, such as
+// the presence of a key in a Map object"). Presence is modeled by the
+// per-key location holding Absent; erases are literal constants, so
+// conditions can pivot on them.
+// ---------------------------------------------------------------------------
+
+TEST(PresenceConditionTest, PutVsEraseNeverCommute) {
+  // put(k, v) vs erase(k): the final presence of k differs by order.
+  SymLocSeq Put = {SymLocOp::write(Term::opaqueSym(1))};
+  SymLocSeq Erase = {SymLocOp::write(Term::constant(Value::absent()))};
+  auto C = commutativityCondition(Put, Erase);
+  ASSERT_TRUE(C.has_value());
+  // Condition q1 == absent, which no stored value satisfies.
+  EXPECT_TRUE(C->isConditional());
+  EXPECT_EQ(C->evaluate({{1, Value::of(3)}}), std::make_optional(false));
+}
+
+TEST(PresenceConditionTest, DoubleEraseCommutes) {
+  SymLocSeq EraseA = {SymLocOp::write(Term::constant(Value::absent()))};
+  SymLocSeq EraseB = {SymLocOp::write(Term::constant(Value::absent()))};
+  auto C = commutativityCondition(EraseA, EraseB);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->isValid());
+}
+
+TEST(PresenceConditionTest, ContainsVsEraseDependsOnPriorPresence) {
+  // contains(k) (a read) vs erase(k): commute exactly when the key was
+  // already absent (the read observes Absent either way).
+  SymLocSeq Contains = {SymLocOp::read()};
+  SymLocSeq Erase = {SymLocOp::write(Term::constant(Value::absent()))};
+  auto C = commutativityCondition(Contains, Erase);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->isConditional());
+  // v0 == absent ⇒ commute.
+  EXPECT_EQ(C->evaluate({{EntrySym, Value::absent()}}),
+            std::make_optional(true));
+  EXPECT_EQ(C->evaluate({{EntrySym, Value::of(9)}}),
+            std::make_optional(false));
+}
+
+TEST(PresenceConditionTest, PutAfterEraseWithinOneTransaction) {
+  // erase(k); put(k, v) vs put(k, w): the last writes must agree, and
+  // the erased intermediate is dead (write-over-write), so the learned
+  // condition is exactly equal-writes.
+  SymLocSeq EraseThenPut = {
+      SymLocOp::write(Term::constant(Value::absent())),
+      SymLocOp::write(Term::opaqueSym(1))};
+  SymLocSeq Put = {SymLocOp::write(Term::opaqueSym(2))};
+  auto C = commutativityCondition(EraseThenPut, Put);
+  ASSERT_TRUE(C.has_value());
+  EXPECT_TRUE(C->isConditional());
+  EXPECT_EQ(C->evaluate({{1, Value::of(4)}, {2, Value::of(4)}}),
+            std::make_optional(true));
+  EXPECT_EQ(C->evaluate({{1, Value::of(4)}, {2, Value::of(5)}}),
+            std::make_optional(false));
+}

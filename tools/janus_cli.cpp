@@ -1,0 +1,291 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `janus` command-line tool: train, run and inspect the benchmark
+/// workloads (or saved caches) without writing code.
+///
+///   janus list
+///       Show the available workloads (Table 5).
+///   janus train --workload NAME [--rounds N] [--cache-out FILE]
+///       Run the offline training phase and optionally persist the
+///       commutativity cache.
+///   janus run --workload NAME [options]
+///       Train (or load a cache) and execute a payload, printing
+///       speedup/retry/cache statistics.
+///
+/// Run options:
+///   --threads N         worker threads / simulated cores (default 8)
+///   --detector seq|ws   conflict detection algorithm (default seq)
+///   --engine sim|threads  execution engine (default sim)
+///   --production        use the production-sized payload
+///   --seed S            payload seed (default 100)
+///   --rounds N          training rounds (default 5)
+///   --no-abstraction    disable Kleene sequence abstraction
+///   --write-set-fallback  fall back to write-set on cache misses
+///                         (default: exact online check)
+///   --cache-in FILE     load a training artifact instead of training
+///   --cache-out FILE    save the training artifact (cache + inferred
+///                       relaxation specs) after training
+///   --misses            print the distinct missed query keys
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/workloads/Workload.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace janus;
+using namespace janus::core;
+using namespace janus::workloads;
+
+namespace {
+
+struct CliOptions {
+  std::string Command;
+  std::string WorkloadName;
+  unsigned Threads = 8;
+  DetectorKind Detector = DetectorKind::Sequence;
+  EngineKind Engine = EngineKind::Simulated;
+  bool Production = false;
+  uint64_t Seed = 100;
+  int Rounds = 5;
+  bool UseAbstraction = true;
+  bool OnlineFallback = true;
+  bool PrintMisses = false;
+  std::string CacheIn, CacheOut;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: janus list | janus train --workload NAME [opts] | "
+               "janus run --workload NAME [opts]\n"
+               "(see the file header of tools/janus_cli.cpp for the full "
+               "option list)\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  if (Argc < 2)
+    return false;
+  Opts.Command = Argv[1];
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : nullptr;
+    };
+    if (Arg == "--workload") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.WorkloadName = V;
+    } else if (Arg == "--threads") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Threads = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--detector") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "seq") == 0)
+        Opts.Detector = DetectorKind::Sequence;
+      else if (std::strcmp(V, "ws") == 0)
+        Opts.Detector = DetectorKind::WriteSet;
+      else
+        return false;
+    } else if (Arg == "--engine") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      if (std::strcmp(V, "sim") == 0)
+        Opts.Engine = EngineKind::Simulated;
+      else if (std::strcmp(V, "threads") == 0)
+        Opts.Engine = EngineKind::Threaded;
+      else
+        return false;
+    } else if (Arg == "--production") {
+      Opts.Production = true;
+    } else if (Arg == "--seed") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Seed = static_cast<uint64_t>(std::atoll(V));
+    } else if (Arg == "--rounds") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Rounds = std::atoi(V);
+    } else if (Arg == "--no-abstraction") {
+      Opts.UseAbstraction = false;
+    } else if (Arg == "--write-set-fallback") {
+      Opts.OnlineFallback = false;
+    } else if (Arg == "--misses") {
+      Opts.PrintMisses = true;
+    } else if (Arg == "--cache-in") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CacheIn = V;
+    } else if (Arg == "--cache-out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.CacheOut = V;
+    } else {
+      std::fprintf(stderr, "janus: error: unknown option '%s'\n",
+                   Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+int cmdList() {
+  std::printf("%-10s %-16s %s\n", "name", "order", "patterns");
+  for (auto &W : allWorkloads())
+    std::printf("%-10s %-16s %s\n", W->name().c_str(),
+                W->ordered() ? "in-order" : "out-of-order",
+                W->patterns().c_str());
+  return 0;
+}
+
+JanusConfig configFor(const CliOptions &Opts) {
+  JanusConfig Cfg;
+  Cfg.Threads = Opts.Threads;
+  Cfg.Detector = Opts.Detector;
+  Cfg.Engine = Opts.Engine;
+  Cfg.Sequence.UseAbstraction = Opts.UseAbstraction;
+  Cfg.Sequence.OnlineFallback = Opts.OnlineFallback;
+  Cfg.Training.InferWAWRelaxation = true;
+  Cfg.Training.MaxConcat = 8;
+  return Cfg;
+}
+
+int cmdTrain(const CliOptions &Opts) {
+  auto W = workloadByName(Opts.WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "janus: error: unknown workload '%s'\n",
+                 Opts.WorkloadName.c_str());
+    return 1;
+  }
+  Janus J(configFor(Opts));
+  W->setup(J);
+  for (const PayloadSpec &P : W->trainingPayloads(Opts.Rounds))
+    J.train(W->makeTasks(P));
+  const training::TrainStats &TS = J.trainStats();
+  std::printf("trained %s: %llu tasks, %llu locations, %llu cache "
+              "entries (%llu candidate pairs)\n",
+              W->name().c_str(), (unsigned long long)TS.TasksRun,
+              (unsigned long long)TS.LocationsMined,
+              (unsigned long long)TS.CachedEntries,
+              (unsigned long long)TS.CandidatePairs);
+  std::printf("detected patterns: %s\n",
+              J.patternReport().summary().c_str());
+  if (!Opts.CacheOut.empty()) {
+    std::ofstream Out(Opts.CacheOut, std::ios::trunc);
+    if (!Out) {
+      std::fprintf(stderr, "janus: error: cannot write '%s'\n",
+                   Opts.CacheOut.c_str());
+      return 1;
+    }
+    // Persist the full training artifact (cache + relaxation specs).
+    Out << J.exportTrainingArtifact();
+    std::printf("training artifact saved to %s\n", Opts.CacheOut.c_str());
+  }
+  return 0;
+}
+
+int cmdRun(const CliOptions &Opts) {
+  auto W = workloadByName(Opts.WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "janus: error: unknown workload '%s'\n",
+                 Opts.WorkloadName.c_str());
+    return 1;
+  }
+  Janus J(configFor(Opts));
+  W->setup(J);
+
+  if (Opts.Detector == DetectorKind::Sequence) {
+    if (!Opts.CacheIn.empty()) {
+      std::ifstream In(Opts.CacheIn);
+      std::ostringstream Buffer;
+      Buffer << In.rdbuf();
+      if (!In || !J.importTrainingArtifact(Buffer.str())) {
+        std::fprintf(stderr,
+                     "janus: error: cannot load training artifact '%s'\n",
+                     Opts.CacheIn.c_str());
+        return 1;
+      }
+      std::printf("loaded training artifact: %zu cache entries\n",
+                  J.cache()->size());
+    } else {
+      for (const PayloadSpec &P : W->trainingPayloads(Opts.Rounds))
+        J.train(W->makeTasks(P));
+      std::printf("trained: %zu cache entries\n", J.cache()->size());
+    }
+  }
+
+  PayloadSpec Payload{Opts.Seed, Opts.Production};
+  RunOutcome O = W->runOn(J, Payload);
+
+  std::printf("workload   : %s (%s, %s engine, %u %s)\n",
+              W->name().c_str(), J.detector().name().c_str(),
+              Opts.Engine == EngineKind::Simulated ? "simulated"
+                                                   : "threaded",
+              Opts.Threads,
+              Opts.Engine == EngineKind::Simulated ? "cores" : "threads");
+  std::printf("speedup    : %.2fx (parallel %.1f vs sequential %.1f)\n",
+              O.speedup(), O.ParallelTime, O.SequentialTime);
+  std::printf("commits    : %llu\n",
+              (unsigned long long)J.runStats().Commits.load());
+  std::printf("retries    : %llu (ratio %.3f)\n",
+              (unsigned long long)J.runStats().Retries.load(),
+              J.runStats().retryRatio());
+  if (auto *SD = J.sequenceDetector()) {
+    const stm::DetectorStats &DS = J.detectorStats();
+    std::printf("queries    : %llu pairs, %llu hits, %llu misses, "
+                "%llu online, %llu write-set\n",
+                (unsigned long long)DS.PairQueries.load(),
+                (unsigned long long)DS.CacheHits.load(),
+                (unsigned long long)DS.CacheMisses.load(),
+                (unsigned long long)DS.OnlineChecks.load(),
+                (unsigned long long)DS.WriteSetChecks.load());
+    std::printf("unique     : %zu queries, %zu misses\n",
+                SD->uniqueQueries(), SD->uniqueMisses());
+    if (Opts.PrintMisses)
+      for (const std::string &Key : SD->missedQueryKeys())
+        std::printf("  MISS %s\n", Key.c_str());
+  }
+  std::printf("final state: %s\n",
+              W->verify(J, Payload) ? "verified OK" : "VERIFICATION FAILED");
+  if (!Opts.CacheOut.empty()) {
+    std::ofstream Out(Opts.CacheOut, std::ios::trunc);
+    if (Out) {
+      Out << J.exportTrainingArtifact();
+      std::printf("training artifact saved to %s\n",
+                  Opts.CacheOut.c_str());
+    }
+  }
+  return W->verify(J, Payload) ? 0 : 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    usage();
+    return 1;
+  }
+  if (Opts.Command == "list")
+    return cmdList();
+  if (Opts.Command == "train")
+    return cmdTrain(Opts);
+  if (Opts.Command == "run")
+    return cmdRun(Opts);
+  usage();
+  return 1;
+}
