@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fallback"
+  "../bench/ablation_fallback.pdb"
+  "CMakeFiles/ablation_fallback.dir/ablation_fallback.cpp.o"
+  "CMakeFiles/ablation_fallback.dir/ablation_fallback.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fallback.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

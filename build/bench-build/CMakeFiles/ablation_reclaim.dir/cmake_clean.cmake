@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reclaim"
+  "../bench/ablation_reclaim.pdb"
+  "CMakeFiles/ablation_reclaim.dir/ablation_reclaim.cpp.o"
+  "CMakeFiles/ablation_reclaim.dir/ablation_reclaim.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reclaim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

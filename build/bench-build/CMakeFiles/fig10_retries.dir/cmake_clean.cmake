@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_retries"
+  "../bench/fig10_retries.pdb"
+  "CMakeFiles/fig10_retries.dir/fig10_retries.cpp.o"
+  "CMakeFiles/fig10_retries.dir/fig10_retries.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_retries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

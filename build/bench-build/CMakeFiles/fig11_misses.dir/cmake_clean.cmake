@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_misses"
+  "../bench/fig11_misses.pdb"
+  "CMakeFiles/fig11_misses.dir/fig11_misses.cpp.o"
+  "CMakeFiles/fig11_misses.dir/fig11_misses.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_misses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_speedup"
+  "../bench/fig9_speedup.pdb"
+  "CMakeFiles/fig9_speedup.dir/fig9_speedup.cpp.o"
+  "CMakeFiles/fig9_speedup.dir/fig9_speedup.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

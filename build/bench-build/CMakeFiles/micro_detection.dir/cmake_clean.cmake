@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_detection"
+  "../bench/micro_detection.pdb"
+  "CMakeFiles/micro_detection.dir/micro_detection.cpp.o"
+  "CMakeFiles/micro_detection.dir/micro_detection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_patterns"
+  "../bench/table5_patterns.pdb"
+  "CMakeFiles/table5_patterns.dir/table5_patterns.cpp.o"
+  "CMakeFiles/table5_patterns.dir/table5_patterns.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

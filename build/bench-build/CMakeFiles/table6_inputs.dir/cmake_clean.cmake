@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_inputs"
+  "../bench/table6_inputs.pdb"
+  "CMakeFiles/table6_inputs.dir/table6_inputs.cpp.o"
+  "CMakeFiles/table6_inputs.dir/table6_inputs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_inputs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/coloring_demo.cpp" "examples/CMakeFiles/coloring_demo.dir/coloring_demo.cpp.o" "gcc" "examples/CMakeFiles/coloring_demo.dir/coloring_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/janus/workloads/CMakeFiles/janus_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/core/CMakeFiles/janus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/training/CMakeFiles/janus_training.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/conflict/CMakeFiles/janus_conflict.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/abstraction/CMakeFiles/janus_abstraction.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/relational/CMakeFiles/janus_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/sat/CMakeFiles/janus_sat.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/stm/CMakeFiles/janus_stm.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/symbolic/CMakeFiles/janus_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/support/CMakeFiles/janus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

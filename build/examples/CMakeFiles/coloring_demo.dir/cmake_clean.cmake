@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coloring_demo.dir/coloring_demo.cpp.o"
+  "CMakeFiles/coloring_demo.dir/coloring_demo.cpp.o.d"
+  "coloring_demo"
+  "coloring_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coloring_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_adt.dir/custom_adt.cpp.o"
+  "CMakeFiles/custom_adt.dir/custom_adt.cpp.o.d"
+  "custom_adt"
+  "custom_adt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_adt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

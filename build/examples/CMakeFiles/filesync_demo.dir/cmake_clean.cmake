@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filesync_demo.dir/filesync_demo.cpp.o"
+  "CMakeFiles/filesync_demo.dir/filesync_demo.cpp.o.d"
+  "filesync_demo"
+  "filesync_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filesync_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("janus/support")
+subdirs("janus/sat")
+subdirs("janus/persist")
+subdirs("janus/relational")
+subdirs("janus/symbolic")
+subdirs("janus/stm")
+subdirs("janus/conflict")
+subdirs("janus/abstraction")
+subdirs("janus/training")
+subdirs("janus/adt")
+subdirs("janus/core")
+subdirs("janus/workloads")
+subdirs("janus/model")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/janus/abstraction/AbstractSeq.cpp" "src/janus/abstraction/CMakeFiles/janus_abstraction.dir/AbstractSeq.cpp.o" "gcc" "src/janus/abstraction/CMakeFiles/janus_abstraction.dir/AbstractSeq.cpp.o.d"
+  "/root/repo/src/janus/abstraction/Symbolize.cpp" "src/janus/abstraction/CMakeFiles/janus_abstraction.dir/Symbolize.cpp.o" "gcc" "src/janus/abstraction/CMakeFiles/janus_abstraction.dir/Symbolize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/janus/symbolic/CMakeFiles/janus_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/support/CMakeFiles/janus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_abstraction.dir/AbstractSeq.cpp.o"
+  "CMakeFiles/janus_abstraction.dir/AbstractSeq.cpp.o.d"
+  "CMakeFiles/janus_abstraction.dir/Symbolize.cpp.o"
+  "CMakeFiles/janus_abstraction.dir/Symbolize.cpp.o.d"
+  "libjanus_abstraction.a"
+  "libjanus_abstraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_abstraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjanus_abstraction.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_conflict.dir/CommutativityCache.cpp.o"
+  "CMakeFiles/janus_conflict.dir/CommutativityCache.cpp.o.d"
+  "CMakeFiles/janus_conflict.dir/Decompose.cpp.o"
+  "CMakeFiles/janus_conflict.dir/Decompose.cpp.o.d"
+  "CMakeFiles/janus_conflict.dir/Explain.cpp.o"
+  "CMakeFiles/janus_conflict.dir/Explain.cpp.o.d"
+  "CMakeFiles/janus_conflict.dir/OnlineConflict.cpp.o"
+  "CMakeFiles/janus_conflict.dir/OnlineConflict.cpp.o.d"
+  "CMakeFiles/janus_conflict.dir/SequenceDetector.cpp.o"
+  "CMakeFiles/janus_conflict.dir/SequenceDetector.cpp.o.d"
+  "libjanus_conflict.a"
+  "libjanus_conflict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_conflict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_core.dir/Janus.cpp.o"
+  "CMakeFiles/janus_core.dir/Janus.cpp.o.d"
+  "libjanus_core.a"
+  "libjanus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

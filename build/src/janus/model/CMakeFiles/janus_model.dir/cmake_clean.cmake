@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_model.dir/ProtocolModel.cpp.o"
+  "CMakeFiles/janus_model.dir/ProtocolModel.cpp.o.d"
+  "libjanus_model.a"
+  "libjanus_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/janus/relational/Encoding.cpp" "src/janus/relational/CMakeFiles/janus_relational.dir/Encoding.cpp.o" "gcc" "src/janus/relational/CMakeFiles/janus_relational.dir/Encoding.cpp.o.d"
+  "/root/repo/src/janus/relational/RelOp.cpp" "src/janus/relational/CMakeFiles/janus_relational.dir/RelOp.cpp.o" "gcc" "src/janus/relational/CMakeFiles/janus_relational.dir/RelOp.cpp.o.d"
+  "/root/repo/src/janus/relational/Relation.cpp" "src/janus/relational/CMakeFiles/janus_relational.dir/Relation.cpp.o" "gcc" "src/janus/relational/CMakeFiles/janus_relational.dir/Relation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/janus/support/CMakeFiles/janus_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/sat/CMakeFiles/janus_sat.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

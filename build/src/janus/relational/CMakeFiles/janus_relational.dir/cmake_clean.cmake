@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_relational.dir/Encoding.cpp.o"
+  "CMakeFiles/janus_relational.dir/Encoding.cpp.o.d"
+  "CMakeFiles/janus_relational.dir/RelOp.cpp.o"
+  "CMakeFiles/janus_relational.dir/RelOp.cpp.o.d"
+  "CMakeFiles/janus_relational.dir/Relation.cpp.o"
+  "CMakeFiles/janus_relational.dir/Relation.cpp.o.d"
+  "libjanus_relational.a"
+  "libjanus_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

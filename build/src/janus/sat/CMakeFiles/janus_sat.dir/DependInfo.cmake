@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/janus/sat/PropFormula.cpp" "src/janus/sat/CMakeFiles/janus_sat.dir/PropFormula.cpp.o" "gcc" "src/janus/sat/CMakeFiles/janus_sat.dir/PropFormula.cpp.o.d"
+  "/root/repo/src/janus/sat/Solver.cpp" "src/janus/sat/CMakeFiles/janus_sat.dir/Solver.cpp.o" "gcc" "src/janus/sat/CMakeFiles/janus_sat.dir/Solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/janus/support/CMakeFiles/janus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

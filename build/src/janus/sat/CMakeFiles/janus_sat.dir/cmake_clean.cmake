@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_sat.dir/PropFormula.cpp.o"
+  "CMakeFiles/janus_sat.dir/PropFormula.cpp.o.d"
+  "CMakeFiles/janus_sat.dir/Solver.cpp.o"
+  "CMakeFiles/janus_sat.dir/Solver.cpp.o.d"
+  "libjanus_sat.a"
+  "libjanus_sat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_sat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

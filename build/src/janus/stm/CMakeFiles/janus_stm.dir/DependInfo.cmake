@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/janus/stm/Detector.cpp" "src/janus/stm/CMakeFiles/janus_stm.dir/Detector.cpp.o" "gcc" "src/janus/stm/CMakeFiles/janus_stm.dir/Detector.cpp.o.d"
+  "/root/repo/src/janus/stm/Log.cpp" "src/janus/stm/CMakeFiles/janus_stm.dir/Log.cpp.o" "gcc" "src/janus/stm/CMakeFiles/janus_stm.dir/Log.cpp.o.d"
+  "/root/repo/src/janus/stm/SimRuntime.cpp" "src/janus/stm/CMakeFiles/janus_stm.dir/SimRuntime.cpp.o" "gcc" "src/janus/stm/CMakeFiles/janus_stm.dir/SimRuntime.cpp.o.d"
+  "/root/repo/src/janus/stm/ThreadedRuntime.cpp" "src/janus/stm/CMakeFiles/janus_stm.dir/ThreadedRuntime.cpp.o" "gcc" "src/janus/stm/CMakeFiles/janus_stm.dir/ThreadedRuntime.cpp.o.d"
+  "/root/repo/src/janus/stm/TxContext.cpp" "src/janus/stm/CMakeFiles/janus_stm.dir/TxContext.cpp.o" "gcc" "src/janus/stm/CMakeFiles/janus_stm.dir/TxContext.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/janus/support/CMakeFiles/janus_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/janus/symbolic/CMakeFiles/janus_symbolic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_stm.dir/Detector.cpp.o"
+  "CMakeFiles/janus_stm.dir/Detector.cpp.o.d"
+  "CMakeFiles/janus_stm.dir/Log.cpp.o"
+  "CMakeFiles/janus_stm.dir/Log.cpp.o.d"
+  "CMakeFiles/janus_stm.dir/SimRuntime.cpp.o"
+  "CMakeFiles/janus_stm.dir/SimRuntime.cpp.o.d"
+  "CMakeFiles/janus_stm.dir/ThreadedRuntime.cpp.o"
+  "CMakeFiles/janus_stm.dir/ThreadedRuntime.cpp.o.d"
+  "CMakeFiles/janus_stm.dir/TxContext.cpp.o"
+  "CMakeFiles/janus_stm.dir/TxContext.cpp.o.d"
+  "libjanus_stm.a"
+  "libjanus_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/janus/support/Format.cpp" "src/janus/support/CMakeFiles/janus_support.dir/Format.cpp.o" "gcc" "src/janus/support/CMakeFiles/janus_support.dir/Format.cpp.o.d"
+  "/root/repo/src/janus/support/Location.cpp" "src/janus/support/CMakeFiles/janus_support.dir/Location.cpp.o" "gcc" "src/janus/support/CMakeFiles/janus_support.dir/Location.cpp.o.d"
+  "/root/repo/src/janus/support/Value.cpp" "src/janus/support/CMakeFiles/janus_support.dir/Value.cpp.o" "gcc" "src/janus/support/CMakeFiles/janus_support.dir/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_support.dir/Format.cpp.o"
+  "CMakeFiles/janus_support.dir/Format.cpp.o.d"
+  "CMakeFiles/janus_support.dir/Location.cpp.o"
+  "CMakeFiles/janus_support.dir/Location.cpp.o.d"
+  "CMakeFiles/janus_support.dir/Value.cpp.o"
+  "CMakeFiles/janus_support.dir/Value.cpp.o.d"
+  "libjanus_support.a"
+  "libjanus_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/janus/symbolic/Condition.cpp" "src/janus/symbolic/CMakeFiles/janus_symbolic.dir/Condition.cpp.o" "gcc" "src/janus/symbolic/CMakeFiles/janus_symbolic.dir/Condition.cpp.o.d"
+  "/root/repo/src/janus/symbolic/LocOp.cpp" "src/janus/symbolic/CMakeFiles/janus_symbolic.dir/LocOp.cpp.o" "gcc" "src/janus/symbolic/CMakeFiles/janus_symbolic.dir/LocOp.cpp.o.d"
+  "/root/repo/src/janus/symbolic/SymSeq.cpp" "src/janus/symbolic/CMakeFiles/janus_symbolic.dir/SymSeq.cpp.o" "gcc" "src/janus/symbolic/CMakeFiles/janus_symbolic.dir/SymSeq.cpp.o.d"
+  "/root/repo/src/janus/symbolic/Term.cpp" "src/janus/symbolic/CMakeFiles/janus_symbolic.dir/Term.cpp.o" "gcc" "src/janus/symbolic/CMakeFiles/janus_symbolic.dir/Term.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/janus/support/CMakeFiles/janus_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

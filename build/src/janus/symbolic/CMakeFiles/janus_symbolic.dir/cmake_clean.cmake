@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_symbolic.dir/Condition.cpp.o"
+  "CMakeFiles/janus_symbolic.dir/Condition.cpp.o.d"
+  "CMakeFiles/janus_symbolic.dir/LocOp.cpp.o"
+  "CMakeFiles/janus_symbolic.dir/LocOp.cpp.o.d"
+  "CMakeFiles/janus_symbolic.dir/SymSeq.cpp.o"
+  "CMakeFiles/janus_symbolic.dir/SymSeq.cpp.o.d"
+  "CMakeFiles/janus_symbolic.dir/Term.cpp.o"
+  "CMakeFiles/janus_symbolic.dir/Term.cpp.o.d"
+  "libjanus_symbolic.a"
+  "libjanus_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

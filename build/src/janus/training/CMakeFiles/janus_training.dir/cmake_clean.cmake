@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_training.dir/DependenceGraph.cpp.o"
+  "CMakeFiles/janus_training.dir/DependenceGraph.cpp.o.d"
+  "CMakeFiles/janus_training.dir/PatternReport.cpp.o"
+  "CMakeFiles/janus_training.dir/PatternReport.cpp.o.d"
+  "CMakeFiles/janus_training.dir/RelationalCheck.cpp.o"
+  "CMakeFiles/janus_training.dir/RelationalCheck.cpp.o.d"
+  "CMakeFiles/janus_training.dir/Trainer.cpp.o"
+  "CMakeFiles/janus_training.dir/Trainer.cpp.o.d"
+  "libjanus_training.a"
+  "libjanus_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

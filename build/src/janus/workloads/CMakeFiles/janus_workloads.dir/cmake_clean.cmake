@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus_workloads.dir/CodeScan.cpp.o"
+  "CMakeFiles/janus_workloads.dir/CodeScan.cpp.o.d"
+  "CMakeFiles/janus_workloads.dir/FileSync.cpp.o"
+  "CMakeFiles/janus_workloads.dir/FileSync.cpp.o.d"
+  "CMakeFiles/janus_workloads.dir/GraphColor.cpp.o"
+  "CMakeFiles/janus_workloads.dir/GraphColor.cpp.o.d"
+  "CMakeFiles/janus_workloads.dir/Render.cpp.o"
+  "CMakeFiles/janus_workloads.dir/Render.cpp.o.d"
+  "CMakeFiles/janus_workloads.dir/Saturation.cpp.o"
+  "CMakeFiles/janus_workloads.dir/Saturation.cpp.o.d"
+  "CMakeFiles/janus_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/janus_workloads.dir/Workload.cpp.o.d"
+  "libjanus_workloads.a"
+  "libjanus_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adt_test.dir/adt_test.cpp.o"
+  "CMakeFiles/adt_test.dir/adt_test.cpp.o.d"
+  "adt_test"
+  "adt_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

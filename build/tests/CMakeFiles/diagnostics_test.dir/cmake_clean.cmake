@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/diagnostics_test.dir/diagnostics_test.cpp.o"
+  "CMakeFiles/diagnostics_test.dir/diagnostics_test.cpp.o.d"
+  "diagnostics_test"
+  "diagnostics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/diagnostics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/persist_test.dir/persist_test.cpp.o"
+  "CMakeFiles/persist_test.dir/persist_test.cpp.o.d"
+  "persist_test"
+  "persist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/persist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

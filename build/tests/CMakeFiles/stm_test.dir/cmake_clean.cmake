@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_test.dir/stm_test.cpp.o"
+  "CMakeFiles/stm_test.dir/stm_test.cpp.o.d"
+  "stm_test"
+  "stm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

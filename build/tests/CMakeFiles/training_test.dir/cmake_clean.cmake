@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/training_test.dir/training_test.cpp.o"
+  "CMakeFiles/training_test.dir/training_test.cpp.o.d"
+  "training_test"
+  "training_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/janus.dir/janus_cli.cpp.o"
+  "CMakeFiles/janus.dir/janus_cli.cpp.o.d"
+  "janus"
+  "janus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/janus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
