@@ -39,16 +39,19 @@ public:
   }
 
   int64_t readAt(stm::TxContext &Tx, int64_t Idx, int64_t Default = 0) const {
+    Tx.guard("TxIntArray::readAt");
     Value V = Tx.read(Location(Obj, Idx));
     return V.isInt() ? V.asInt() : Default;
   }
 
   void writeAt(stm::TxContext &Tx, int64_t Idx, int64_t V) const {
+    Tx.guard("TxIntArray::writeAt");
     Tx.write(Location(Obj, Idx), Value::of(V));
   }
 
   /// Commutative per-element reduction update.
   void addAt(stm::TxContext &Tx, int64_t Idx, int64_t Delta) const {
+    Tx.guard("TxIntArray::addAt");
     Tx.add(Location(Obj, Idx), Delta);
   }
 
@@ -73,11 +76,13 @@ public:
   }
 
   std::string readAt(stm::TxContext &Tx, int64_t Idx) const {
+    Tx.guard("TxStrArray::readAt");
     Value V = Tx.read(Location(Obj, Idx));
     return V.isStr() ? V.asStr() : std::string();
   }
 
   void writeAt(stm::TxContext &Tx, int64_t Idx, std::string V) const {
+    Tx.guard("TxStrArray::writeAt");
     Tx.write(Location(Obj, Idx), Value::of(std::move(V)));
   }
 

@@ -43,6 +43,7 @@ public:
 
   /// \returns the bit at \p Idx (unset bits read as false).
   bool get(stm::TxContext &Tx, int64_t Idx) const {
+    Tx.guard("TxBitSet::get");
     JANUS_ASSERT(Idx >= 0 && Idx < Capacity, "bit index out of range");
     Value V = Tx.read(Location(Obj, Idx));
     return V.isBool() && V.asBool();
@@ -50,12 +51,14 @@ public:
 
   /// Sets the bit at \p Idx.
   void set(stm::TxContext &Tx, int64_t Idx) const {
+    Tx.guard("TxBitSet::set");
     JANUS_ASSERT(Idx >= 0 && Idx < Capacity, "bit index out of range");
     Tx.write(Location(Obj, Idx), Value::of(true));
   }
 
   /// Clears the bit at \p Idx.
   void clear(stm::TxContext &Tx, int64_t Idx) const {
+    Tx.guard("TxBitSet::clear");
     JANUS_ASSERT(Idx >= 0 && Idx < Capacity, "bit index out of range");
     Tx.write(Location(Obj, Idx), Value::of(false));
   }
@@ -63,6 +66,7 @@ public:
   /// Clears every bit (the scratch-pad reset of Figure 3's
   /// usedColors.clear()).
   void clearAll(stm::TxContext &Tx) const {
+    Tx.guard("TxBitSet::clearAll");
     for (int64_t I = 0; I != Capacity; ++I)
       Tx.write(Location(Obj, I), Value::of(false));
   }

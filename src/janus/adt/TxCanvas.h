@@ -47,6 +47,7 @@ public:
   /// Paints one pixel; coordinates outside the canvas are clipped.
   void setPixel(stm::TxContext &Tx, int64_t X, int64_t Y,
                 const std::string &Color) const {
+    Tx.guard("TxCanvas::setPixel");
     if (X < 0 || X >= Width || Y < 0 || Y >= Height)
       return;
     Tx.write(Location(Obj, Y * Width + X), Value::of(Color));
@@ -54,6 +55,7 @@ public:
 
   /// \returns the color at (X, Y), or "" when unpainted.
   std::string getPixel(stm::TxContext &Tx, int64_t X, int64_t Y) const {
+    Tx.guard("TxCanvas::getPixel");
     JANUS_ASSERT(X >= 0 && X < Width && Y >= 0 && Y < Height,
                  "pixel out of range");
     Value V = Tx.read(Location(Obj, Y * Width + X));
@@ -63,6 +65,7 @@ public:
   /// Bresenham line from (X1, Y1) to (X2, Y2).
   void drawLine(stm::TxContext &Tx, int64_t X1, int64_t Y1, int64_t X2,
                 int64_t Y2, const std::string &Color) const {
+    Tx.guard("TxCanvas::drawLine");
     int64_t DX = std::llabs(X2 - X1), DY = -std::llabs(Y2 - Y1);
     int64_t SX = X1 < X2 ? 1 : -1, SY = Y1 < Y2 ? 1 : -1;
     int64_t Err = DX + DY;
@@ -86,6 +89,7 @@ public:
   /// (Graphics.fillOval).
   void fillOval(stm::TxContext &Tx, int64_t X, int64_t Y, int64_t W,
                 int64_t H, const std::string &Color) const {
+    Tx.guard("TxCanvas::fillOval");
     if (W <= 0 || H <= 0)
       return;
     // Center-and-radius form over the bounding box, integer sampled.
@@ -104,6 +108,7 @@ public:
   /// for Graphics.drawString; the workload only needs the writes).
   void drawString(stm::TxContext &Tx, const std::string &Text, int64_t X,
                   int64_t Y, const std::string &Color) const {
+    Tx.guard("TxCanvas::drawString");
     for (size_t I = 0, E = Text.size(); I != E; ++I)
       setPixel(Tx, X + static_cast<int64_t>(I), Y,
                Color + ":" + Text.substr(I, 1));

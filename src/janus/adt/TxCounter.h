@@ -39,11 +39,13 @@ public:
 
   /// Adds \p Delta (a commutative reduction update).
   void add(stm::TxContext &Tx, int64_t Delta) const {
+    Tx.guard("TxCounter::add");
     Tx.add(Location(Obj), Delta);
   }
 
   /// Subtracts \p Delta.
   void sub(stm::TxContext &Tx, int64_t Delta) const {
+    Tx.guard("TxCounter::sub");
     Tx.add(Location(Obj), -Delta);
   }
 
@@ -51,6 +53,7 @@ public:
   /// dependency; counters used purely as reductions should be read only
   /// after the parallel loop.
   int64_t get(stm::TxContext &Tx) const {
+    Tx.guard("TxCounter::get");
     Value V = Tx.read(Location(Obj));
     return V.isInt() ? V.asInt() : 0;
   }

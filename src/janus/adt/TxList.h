@@ -39,12 +39,14 @@ public:
 
   /// \returns the number of elements.
   int64_t size(stm::TxContext &Tx) const {
+    Tx.guard("TxList::size");
     Value V = Tx.read(sizeLocation());
     return V.isInt() ? V.asInt() : 0;
   }
 
   /// Appends \p V (JFSProgressMonitor's add()).
   void pushBack(stm::TxContext &Tx, Value V) const {
+    Tx.guard("TxList::pushBack");
     int64_t N = size(Tx);
     Tx.write(sizeLocation(), Value::of(N + 1));
     Tx.write(Location(Obj, N), std::move(V));
@@ -55,6 +57,7 @@ public:
   /// identity on every location it touched — which is what lets two
   /// concurrent push/pop transactions commute.
   void popBack(stm::TxContext &Tx) const {
+    Tx.guard("TxList::popBack");
     int64_t N = size(Tx);
     JANUS_ASSERT(N > 0, "pop from empty list");
     Tx.write(sizeLocation(), Value::of(N - 1));
@@ -63,6 +66,7 @@ public:
 
   /// \returns element \p Idx.
   Value at(stm::TxContext &Tx, int64_t Idx) const {
+    Tx.guard("TxList::at");
     return Tx.read(Location(Obj, Idx));
   }
 

@@ -38,6 +38,7 @@ public:
 
   /// \returns the value mapped at \p Key, or nullopt when absent.
   std::optional<Value> get(stm::TxContext &Tx, const std::string &Key) const {
+    Tx.guard("TxMap::get");
     Value V = Tx.read(Location(Obj, Key));
     if (V.isAbsent())
       return std::nullopt;
@@ -46,17 +47,20 @@ public:
 
   /// \returns whether \p Key is present.
   bool contains(stm::TxContext &Tx, const std::string &Key) const {
+    Tx.guard("TxMap::contains");
     return !Tx.read(Location(Obj, Key)).isAbsent();
   }
 
   /// Maps \p Key to \p V (displacing any previous value).
   void put(stm::TxContext &Tx, const std::string &Key, Value V) const {
+    Tx.guard("TxMap::put");
     JANUS_ASSERT(!V.isAbsent(), "cannot store Absent; use erase");
     Tx.write(Location(Obj, Key), std::move(V));
   }
 
   /// Removes \p Key.
   void erase(stm::TxContext &Tx, const std::string &Key) const {
+    Tx.guard("TxMap::erase");
     Tx.write(Location(Obj, Key), Value::absent());
   }
 
@@ -64,6 +68,7 @@ public:
   /// per-rule AtomicLong counters of PMD's rules).
   void addAt(stm::TxContext &Tx, const std::string &Key,
              int64_t Delta) const {
+    Tx.guard("TxMap::addAt");
     Tx.add(Location(Obj, Key), Delta);
   }
 

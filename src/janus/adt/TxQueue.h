@@ -43,13 +43,18 @@ public:
 
   /// \returns the number of queued elements.
   int64_t size(stm::TxContext &Tx) const {
+    Tx.guard("TxQueue::size");
     return tail(Tx) - head(Tx);
   }
 
-  bool empty(stm::TxContext &Tx) const { return size(Tx) == 0; }
+  bool empty(stm::TxContext &Tx) const {
+    Tx.guard("TxQueue::empty");
+    return size(Tx) == 0;
+  }
 
   /// Appends \p V at the tail.
   void enqueue(stm::TxContext &Tx, Value V) const {
+    Tx.guard("TxQueue::enqueue");
     int64_t T = tail(Tx);
     Tx.write(tailLocation(), Value::of(T + 1));
     Tx.write(Location(Obj, T), std::move(V));
@@ -57,6 +62,7 @@ public:
 
   /// Removes and \returns the front element, or nullopt when empty.
   std::optional<Value> dequeue(stm::TxContext &Tx) const {
+    Tx.guard("TxQueue::dequeue");
     int64_t H = head(Tx);
     int64_t T = tail(Tx);
     if (H == T)
@@ -69,6 +75,7 @@ public:
 
   /// \returns the front element without consuming it, or nullopt.
   std::optional<Value> front(stm::TxContext &Tx) const {
+    Tx.guard("TxQueue::front");
     int64_t H = head(Tx);
     if (H == tail(Tx))
       return std::nullopt;
@@ -81,10 +88,12 @@ public:
 
 private:
   int64_t head(stm::TxContext &Tx) const {
+    Tx.guard("TxQueue::head");
     Value V = Tx.read(headLocation());
     return V.isInt() ? V.asInt() : 0;
   }
   int64_t tail(stm::TxContext &Tx) const {
+    Tx.guard("TxQueue::tail");
     Value V = Tx.read(tailLocation());
     return V.isInt() ? V.asInt() : 0;
   }

@@ -39,12 +39,14 @@ public:
 
   /// \returns the current value, or \p Default when never written.
   int64_t get(stm::TxContext &Tx, int64_t Default = 0) const {
+    Tx.guard("TxIntVar::get");
     Value V = Tx.read(Location(Obj));
     return V.isInt() ? V.asInt() : Default;
   }
 
   /// Overwrites the value.
   void set(stm::TxContext &Tx, int64_t V) const {
+    Tx.guard("TxIntVar::set");
     Tx.write(Location(Obj), Value::of(V));
   }
 
@@ -70,11 +72,13 @@ public:
   /// \returns the current value, or the empty string when never
   /// written.
   std::string get(stm::TxContext &Tx) const {
+    Tx.guard("TxStrVar::get");
     Value V = Tx.read(Location(Obj));
     return V.isStr() ? V.asStr() : std::string();
   }
 
   void set(stm::TxContext &Tx, std::string V) const {
+    Tx.guard("TxStrVar::set");
     Tx.write(Location(Obj), Value::of(std::move(V)));
   }
 

@@ -1,0 +1,72 @@
+#include "janus/analysis/Auditor.h"
+
+#include <sstream>
+
+using namespace janus;
+using namespace janus::analysis;
+
+AuditReport analysis::audit(const stm::AuditTrace &Trace,
+                            const std::vector<stm::TaskFn> &Tasks,
+                            const ObjectRegistry &Reg, AuditConfig Config) {
+  AuditReport Report;
+  if (Config.CheckSerializability)
+    Report.Serializability = checkSerializability(Trace, Tasks, Reg);
+  if (Config.CheckRaces)
+    Report.Races = checkHappensBefore(Trace, Reg);
+  if (Config.CheckEscapes) {
+    Report.Escapes = stm::escapeCount();
+    Report.EscapeEvents = stm::escapeEvents();
+  }
+  return Report;
+}
+
+std::string AuditReport::summary() const {
+  std::ostringstream OS;
+
+  OS << "serializability: ";
+  if (!Serializability.Checked) {
+    OS << "not checked\n";
+  } else {
+    OS << Serializability.TxReplayed << " tx replayed in commit order, "
+       << Serializability.violationCount() << " violation(s)";
+    if (Serializability.relaxedCount())
+      OS << ", " << Serializability.relaxedCount()
+         << " relaxation-sanctioned divergence(s)";
+    OS << "\n";
+    for (const std::string &Issue : Serializability.ScheduleIssues)
+      OS << "  schedule: " << Issue << "\n";
+    for (const Divergence &D : Serializability.Divergences)
+      OS << "  " << (D.Relaxed ? "relaxed" : "VIOLATION") << ": "
+         << D.LocName << " serial=" << D.Expected.toString()
+         << " observed=" << D.Actual.toString() << "\n";
+  }
+
+  OS << "races: ";
+  if (!Races.Checked) {
+    OS << "not checked\n";
+  } else {
+    OS << Races.CommittedTx << " committed tx, " << Races.ConcurrentPairs
+       << " concurrent pair(s), " << Races.RechecksRun << " re-check(s), "
+       << Races.harmfulCount() << " harmful, " << Races.benignCount()
+       << " benign";
+    if (Races.relaxedCount())
+      OS << " (" << Races.relaxedCount() << " relaxation-sanctioned)";
+    OS << "\n";
+    for (const RaceFinding &R : Races.Races)
+      if (R.Harmful)
+        OS << "  HARMFUL: " << R.LocName << " between tx " << R.FirstTid
+           << " and tx " << R.SecondTid << " (admitted non-commuting)\n";
+  }
+
+  OS << "escapes: " << Escapes << " non-transactional access(es)";
+#if !JANUS_ESCAPE_CHECKS
+  OS << " (instrumentation compiled out)";
+#endif
+  OS << "\n";
+  for (const stm::EscapeEvent &E : EscapeEvents)
+    OS << "  ESCAPE: tx " << E.Tid << " at " << E.Where << "\n";
+
+  OS << (clean() ? "audit: CLEAN" : "audit: FAILED") << " ("
+     << violationCount() << " violation(s))";
+  return OS.str();
+}

@@ -1,0 +1,75 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hindsight auditor: one entry point over all post-hoc checks.
+///
+/// JANUS's correctness story rests on two claims nothing in the runtime
+/// verifies: (1) the detector only admits schedules equivalent to their
+/// commit order (soundness, Theorem 4.1), and (2) every shared access
+/// flows through the transactional API (instrumentation coverage, which
+/// the paper gets from bytecode rewriting and we get from discipline).
+/// The auditor checks both after the fact, from a recorded trace:
+///
+///   - serializability: re-execute the task bodies serially in commit
+///     order and diff against the run's final state (Serializability.h);
+///   - races: re-derive happens-before with vector clocks and re-test
+///     every unordered conflicting access with the exact CONFLICT check
+///     (HappensBefore.h);
+///   - escapes: accesses flagged outside an active transaction attempt
+///     by the debug-mode ADT instrumentation (stm/Escape.h).
+///
+/// A clean report is machine-checked evidence that this run's detector
+/// verdicts were sound. `janus audit` surfaces it on the CLI.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ANALYSIS_AUDITOR_H
+#define JANUS_ANALYSIS_AUDITOR_H
+
+#include "janus/analysis/HappensBefore.h"
+#include "janus/analysis/Serializability.h"
+#include "janus/stm/Escape.h"
+
+#include <string>
+
+namespace janus {
+namespace analysis {
+
+/// Which checks audit() runs.
+struct AuditConfig {
+  bool CheckSerializability = true;
+  bool CheckRaces = true;
+  /// Fold the process-wide escape registry into the report.
+  bool CheckEscapes = true;
+};
+
+/// Combined audit outcome.
+struct AuditReport {
+  SerializabilityReport Serializability;
+  HappensBeforeReport Races;
+  uint64_t Escapes = 0;
+  std::vector<stm::EscapeEvent> EscapeEvents;
+
+  /// Total violations: unsanctioned divergences + schedule issues +
+  /// harmful races + escaped accesses. Zero means the run's claims held
+  /// up under independent re-derivation.
+  size_t violationCount() const {
+    return Serializability.violationCount() + Races.harmfulCount() +
+           static_cast<size_t>(Escapes);
+  }
+  bool clean() const { return violationCount() == 0; }
+
+  /// Multi-line human-readable report.
+  std::string summary() const;
+};
+
+/// Audits one recorded run. \p Tasks must be the task vector of the
+/// audited run (ids match 1-based positions).
+AuditReport audit(const stm::AuditTrace &Trace,
+                  const std::vector<stm::TaskFn> &Tasks,
+                  const ObjectRegistry &Reg, AuditConfig Config = {});
+
+} // namespace analysis
+} // namespace janus
+
+#endif // JANUS_ANALYSIS_AUDITOR_H

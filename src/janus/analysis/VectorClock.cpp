@@ -1,0 +1,39 @@
+#include "janus/analysis/VectorClock.h"
+
+using namespace janus;
+using namespace janus::analysis;
+
+uint64_t VectorClock::get(uint32_t Pid) const {
+  auto It = Components.find(Pid);
+  return It == Components.end() ? 0 : It->second;
+}
+
+void VectorClock::raise(uint32_t Pid, uint64_t Ticks) {
+  uint64_t &C = Components[Pid];
+  if (Ticks > C)
+    C = Ticks;
+}
+
+void VectorClock::join(const VectorClock &Other) {
+  for (const auto &[Pid, Ticks] : Other.Components)
+    raise(Pid, Ticks);
+}
+
+bool VectorClock::dominatedBy(const VectorClock &Other) const {
+  for (const auto &[Pid, Ticks] : Components)
+    if (Ticks > Other.get(Pid))
+      return false;
+  return true;
+}
+
+std::string VectorClock::toString() const {
+  std::string Out = "{";
+  bool First = true;
+  for (const auto &[Pid, Ticks] : Components) {
+    if (!First)
+      Out += ", ";
+    First = false;
+    Out += std::to_string(Pid) + ":" + std::to_string(Ticks);
+  }
+  return Out + "}";
+}

@@ -1,0 +1,67 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Vector clocks over transaction events.
+///
+/// The hindsight auditor re-derives the happens-before relation of a
+/// recorded run instead of trusting the runtime's scalar commit clock:
+/// each transaction is a process with a single event, a commit is a
+/// broadcast send, and a begin is a receive of every commit the
+/// snapshot observed. A transaction's clock is then the join of the
+/// clocks of everything it observed plus its own component, and
+/// happens-before is component dominance — the standard Fidge/Mattern
+/// construction, specialized to one event per process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_ANALYSIS_VECTORCLOCK_H
+#define JANUS_ANALYSIS_VECTORCLOCK_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace janus {
+namespace analysis {
+
+/// A vector timestamp: process (task) id → event counter.
+class VectorClock {
+public:
+  /// \returns the component for \p Pid (0 when absent).
+  uint64_t get(uint32_t Pid) const;
+
+  /// Sets component \p Pid to max(current, \p Ticks).
+  void raise(uint32_t Pid, uint64_t Ticks);
+
+  /// Component-wise maximum with \p Other (message receive).
+  void join(const VectorClock &Other);
+
+  /// \returns true when every component of this clock is <= the
+  /// corresponding component of \p Other (this ≼ Other). Reflexive.
+  bool dominatedBy(const VectorClock &Other) const;
+
+  /// Number of non-zero components.
+  size_t size() const { return Components.size(); }
+
+  /// "{1:1, 4:1}"-style rendering for diagnostics.
+  std::string toString() const;
+
+private:
+  std::map<uint32_t, uint64_t> Components;
+};
+
+/// \returns true when event A happens-before event B: A ≼ B and they
+/// differ. With one event per process this is strict causal order.
+inline bool happensBefore(const VectorClock &A, const VectorClock &B) {
+  return A.dominatedBy(B) && !B.dominatedBy(A);
+}
+
+/// \returns true when neither clock is ordered before the other.
+inline bool concurrent(const VectorClock &A, const VectorClock &B) {
+  return !A.dominatedBy(B) && !B.dominatedBy(A);
+}
+
+} // namespace analysis
+} // namespace janus
+
+#endif // JANUS_ANALYSIS_VECTORCLOCK_H

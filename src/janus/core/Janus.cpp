@@ -101,16 +101,21 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
     SimCfg.NumCores = Config.Threads;
     SimCfg.Ordered = Ordered;
     SimCfg.Costs = Config.Costs;
+    SimCfg.RecordTrace = Config.RecordTrace;
     stm::SimRuntime Runtime(Reg, *Detector, SimCfg);
     Runtime.setInitialState(State);
     stm::SimOutcome Sim = Runtime.run(Tasks);
     State = Runtime.sharedState();
+    if (Config.RecordTrace)
+      Trace = Runtime.trace();
     Outcome.ParallelTime = Sim.ParallelTime;
     Outcome.SequentialTime = Sim.SequentialTime;
     Stats.Tasks += Runtime.stats().Tasks.load();
     Stats.Commits += Runtime.stats().Commits.load();
     Stats.Retries += Runtime.stats().Retries.load();
     Stats.ConflictChecks += Runtime.stats().ConflictChecks.load();
+    Stats.TraceEvents += Runtime.stats().TraceEvents.load();
+    Stats.EscapedAccesses += Runtime.stats().EscapedAccesses.load();
     return Outcome;
   }
 
@@ -134,6 +139,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
   ThreadCfg.NumThreads = Config.Threads;
   ThreadCfg.Ordered = Ordered;
   ThreadCfg.ReclaimLogs = Config.ReclaimLogs;
+  ThreadCfg.RecordTrace = Config.RecordTrace;
   stm::ThreadedRuntime Runtime(Reg, *Detector, ThreadCfg);
   Runtime.setInitialState(State);
   auto Start = Clock::now();
@@ -141,10 +147,14 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
   Outcome.ParallelTime =
       std::chrono::duration<double>(Clock::now() - Start).count();
   State = Runtime.sharedState();
+  if (Config.RecordTrace)
+    Trace = Runtime.trace();
   Stats.Tasks += Runtime.stats().Tasks.load();
   Stats.Commits += Runtime.stats().Commits.load();
   Stats.Retries += Runtime.stats().Retries.load();
   Stats.ConflictChecks += Runtime.stats().ConflictChecks.load();
   Stats.ValidationFailures += Runtime.stats().ValidationFailures.load();
+  Stats.TraceEvents += Runtime.stats().TraceEvents.load();
+  Stats.EscapedAccesses += Runtime.stats().EscapedAccesses.load();
   return Outcome;
 }

@@ -55,6 +55,10 @@ struct JanusConfig {
   training::TrainerConfig Training;
   /// Reclaim committed logs no active transaction can query (§7.2).
   bool ReclaimLogs = false;
+  /// Record an audit trace of every run for post-hoc analysis
+  /// (janus::analysis; `janus audit`). Off by default: tracing retains
+  /// all transaction logs plus entry snapshots for the run's lifetime.
+  bool RecordTrace = false;
 };
 
 /// Outcome of one parallel run: the measured parallel duration and the
@@ -110,6 +114,10 @@ public:
 
   /// \returns the shared state after the last run.
   const stm::Snapshot &sharedState() const { return State; }
+
+  /// \returns the audit trace of the most recent run (empty unless
+  /// configured with RecordTrace).
+  const stm::AuditTrace &lastTrace() const { return Trace; }
 
   /// \returns the value at \p Loc in the current shared state.
   Value valueAt(const Location &Loc) const {
@@ -181,6 +189,7 @@ private:
   std::unique_ptr<training::Trainer> TrainerImpl;
   stm::Snapshot State;
   stm::RunStats Stats;
+  stm::AuditTrace Trace;
 };
 
 } // namespace core

@@ -1,0 +1,79 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Execution traces for after-the-fact (hindsight) auditing.
+///
+/// The runtimes can record, per transaction attempt, the information a
+/// verifier needs to re-derive the run's correctness claims from first
+/// principles: the begin/commit timestamps that induce the
+/// happens-before order, the operation log, and the entry snapshot
+/// (an O(1) persistent copy). `janus::analysis` consumes this trace to
+/// (a) replay the committed schedule against a reference sequential
+/// execution (Theorem 4.1 ground truth) and (b) re-examine every pair
+/// of concurrently committed transactions the detector admitted.
+///
+/// Recording is off by default; the runtimes pay nothing for it unless
+/// `RecordTrace` is set in their configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_STM_AUDITTRACE_H
+#define JANUS_STM_AUDITTRACE_H
+
+#include "janus/stm/Log.h"
+#include "janus/stm/Snapshot.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace janus {
+namespace stm {
+
+/// One transaction attempt as the runtime saw it.
+struct TraceEvent {
+  uint32_t Tid = 0; ///< 1-based task id.
+  /// Clock value at CREATETRANSACTION: the attempt observed exactly the
+  /// commits with CommitTime <= BeginTime.
+  uint64_t BeginTime = 0;
+  /// Clock value assigned at COMMIT; 0 for aborted attempts.
+  uint64_t CommitTime = 0;
+  bool Committed = false;
+  TxLogRef Log;   ///< The attempt's operation log.
+  Snapshot Entry; ///< SharedSnapshot at begin (O(1) persistent copy).
+};
+
+/// A full recorded run: initial state, every attempt, final state.
+struct AuditTrace {
+  bool Recorded = false; ///< True once a runtime populated the trace.
+  Snapshot Initial;      ///< Shared state when run() started.
+  Snapshot Final;        ///< Shared state when run() returned.
+  std::vector<TraceEvent> Events; ///< In recording order.
+
+  /// \returns the committed events sorted by commit time — the schedule
+  /// the run claims is serializable.
+  std::vector<const TraceEvent *> committedInOrder() const {
+    std::vector<const TraceEvent *> Out;
+    for (const TraceEvent &E : Events)
+      if (E.Committed)
+        Out.push_back(&E);
+    std::sort(Out.begin(), Out.end(),
+              [](const TraceEvent *A, const TraceEvent *B) {
+                return A->CommitTime < B->CommitTime;
+              });
+    return Out;
+  }
+
+  /// \returns the number of aborted attempts in the trace.
+  size_t abortedCount() const {
+    size_t N = 0;
+    for (const TraceEvent &E : Events)
+      N += E.Committed ? 0 : 1;
+    return N;
+  }
+};
+
+} // namespace stm
+} // namespace janus
+
+#endif // JANUS_STM_AUDITTRACE_H

@@ -1,0 +1,45 @@
+#include "janus/stm/Escape.h"
+
+#include <atomic>
+#include <mutex>
+
+using namespace janus;
+using namespace janus::stm;
+
+namespace {
+
+/// Escapes are by definition reported from outside runtime control, so
+/// the registry is process-wide. The count is exact; the event list is
+/// capped so a runaway loop outside a transaction cannot exhaust
+/// memory.
+constexpr size_t MaxRecordedEvents = 1024;
+
+std::atomic<uint64_t> Count{0};
+std::mutex EventsMutex;
+std::vector<EscapeEvent> &events() {
+  static std::vector<EscapeEvent> Events;
+  return Events;
+}
+
+} // namespace
+
+void stm::reportEscape(uint32_t Tid, const char *Where) {
+  Count.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Guard(EventsMutex);
+  std::vector<EscapeEvent> &Ev = events();
+  if (Ev.size() < MaxRecordedEvents)
+    Ev.push_back(EscapeEvent{Tid, Where ? Where : "<unknown>"});
+}
+
+uint64_t stm::escapeCount() { return Count.load(std::memory_order_relaxed); }
+
+std::vector<EscapeEvent> stm::escapeEvents() {
+  std::lock_guard<std::mutex> Guard(EventsMutex);
+  return events();
+}
+
+void stm::resetEscapes() {
+  Count.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> Guard(EventsMutex);
+  events().clear();
+}

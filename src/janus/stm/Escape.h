@@ -1,0 +1,65 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ADT escape detection (debug-mode instrumentation).
+///
+/// The paper gets complete instrumentation coverage from bytecode
+/// rewriting (§7.1): *every* shared access is guaranteed to flow through
+/// a transaction's hooks. This reproduction gets coverage only by API
+/// discipline — the `janus::adt` handles route accesses through a
+/// `TxContext` — and nothing in the type system stops a task from
+/// stashing its context (or an ADT handle bound to it) and touching
+/// shared state after its transaction attempt has ended. Such an access
+/// escapes the protocol: it is neither logged for conflict detection
+/// nor replayed at commit, which silently voids Theorem 4.1.
+///
+/// The hooks below record every access made through an inactive context
+/// — the C++ analog of an un-instrumented bytecode access. They are
+/// compiled in whenever assertions are (the default build keeps them),
+/// and compile out entirely under NDEBUG or -DJANUS_ESCAPE_CHECKS=0.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_STM_ESCAPE_H
+#define JANUS_STM_ESCAPE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Escape checks default to on unless the build defines NDEBUG (or the
+/// user forces them with -DJANUS_ESCAPE_CHECKS=0/1).
+#ifndef JANUS_ESCAPE_CHECKS
+#ifdef NDEBUG
+#define JANUS_ESCAPE_CHECKS 0
+#else
+#define JANUS_ESCAPE_CHECKS 1
+#endif
+#endif
+
+namespace janus {
+namespace stm {
+
+/// One shared access observed outside an active transaction attempt.
+struct EscapeEvent {
+  uint32_t Tid; ///< Task id of the context that was misused.
+  std::string Where; ///< Access point, e.g. "TxCounter::add".
+};
+
+/// Records an escape in the process-wide registry (thread-safe).
+void reportEscape(uint32_t Tid, const char *Where);
+
+/// \returns the number of escapes recorded since the last reset.
+uint64_t escapeCount();
+
+/// \returns a copy of the recorded escape events (capped; the count
+/// above is exact even when the event list saturates).
+std::vector<EscapeEvent> escapeEvents();
+
+/// Clears the registry (call before an audited run).
+void resetEscapes();
+
+} // namespace stm
+} // namespace janus
+
+#endif // JANUS_STM_ESCAPE_H

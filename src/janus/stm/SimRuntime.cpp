@@ -17,8 +17,9 @@ SimRuntime::Attempt SimRuntime::execute(const std::vector<TaskFn> &Tasks,
   Attempt A;
   A.BeginSeq = CommitSeq;
   A.Entry = Shared;
-  TxContext Tx(Shared, static_cast<uint32_t>(Idx + 1), Reg);
+  TxContext Tx(Shared, static_cast<uint32_t>(Idx + 1), Reg, &Stats);
   Tasks[Idx](Tx);
+  Tx.endAttempt();
   A.Log = std::make_shared<const TxLog>(Tx.log());
   A.ExecCost = Config.Costs.BeginCost + Tx.virtualCost() +
                Config.Costs.PerLogOp * static_cast<double>(A.Log->size());
@@ -36,6 +37,7 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     for (size_t I = 0, E = Tasks.size(); I != E; ++I) {
       TxContext Tx(State, static_cast<uint32_t>(I + 1), Reg);
       Tasks[I](Tx);
+      Tx.endAttempt();
       Time += Tx.virtualCost() +
               Config.Costs.SeqPerOp * static_cast<double>(Tx.log().size());
       for (const LogEntry &E2 : Tx.log())
@@ -48,6 +50,11 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
   History.clear();
   CommitOrder.clear();
   CommitSeq = 0;
+  if (Config.RecordTrace) {
+    Trace.Recorded = true;
+    Trace.Initial = Shared;
+    Trace.Events.clear();
+  }
   double LockFreeAt = 0.0;
   uint32_t NextOrderedTid = 1;
 
@@ -115,6 +122,12 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     if (Detector.detectConflicts(Att.Entry, *Att.Log, Window, Reg)) {
       // Abort: re-execute from scratch on the same core.
       ++Stats.Retries;
+      if (Config.RecordTrace) {
+        Trace.Events.push_back(TraceEvent{Tid, Att.BeginSeq, 0,
+                                          /*Committed=*/false, Att.Log,
+                                          Att.Entry});
+        ++Stats.TraceEvents;
+      }
       Att = execute(Tasks, Cores[Core].TaskIdx);
       Events.emplace(CommitAt + Att.ExecCost, EventSeq++, Core);
       continue;
@@ -127,6 +140,12 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     for (const LogEntry &E : *Att.Log)
       Shared = applyToSnapshot(Shared, E.Loc, E.Op);
     History.push_back(Committed{CommitSeq, Att.Log});
+    if (Config.RecordTrace) {
+      Trace.Events.push_back(TraceEvent{Tid, Att.BeginSeq, CommitSeq,
+                                        /*Committed=*/true, Att.Log,
+                                        Att.Entry});
+      ++Stats.TraceEvents;
+    }
     double CommitEnd =
         CommitAt +
         Config.Costs.CommitPerOp * static_cast<double>(Att.Log->size());
@@ -152,6 +171,8 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
 
   JANUS_ASSERT(Parked.empty(), "ordered run left parked transactions");
   JANUS_ASSERT(NextTask == Tasks.size(), "tasks left unscheduled");
+  if (Config.RecordTrace)
+    Trace.Final = Shared;
   Outcome.ParallelTime = MakeSpan;
   return Outcome;
 }

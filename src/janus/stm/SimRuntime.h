@@ -30,6 +30,7 @@
 #ifndef JANUS_STM_SIMRUNTIME_H
 #define JANUS_STM_SIMRUNTIME_H
 
+#include "janus/stm/AuditTrace.h"
 #include "janus/stm/Detector.h"
 #include "janus/stm/Stats.h"
 #include "janus/stm/TxContext.h"
@@ -62,6 +63,8 @@ struct SimConfig {
   unsigned NumCores = 8;
   bool Ordered = false;
   CostModel Costs;
+  /// Record an AuditTrace of every attempt for hindsight auditing.
+  bool RecordTrace = false;
 };
 
 /// Outcome of a simulated run.
@@ -102,6 +105,9 @@ public:
   /// a sequential execution of the tasks in exactly this order.
   const std::vector<uint32_t> &commitOrder() const { return CommitOrder; }
 
+  /// \returns the trace of the last run (empty unless RecordTrace).
+  const AuditTrace &trace() const { return Trace; }
+
 private:
   struct Committed {
     uint64_t Seq; ///< Commit sequence number.
@@ -126,6 +132,7 @@ private:
   std::vector<Committed> History;
   uint64_t CommitSeq = 0;
   std::vector<uint32_t> CommitOrder;
+  AuditTrace Trace;
   RunStats Stats;
 };
 

@@ -27,9 +27,12 @@ struct RunStats {
   std::atomic<uint64_t> Retries{0};            ///< Aborted attempts.
   std::atomic<uint64_t> ConflictChecks{0};     ///< DETECTCONFLICTS calls.
   std::atomic<uint64_t> ValidationFailures{0}; ///< COMMIT-time now!=tcheck.
+  std::atomic<uint64_t> TraceEvents{0};        ///< Audit-trace records kept.
+  std::atomic<uint64_t> EscapedAccesses{0};    ///< Out-of-tx accesses seen.
 
   void reset() {
-    Tasks = Commits = Retries = ConflictChecks = ValidationFailures = 0;
+    Tasks = Commits = Retries = ConflictChecks = ValidationFailures =
+        TraceEvents = EscapedAccesses = 0;
   }
 
   /// Figure 10's metric: overall retries over the number of

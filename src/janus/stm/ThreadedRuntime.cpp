@@ -37,6 +37,17 @@ std::vector<uint32_t> ThreadedRuntime::commitOrder() const {
   return CommitOrder;
 }
 
+void ThreadedRuntime::recordEvent(uint32_t Tid, uint64_t Begin,
+                                  uint64_t Commit, bool Committed,
+                                  TxLogRef Log, const Snapshot &Entry) {
+  if (!Config.RecordTrace)
+    return;
+  std::lock_guard<std::mutex> Guard(TraceMutex);
+  Trace.Events.push_back(
+      TraceEvent{Tid, Begin, Commit, Committed, std::move(Log), Entry});
+  ++Stats.TraceEvents;
+}
+
 bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid) {
   // CREATETRANSACTION: Begin and the snapshot are read consistently
   // under the read lock (multiple simultaneous initializations allowed).
@@ -46,16 +57,24 @@ bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid) {
     std::shared_lock<std::shared_mutex> Guard(Lock);
     Begin = Clock.load(std::memory_order_acquire);
     Entry = Shared;
+    // ActiveBegins mutates under a dedicated mutex: the enclosing lock
+    // is only *shared* here. Registering inside the read-locked scope
+    // keeps log reclamation (which runs under the write lock) from
+    // missing a transaction that has already snapshotted.
+    std::lock_guard<std::mutex> ActiveGuard(ActiveMutex);
     ActiveBegins.push_back(Begin);
   }
 
   // RUNSEQUENTIAL.
-  TxContext Tx(Entry, Tid, Reg);
+  TxContext Tx(Entry, Tid, Reg, &Stats);
   Task(Tx);
+  // The attempt's client window ends here; later accesses through a
+  // leaked context/handle are escapes (see Escape.h).
+  Tx.endAttempt();
   TxLogRef Log = std::make_shared<const TxLog>(Tx.log());
 
   auto RemoveActive = [this, Begin]() {
-    // Caller must hold the write lock.
+    std::lock_guard<std::mutex> ActiveGuard(ActiveMutex);
     auto It = std::find(ActiveBegins.begin(), ActiveBegins.end(), Begin);
     JANUS_ASSERT(It != ActiveBegins.end(), "active begin disappeared");
     ActiveBegins.erase(It);
@@ -84,8 +103,8 @@ bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid) {
     ++Stats.ConflictChecks;
     if (Detector.detectConflicts(Entry, *Log, OpsC, Reg)) {
       // Abort: drop this attempt; RUNTASK will be re-invoked.
-      std::unique_lock<std::shared_mutex> Guard(Lock);
       RemoveActive();
+      recordEvent(Tid, Begin, 0, /*Committed=*/false, std::move(Log), Entry);
       return false;
     }
 
@@ -111,8 +130,11 @@ bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid) {
         // Logs older than every active transaction's Begin can never be
         // queried again (§7.2 discusses this engineering improvement).
         uint64_t MinBegin = CommitTime;
-        for (uint64_t B : ActiveBegins)
-          MinBegin = std::min(MinBegin, B);
+        {
+          std::lock_guard<std::mutex> ActiveGuard(ActiveMutex);
+          for (uint64_t B : ActiveBegins)
+            MinBegin = std::min(MinBegin, B);
+        }
         auto Keep = std::lower_bound(
             History.begin(), History.end(), MinBegin + 1,
             [](const CommittedRecord &R, uint64_t T) {
@@ -120,6 +142,8 @@ bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid) {
             });
         History.erase(History.begin(), Keep);
       }
+      recordEvent(Tid, Begin, CommitTime, /*Committed=*/true, std::move(Log),
+                  Entry);
     }
     if (Config.Ordered) {
       std::lock_guard<std::mutex> Guard(OrderMutex);
@@ -131,6 +155,13 @@ bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid) {
 
 void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
   Stats.Tasks += Tasks.size();
+  if (Config.RecordTrace) {
+    // The trace covers one run() call (task ids are per-run): re-anchor
+    // at the current shared state and drop any previous run's events.
+    Trace.Recorded = true;
+    Trace.Initial = Shared;
+    Trace.Events.clear();
+  }
   // Anchor ordered-mode turn-taking at the current Clock so repeated
   // run() calls keep committing in task order.
   OrderBase.store(Clock.load(std::memory_order_acquire) - 1,
@@ -153,12 +184,14 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
                                   std::max<size_t>(Tasks.size(), 1));
   if (N <= 1) {
     Worker();
-    return;
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(N);
+    for (unsigned I = 0; I != N; ++I)
+      Threads.emplace_back(Worker);
+    for (std::thread &T : Threads)
+      T.join();
   }
-  std::vector<std::thread> Threads;
-  Threads.reserve(N);
-  for (unsigned I = 0; I != N; ++I)
-    Threads.emplace_back(Worker);
-  for (std::thread &T : Threads)
-    T.join();
+  if (Config.RecordTrace)
+    Trace.Final = Shared;
 }

@@ -21,11 +21,16 @@
 /// ordered runs reach the sequential final state while unordered runs
 /// reach the final state of their commit order.
 ///
+/// With `RecordTrace` set, every attempt (committed or aborted) is
+/// recorded into an `AuditTrace` that `janus::analysis` can audit
+/// after the fact.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JANUS_STM_THREADEDRUNTIME_H
 #define JANUS_STM_THREADEDRUNTIME_H
 
+#include "janus/stm/AuditTrace.h"
 #include "janus/stm/Detector.h"
 #include "janus/stm/Stats.h"
 #include "janus/stm/TxContext.h"
@@ -47,6 +52,8 @@ struct ThreadedConfig {
   /// Reclaim committed logs no active transaction can still query
   /// (the engineering improvement discussed in §7.2).
   bool ReclaimLogs = false;
+  /// Record an AuditTrace of every attempt for hindsight auditing.
+  bool RecordTrace = false;
 };
 
 /// Runs task sets under optimistic synchronization with a pluggable
@@ -82,6 +89,10 @@ public:
   /// (Theorem 4.1).
   std::vector<uint32_t> commitOrder() const;
 
+  /// \returns the recorded trace (empty unless RecordTrace was set).
+  /// Call only after run() has returned.
+  const AuditTrace &trace() const { return Trace; }
+
 private:
   struct CommittedRecord {
     uint64_t CommitTime;
@@ -94,20 +105,34 @@ private:
   /// \returns the logs committed in (Begin, Now], in commit order.
   std::vector<TxLogRef> committedHistory(uint64_t Begin, uint64_t Now) const;
 
+  /// Appends one attempt record to the trace (no-op unless recording).
+  void recordEvent(uint32_t Tid, uint64_t Begin, uint64_t Commit,
+                   bool Committed, TxLogRef Log, const Snapshot &Entry);
+
   const ObjectRegistry &Reg;
   ConflictDetector &Detector;
   ThreadedConfig Config;
 
   std::atomic<uint64_t> Clock{1};
-  mutable std::shared_mutex Lock; ///< Guards Shared, History, ActiveBegins.
+  mutable std::shared_mutex Lock; ///< Guards Shared, History, CommitOrder.
   Snapshot Shared;
   std::vector<CommittedRecord> History;
-  std::vector<uint64_t> ActiveBegins; ///< Multiset of active Begin times.
   std::vector<uint32_t> CommitOrder;
+
+  /// Multiset of active Begin times. Guarded by its own mutex: begins
+  /// run under the *shared* lock (concurrent snapshot initialization is
+  /// the point of the read/write split), so mutating a vector there
+  /// needs separate mutual exclusion. Lock ordering: Lock before
+  /// ActiveMutex.
+  mutable std::mutex ActiveMutex;
+  std::vector<uint64_t> ActiveBegins;
 
   std::mutex OrderMutex; ///< Ordered-mode wakeups.
   std::condition_variable OrderCv;
   std::atomic<uint64_t> OrderBase{0}; ///< Clock at the start of run().
+
+  mutable std::mutex TraceMutex; ///< Guards Trace.Events during a run.
+  AuditTrace Trace;
 
   RunStats Stats;
 };

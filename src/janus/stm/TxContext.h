@@ -12,14 +12,21 @@
 /// context, which plays the role of the paper's automatically inserted
 /// instrumentation hooks (§7.1).
 ///
+/// A context is *active* from construction until the runtime calls
+/// endAttempt() (after the task body returns). Accesses made through an
+/// inactive context escape the protocol — they are neither logged nor
+/// replayed — and are flagged by the debug-mode escape instrumentation
+/// (see Escape.h and `janus::analysis`).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JANUS_STM_TXCONTEXT_H
 #define JANUS_STM_TXCONTEXT_H
 
+#include "janus/stm/Escape.h"
 #include "janus/stm/Log.h"
 #include "janus/stm/Snapshot.h"
-#include "janus/support/Location.h"
+#include "janus/stm/Stats.h"
 
 #include <functional>
 
@@ -32,8 +39,12 @@ public:
   /// \param Entry the shared state at transaction begin (O(1) copy).
   /// \param Tid 1-based task identifier.
   /// \param Reg the shared-object registry.
-  TxContext(Snapshot Entry, uint32_t Tid, const ObjectRegistry &Reg)
-      : Entry(std::move(Entry)), Private(this->Entry), Tid(Tid), Reg(Reg) {}
+  /// \param Stats optional runtime counters; escape flags are counted
+  ///        there in addition to the process-wide registry.
+  TxContext(Snapshot Entry, uint32_t Tid, const ObjectRegistry &Reg,
+            RunStats *Stats = nullptr)
+      : Entry(std::move(Entry)), Private(this->Entry), Tid(Tid), Reg(Reg),
+        Stats(Stats) {}
 
   // --- Client API (used by the ADT handles) ---------------------------
 
@@ -59,7 +70,28 @@ public:
 
   const ObjectRegistry &registry() const { return Reg; }
 
+  /// ADT escape instrumentation: records the precise access point so
+  /// that an out-of-transaction access is attributed to the ADT method
+  /// that made it rather than the raw context call. Compiles to nothing
+  /// when escape checks are off.
+  void guard(const char *Where) const {
+#if JANUS_ESCAPE_CHECKS
+    if (!Active)
+      PendingEscapeWhere = Where;
+#else
+    (void)Where;
+#endif
+  }
+
   // --- Runtime API -----------------------------------------------------
+
+  /// Marks the end of the transaction attempt: the task body has
+  /// returned and the runtime owns the log from here on. Any later
+  /// client access through this context is an escape.
+  void endAttempt() { Active = false; }
+
+  /// \returns true while the attempt is executing (before endAttempt).
+  bool inActiveAttempt() const { return Active; }
 
   const Snapshot &entrySnapshot() const { return Entry; }
   const Snapshot &privatizedState() const { return Private; }
@@ -67,12 +99,20 @@ public:
   double virtualCost() const { return VirtualCost; }
 
 private:
+  /// Reports one escaped access (slow path; only reached when the
+  /// context is inactive and checks are compiled in).
+  void flagEscape(const char *Fallback);
+
   Snapshot Entry;   ///< SharedSnapshot: state at Begin.
   Snapshot Private; ///< SharedPrivatized: state seen by this attempt.
   TxLog Log;
   uint32_t Tid;
   const ObjectRegistry &Reg;
+  RunStats *Stats = nullptr;
   double VirtualCost = 0.0;
+  bool Active = true;
+  /// Access point recorded by guard() for escape attribution.
+  mutable const char *PendingEscapeWhere = nullptr;
 };
 
 /// A task body: the paper's (prog, o̅ → v̅) pair, closed over its

@@ -406,3 +406,84 @@ TEST(SequenceDetectorTest, MemoDistinguishesReadResults) {
               {Location(W.Work), LocOp::write(Value::of(int64_t(6)))}};
   EXPECT_FALSE(D.detectConflicts(S6, MineB, {TheirsSame}, W.Reg));
 }
+
+// ---------------------------------------------------------------------------
+// Edge cases: empty logs, single-op sequences, self-conflicting
+// transactions and log reuse across an abort/retry.
+// ---------------------------------------------------------------------------
+
+TEST(OnlineConflictTest, EmptySequencesNeverConflict) {
+  EXPECT_FALSE(conflictOnline(Value::of(3), {}, {}));
+  EXPECT_FALSE(conflictOnline(Value::of(3), {}, {LocOp::write(Value::of(9))}));
+  EXPECT_FALSE(conflictOnline(Value::of(3), {LocOp::write(Value::of(9))}, {}));
+}
+
+TEST(SequenceDetectorTest, EmptyMineLogNeverConflicts) {
+  DetectorWorld W;
+  SequenceDetectorConfig Cfg;
+  Cfg.OnlineFallback = true;
+  SequenceDetector D(W.Cache, Cfg);
+  TxLog Empty;
+  auto Theirs = logOf({{Location(W.Work), LocOp::write(Value::of(1))}});
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Empty, {Theirs}, W.Reg));
+  // Empty committed window: nothing to conflict with either.
+  TxLog Mine{{Location(W.Work), LocOp::write(Value::of(2))}};
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Mine, {}, W.Reg));
+  // An empty committed log inside a non-empty window is also inert.
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Mine, {logOf({})}, W.Reg));
+}
+
+TEST(OnlineConflictTest, SingleOpPairs) {
+  Value E = Value::of(int64_t(4));
+  // Read/read: insensitive to order.
+  EXPECT_FALSE(conflictOnline(E, {LocOp::read()}, {LocOp::read()}));
+  // Equal single writes commute; different ones do not.
+  EXPECT_FALSE(conflictOnline(E, {LocOp::write(Value::of(7))},
+                              {LocOp::write(Value::of(7))}));
+  EXPECT_TRUE(conflictOnline(E, {LocOp::write(Value::of(7))},
+                             {LocOp::write(Value::of(8))}));
+  // Single adds always commute.
+  EXPECT_FALSE(conflictOnline(E, {LocOp::add(2)}, {LocOp::add(-9)}));
+  // Read vs write: conflicts unless the write restores the entry value.
+  EXPECT_TRUE(conflictOnline(E, {LocOp::read()}, {LocOp::write(Value::of(5))}));
+  EXPECT_FALSE(conflictOnline(E, {LocOp::read()},
+                              {LocOp::write(Value::of(int64_t(4)))}));
+}
+
+TEST(OnlineConflictTest, SelfConflictingSequence) {
+  // A read-modify-write run against a copy of itself: whichever copy
+  // goes second reads the other's write, so SAMEREAD fails — a
+  // transaction's log can conflict with its own kind.
+  Value E = Value::of(int64_t(0));
+  symbolic::LocOpSeq Rmw{LocOp::read(Value::of(int64_t(0))),
+                         LocOp::write(Value::of(int64_t(1)))};
+  EXPECT_TRUE(conflictOnline(E, Rmw, Rmw));
+  // Semantic adds self-commute; pure reads trivially so.
+  EXPECT_FALSE(conflictOnline(E, {LocOp::add(1)}, {LocOp::add(1)}));
+  EXPECT_FALSE(conflictOnline(E, {LocOp::read()}, {LocOp::read()}));
+}
+
+TEST(SequenceDetectorTest, RetriedLogRevalidatesDeterministically) {
+  // Abort-then-retry reuses the detector against a grown window: the
+  // same (Mine, Theirs) pair must keep its verdict, and extending the
+  // window with a commuting commit must not flip a clean validation.
+  DetectorWorld W;
+  SequenceDetectorConfig Cfg;
+  Cfg.OnlineFallback = true;
+  SequenceDetector D(W.Cache, Cfg);
+  TxLog Mine{{Location(W.Work), LocOp::add(1)}};
+  auto First = logOf({{Location(W.Work), LocOp::add(5)}});
+  auto Second = logOf({{Location(W.Work), LocOp::add(-2)}});
+  bool V1 = D.detectConflicts(stm::Snapshot(), Mine, {First}, W.Reg);
+  bool V2 = D.detectConflicts(stm::Snapshot(), Mine, {First}, W.Reg);
+  EXPECT_EQ(V1, V2);
+  EXPECT_FALSE(V1);
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Mine, {First, Second},
+                                 W.Reg));
+  // A non-commuting commit in the retry window does flip the verdict.
+  auto Clobber = logOf({{Location(W.Work), LocOp::write(Value::of(9))}});
+  TxLog Reader{{Location(W.Work), LocOp::read()}};
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Reader, {}, W.Reg));
+  EXPECT_TRUE(D.detectConflicts(stm::Snapshot(), Reader,
+                                {First, Clobber}, W.Reg));
+}

@@ -556,3 +556,98 @@ TEST(SimRuntimeTest, OrderedRunWithConflictsStillCommitsInOrder) {
   for (size_t I = 0; I != Order.size(); ++I)
     EXPECT_EQ(Order[I], I + 1);
 }
+
+// ---------------------------------------------------------------------------
+// Audit trace recording (consumed by janus::analysis).
+// ---------------------------------------------------------------------------
+
+TEST(SimRuntimeTest, TraceIsOffByDefault) {
+  World W;
+  WriteSetDetector D;
+  SimRuntime R(W.Reg, D, SimConfig{});
+  R.run({[&](TxContext &Tx) { Tx.add(Location(W.Work), 1); }});
+  EXPECT_FALSE(R.trace().Recorded);
+  EXPECT_TRUE(R.trace().Events.empty());
+}
+
+TEST(SimRuntimeTest, TraceRecordsAbortThenRetryWithFreshLogs) {
+  // Contended read-modify-writes force aborts under the write-set
+  // detector. Every attempt — aborted or committed — must appear in the
+  // trace with its own log, and each aborted task must eventually
+  // commit with a re-executed (re-read) log, not the stale one.
+  World W;
+  WriteSetDetector D;
+  SimConfig C;
+  C.NumCores = 4;
+  C.RecordTrace = true;
+  SimRuntime R(W.Reg, D, C);
+  Location L(W.Work);
+  std::vector<TaskFn> Tasks(12, [&](TxContext &Tx) {
+    Value V = Tx.read(L);
+    Tx.write(L, Value::of((V.isAbsent() ? 0 : V.asInt()) + 1));
+  });
+  R.run(Tasks);
+
+  const AuditTrace &T = R.trace();
+  ASSERT_TRUE(T.Recorded);
+  EXPECT_GT(T.abortedCount(), 0u);
+  EXPECT_EQ(T.committedInOrder().size(), 12u);
+  EXPECT_EQ(T.Events.size(), 12u + T.abortedCount());
+  EXPECT_EQ(snapshotValue(T.Final, L), Value::of(int64_t(12)));
+
+  for (const TraceEvent &E : T.Events) {
+    ASSERT_TRUE(E.Log != nullptr);
+    if (E.Committed)
+      continue;
+    EXPECT_EQ(E.CommitTime, 0u);
+    // The retry that finally commits carries a distinct log object:
+    // aborted logs stay valid for post-mortem inspection.
+    const TraceEvent *Commit = nullptr;
+    for (const TraceEvent &E2 : T.Events)
+      if (E2.Committed && E2.Tid == E.Tid)
+        Commit = &E2;
+    ASSERT_TRUE(Commit != nullptr);
+    EXPECT_NE(Commit->Log.get(), E.Log.get());
+    EXPECT_GT(Commit->BeginTime, E.BeginTime);
+  }
+}
+
+TEST(ThreadedRuntimeTest, TraceCoversEveryTaskExactlyOnce) {
+  World W;
+  WriteSetDetector D;
+  ThreadedRuntime R(W.Reg, D,
+                    ThreadedConfig{4, false, false, /*RecordTrace=*/true});
+  Location L(W.Work);
+  std::vector<TaskFn> Tasks(32, [&](TxContext &Tx) { Tx.add(L, 1); });
+  R.run(Tasks);
+
+  const AuditTrace &T = R.trace();
+  ASSERT_TRUE(T.Recorded);
+  auto Committed = T.committedInOrder();
+  ASSERT_EQ(Committed.size(), 32u);
+  std::vector<bool> Seen(33, false);
+  for (const TraceEvent *E : Committed) {
+    ASSERT_GE(E->Tid, 1u);
+    ASSERT_LE(E->Tid, 32u);
+    EXPECT_FALSE(Seen[E->Tid]);
+    Seen[E->Tid] = true;
+  }
+  EXPECT_EQ(snapshotValue(T.Final, L), Value::of(int64_t(32)));
+  EXPECT_EQ(snapshotValue(R.sharedState(), L), Value::of(int64_t(32)));
+}
+
+TEST(ThreadedRuntimeTest, TraceResetsBetweenRuns) {
+  World W;
+  WriteSetDetector D;
+  ThreadedRuntime R(W.Reg, D,
+                    ThreadedConfig{2, false, false, /*RecordTrace=*/true});
+  Location L(W.Work);
+  std::vector<TaskFn> Tasks(5, [&](TxContext &Tx) { Tx.add(L, 1); });
+  R.run(Tasks);
+  R.run(Tasks);
+  // The trace describes the last run only: 5 commits starting from the
+  // first run's final state.
+  EXPECT_EQ(R.trace().committedInOrder().size(), 5u);
+  EXPECT_EQ(snapshotValue(R.trace().Initial, L), Value::of(int64_t(5)));
+  EXPECT_EQ(snapshotValue(R.trace().Final, L), Value::of(int64_t(10)));
+}

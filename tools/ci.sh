@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full verification pipeline:
+#   1. plain build + ctest (the tier-1 gate);
+#   2. static analysis (tools/lint.sh; skipped when clang-tidy absent);
+#   3. ThreadSanitizer build + ctest (JANUS_SANITIZE=thread) — the
+#      dynamic complement of the hindsight auditor;
+#   4. `janus audit` over every workload on both engines.
+#
+# Usage: tools/ci.sh [JOBS]   (JOBS defaults to nproc)
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${1:-$(nproc)}"
+
+echo "== [1/4] plain build + tests =="
+cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT" >/dev/null
+cmake --build "$REPO_ROOT/build" -j "$JOBS"
+(cd "$REPO_ROOT/build" && ctest --output-on-failure -j "$JOBS")
+
+echo "== [2/4] static analysis =="
+"$REPO_ROOT/tools/lint.sh" "$REPO_ROOT/build"
+
+echo "== [3/4] ThreadSanitizer build + tests =="
+cmake -B "$REPO_ROOT/build-tsan" -S "$REPO_ROOT" \
+      -DJANUS_SANITIZE=thread >/dev/null
+cmake --build "$REPO_ROOT/build-tsan" -j "$JOBS"
+(cd "$REPO_ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS")
+
+echo "== [4/4] hindsight audit of all workloads =="
+for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
+  for E in sim threads; do
+    echo "-- audit $W ($E)"
+    "$REPO_ROOT/build/tools/janus" audit --workload "$W" --engine "$E" \
+      | tail -2
+  done
+done
+
+echo "ci: all stages passed."

@@ -12,6 +12,11 @@
 ///   janus run --workload NAME [options]
 ///       Train (or load a cache) and execute a payload, printing
 ///       speedup/retry/cache statistics.
+///   janus audit --workload NAME [options]
+///       Like run, but record an audit trace and put the hindsight
+///       auditor over it: commit-order serializability replay,
+///       vector-clock race re-checks, and ADT escape detection. Exits 0
+///       when the audit is clean, 3 when it found violations.
 ///
 /// Run options:
 ///   --threads N         worker threads / simulated cores (default 8)
@@ -30,6 +35,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "janus/analysis/Auditor.h"
 #include "janus/workloads/Workload.h"
 
 #include <cstdio>
@@ -62,7 +68,8 @@ struct CliOptions {
 void usage() {
   std::fprintf(stderr,
                "usage: janus list | janus train --workload NAME [opts] | "
-               "janus run --workload NAME [opts]\n"
+               "janus run --workload NAME [opts] | "
+               "janus audit --workload NAME [opts]\n"
                "(see the file header of tools/janus_cli.cpp for the full "
                "option list)\n");
 }
@@ -272,6 +279,61 @@ int cmdRun(const CliOptions &Opts) {
   return W->verify(J, Payload) ? 0 : 2;
 }
 
+int cmdAudit(const CliOptions &Opts) {
+  auto W = workloadByName(Opts.WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "janus: error: unknown workload '%s'\n",
+                 Opts.WorkloadName.c_str());
+    return 1;
+  }
+  JanusConfig Cfg = configFor(Opts);
+  Cfg.RecordTrace = true;
+  Janus J(Cfg);
+  W->setup(J);
+
+  if (Opts.Detector == DetectorKind::Sequence) {
+    if (!Opts.CacheIn.empty()) {
+      std::ifstream In(Opts.CacheIn);
+      std::ostringstream Buffer;
+      Buffer << In.rdbuf();
+      if (!In || !J.importTrainingArtifact(Buffer.str())) {
+        std::fprintf(stderr,
+                     "janus: error: cannot load training artifact '%s'\n",
+                     Opts.CacheIn.c_str());
+        return 1;
+      }
+    } else {
+      for (const PayloadSpec &P : W->trainingPayloads(Opts.Rounds))
+        J.train(W->makeTasks(P));
+    }
+  }
+
+  // Build the task set once so the audit replays the exact bodies the
+  // run executed.
+  PayloadSpec Payload{Opts.Seed, Opts.Production};
+  std::vector<stm::TaskFn> Tasks = W->makeTasks(Payload);
+  stm::resetEscapes();
+  RunOutcome O =
+      W->ordered() ? J.runInOrder(Tasks) : J.runOutOfOrder(Tasks);
+
+  analysis::AuditReport Report =
+      analysis::audit(J.lastTrace(), Tasks, J.registry());
+
+  std::printf("workload   : %s (%s, %s engine, %u %s)\n",
+              W->name().c_str(), J.detector().name().c_str(),
+              Opts.Engine == EngineKind::Simulated ? "simulated"
+                                                   : "threaded",
+              Opts.Threads,
+              Opts.Engine == EngineKind::Simulated ? "cores" : "threads");
+  std::printf("run        : %llu commits, %llu retries, speedup %.2fx\n",
+              (unsigned long long)J.runStats().Commits.load(),
+              (unsigned long long)J.runStats().Retries.load(), O.speedup());
+  std::printf("%s\n", Report.summary().c_str());
+  std::printf("final state: %s\n",
+              W->verify(J, Payload) ? "verified OK" : "VERIFICATION FAILED");
+  return Report.clean() ? 0 : 3;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -286,6 +348,8 @@ int main(int Argc, char **Argv) {
     return cmdTrain(Opts);
   if (Opts.Command == "run")
     return cmdRun(Opts);
+  if (Opts.Command == "audit")
+    return cmdAudit(Opts);
   usage();
   return 1;
 }

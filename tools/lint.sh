@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Static analysis over the library sources with clang-tidy, using the
+# compile database the CMake configure step exports. Usage:
+#
+#   tools/lint.sh [BUILD_DIR]
+#
+# BUILD_DIR defaults to build/. Exits non-zero only on real findings;
+# when clang-tidy is not installed the script reports and exits 0 so
+# environments without LLVM (like the CI container) still pass.
+set -u
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+TIDY="$(command -v clang-tidy || true)"
+if [ -z "$TIDY" ]; then
+  echo "lint: clang-tidy not found on PATH; skipping static analysis."
+  exit 0
+fi
+
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "lint: $BUILD_DIR/compile_commands.json missing; run" \
+       "'cmake -B $BUILD_DIR -S $REPO_ROOT' first." >&2
+  exit 1
+fi
+
+# Library and tool sources only: tests use GTest macros that trip
+# bugprone checks by design.
+FILES=$(find "$REPO_ROOT/src" "$REPO_ROOT/tools" -name '*.cpp' | sort)
+
+STATUS=0
+for F in $FILES; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$F" || STATUS=1
+done
+
+if [ "$STATUS" -eq 0 ]; then
+  echo "lint: clean."
+fi
+exit "$STATUS"
