@@ -6,6 +6,11 @@
 /// with the first (cold) run excluded — applied to one workload under
 /// one configuration, returning the aggregate measurements.
 ///
+/// Also hosts the machine-readable perf-trajectory emitter: every bench
+/// binary accepts `--json` (optionally `--json-out=PATH`) and then
+/// writes its measurements as rows to `BENCH_<name>.json`, so runs can
+/// be diffed across commits instead of eyeballing tables.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JANUS_BENCH_BENCHCOMMON_H
@@ -14,7 +19,12 @@
 #include "janus/support/Format.h"
 #include "janus/workloads/Workload.h"
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace janus {
 namespace bench {
@@ -118,6 +128,121 @@ inline Measurement runExperiment(const std::string &WorkloadName,
 inline std::vector<std::string> benchmarkNames() {
   return {"JFileSync", "JGraphT-1", "JGraphT-2", "PMD", "Weka"};
 }
+
+/// A scalar cell of a bench-report row: string, integer, floating
+/// point, or boolean, constructed implicitly so call sites can mix
+/// types in one brace list.
+class JsonValue {
+public:
+  JsonValue(const char *S) : Text(quote(S)) {}
+  JsonValue(const std::string &S) : Text(quote(S)) {}
+  JsonValue(double D) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", D);
+    Text = Buf;
+  }
+  JsonValue(int I) : Text(std::to_string(I)) {}
+  JsonValue(unsigned I) : Text(std::to_string(I)) {}
+  JsonValue(long I) : Text(std::to_string(I)) {}
+  JsonValue(unsigned long I) : Text(std::to_string(I)) {}
+  JsonValue(long long I) : Text(std::to_string(I)) {}
+  JsonValue(unsigned long long I) : Text(std::to_string(I)) {}
+  JsonValue(bool B) : Text(B ? "true" : "false") {}
+
+  /// The value rendered as a JSON literal.
+  const std::string &render() const { return Text; }
+
+private:
+  static std::string quote(const std::string &S) {
+    std::string Out = "\"";
+    for (char C : S) {
+      if (C == '"' || C == '\\')
+        Out += '\\';
+      if (C == '\n') {
+        Out += "\\n";
+        continue;
+      }
+      Out += C;
+    }
+    Out += '"';
+    return Out;
+  }
+
+  std::string Text;
+};
+
+/// One measurement row: ordered (field, value) pairs.
+using JsonRow = std::vector<std::pair<std::string, JsonValue>>;
+
+/// The shared `--json` emitter. Construct from argv; call addRow() for
+/// every measurement; call write() before exiting. Without `--json` on
+/// the command line everything is a no-op, so the human-readable table
+/// output stays the default.
+class BenchReport {
+public:
+  /// \param Name the binary's short name; output goes to
+  ///        `BENCH_<Name>.json` in the working directory unless
+  ///        `--json-out=PATH` overrides it.
+  BenchReport(std::string Name, int Argc, char **Argv)
+      : Name(std::move(Name)) {
+    Path = "BENCH_" + this->Name + ".json";
+    for (int I = 1; I < Argc; ++I) {
+      std::string Arg = Argv[I];
+      if (Arg == "--json")
+        Enabled = true;
+      else if (Arg.rfind("--json-out=", 0) == 0) {
+        Enabled = true;
+        Path = Arg.substr(std::string("--json-out=").size());
+      }
+    }
+  }
+
+  bool enabled() const { return Enabled; }
+
+  /// Adds one top-level metadata field (emitted next to the rows).
+  void setMeta(const std::string &Key, JsonValue V) {
+    Meta.emplace_back(Key, std::move(V));
+  }
+
+  void addRow(JsonRow Row) {
+    if (Enabled)
+      Rows.push_back(std::move(Row));
+  }
+
+  /// Writes `{"bench": <name>, <meta...>, "rows": [...]}`. \returns
+  /// false when writing was requested but failed.
+  bool write() const {
+    if (!Enabled)
+      return true;
+    std::ofstream Out(Path, std::ios::trunc);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    Out << "{\n  \"bench\": " << JsonValue(Name).render();
+    for (const auto &[Key, Val] : Meta)
+      Out << ",\n  " << JsonValue(Key).render() << ": " << Val.render();
+    Out << ",\n  \"rows\": [";
+    for (size_t R = 0; R != Rows.size(); ++R) {
+      Out << (R ? ",\n    {" : "\n    {");
+      for (size_t F = 0; F != Rows[R].size(); ++F)
+        Out << (F ? ", " : "") << JsonValue(Rows[R][F].first).render()
+            << ": " << Rows[R][F].second.render();
+      Out << "}";
+    }
+    Out << "\n  ]\n}\n";
+    std::fprintf(stderr, "wrote %s (%zu rows)\n", Path.c_str(),
+                 Rows.size());
+    return static_cast<bool>(Out);
+  }
+
+private:
+  std::string Name;
+  std::string Path;
+  bool Enabled = false;
+  std::vector<std::pair<std::string, JsonValue>> Meta;
+  std::vector<JsonRow> Rows;
+};
 
 } // namespace bench
 } // namespace janus

@@ -60,7 +60,8 @@ Measurement runWith(const std::string &Name, const Config &C) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report("ablation_fallback", Argc, Argv);
   std::printf("Ablation: cache-miss fallback strategy "
               "(8 simulated cores, production inputs)\n\n");
   const Config Configs[] = {
@@ -80,6 +81,12 @@ int main() {
       AvgRetry += M.RetryRatio / 5.0;
       T.addRow({Name, formatDouble(M.Speedup, 2) + "x",
                 formatDouble(M.RetryRatio, 2)});
+      Report.addRow({{"benchmark", Name},
+                     {"config", C.Label},
+                     {"trained", C.Train},
+                     {"online_fallback", C.Online},
+                     {"speedup", M.Speedup},
+                     {"retry_ratio", M.RetryRatio}});
     }
     T.addRow({"average", formatDouble(AvgSpeed, 2) + "x",
               formatDouble(AvgRetry, 2)});
@@ -92,5 +99,5 @@ int main() {
       "infers the tolerate-WAW relaxations (PMD's ctx fields), which no "
       "fallback can recover — untrained PMD collapses to write-set-like "
       "behaviour under every fallback.\n");
-  return 0;
+  return Report.write() ? 0 : 1;
 }

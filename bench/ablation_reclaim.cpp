@@ -11,6 +11,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "janus/stm/ThreadedRuntime.h"
 #include "janus/support/Format.h"
 
@@ -48,7 +50,8 @@ Result runOnce(bool Reclaim, int NumTasks) {
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  bench::BenchReport Report("ablation_reclaim", Argc, Argv);
   std::printf("Ablation: committed-log reclamation "
               "(threaded runtime, 4 threads)\n\n");
   TextTable T;
@@ -62,10 +65,17 @@ int main() {
     T.addRow({std::to_string(NumTasks), "reclaim",
               std::to_string(On.HistorySize),
               formatDouble(On.Seconds * 1000.0, 1) + " ms"});
+    for (bool Reclaim : {false, true}) {
+      const Result &R = Reclaim ? On : Off;
+      Report.addRow({{"tasks", NumTasks},
+                     {"reclaim", Reclaim},
+                     {"history_records", R.HistorySize},
+                     {"wall_ms", R.Seconds * 1000.0}});
+    }
   }
   std::printf("%s\n", T.render().c_str());
   std::printf("Without reclamation the history grows with the task "
               "count; with it, only logs still visible to an active "
               "transaction are retained.\n");
-  return 0;
+  return Report.write() ? 0 : 1;
 }

@@ -19,7 +19,8 @@
 using namespace janus;
 using namespace janus::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report("fig10_retries", Argc, Argv);
   std::printf("Figure 10: retries-to-transactions ratio\n\n");
 
   const std::vector<unsigned> Threads = {1, 2, 4, 6, 8};
@@ -45,6 +46,12 @@ int main() {
         Row.push_back(formatDouble(M.RetryRatio, 2));
         if (Threads[I] == 8)
           AvgAt8[D] += M.RetryRatio / 5.0;
+        Report.addRow({{"benchmark", Name},
+                       {"detector", DetNames[D]},
+                       {"threads", Threads[I]},
+                       {"retry_ratio", M.RetryRatio},
+                       {"commits", M.Commits},
+                       {"retries", M.Retries}});
       }
       T.addRow(Row);
     }
@@ -56,5 +63,5 @@ int main() {
   std::printf("8-thread averages: write-set %.2f, sequence %.2f "
               "(%.0fx fewer retries; paper: 1.51 vs 0.07, ~22x)\n",
               AvgAt8[0], AvgAt8[1], Improvement);
-  return 0;
+  return Report.write() ? 0 : 1;
 }

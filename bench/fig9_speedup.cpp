@@ -21,7 +21,8 @@
 using namespace janus;
 using namespace janus::bench;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report("fig9_speedup", Argc, Argv);
   std::printf("Figure 9: speedup vs number of threads "
               "(simulated cores; sequential baseline = 1.0)\n\n");
 
@@ -47,6 +48,13 @@ int main() {
         Measurement M = runExperiment(Name, Spec);
         Sums[I] += M.Speedup;
         Row.push_back(formatDouble(M.Speedup, 2) + "x");
+        Report.addRow({{"benchmark", Name},
+                       {"detector", DetNames[D]},
+                       {"threads", Threads[I]},
+                       {"speedup", M.Speedup},
+                       {"retry_ratio", M.RetryRatio},
+                       {"commits", M.Commits},
+                       {"retries", M.Retries}});
       }
       T.addRow(Row);
     }
@@ -60,5 +68,5 @@ int main() {
 
   std::printf("Paper reference (8 threads): sequence avg ~1.5x "
               "(JFileSync ~2.5x, JGraphT-2 ~1x); write-set avg ~0.6x.\n");
-  return 0;
+  return Report.write() ? 0 : 1;
 }

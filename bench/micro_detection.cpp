@@ -22,6 +22,8 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <string>
+#include <vector>
 
 using namespace janus;
 using namespace janus::stm;
@@ -179,4 +181,38 @@ static void BM_DeepCopySnapshot(benchmark::State &State) {
 }
 BENCHMARK(BM_DeepCopySnapshot)->Arg(1000)->Arg(100000);
 
-BENCHMARK_MAIN();
+int main(int Argc, char **Argv) {
+  // Route the repo-wide --json / --json-out=PATH convention onto
+  // google-benchmark's own JSON reporter so every bench binary shares
+  // one perf-trajectory interface (see BenchCommon.h).
+  std::vector<char *> Args;
+  std::vector<std::string> Own;
+  std::string OutPath = "BENCH_micro_detection.json";
+  bool Json = false;
+  for (int I = 0; I != Argc; ++I) {
+    std::string A = Argv[I];
+    if (A == "--json") {
+      Json = true;
+      continue;
+    }
+    if (A.rfind("--json-out=", 0) == 0) {
+      Json = true;
+      OutPath = A.substr(std::string("--json-out=").size());
+      continue;
+    }
+    Args.push_back(Argv[I]);
+  }
+  if (Json) {
+    Own.push_back("--benchmark_out=" + OutPath);
+    Own.push_back("--benchmark_out_format=json");
+  }
+  for (std::string &S : Own)
+    Args.push_back(S.data());
+  int N = static_cast<int>(Args.size());
+  benchmark::Initialize(&N, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(N, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,7 +16,8 @@ using namespace janus::bench;
 using namespace janus::core;
 using namespace janus::workloads;
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report("table5_patterns", Argc, Argv);
   std::printf("Table 5: benchmark characteristics\n\n");
 
   TextTable T;
@@ -34,6 +35,11 @@ int main() {
               J.patternReport().summary(),
               std::to_string(TS.LocationsMined),
               std::to_string(TS.CachedEntries)});
+    Report.addRow({{"benchmark", W->name()},
+                   {"expected_patterns", W->patterns()},
+                   {"detected_patterns", J.patternReport().summary()},
+                   {"locations_mined", TS.LocationsMined},
+                   {"cache_entries", TS.CachedEntries}});
   }
   std::printf("%s\n", T.render().c_str());
   std::printf("Per-object pattern evidence (JFileSync):\n");
@@ -56,5 +62,5 @@ int main() {
                   Pats.empty() ? "-" : Pats.c_str());
     }
   }
-  return 0;
+  return Report.write() ? 0 : 1;
 }

@@ -40,7 +40,8 @@ void measure(Workload &W, const PayloadSpec &P, size_t &Tasks,
 
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchReport Report("table6_inputs", Argc, Argv);
   std::printf("Table 6: inputs for training and production runs\n\n");
 
   TextTable T;
@@ -58,7 +59,12 @@ int main() {
     T.addRow({W->name(), W->trainingInputDesc(), W->productionInputDesc(),
               std::to_string(TrainTasks) + " / " + std::to_string(TrainOps),
               std::to_string(ProdTasks) + " / " + std::to_string(ProdOps)});
+    Report.addRow({{"benchmark", W->name()},
+                   {"train_tasks", TrainTasks},
+                   {"train_accesses", TrainOps},
+                   {"prod_tasks", ProdTasks},
+                   {"prod_accesses", ProdOps}});
   }
   std::printf("%s\n", T.render().c_str());
-  return 0;
+  return Report.write() ? 0 : 1;
 }

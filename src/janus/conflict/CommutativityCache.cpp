@@ -2,35 +2,87 @@
 
 #include "janus/support/Assert.h"
 
+#include <algorithm>
+#include <functional>
 #include <mutex>
 #include <sstream>
 
 using namespace janus;
 using namespace janus::conflict;
 
+static unsigned roundUpPow2(unsigned N) {
+  unsigned P = 1;
+  while (P < N && P < (1u << 16))
+    P <<= 1;
+  return P;
+}
+
+CommutativityCache::CommutativityCache(unsigned ShardCount) {
+  unsigned N = roundUpPow2(ShardCount ? ShardCount : 1);
+  Shards.reserve(N);
+  for (unsigned I = 0; I != N; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+}
+
+CommutativityCache::Shard &CommutativityCache::shardFor(const CacheKey &Key) {
+  size_t H = std::hash<std::string>{}(Key.LocClass);
+  return *Shards[H & (Shards.size() - 1)];
+}
+
+const CommutativityCache::Shard &
+CommutativityCache::shardFor(const CacheKey &Key) const {
+  size_t H = std::hash<std::string>{}(Key.LocClass);
+  return *Shards[H & (Shards.size() - 1)];
+}
+
 void CommutativityCache::insert(CacheKey Key, symbolic::Condition Cond) {
-  std::unique_lock<std::shared_mutex> Guard(Mutex);
-  Entries[std::move(Key)] = std::move(Cond);
+  Shard &S = shardFor(Key);
+  std::unique_lock<std::shared_mutex> Guard(S.Mutex);
+  S.Entries[std::move(Key)] = std::move(Cond);
 }
 
 std::optional<symbolic::Condition>
 CommutativityCache::lookup(const CacheKey &Key) const {
-  std::shared_lock<std::shared_mutex> Guard(Mutex);
-  auto It = Entries.find(Key);
-  if (It == Entries.end())
+  const Shard &S = shardFor(Key);
+  std::shared_lock<std::shared_mutex> Guard(S.Mutex);
+  auto It = S.Entries.find(Key);
+  if (It == S.Entries.end())
     return std::nullopt;
   return It->second;
 }
 
 size_t CommutativityCache::size() const {
-  std::shared_lock<std::shared_mutex> Guard(Mutex);
-  return Entries.size();
+  size_t N = 0;
+  for (const auto &S : Shards) {
+    std::shared_lock<std::shared_mutex> Guard(S->Mutex);
+    N += S->Entries.size();
+  }
+  return N;
+}
+
+std::vector<std::pair<CacheKey, symbolic::Condition>>
+CommutativityCache::sortedEntries() const {
+  std::vector<std::pair<CacheKey, symbolic::Condition>> Out;
+  for (const auto &S : Shards) {
+    std::shared_lock<std::shared_mutex> Guard(S->Mutex);
+    for (const auto &[Key, Cond] : S->Entries)
+      Out.emplace_back(Key, Cond);
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+  return Out;
+}
+
+void CommutativityCache::clearAll() {
+  for (const auto &S : Shards) {
+    std::unique_lock<std::shared_mutex> Guard(S->Mutex);
+    S->Entries.clear();
+  }
 }
 
 std::string CommutativityCache::serialize() const {
-  std::shared_lock<std::shared_mutex> Guard(Mutex);
   std::string Out = "janus-commutativity-cache v1\n";
-  for (const auto &[Key, Cond] : Entries) {
+  for (const auto &[Key, Cond] : sortedEntries()) {
     Out += "class " + Key.LocClass + "\n";
     Out += "mine " + Key.MineSig + "\n";
     Out += "theirs " + Key.TheirsSig + "\n";
@@ -42,8 +94,7 @@ std::string CommutativityCache::serialize() const {
 }
 
 bool CommutativityCache::deserializeInto(const std::string &In) {
-  std::unique_lock<std::shared_mutex> Guard(Mutex);
-  Entries.clear();
+  clearAll();
 
   std::istringstream Stream(In);
   std::string Line;
@@ -59,7 +110,7 @@ bool CommutativityCache::deserializeInto(const std::string &In) {
   };
 
   auto Fail = [this]() {
-    Entries.clear();
+    clearAll();
     return false;
   };
   while (std::getline(Stream, Line)) {
@@ -82,7 +133,7 @@ bool CommutativityCache::deserializeInto(const std::string &In) {
     auto Cond = symbolic::Condition::deserialize(CondText, Pos);
     if (!Cond)
       return Fail();
-    Entries.emplace(std::move(Key), std::move(*Cond));
+    insert(std::move(Key), std::move(*Cond));
   }
   return true;
 }

@@ -12,6 +12,11 @@
 /// designated condition; otherwise JANUS falls back to the configured
 /// default (§3 step 5).
 ///
+/// The store is striped over independently locked shards keyed by the
+/// location class, so parallel detection rounds querying different
+/// classes never contend on one lock (or its cache line). Ordered
+/// whole-cache views (serialize, forEach) merge the shards on demand.
+///
 /// The cache also supports textual (de)serialization so training
 /// artifacts persist across process runs.
 ///
@@ -23,9 +28,11 @@
 #include "janus/symbolic/Condition.h"
 
 #include <map>
+#include <memory>
 #include <optional>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 namespace janus {
 namespace conflict {
@@ -53,11 +60,14 @@ struct CacheKey {
   }
 };
 
-/// Thread-safe commutativity-condition store. Typically populated by
-/// the trainer before parallel execution; concurrent lookups during
-/// execution take a shared lock.
+/// Thread-safe, shard-striped commutativity-condition store. Typically
+/// populated by the trainer before parallel execution; concurrent
+/// lookups during execution take a shared lock on one shard only.
 class CommutativityCache {
 public:
+  /// \param ShardCount lock stripes (rounded up to a power of two).
+  explicit CommutativityCache(unsigned ShardCount = 8);
+
   /// Inserts (or overwrites) an entry.
   void insert(CacheKey Key, symbolic::Condition Cond);
 
@@ -66,7 +76,8 @@ public:
 
   size_t size() const;
 
-  /// Renders the whole cache in a line-oriented text format.
+  /// Renders the whole cache in a line-oriented text format, in key
+  /// order (byte-stable across shard counts).
   std::string serialize() const;
 
   /// Replaces this cache's contents with entries parsed from text
@@ -76,14 +87,27 @@ public:
 
   /// Invokes \p Fn(key, condition) for every entry, in key order.
   template <typename Fn> void forEach(Fn &&Callback) const {
-    std::shared_lock<std::shared_mutex> Guard(Mutex);
-    for (const auto &[Key, Cond] : Entries)
+    for (const auto &[Key, Cond] : sortedEntries())
       Callback(Key, Cond);
   }
 
 private:
-  mutable std::shared_mutex Mutex;
-  std::map<CacheKey, symbolic::Condition> Entries;
+  /// One lock stripe with its slice of the key space.
+  struct alignas(64) Shard {
+    mutable std::shared_mutex Mutex;
+    std::map<CacheKey, symbolic::Condition> Entries;
+  };
+
+  Shard &shardFor(const CacheKey &Key);
+  const Shard &shardFor(const CacheKey &Key) const;
+
+  /// Snapshots every shard and merges the slices in key order.
+  std::vector<std::pair<CacheKey, symbolic::Condition>> sortedEntries() const;
+
+  /// Clears every shard (taking all the locks).
+  void clearAll();
+
+  std::vector<std::unique_ptr<Shard>> Shards; ///< Power-of-two size.
 };
 
 } // namespace conflict

@@ -1,5 +1,8 @@
 #include "janus/conflict/SequenceDetector.h"
 
+#include <algorithm>
+#include <functional>
+
 using namespace janus;
 using namespace janus::conflict;
 using namespace janus::symbolic;
@@ -50,10 +53,24 @@ PairQuery conflict::buildPairQueryFrom(const std::string &LocClass,
   return Q;
 }
 
+static unsigned roundUpPow2(unsigned N) {
+  unsigned P = 1;
+  while (P < N && P < (1u << 16))
+    P <<= 1;
+  return P;
+}
+
 SequenceDetector::SequenceDetector(std::shared_ptr<CommutativityCache> Cache,
                                    SequenceDetectorConfig Config)
     : Cache(std::move(Cache)), Config(Config) {
   JANUS_ASSERT(this->Cache != nullptr, "detector requires a cache");
+  unsigned N = roundUpPow2(Config.Shards ? Config.Shards : 1);
+  Tracking.reserve(N);
+  Memos.reserve(N);
+  for (unsigned I = 0; I != N; ++I) {
+    Tracking.push_back(std::make_unique<TrackShard>());
+    Memos.push_back(std::make_unique<MemoShard>());
+  }
 }
 
 /// Injective textual key over a concrete sequence: per op the kind,
@@ -77,17 +94,19 @@ SequenceDetector::abstracted(const LocOpSeq &Seq) {
   if (!Config.MemoizeSignatures)
     return abstractSequence(symbolize(Seq), Config.UseAbstraction);
   std::string Key = memoKey(Seq);
+  MemoShard &S =
+      *Memos[std::hash<std::string>{}(Key) & (Memos.size() - 1)];
   {
-    std::shared_lock<std::shared_mutex> Guard(MemoMutex);
-    auto It = Memo.find(Key);
-    if (It != Memo.end())
+    std::shared_lock<std::shared_mutex> Guard(S.Mutex);
+    auto It = S.Memo.find(Key);
+    if (It != S.Memo.end())
       return It->second;
   }
   abstraction::AbstractResult Result =
       abstractSequence(symbolize(Seq), Config.UseAbstraction);
-  std::unique_lock<std::shared_mutex> Guard(MemoMutex);
-  if (Memo.size() < MaxMemoEntries)
-    Memo.emplace(std::move(Key), Result);
+  std::unique_lock<std::shared_mutex> Guard(S.Mutex);
+  if (S.Memo.size() < MaxMemoEntries / Memos.size())
+    S.Memo.emplace(std::move(Key), Result);
   return Result;
 }
 
@@ -101,25 +120,50 @@ std::string SequenceDetector::name() const {
 }
 
 size_t SequenceDetector::uniqueQueries() const {
-  std::lock_guard<std::mutex> Guard(UniqueMutex);
-  return SeenQueries.size();
+  size_t N = 0;
+  for (const auto &S : Tracking) {
+    std::lock_guard<std::mutex> Guard(S->Mutex);
+    N += S->Seen.size();
+  }
+  return N;
 }
 
 size_t SequenceDetector::uniqueMisses() const {
-  std::lock_guard<std::mutex> Guard(UniqueMutex);
-  return MissedQueries.size();
+  size_t N = 0;
+  for (const auto &S : Tracking) {
+    std::lock_guard<std::mutex> Guard(S->Mutex);
+    N += S->Missed.size();
+  }
+  return N;
 }
 
 std::vector<std::string> SequenceDetector::missedQueryKeys() const {
-  std::lock_guard<std::mutex> Guard(UniqueMutex);
-  return std::vector<std::string>(MissedQueries.begin(),
-                                  MissedQueries.end());
+  // Keys are disjoint across shards; merge and restore the sorted
+  // order the single-set implementation used to provide.
+  std::vector<std::string> Out;
+  for (const auto &S : Tracking) {
+    std::lock_guard<std::mutex> Guard(S->Mutex);
+    Out.insert(Out.end(), S->Missed.begin(), S->Missed.end());
+  }
+  std::sort(Out.begin(), Out.end());
+  return Out;
 }
 
 void SequenceDetector::resetUniqueQueryTracking() {
-  std::lock_guard<std::mutex> Guard(UniqueMutex);
-  SeenQueries.clear();
-  MissedQueries.clear();
+  for (const auto &S : Tracking) {
+    std::lock_guard<std::mutex> Guard(S->Mutex);
+    S->Seen.clear();
+    S->Missed.clear();
+  }
+}
+
+void SequenceDetector::trackQuery(std::string KeyStr, bool Missed) {
+  TrackShard &S =
+      *Tracking[std::hash<std::string>{}(KeyStr) & (Tracking.size() - 1)];
+  std::lock_guard<std::mutex> Guard(S.Mutex);
+  if (Missed)
+    S.Missed.insert(KeyStr);
+  S.Seen.insert(std::move(KeyStr));
 }
 
 /// \returns true when every read in \p Seq is preceded (within the
@@ -169,13 +213,7 @@ bool SequenceDetector::locationConflicts(const Value &EntryVal,
                                    abstracted(Theirs));
 
   std::optional<Condition> Cached = Cache->lookup(Q.Key);
-  {
-    std::lock_guard<std::mutex> Guard(UniqueMutex);
-    std::string KeyStr = Q.Key.toString();
-    SeenQueries.insert(KeyStr);
-    if (!Cached)
-      MissedQueries.insert(std::move(KeyStr));
-  }
+  trackQuery(Q.Key.toString(), /*Missed=*/!Cached);
 
   if (Cached) {
     ++Stats.CacheHits;

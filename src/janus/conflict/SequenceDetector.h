@@ -34,6 +34,7 @@
 #include <set>
 #include <shared_mutex>
 #include <unordered_map>
+#include <vector>
 
 namespace janus {
 namespace conflict {
@@ -93,6 +94,11 @@ struct SequenceDetectorConfig {
   /// the per-query canonicalization cost. Capped; pure caching, no
   /// semantic effect.
   bool MemoizeSignatures = true;
+  /// Lock stripes for the signature memo and the unique-query tracking
+  /// tables (rounded up to a power of two). Detection rounds running on
+  /// different worker threads hash to different stripes, so the memo
+  /// stops being a single contended lock.
+  unsigned Shards = 8;
 };
 
 /// The JANUS detector. Thread-safe; shared by all transactions of a
@@ -129,17 +135,30 @@ private:
   /// Memoized abstractSequence(symbolize(Seq), UseAbstraction).
   abstraction::AbstractResult abstracted(const symbolic::LocOpSeq &Seq);
 
+  /// Records one production query (and optionally its miss) in the
+  /// tracking shard its key hashes to.
+  void trackQuery(std::string KeyStr, bool Missed);
+
   std::shared_ptr<CommutativityCache> Cache;
   SequenceDetectorConfig Config;
 
-  mutable std::mutex UniqueMutex;
-  std::set<std::string> SeenQueries;
-  std::set<std::string> MissedQueries;
+  /// One stripe of the Figure 11 unique-query accounting.
+  struct alignas(64) TrackShard {
+    mutable std::mutex Mutex;
+    std::set<std::string> Seen;
+    std::set<std::string> Missed;
+  };
 
-  /// Signature memo: injective key over (kind, operand, read result)
-  /// triples → canonical abstraction.
-  mutable std::shared_mutex MemoMutex;
-  std::unordered_map<std::string, abstraction::AbstractResult> Memo;
+  /// One stripe of the signature memo: injective key over (kind,
+  /// operand, read result) triples → canonical abstraction.
+  struct alignas(64) MemoShard {
+    mutable std::shared_mutex Mutex;
+    std::unordered_map<std::string, abstraction::AbstractResult> Memo;
+  };
+
+  std::vector<std::unique_ptr<TrackShard>> Tracking; ///< Pow-2 size.
+  std::vector<std::unique_ptr<MemoShard>> Memos;     ///< Pow-2 size.
+  /// Total memo capacity, split evenly across the shards.
   static constexpr size_t MaxMemoEntries = 1u << 16;
 };
 

@@ -8,8 +8,9 @@ using namespace janus;
 using namespace janus::core;
 
 Janus::Janus(JanusConfig ConfigIn)
-    : Config(ConfigIn),
-      Cache(std::make_shared<conflict::CommutativityCache>()) {
+    : Config(ConfigIn), Cache(std::make_shared<conflict::CommutativityCache>(
+                            ConfigIn.DetectionShards)) {
+  Config.Sequence.Shards = Config.DetectionShards;
   switch (Config.Detector) {
   case DetectorKind::WriteSet:
     Detector = std::make_unique<stm::WriteSetDetector>();
@@ -140,6 +141,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
   ThreadCfg.Ordered = Ordered;
   ThreadCfg.ReclaimLogs = Config.ReclaimLogs;
   ThreadCfg.RecordTrace = Config.RecordTrace;
+  ThreadCfg.HistorySegmentRecords = Config.HistorySegmentRecords;
   stm::ThreadedRuntime Runtime(Reg, *Detector, ThreadCfg);
   Runtime.setInitialState(State);
   auto Start = Clock::now();

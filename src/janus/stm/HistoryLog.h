@@ -1,0 +1,196 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Append-only segmented committed-history log.
+///
+/// The committed-history window of Figure 7 — the logs committed in
+/// (Begin, now] that DETECTCONFLICTS consumes — used to live in one
+/// mutable vector guarded by the runtime's global lock: every
+/// validation round copied its window out under a read lock, and
+/// reclamation erased the vector's prefix in place under the write
+/// lock. This class replaces it with a chain of immutable fixed-size
+/// segments indexed by commit time:
+///
+///  - *Appends* happen inside the runtime's (tiny) exclusive commit
+///    section, one record per clock tick; a record becomes visible to
+///    readers through a release-published per-segment count.
+///  - *Reads* are lock-free. Commit times are dense (every clock bump
+///    publishes exactly one record), so a `Reader` positioned at its
+///    transaction's begin segment walks forward by direct indexing and
+///    collects the window incrementally across validation rounds — no
+///    per-round re-copy, no lock, and a built-in density check that
+///    fires if reclamation ever dropped a record a live transaction
+///    can still query.
+///  - *Reclamation* is epoch-style deferred freeing: advancing the
+///    head drops the log's own reference to segments wholly below the
+///    oldest active begin; a segment's memory is returned only when
+///    the last in-flight reader releases its reference, so a snapshot
+///    taken before reclamation ran can never observe freed records.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_STM_HISTORYLOG_H
+#define JANUS_STM_HISTORYLOG_H
+
+#include "janus/stm/Log.h"
+#include "janus/support/Assert.h"
+
+#include <atomic>
+#include <memory>
+
+namespace janus {
+namespace stm {
+
+/// Segmented committed-history storage. One writer at a time (the
+/// committer, serialized by the runtime's commit section); any number
+/// of concurrent lock-free readers.
+class HistoryLog {
+public:
+  /// One committed transaction: its commit time and its operation log.
+  struct Record {
+    uint64_t CommitTime = 0;
+    TxLogRef Log;
+  };
+
+  /// A fixed-capacity run of records with consecutive commit times
+  /// [BaseTime, BaseTime + Capacity). Immutable once a slot is
+  /// published via Count.
+  struct Segment {
+    Segment(uint64_t Base, uint32_t Cap)
+        : BaseTime(Base), Capacity(Cap), Slots(Cap) {}
+
+    const uint64_t BaseTime; ///< Commit time stored in Slots[0].
+    const uint32_t Capacity;
+    /// Number of published records; slots below it are immutable.
+    std::atomic<uint32_t> Count{0};
+    std::vector<Record> Slots;
+    /// Successor segment; written once by the appender.
+    std::atomic<std::shared_ptr<Segment>> Next{nullptr};
+  };
+
+  using SegmentRef = std::shared_ptr<Segment>;
+
+  /// \param InitialTime the clock value before the first commit (whose
+  ///        record will carry InitialTime + 1).
+  /// \param SegmentCapacity records per segment (> 0).
+  HistoryLog(uint64_t InitialTime, uint32_t SegmentCapacity)
+      : Head(InitialTime), HeadSeg(std::make_shared<Segment>(
+                               InitialTime + 1,
+                               SegmentCapacity ? SegmentCapacity : 1)) {
+    Tail.store(HeadSeg, std::memory_order_release);
+  }
+
+  ~HistoryLog() {
+    // Detach the chain iteratively: a long run of dead segments would
+    // otherwise free recursively through the Next shared_ptrs.
+    SegmentRef Seg = std::move(HeadSeg);
+    while (Seg) {
+      SegmentRef Next = Seg->Next.load(std::memory_order_relaxed);
+      Seg->Next.store(nullptr, std::memory_order_relaxed);
+      Seg = std::move(Next);
+    }
+  }
+
+  HistoryLog(const HistoryLog &) = delete;
+  HistoryLog &operator=(const HistoryLog &) = delete;
+
+  /// Appends the record for \p CommitTime. Single appender at a time;
+  /// commit times must be exactly consecutive.
+  void append(uint64_t CommitTime, TxLogRef Log) {
+    SegmentRef T = Tail.load(std::memory_order_relaxed);
+    uint32_t Index = T->Count.load(std::memory_order_relaxed);
+    if (Index == T->Capacity) {
+      auto Fresh =
+          std::make_shared<Segment>(T->BaseTime + T->Capacity, T->Capacity);
+      T->Next.store(Fresh, std::memory_order_release);
+      Tail.store(Fresh, std::memory_order_release);
+      T = std::move(Fresh);
+      Index = 0;
+    }
+    JANUS_ASSERT(T->BaseTime + Index == CommitTime,
+                 "history commit times must be dense");
+    T->Slots[Index] = Record{CommitTime, std::move(Log)};
+    T->Count.store(Index + 1, std::memory_order_release);
+  }
+
+  /// The segment that holds (or will next receive) the latest record;
+  /// published to readers as their window's starting point.
+  SegmentRef tail() const { return Tail.load(std::memory_order_acquire); }
+
+  /// Logically reclaims every record with CommitTime <= \p UpTo and
+  /// drops the log's references to segments wholly below the head.
+  /// Caller must guarantee no current or future reader queries a
+  /// window starting below \p UpTo (the runtime derives it from the
+  /// minimum active begin). In-flight readers that still hold segment
+  /// references keep them alive; freeing is deferred to the last
+  /// release.
+  void reclaimUpTo(uint64_t UpTo) {
+    if (UpTo <= Head.load(std::memory_order_relaxed))
+      return;
+    Head.store(UpTo, std::memory_order_relaxed);
+    while (HeadSeg->BaseTime + HeadSeg->Capacity <= UpTo + 1) {
+      SegmentRef Next = HeadSeg->Next.load(std::memory_order_acquire);
+      if (!Next)
+        break;
+      HeadSeg = std::move(Next);
+    }
+  }
+
+  /// Highest logically reclaimed commit time (initial clock when
+  /// nothing was reclaimed yet).
+  uint64_t headTime() const { return Head.load(std::memory_order_relaxed); }
+
+  /// Iterates a transaction's conflict history (Begin, now]
+  /// incrementally: each collectUpTo() call appends only the records
+  /// committed since the previous round, so a validation loop never
+  /// re-copies its window.
+  class Reader {
+  public:
+    /// \param Start the tail segment published with the begin
+    ///        snapshot (owns the chain from the window's start).
+    /// \param Begin the transaction's begin time.
+    Reader(SegmentRef Start, uint64_t Begin)
+        : Seg(std::move(Start)), NextTime(Begin + 1) {}
+
+    /// Appends the logs with CommitTime in [NextTime, UpTo] to \p Out,
+    /// in commit order, and advances. Every record in the range must
+    /// already be published (the caller read \p UpTo from the
+    /// published state, which commits after appending).
+    void collectUpTo(uint64_t UpTo, std::vector<TxLogRef> &Out) {
+      while (NextTime <= UpTo) {
+        JANUS_ASSERT(Seg != nullptr && NextTime >= Seg->BaseTime,
+                     "history window fell behind its segment chain");
+        if (NextTime >= Seg->BaseTime + Seg->Capacity) {
+          SegmentRef Next = Seg->Next.load(std::memory_order_acquire);
+          JANUS_ASSERT(Next != nullptr,
+                       "published commit missing its history segment");
+          Seg = std::move(Next);
+          continue;
+        }
+        uint32_t Index = static_cast<uint32_t>(NextTime - Seg->BaseTime);
+        JANUS_ASSERT(Index < Seg->Count.load(std::memory_order_acquire),
+                     "committed-history record not published or reclaimed "
+                     "while still visible");
+        Out.push_back(Seg->Slots[Index].Log);
+        ++NextTime;
+      }
+    }
+
+  private:
+    SegmentRef Seg;    ///< Segment containing (or preceding) NextTime.
+    uint64_t NextTime; ///< First commit time not yet collected.
+  };
+
+private:
+  /// Highest reclaimed commit time; records above it are retained.
+  std::atomic<uint64_t> Head;
+  /// Oldest segment the log itself still references. Mutated only by
+  /// the (serialized) committer.
+  SegmentRef HeadSeg;
+  std::atomic<SegmentRef> Tail;
+};
+
+} // namespace stm
+} // namespace janus
+
+#endif // JANUS_STM_HISTORYLOG_H

@@ -9,145 +9,199 @@ using namespace janus::stm;
 ThreadedRuntime::ThreadedRuntime(const ObjectRegistry &Reg,
                                  ConflictDetector &Detector,
                                  ThreadedConfig Config)
-    : Reg(Reg), Detector(Detector), Config(Config) {
+    : Reg(Reg), Detector(Detector), Config(Config),
+      History(/*InitialTime=*/1,
+              Config.HistorySegmentRecords ? Config.HistorySegmentRecords : 1),
+      Workers(std::max(1u, Config.NumThreads)) {
   JANUS_ASSERT(Config.NumThreads >= 1, "need at least one thread");
+  OldestState = new PublishedState{1, Snapshot{}, History.tail(), nullptr};
+  Published.store(OldestState, std::memory_order_release);
 }
 
-std::vector<TxLogRef> ThreadedRuntime::committedHistory(uint64_t Begin,
-                                                        uint64_t Now) const {
-  // Caller holds at least the read lock. History is sorted by
-  // CommitTime; select the window (Begin, Now].
-  std::vector<TxLogRef> Out;
-  auto Lo = std::lower_bound(History.begin(), History.end(), Begin + 1,
-                             [](const CommittedRecord &R, uint64_t T) {
-                               return R.CommitTime < T;
-                             });
-  for (auto It = Lo; It != History.end() && It->CommitTime <= Now; ++It)
-    Out.push_back(It->Log);
-  return Out;
+ThreadedRuntime::~ThreadedRuntime() {
+  PublishedState *S = OldestState;
+  while (S) {
+    PublishedState *N = S->Newer;
+    delete S;
+    S = N;
+  }
+}
+
+void ThreadedRuntime::setInitialState(Snapshot S) {
+  // Serialize against commits so the swap cannot lose a concurrent
+  // commit's state (normal use configures before running anyway).
+  std::lock_guard<std::mutex> Guard(CommitMutex);
+  PublishedState *Cur = Published.load(std::memory_order_relaxed);
+  auto *Next =
+      new PublishedState{Cur->Time, std::move(S), Cur->HistoryTail, nullptr};
+  Cur->Newer = Next;
+  Published.store(Next, std::memory_order_seq_cst);
+}
+
+Snapshot ThreadedRuntime::sharedState() const {
+  // Non-worker threads have no hazard slot; the mutex keeps epoch
+  // freeing (which runs under it) off the state while we copy.
+  std::lock_guard<std::mutex> Guard(CommitMutex);
+  return Published.load(std::memory_order_relaxed)->State;
 }
 
 size_t ThreadedRuntime::historySize() const {
-  std::shared_lock<std::shared_mutex> Guard(Lock);
-  return History.size();
+  // Records retained = commits made minus commits logically reclaimed.
+  return static_cast<size_t>(Clock.load(std::memory_order_acquire) -
+                             History.headTime());
 }
 
 std::vector<uint32_t> ThreadedRuntime::commitOrder() const {
-  std::shared_lock<std::shared_mutex> Guard(Lock);
+  std::lock_guard<std::mutex> Guard(CommitMutex);
   return CommitOrder;
 }
 
-void ThreadedRuntime::recordEvent(uint32_t Tid, uint64_t Begin,
-                                  uint64_t Commit, bool Committed,
-                                  TxLogRef Log, const Snapshot &Entry) {
+void ThreadedRuntime::recordEvent(WorkerSlot &Worker, uint32_t Tid,
+                                  uint64_t Begin, uint64_t Commit,
+                                  bool Committed, TxLogRef Log,
+                                  Snapshot Entry) {
   if (!Config.RecordTrace)
     return;
-  std::lock_guard<std::mutex> Guard(TraceMutex);
-  Trace.Events.push_back(
-      TraceEvent{Tid, Begin, Commit, Committed, std::move(Log), Entry});
+  Worker.Events.push_back(TraceEvent{Tid, Begin, Commit, Committed,
+                                     std::move(Log), std::move(Entry)});
   ++Stats.TraceEvents;
 }
 
-bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid) {
-  // CREATETRANSACTION: Begin and the snapshot are read consistently
-  // under the read lock (multiple simultaneous initializations allowed).
-  uint64_t Begin;
-  Snapshot Entry;
-  {
-    std::shared_lock<std::shared_mutex> Guard(Lock);
-    Begin = Clock.load(std::memory_order_acquire);
-    Entry = Shared;
-    // ActiveBegins mutates under a dedicated mutex: the enclosing lock
-    // is only *shared* here. Registering inside the read-locked scope
-    // keeps log reclamation (which runs under the write lock) from
-    // missing a transaction that has already snapshotted.
-    std::lock_guard<std::mutex> ActiveGuard(ActiveMutex);
-    ActiveBegins.push_back(Begin);
+uint64_t ThreadedRuntime::minActiveBegin(uint64_t Fallback) const {
+  uint64_t Min = Fallback;
+  for (const WorkerSlot &W : Workers) {
+    uint64_t B = W.Begin.load(std::memory_order_seq_cst);
+    if (B != NoActiveBegin)
+      Min = std::min(Min, B);
   }
+  return Min;
+}
+
+void ThreadedRuntime::reclaimStates(uint64_t Min) {
+  while (OldestState->Time < Min && OldestState->Newer) {
+    PublishedState *Next = OldestState->Newer;
+    delete OldestState;
+    OldestState = Next;
+  }
+}
+
+bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid,
+                              WorkerSlot &Worker) {
+  // CREATETRANSACTION — no lock. The active-begin slot doubles as the
+  // hazard against epoch freeing: advertise the conservative LastSeen
+  // (<= any state we could load, since times are monotone), then load.
+  // In the seq_cst total order, a committer that scanned the slots
+  // before our store had not yet freed anything at or above LastSeen
+  // on our account, and its own publication preceded our load — so the
+  // state we read is the current one or newer, which no committer
+  // frees. A committer scanning after our store honours the slot.
+  Worker.Begin.store(Worker.LastSeen, std::memory_order_seq_cst);
+  const PublishedState *Entry = Published.load(std::memory_order_seq_cst);
+  const uint64_t Begin = Entry->Time;
+  // Tighten the hazard to the actual begin so reclamation can advance
+  // past older states and history records while we run.
+  Worker.Begin.store(Begin, std::memory_order_seq_cst);
+  Worker.LastSeen = Begin;
+  Snapshot EntrySnap = Entry->State; // O(1) persistent copy.
+  // The transaction's borrowed view of the committed history. Holding
+  // the begin-time tail segment keeps the whole (Begin, ...] chain
+  // alive even if reclamation advances past it; collection is
+  // incremental, so validation rounds never re-copy the window.
+  HistoryLog::Reader Window(Entry->HistoryTail, Begin);
 
   // RUNSEQUENTIAL.
-  TxContext Tx(Entry, Tid, Reg, &Stats);
+  TxContext Tx(EntrySnap, Tid, Reg, &Stats);
   Task(Tx);
   // The attempt's client window ends here; later accesses through a
   // leaked context/handle are escapes (see Escape.h).
   Tx.endAttempt();
   TxLogRef Log = std::make_shared<const TxLog>(Tx.log());
 
-  auto RemoveActive = [this, Begin]() {
-    std::lock_guard<std::mutex> ActiveGuard(ActiveMutex);
-    auto It = std::find(ActiveBegins.begin(), ActiveBegins.end(), Begin);
-    JANUS_ASSERT(It != ActiveBegins.end(), "active begin disappeared");
-    ActiveBegins.erase(It);
-  };
-
   // Ordered mode: a transaction may attempt to commit only once all
   // preceding transactions (by task id) have committed, i.e. when the
   // Clock has advanced to its own id.
   if (Config.Ordered) {
     // Task Tid's turn comes when the Tid-1 preceding tasks of this run
-    // have committed, i.e. the Clock reached OrderBase + Tid.
+    // have committed, i.e. the Clock reached OrderBase + Tid. Register
+    // under OrderMutex so the handoff cannot race the committer that
+    // bumps the Clock to Target: it stores the Clock first, then takes
+    // OrderMutex to look us up.
     uint64_t Target = OrderBase.load(std::memory_order_acquire) + Tid;
     std::unique_lock<std::mutex> Guard(OrderMutex);
-    OrderCv.wait(Guard, [this, Target]() {
-      return Clock.load(std::memory_order_acquire) >= Target;
-    });
+    if (Clock.load(std::memory_order_acquire) < Target) {
+      OrderWaiters[Target] = &Worker.TurnCv;
+      Worker.TurnCv.wait(Guard, [this, Target]() {
+        return Clock.load(std::memory_order_acquire) >= Target;
+      });
+      OrderWaiters.erase(Target);
+    }
   }
 
+  std::vector<TxLogRef> OpsC;
   while (true) {
-    uint64_t Now = Clock.load(std::memory_order_acquire);
-    std::vector<TxLogRef> OpsC;
-    {
-      std::shared_lock<std::shared_mutex> Guard(Lock);
-      OpsC = committedHistory(Begin, Now);
-    }
+    const PublishedState *NowState =
+        Published.load(std::memory_order_acquire);
+    uint64_t Now = NowState->Time;
+    Window.collectUpTo(Now, OpsC);
     ++Stats.ConflictChecks;
-    if (Detector.detectConflicts(Entry, *Log, OpsC, Reg)) {
+    if (Detector.detectConflicts(EntrySnap, *Log, OpsC, Reg)) {
       // Abort: drop this attempt; RUNTASK will be re-invoked.
-      RemoveActive();
-      recordEvent(Tid, Begin, 0, /*Committed=*/false, std::move(Log), Entry);
+      Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
+      recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, std::move(Log),
+                  std::move(EntrySnap));
       return false;
     }
 
-    // COMMIT(t, Now).
+    // REPLAYLOGGEDOPERATIONS onto the state we validated against,
+    // *outside* the exclusive section; COMMIT below re-checks that the
+    // published state is still this one (pointer identity stands in
+    // for the paper's now != tcheck clock comparison — ABA-safe, since
+    // our hazard slot keeps NowState allocated until we are done).
+    Snapshot Replayed = NowState->State;
+    for (const LogEntry &E : *Log)
+      Replayed = applyToSnapshot(Replayed, E.Loc, E.Op);
+
+    // COMMIT(t, Now): the exclusive section is a validation, one
+    // history append, and two pointer stores (plus epoch upkeep).
     {
-      std::unique_lock<std::shared_mutex> Guard(Lock);
-      uint64_t Current = Clock.load(std::memory_order_acquire);
-      if (Current != Now) {
-        // The history evolved since detection: redo detection.
+      std::lock_guard<std::mutex> Guard(CommitMutex);
+      PublishedState *Current = Published.load(std::memory_order_relaxed);
+      if (Current != NowState) {
+        // The history evolved since detection: redo detection (the
+        // replayed snapshot is stale too — drop it).
         ++Stats.ValidationFailures;
         continue;
       }
-      uint64_t CommitTime = Current + 1;
+      uint64_t CommitTime = Now + 1;
+      History.append(CommitTime, Log);
+      auto *Next = new PublishedState{CommitTime, std::move(Replayed),
+                                      History.tail(), nullptr};
+      Current->Newer = Next;
+      Published.store(Next, std::memory_order_seq_cst);
       Clock.store(CommitTime, std::memory_order_release);
-      // REPLAYLOGGEDOPERATIONS: replay semantic operations onto the
-      // global counterparts of the privatized objects.
-      for (const LogEntry &E : *Log)
-        Shared = applyToSnapshot(Shared, E.Loc, E.Op);
-      History.push_back(CommittedRecord{CommitTime, Log});
       CommitOrder.push_back(Tid);
-      RemoveActive();
-      if (Config.ReclaimLogs) {
-        // Logs older than every active transaction's Begin can never be
-        // queried again (§7.2 discusses this engineering improvement).
-        uint64_t MinBegin = CommitTime;
-        {
-          std::lock_guard<std::mutex> ActiveGuard(ActiveMutex);
-          for (uint64_t B : ActiveBegins)
-            MinBegin = std::min(MinBegin, B);
-        }
-        auto Keep = std::lower_bound(
-            History.begin(), History.end(), MinBegin + 1,
-            [](const CommittedRecord &R, uint64_t T) {
-              return R.CommitTime < T;
-            });
-        History.erase(History.begin(), Keep);
-      }
-      recordEvent(Tid, Begin, CommitTime, /*Committed=*/true, std::move(Log),
-                  Entry);
+      Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
+      Worker.LastSeen = CommitTime;
+      // Epoch upkeep: free published states (always — they are runtime
+      // internals) and, when configured, committed logs that no active
+      // transaction can still query (§7.2). In-flight readers keep
+      // their history segments alive through their begin-time tail
+      // reference; this only drops the log's own references.
+      uint64_t Min = minActiveBegin(CommitTime);
+      reclaimStates(Min);
+      if (Config.ReclaimLogs)
+        History.reclaimUpTo(Min);
     }
+    recordEvent(Worker, Tid, Begin, Now + 1, /*Committed=*/true,
+                std::move(Log), std::move(EntrySnap));
     if (Config.Ordered) {
+      // Hand the turn to the one transaction our commit made eligible
+      // (its Target equals the new Clock value). Absent entry means it
+      // has not reached its wait yet; it will see the Clock on its own.
       std::lock_guard<std::mutex> Guard(OrderMutex);
-      OrderCv.notify_all();
+      auto It = OrderWaiters.find(Now + 1);
+      if (It != OrderWaiters.end())
+        It->second->notify_one();
     }
     return true;
   }
@@ -159,7 +213,7 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
     // The trace covers one run() call (task ids are per-run): re-anchor
     // at the current shared state and drop any previous run's events.
     Trace.Recorded = true;
-    Trace.Initial = Shared;
+    Trace.Initial = sharedState();
     Trace.Events.clear();
   }
   // Anchor ordered-mode turn-taking at the current Clock so repeated
@@ -168,13 +222,14 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
                   std::memory_order_release);
   std::atomic<size_t> NextTask{0};
 
-  auto Worker = [this, &Tasks, &NextTask]() {
+  auto Worker = [this, &Tasks, &NextTask](unsigned Slot) {
+    WorkerSlot &W = Workers[Slot];
     while (true) {
       size_t Idx = NextTask.fetch_add(1, std::memory_order_relaxed);
       if (Idx >= Tasks.size())
         return;
       uint32_t Tid = static_cast<uint32_t>(Idx + 1);
-      while (!runTask(Tasks[Idx], Tid))
+      while (!runTask(Tasks[Idx], Tid, W))
         ++Stats.Retries;
       ++Stats.Commits;
     }
@@ -183,15 +238,23 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
   unsigned N = std::min<unsigned>(Config.NumThreads,
                                   std::max<size_t>(Tasks.size(), 1));
   if (N <= 1) {
-    Worker();
+    Worker(0);
   } else {
     std::vector<std::thread> Threads;
     Threads.reserve(N);
     for (unsigned I = 0; I != N; ++I)
-      Threads.emplace_back(Worker);
+      Threads.emplace_back(Worker, I);
     for (std::thread &T : Threads)
       T.join();
   }
-  if (Config.RecordTrace)
-    Trace.Final = Shared;
+  if (Config.RecordTrace) {
+    // Merge the per-worker buffers; consumers order committed events by
+    // commit time, so concatenation order is immaterial.
+    for (WorkerSlot &W : Workers) {
+      for (TraceEvent &E : W.Events)
+        Trace.Events.push_back(std::move(E));
+      W.Events.clear();
+    }
+    Trace.Final = sharedState();
+  }
 }

@@ -5,25 +5,37 @@
 ///
 /// DOPARALLEL runs the input tasks asynchronously until the pool is
 /// drained, retrying each task until it commits. Each attempt:
-///   1. CREATETRANSACTION — under the read lock, record Begin from the
-///      global Clock and snapshot the shared state (O(1), persistent).
+///   1. CREATETRANSACTION — load the atomically published (clock,
+///      snapshot) pair and copy the snapshot (O(1), persistent). No
+///      lock: publication is a pointer swap, begins are pointer loads.
 ///   2. RUNSEQUENTIAL — run the task body against the privatized copy.
 ///   3. If ordered, wait until Clock equals the task id (all preceding
-///      tasks committed).
-///   4. Loop: read `now` from Clock; under the read lock fetch the
-///      operations committed in (Begin, now]; DETECTCONFLICTS — on
-///      conflict, abort (retry from scratch). Otherwise COMMIT under
-///      the write lock: if the Clock moved since `now`, redo detection;
-///      else increment the Clock, replay the log onto global memory and
-///      publish it to the committed-history window.
+///      tasks committed); each committer hands the turn directly to
+///      its successor's condition variable, so a commit wakes one
+///      thread, not every waiter.
+///   4. Loop: read `now` from the published state; extend the
+///      transaction's borrowed view of the committed-history window to
+///      (Begin, now] (lock-free segment walk, incremental across
+///      rounds); DETECTCONFLICTS — on conflict, abort (retry from
+///      scratch). Otherwise replay the log onto the published snapshot
+///      *outside* any lock, then COMMIT: under the commit mutex,
+///      re-validate that the published state is still the one the
+///      replay started from, append the log to the history, and swap
+///      in the new snapshot. The exclusive section is a clock bump
+///      plus two pointer stores.
+///
+/// Committed logs live in an append-only segmented `HistoryLog`;
+/// reclamation (§7.2) advances an epoch head past the oldest active
+/// begin, tracked in per-thread cache-line-padded slots — freed
+/// segments are deferred until the last in-flight reader drops them.
 ///
 /// Theorem 4.1: with a sound and valid detector this terminates, and
 /// ordered runs reach the sequential final state while unordered runs
 /// reach the final state of their commit order.
 ///
 /// With `RecordTrace` set, every attempt (committed or aborted) is
-/// recorded into an `AuditTrace` that `janus::analysis` can audit
-/// after the fact.
+/// recorded into per-thread buffers merged into an `AuditTrace` when
+/// run() returns; `janus::analysis` can audit it after the fact.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,12 +44,13 @@
 
 #include "janus/stm/AuditTrace.h"
 #include "janus/stm/Detector.h"
+#include "janus/stm/HistoryLog.h"
 #include "janus/stm/Stats.h"
 #include "janus/stm/TxContext.h"
 
 #include <condition_variable>
 #include <mutex>
-#include <shared_mutex>
+#include <unordered_map>
 #include <vector>
 
 namespace janus {
@@ -54,6 +67,9 @@ struct ThreadedConfig {
   bool ReclaimLogs = false;
   /// Record an AuditTrace of every attempt for hindsight auditing.
   bool RecordTrace = false;
+  /// Records per committed-history segment — the granularity at which
+  /// reclamation returns memory.
+  uint32_t HistorySegmentRecords = 64;
 };
 
 /// Runs task sets under optimistic synchronization with a pluggable
@@ -65,17 +81,22 @@ public:
   ///        runtime).
   ThreadedRuntime(const ObjectRegistry &Reg, ConflictDetector &Detector,
                   ThreadedConfig Config);
+  ~ThreadedRuntime();
+
+  ThreadedRuntime(const ThreadedRuntime &) = delete;
+  ThreadedRuntime &operator=(const ThreadedRuntime &) = delete;
 
   /// Sets the initial configuration of the shared state.
-  void setInitialState(Snapshot S) { Shared = std::move(S); }
+  void setInitialState(Snapshot S);
 
   /// Executes \p Tasks to completion (DOPARALLEL). Task ids are their
   /// 1-based positions. May be called repeatedly; state persists
   /// between calls.
   void run(const std::vector<TaskFn> &Tasks);
 
-  /// \returns the shared state after the last run.
-  const Snapshot &sharedState() const { return Shared; }
+  /// \returns the shared state after the last run (O(1) persistent
+  /// copy of the currently published snapshot).
+  Snapshot sharedState() const;
 
   const RunStats &stats() const { return Stats; }
   RunStats &stats() { return Stats; }
@@ -94,46 +115,97 @@ public:
   const AuditTrace &trace() const { return Trace; }
 
 private:
-  struct CommittedRecord {
-    uint64_t CommitTime;
-    TxLogRef Log;
+  /// The atomically swapped image of the shared state: the latest
+  /// commit time, the snapshot it produced, and the history segment a
+  /// transaction beginning here starts its conflict window from. The
+  /// triple is immutable, so one pointer load observes a consistent
+  /// clock/snapshot pair — CREATETRANSACTION needs no lock at all.
+  ///
+  /// Published deliberately holds a *raw* pointer: libstdc++'s
+  /// std::atomic<std::shared_ptr> guards every load with an internal
+  /// spinlock, which convoys badly once threads outnumber cores. A raw
+  /// seq_cst pointer load is a single instruction; lifetime is instead
+  /// managed epoch-style — states chain oldest→newest through Newer,
+  /// and the committer frees the prefix older than every advertised
+  /// active begin (the same protocol that reclaims history segments).
+  struct PublishedState {
+    uint64_t Time = 0;
+    Snapshot State;
+    HistoryLog::SegmentRef HistoryTail;
+    PublishedState *Newer = nullptr; ///< Written under CommitMutex.
+  };
+
+  static constexpr uint64_t NoActiveBegin = ~uint64_t{0};
+
+  /// Per-worker runtime state, cache-line padded: the active-begin
+  /// slot committers scan for reclamation (doubling as the hazard that
+  /// keeps epoch reclamation off the worker's published state and
+  /// history window), the worker's private condition variable for
+  /// ordered-mode turn handoff, and its private trace buffer (merged
+  /// after the run).
+  struct alignas(CacheLineSize) WorkerSlot {
+    std::atomic<uint64_t> Begin{NoActiveBegin};
+    /// Latest commit time this worker has observed; only its own
+    /// thread reads or writes it. Published as the conservative
+    /// hazard before the worker knows its actual begin time.
+    uint64_t LastSeen = 0;
+    /// Signalled (at most once per turn) when this worker's ordered
+    /// turn arrives; see OrderWaiters.
+    std::condition_variable TurnCv;
+    std::vector<TraceEvent> Events;
   };
 
   /// One RUNTASK attempt; \returns true when the transaction committed.
-  bool runTask(const TaskFn &Task, uint32_t Tid);
+  bool runTask(const TaskFn &Task, uint32_t Tid, WorkerSlot &Worker);
 
-  /// \returns the logs committed in (Begin, Now], in commit order.
-  std::vector<TxLogRef> committedHistory(uint64_t Begin, uint64_t Now) const;
+  /// Appends one attempt record to the worker's trace buffer (no-op
+  /// unless recording).
+  void recordEvent(WorkerSlot &Worker, uint32_t Tid, uint64_t Begin,
+                   uint64_t Commit, bool Committed, TxLogRef Log,
+                   Snapshot Entry);
 
-  /// Appends one attempt record to the trace (no-op unless recording).
-  void recordEvent(uint32_t Tid, uint64_t Begin, uint64_t Commit,
-                   bool Committed, TxLogRef Log, const Snapshot &Entry);
+  /// \returns the smallest begin time of any in-flight transaction, or
+  /// \p Fallback when none is active.
+  uint64_t minActiveBegin(uint64_t Fallback) const;
+
+  /// Frees published states no in-flight transaction can still
+  /// reference (Time < \p Min, never the newest). Caller holds
+  /// CommitMutex.
+  void reclaimStates(uint64_t Min);
 
   const ObjectRegistry &Reg;
   ConflictDetector &Detector;
   ThreadedConfig Config;
 
+  /// Mirrors Published->Time (the latest commit time). Kept as a plain
+  /// atomic for the ordered-mode turn predicate and for size queries
+  /// that must not dereference Published without a hazard.
   std::atomic<uint64_t> Clock{1};
-  mutable std::shared_mutex Lock; ///< Guards Shared, History, CommitOrder.
-  Snapshot Shared;
-  std::vector<CommittedRecord> History;
-  std::vector<uint32_t> CommitOrder;
+  std::atomic<PublishedState *> Published{nullptr};
+  /// Oldest state still allocated; chain head for epoch freeing.
+  /// Mutated only under CommitMutex (and the destructor).
+  PublishedState *OldestState = nullptr;
+  HistoryLog History;
 
-  /// Multiset of active Begin times. Guarded by its own mutex: begins
-  /// run under the *shared* lock (concurrent snapshot initialization is
-  /// the point of the read/write split), so mutating a vector there
-  /// needs separate mutual exclusion. Lock ordering: Lock before
-  /// ActiveMutex.
-  mutable std::mutex ActiveMutex;
-  std::vector<uint64_t> ActiveBegins;
+  /// Serializes commits only: validate-bump-swap plus the CommitOrder
+  /// append. Begins, task bodies, detection and log replay all run
+  /// outside it.
+  mutable std::mutex CommitMutex;
+  std::vector<uint32_t> CommitOrder; ///< Guarded by CommitMutex.
 
-  std::mutex OrderMutex; ///< Ordered-mode wakeups.
-  std::condition_variable OrderCv;
+  std::vector<WorkerSlot> Workers; ///< One per configured thread.
+
+  std::mutex OrderMutex; ///< Ordered-mode turn registry.
+  /// Ordered-mode handoff: maps a turn (the Clock value that makes a
+  /// waiting transaction eligible) to the waiter's TurnCv. A committer
+  /// wakes exactly its successor instead of broadcasting to every
+  /// waiting worker — the pre-refactor notify_all cost O(threads)
+  /// futile wakeups (each a futex round trip) per commit. Guarded by
+  /// OrderMutex; waiters erase their own entry once their turn comes.
+  std::unordered_map<uint64_t, std::condition_variable *> OrderWaiters;
   std::atomic<uint64_t> OrderBase{0}; ///< Clock at the start of run().
 
-  mutable std::mutex TraceMutex; ///< Guards Trace.Events during a run.
   AuditTrace Trace;
-
   RunStats Stats;
 };
 

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the full bench suite in JSON mode and collects the perf
+# trajectory for this checkout: every harness writes BENCH_<name>.json
+# into OUTDIR (default: the repo root, where the committed trajectory
+# points live). Diff these files across commits to track perf instead
+# of eyeballing tables.
+#
+# Usage: tools/bench.sh [OUTDIR]
+#
+# Table/figure harnesses that measure simulated speedups (fig9, fig10,
+# ...) are deterministic; micro_commit and micro_detection measure wall
+# time and should be compared run-over-run on the same machine only.
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+OUTDIR="${1:-$REPO_ROOT}"
+BENCH_DIR="$REPO_ROOT/build/bench"
+
+if [ ! -d "$BENCH_DIR" ]; then
+  echo "bench.sh: $BENCH_DIR not found — build first (cmake -B build -S . && cmake --build build)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUTDIR"
+
+for B in micro_commit fig9_speedup fig10_retries fig11_misses \
+         table5_patterns table6_inputs ablation_fallback \
+         ablation_reclaim micro_detection; do
+  if [ ! -x "$BENCH_DIR/$B" ]; then
+    echo "bench.sh: skipping $B (not built)" >&2
+    continue
+  fi
+  echo "== $B =="
+  "$BENCH_DIR/$B" --json-out="$OUTDIR/BENCH_$B.json" >/dev/null
+done
+
+echo "bench.sh: trajectory written to $OUTDIR/BENCH_*.json"

@@ -4,7 +4,10 @@
 #   2. static analysis (tools/lint.sh; skipped when clang-tidy absent);
 #   3. ThreadSanitizer build + ctest (JANUS_SANITIZE=thread) — the
 #      dynamic complement of the hindsight auditor;
-#   4. `janus audit` over every workload on both engines.
+#   4. `janus audit` over every workload on both engines;
+#   5. perf smoke: micro_commit --quick must run to completion (the
+#      perf trajectory itself is tools/bench.sh; this only gates on
+#      crashes, never on numbers).
 #
 # Usage: tools/ci.sh [JOBS]   (JOBS defaults to nproc)
 set -eu
@@ -12,21 +15,21 @@ set -eu
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/4] plain build + tests =="
+echo "== [1/5] plain build + tests =="
 cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT" >/dev/null
 cmake --build "$REPO_ROOT/build" -j "$JOBS"
 (cd "$REPO_ROOT/build" && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/4] static analysis =="
+echo "== [2/5] static analysis =="
 "$REPO_ROOT/tools/lint.sh" "$REPO_ROOT/build"
 
-echo "== [3/4] ThreadSanitizer build + tests =="
+echo "== [3/5] ThreadSanitizer build + tests =="
 cmake -B "$REPO_ROOT/build-tsan" -S "$REPO_ROOT" \
       -DJANUS_SANITIZE=thread >/dev/null
 cmake --build "$REPO_ROOT/build-tsan" -j "$JOBS"
 (cd "$REPO_ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS")
 
-echo "== [4/4] hindsight audit of all workloads =="
+echo "== [4/5] hindsight audit of all workloads =="
 for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
   for E in sim threads; do
     echo "-- audit $W ($E)"
@@ -34,5 +37,10 @@ for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
       | tail -2
   done
 done
+
+echo "== [5/5] perf smoke (micro_commit, 1 and 4 threads) =="
+"$REPO_ROOT/build/bench/micro_commit" --quick \
+  --json-out="$REPO_ROOT/build/BENCH_micro_commit_smoke.json" >/dev/null
+echo "perf smoke: completed (see build/BENCH_micro_commit_smoke.json)"
 
 echo "ci: all stages passed."
