@@ -86,8 +86,35 @@ analysis::checkSerializability(const stm::AuditTrace &Trace,
   for (const TraceEvent *E : Committed) {
     if (E->Tid == 0 || E->Tid > Tasks.size())
       continue;
+    if (E->Mode == stm::CommitMode::Placeholder) {
+      // A permanently failed task: the runtime committed an empty
+      // placeholder (no effects), so the reference execution skips the
+      // body too — replaying it would charge the run with effects the
+      // run deliberately excluded. Serial-fallback commits, by
+      // contrast, carry real logs and replay normally.
+      ++Report.TxReplayed;
+      continue;
+    }
     stm::TxContext Tx(State, E->Tid, Reg);
-    Tasks[E->Tid - 1](Tx);
+    try {
+      Tasks[E->Tid - 1](Tx);
+    } catch (const std::exception &Ex) {
+      // The run committed this task, so its body must not throw under
+      // replay; a throw means the body is nondeterministic in a way
+      // the audit cannot verify.
+      Tx.endAttempt();
+      Report.ScheduleIssues.push_back(
+          "task " + std::to_string(E->Tid) +
+          " threw during replay despite committing in the run: " +
+          Ex.what());
+      continue;
+    } catch (...) {
+      Tx.endAttempt();
+      Report.ScheduleIssues.push_back(
+          "task " + std::to_string(E->Tid) +
+          " threw during replay despite committing in the run");
+      continue;
+    }
     Tx.endAttempt();
     for (const stm::LogEntry &Entry : Tx.log())
       State = stm::applyToSnapshot(State, Entry.Loc, Entry.Op);

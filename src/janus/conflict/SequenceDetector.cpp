@@ -1,6 +1,7 @@
 #include "janus/conflict/SequenceDetector.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 
 using namespace janus;
@@ -192,10 +193,20 @@ static bool readsCoveredByOwnWrites(const LocOpSeq &Seq) {
   return true;
 }
 
+/// \returns true when the sequence writes the location (the write-set
+/// test's per-location predicate).
+static bool seqWrites(const LocOpSeq &Seq) {
+  for (const LocOp &Op : Seq)
+    if (Op.Kind != LocOpKind::Read)
+      return true;
+  return false;
+}
+
 bool SequenceDetector::locationConflicts(const Value &EntryVal,
                                          const LocOpSeq &Mine,
                                          const LocOpSeq &Theirs,
-                                         const ObjectInfo &Info) {
+                                         const ObjectInfo &Info,
+                                         bool Degrade) {
   ChecksSpec Checks = checksFor(Info.Relax);
 
   // Fast path for tolerate-WAW objects (§5.3): with the COMMUTE test
@@ -208,6 +219,18 @@ bool SequenceDetector::locationConflicts(const Value &EntryVal,
       (!Checks.SameReadA || readsCoveredByOwnWrites(Mine)) &&
       (!Checks.SameReadB || readsCoveredByOwnWrites(Theirs)))
     return false;
+
+  // Adaptive degradation: the budget ran out, so skip symbolization,
+  // abstraction, cache consultation and online evaluation and answer
+  // with the (sound, conservative) write-set test. The paper's
+  // validity requirement only needs under-approximation of
+  // commutativity, so over-reporting conflicts here merely costs a
+  // retry, never correctness.
+  if (Degrade) {
+    ++Stats.DegradedQueries;
+    ++Stats.WriteSetChecks;
+    return seqWrites(Mine) || seqWrites(Theirs);
+  }
 
   PairQuery Q = buildPairQueryFrom(Info.LocClass, abstracted(Mine),
                                    abstracted(Theirs));
@@ -265,13 +288,7 @@ bool SequenceDetector::locationConflicts(const Value &EntryVal,
   // Write-set fallback on this location: both histories access it, so
   // there is a conflict exactly when either one writes it.
   ++Stats.WriteSetChecks;
-  auto SeqWrites = [](const LocOpSeq &Seq) {
-    for (const LocOp &Op : Seq)
-      if (Op.Kind != LocOpKind::Read)
-        return true;
-    return false;
-  };
-  return SeqWrites(Mine) || SeqWrites(Theirs);
+  return seqWrites(Mine) || seqWrites(Theirs);
 }
 
 bool SequenceDetector::detectConflicts(const stm::Snapshot &Entry,
@@ -284,6 +301,15 @@ bool SequenceDetector::detectConflicts(const stm::Snapshot &Entry,
   Decomposition MineD = decompose(Mine);
   Decomposition TheirsD = decomposeAll(Committed);
 
+  // Adaptive degradation deadline for this whole call (checked per
+  // location; 0 = unlimited).
+  using DetClock = std::chrono::steady_clock;
+  DetClock::time_point Deadline{};
+  const bool HasDeadline = Config.DetectTimeBudgetMicros != 0;
+  if (HasDeadline)
+    Deadline = DetClock::now() +
+               std::chrono::microseconds(Config.DetectTimeBudgetMicros);
+
   // Private locations are safely ignored: only the common domain is
   // analyzed (Figure 8: loc ∈ DOM(mt) ∩ DOM(mc)).
   for (const auto &[Loc, MySeq] : MineD) {
@@ -293,7 +319,11 @@ bool SequenceDetector::detectConflicts(const stm::Snapshot &Entry,
     ++Stats.PairQueries;
     const ObjectInfo &Info = Reg.info(Loc.Obj);
     Value EntryVal = stm::snapshotValue(Entry, Loc);
-    if (locationConflicts(EntryVal, MySeq, It->second, Info)) {
+    bool Degrade =
+        (HasDeadline && DetClock::now() >= Deadline) ||
+        (Config.OnlineOpBudget != 0 &&
+         MySeq.size() + It->second.size() > Config.OnlineOpBudget);
+    if (locationConflicts(EntryVal, MySeq, It->second, Info, Degrade)) {
       ++Stats.ConflictsFound;
       return true;
     }

@@ -99,6 +99,19 @@ struct SequenceDetectorConfig {
   /// different worker threads hash to different stripes, so the memo
   /// stops being a single contended lock.
   unsigned Shards = 8;
+  /// Adaptive degradation: wall-clock budget (microseconds) for one
+  /// detectConflicts call. Once exceeded, the remaining per-location
+  /// queries skip symbolization/abstraction/online evaluation and are
+  /// answered by the conservative write-set test (sound — it only
+  /// over-reports conflicts), counted in DetectorStats::DegradedQueries.
+  /// 0 = unlimited. Wall-clock-based, hence nondeterministic; prefer
+  /// OnlineOpBudget where reproducibility matters.
+  uint64_t DetectTimeBudgetMicros = 0;
+  /// Adaptive degradation: a per-location query whose two sequences
+  /// together exceed this many operations degrades to the write-set
+  /// test (the sequence machinery is superlinear in sequence length).
+  /// Deterministic. 0 = unlimited.
+  uint64_t OnlineOpBudget = 0;
 };
 
 /// The JANUS detector. Thread-safe; shared by all transactions of a
@@ -127,10 +140,12 @@ public:
   std::vector<std::string> missedQueryKeys() const;
 
 private:
+  /// With \p Degrade set, the precise sequence machinery is skipped
+  /// and the location is answered by the write-set test.
   bool locationConflicts(const Value &EntryVal,
                          const symbolic::LocOpSeq &Mine,
                          const symbolic::LocOpSeq &Theirs,
-                         const ObjectInfo &Info);
+                         const ObjectInfo &Info, bool Degrade);
 
   /// Memoized abstractSequence(symbolize(Seq), UseAbstraction).
   abstraction::AbstractResult abstracted(const symbolic::LocOpSeq &Seq);

@@ -1,5 +1,6 @@
 #include "janus/core/Janus.h"
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <sstream>
@@ -26,6 +27,14 @@ Janus::Janus(JanusConfig ConfigIn)
   // Keep the trainer's abstraction setting aligned with the detector's:
   // cache keys must be built identically on both sides.
   Config.Training.UseAbstraction = Config.Sequence.UseAbstraction;
+  // Fault injection: an unconfigured plan picks up JANUS_FAULTS from
+  // the environment, so chaos runs need no code changes; a `satbudget`
+  // clause starves the trainer's SAT cross-check.
+  if (Config.Faults.empty())
+    Config.Faults = resilience::FaultPlan::fromEnv();
+  if (std::optional<uint64_t> B = Config.Faults.satConflictBudget())
+    Config.Training.SatConflictBudget =
+        std::min(Config.Training.SatConflictBudget, *B);
   TrainerImpl =
       std::make_unique<training::Trainer>(Reg, Cache, Config.Training);
 }
@@ -103,6 +112,8 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
     SimCfg.Ordered = Ordered;
     SimCfg.Costs = Config.Costs;
     SimCfg.RecordTrace = Config.RecordTrace;
+    SimCfg.Resilience = Config.Resilience;
+    SimCfg.Faults = Config.Faults;
     stm::SimRuntime Runtime(Reg, *Detector, SimCfg);
     Runtime.setInitialState(State);
     stm::SimOutcome Sim = Runtime.run(Tasks);
@@ -111,12 +122,17 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
       Trace = Runtime.trace();
     Outcome.ParallelTime = Sim.ParallelTime;
     Outcome.SequentialTime = Sim.SequentialTime;
+    Outcome.Failures = std::move(Sim.Failures);
     Stats.Tasks += Runtime.stats().Tasks.load();
     Stats.Commits += Runtime.stats().Commits.load();
     Stats.Retries += Runtime.stats().Retries.load();
     Stats.ConflictChecks += Runtime.stats().ConflictChecks.load();
     Stats.TraceEvents += Runtime.stats().TraceEvents.load();
     Stats.EscapedAccesses += Runtime.stats().EscapedAccesses.load();
+    Stats.SerialFallbacks += Runtime.stats().SerialFallbacks.load();
+    Stats.TaskExceptions += Runtime.stats().TaskExceptions.load();
+    Stats.TaskFailures += Runtime.stats().TaskFailures.load();
+    Stats.FaultsInjected += Runtime.stats().FaultsInjected.load();
     return Outcome;
   }
 
@@ -128,7 +144,14 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
     auto Start = Clock::now();
     for (size_t I = 0, E = Tasks.size(); I != E; ++I) {
       stm::TxContext Tx(Copy, static_cast<uint32_t>(I + 1), Reg);
-      Tasks[I](Tx);
+      try {
+        Tasks[I](Tx);
+      } catch (...) {
+        // The baseline only provides the speedup denominator; a
+        // throwing task contributes its partial work and no state
+        // change, matching the parallel engines.
+        continue;
+      }
       for (const stm::LogEntry &Entry : Tx.log())
         Copy = stm::applyToSnapshot(Copy, Entry.Loc, Entry.Op);
     }
@@ -142,6 +165,8 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
   ThreadCfg.ReclaimLogs = Config.ReclaimLogs;
   ThreadCfg.RecordTrace = Config.RecordTrace;
   ThreadCfg.HistorySegmentRecords = Config.HistorySegmentRecords;
+  ThreadCfg.Resilience = Config.Resilience;
+  ThreadCfg.Faults = Config.Faults;
   stm::ThreadedRuntime Runtime(Reg, *Detector, ThreadCfg);
   Runtime.setInitialState(State);
   auto Start = Clock::now();
@@ -151,6 +176,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
   State = Runtime.sharedState();
   if (Config.RecordTrace)
     Trace = Runtime.trace();
+  Outcome.Failures = Runtime.failures();
   Stats.Tasks += Runtime.stats().Tasks.load();
   Stats.Commits += Runtime.stats().Commits.load();
   Stats.Retries += Runtime.stats().Retries.load();
@@ -158,5 +184,9 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
   Stats.ValidationFailures += Runtime.stats().ValidationFailures.load();
   Stats.TraceEvents += Runtime.stats().TraceEvents.load();
   Stats.EscapedAccesses += Runtime.stats().EscapedAccesses.load();
+  Stats.SerialFallbacks += Runtime.stats().SerialFallbacks.load();
+  Stats.TaskExceptions += Runtime.stats().TaskExceptions.load();
+  Stats.TaskFailures += Runtime.stats().TaskFailures.load();
+  Stats.FaultsInjected += Runtime.stats().FaultsInjected.load();
   return Outcome;
 }

@@ -66,6 +66,12 @@ struct JanusConfig {
   /// Records per committed-history segment in the threaded runtime —
   /// the granularity at which log reclamation returns memory.
   uint32_t HistorySegmentRecords = 64;
+  /// Contention-management policy: exponential backoff, retry budgets,
+  /// escalation to the irrevocable serial fallback.
+  resilience::ResilienceConfig Resilience = {};
+  /// Deterministic fault-injection plan. Left empty, the constructor
+  /// loads it from the `JANUS_FAULTS` environment variable.
+  resilience::FaultPlan Faults = {};
 };
 
 /// Outcome of one parallel run: the measured parallel duration and the
@@ -74,6 +80,10 @@ struct JanusConfig {
 struct RunOutcome {
   double ParallelTime = 0.0;
   double SequentialTime = 0.0;
+  /// Tasks whose bodies kept throwing past the exception retry budget.
+  /// Their commit slots were filled by empty placeholder commits; their
+  /// effects are absent from the final state.
+  std::vector<resilience::TaskFailure> Failures;
 
   double speedup() const {
     return ParallelTime > 0.0 ? SequentialTime / ParallelTime : 0.0;

@@ -1,0 +1,145 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic fault injection for the speculative runtimes.
+///
+/// A `FaultPlan` is a declarative list of faults keyed by (task id,
+/// attempt number) coordinates — the only coordinates that are stable
+/// across thread interleavings, which is what makes an injected run
+/// repeatable: the same plan applied twice produces the same forced
+/// aborts, the same injected exceptions and the same escalation
+/// decisions on both engines. The runtimes consult the plan at four
+/// choke points:
+///
+///   - `forceAbort`    — the attempt is aborted as if the detector had
+///                       found a conflict (before detection runs);
+///   - `throwTask`     — the attempt raises an `InjectedFault` in place
+///                       of the task body, exercising the
+///                       exception-abort path;
+///   - `commitDelay`   — the commit is delayed (wall-clock microseconds
+///                       on the threaded engine, virtual cost units on
+///                       the simulator), widening conflict windows;
+///   - `satConflictBudget` — the trainer/relational SAT cross-check
+///                       budget is clamped, forcing "unknown → be
+///                       conservative" outcomes.
+///
+/// Plan grammar (also accepted via the `JANUS_FAULTS` environment
+/// variable; clauses separated by `;`):
+///
+///   spec      := clause (';' clause)*
+///   clause    := 'abort' coords
+///              | 'throw' coords
+///              | 'delay' coords '=' N     (microseconds / cost units)
+///              | 'satbudget' '=' N        (CDCL conflict budget)
+///   coords    := '@' tid '.' attempt      (each a number or '*')
+///
+/// Example: JANUS_FAULTS="abort@*.1;throw@2.1;delay@*.2=50;satbudget=4"
+/// force-aborts every task's first attempt, makes task 2's first
+/// attempt throw, delays every second attempt's commit by 50 units and
+/// starves the SAT cross-check to 4 conflicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_RESILIENCE_FAULTPLAN_H
+#define JANUS_RESILIENCE_FAULTPLAN_H
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace janus {
+namespace resilience {
+
+/// The exception type raised by `throw` fault clauses. Distinct from
+/// client exception types so tests can tell an injected failure from a
+/// genuine one; the runtimes treat both identically.
+class InjectedFault : public std::runtime_error {
+public:
+  explicit InjectedFault(const std::string &What)
+      : std::runtime_error(What) {}
+};
+
+/// A task the runtime gave up on: its body kept throwing past the
+/// exception retry budget. The task's slot in the commit order is
+/// filled by an empty placeholder commit (so ordered successors and the
+/// dense history clock advance); its effects are absent from the final
+/// state.
+struct TaskFailure {
+  uint32_t Tid = 0;      ///< 1-based task id.
+  uint32_t Attempts = 0; ///< Attempts made, including the failing one.
+  std::string Reason;    ///< what() of the last exception.
+};
+
+/// One parsed fault clause.
+struct FaultAction {
+  enum class Kind : uint8_t {
+    ForceAbort,  ///< Abort the attempt before detection.
+    ThrowTask,   ///< Raise InjectedFault in place of the task body.
+    DelayCommit, ///< Delay the commit by Arg units.
+    SatBudget,   ///< Clamp the SAT cross-check conflict budget to Arg.
+  };
+  Kind K = Kind::ForceAbort;
+  uint32_t Tid = 0;     ///< 1-based task id; 0 matches every task.
+  uint32_t Attempt = 0; ///< 1-based attempt; 0 matches every attempt.
+  uint64_t Arg = 0;     ///< Delay units / conflict budget.
+};
+
+/// An immutable, queryable set of fault clauses. Cheap to copy into
+/// runtime configurations; an empty plan answers every query negatively
+/// at the cost of one vector-empty check.
+class FaultPlan {
+public:
+  FaultPlan() = default;
+
+  bool empty() const { return Actions.empty(); }
+
+  /// Parses \p Spec per the header grammar. \returns nullopt on a
+  /// malformed spec, with a diagnostic in \p Err when provided.
+  static std::optional<FaultPlan> parse(const std::string &Spec,
+                                        std::string *Err = nullptr);
+
+  /// Loads the plan from the `JANUS_FAULTS` environment variable.
+  /// Unset or empty yields an empty plan; a malformed spec is reported
+  /// once on stderr and ignored (a bad fault spec must never take down
+  /// a production process).
+  static FaultPlan fromEnv();
+
+  /// \returns true when the plan force-aborts this (task, attempt).
+  bool forceAbort(uint32_t Tid, uint32_t Attempt) const {
+    return matches(FaultAction::Kind::ForceAbort, Tid, Attempt) != nullptr;
+  }
+
+  /// \returns true when the plan injects an exception into this
+  /// (task, attempt).
+  bool throwTask(uint32_t Tid, uint32_t Attempt) const {
+    return matches(FaultAction::Kind::ThrowTask, Tid, Attempt) != nullptr;
+  }
+
+  /// \returns the commit delay for this (task, attempt), 0 when none.
+  uint64_t commitDelay(uint32_t Tid, uint32_t Attempt) const {
+    const FaultAction *A =
+        matches(FaultAction::Kind::DelayCommit, Tid, Attempt);
+    return A ? A->Arg : 0;
+  }
+
+  /// \returns the SAT conflict-budget clamp, if the plan has one.
+  std::optional<uint64_t> satConflictBudget() const;
+
+  /// Re-renders the plan in the input grammar (diagnostics).
+  std::string toString() const;
+
+  const std::vector<FaultAction> &actions() const { return Actions; }
+
+private:
+  const FaultAction *matches(FaultAction::Kind K, uint32_t Tid,
+                             uint32_t Attempt) const;
+
+  std::vector<FaultAction> Actions;
+};
+
+} // namespace resilience
+} // namespace janus
+
+#endif // JANUS_RESILIENCE_FAULTPLAN_H

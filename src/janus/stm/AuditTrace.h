@@ -30,6 +30,15 @@
 namespace janus {
 namespace stm {
 
+/// How a committed attempt reached its commit point.
+enum class CommitMode : uint8_t {
+  Speculative, ///< Normal optimistic execution + conflict detection.
+  Serial,      ///< Irrevocable serial fallback under the commit lock.
+  Placeholder, ///< Empty commit for a permanently failed task; keeps
+               ///< the commit clock dense and ordered successors
+               ///< unblocked. Carries no operations.
+};
+
 /// One transaction attempt as the runtime saw it.
 struct TraceEvent {
   uint32_t Tid = 0; ///< 1-based task id.
@@ -41,6 +50,7 @@ struct TraceEvent {
   bool Committed = false;
   TxLogRef Log;   ///< The attempt's operation log.
   Snapshot Entry; ///< SharedSnapshot at begin (O(1) persistent copy).
+  CommitMode Mode = CommitMode::Speculative;
 };
 
 /// A full recorded run: initial state, every attempt, final state.

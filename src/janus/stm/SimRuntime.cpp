@@ -13,14 +13,30 @@ SimRuntime::SimRuntime(const ObjectRegistry &Reg, ConflictDetector &Detector,
 }
 
 SimRuntime::Attempt SimRuntime::execute(const std::vector<TaskFn> &Tasks,
-                                        size_t Idx) {
+                                        size_t Idx, uint32_t AttemptNo) {
   Attempt A;
   A.BeginSeq = CommitSeq;
   A.Entry = Shared;
-  TxContext Tx(Shared, static_cast<uint32_t>(Idx + 1), Reg, &Stats);
-  Tasks[Idx](Tx);
+  uint32_t Tid = static_cast<uint32_t>(Idx + 1);
+  TxContext Tx(Shared, Tid, Reg, &Stats);
+  try {
+    if (Config.Faults.throwTask(Tid, AttemptNo)) {
+      ++Stats.FaultsInjected;
+      throw resilience::InjectedFault("injected task exception");
+    }
+    Tasks[Idx](Tx);
+  } catch (const std::exception &E) {
+    A.Threw = true;
+    A.ThrowMsg = E.what();
+  } catch (...) {
+    A.Threw = true;
+    A.ThrowMsg = "unknown exception";
+  }
   Tx.endAttempt();
-  A.Log = std::make_shared<const TxLog>(Tx.log());
+  // A thrown attempt's partial log is discarded — exception safety
+  // means no effect of the doomed body can ever reach the shared state.
+  A.Log = A.Threw ? std::make_shared<const TxLog>()
+                  : std::make_shared<const TxLog>(Tx.log());
   A.ExecCost = Config.Costs.BeginCost + Tx.virtualCost() +
                Config.Costs.PerLogOp * static_cast<double>(A.Log->size());
   return A;
@@ -36,10 +52,21 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     double Time = 0.0;
     for (size_t I = 0, E = Tasks.size(); I != E; ++I) {
       TxContext Tx(State, static_cast<uint32_t>(I + 1), Reg);
-      Tasks[I](Tx);
+      bool Threw = false;
+      try {
+        Tasks[I](Tx);
+      } catch (...) {
+        // The baseline only provides the speedup denominator; a task
+        // that throws contributes the work it did before failing and
+        // no state change (matching the parallel engine, where a
+        // failed task's effects never reach the shared state).
+        Threw = true;
+      }
       Tx.endAttempt();
       Time += Tx.virtualCost() +
               Config.Costs.SeqPerOp * static_cast<double>(Tx.log().size());
+      if (Threw)
+        continue;
       for (const LogEntry &E2 : Tx.log())
         State = applyToSnapshot(State, E2.Loc, E2.Op);
     }
@@ -50,6 +77,8 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
   History.clear();
   CommitOrder.clear();
   CommitSeq = 0;
+  CM = std::make_unique<resilience::ContentionManager>(Config.Resilience,
+                                                       Tasks.size());
   if (Config.RecordTrace) {
     Trace.Recorded = true;
     Trace.Initial = Shared;
@@ -62,8 +91,22 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     size_t TaskIdx = 0;
     Attempt Att;
     bool Busy = false;
+    uint32_t AttemptNo = 0;
+    /// How the task will commit: contention-manager escalations flip
+    /// this to Serial (irrevocable, no detection) or Placeholder
+    /// (failed task, empty log).
+    CommitMode Mode = CommitMode::Speculative;
   };
   std::vector<CoreTask> Cores(Config.NumCores);
+
+  auto RecordAbort = [this](uint32_t Tid, const Attempt &Att) {
+    if (!Config.RecordTrace)
+      return;
+    Trace.Events.push_back(TraceEvent{Tid, Att.BeginSeq, 0,
+                                      /*Committed=*/false, Att.Log,
+                                      Att.Entry});
+    ++Stats.TraceEvents;
+  };
 
   // Completion events: (time, tiebreak, core). Processed in time order;
   // the tiebreak keeps the schedule deterministic.
@@ -82,7 +125,9 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
       return;
     size_t Idx = NextTask++;
     Cores[Core].TaskIdx = Idx;
-    Cores[Core].Att = execute(Tasks, Idx);
+    Cores[Core].AttemptNo = 1;
+    Cores[Core].Mode = CommitMode::Speculative;
+    Cores[Core].Att = execute(Tasks, Idx, 1);
     Cores[Core].Busy = true;
     Events.emplace(Time + Cores[Core].Att.ExecCost, EventSeq++, Core);
   };
@@ -90,12 +135,56 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
   for (unsigned C = 0; C != Config.NumCores; ++C)
     StartTask(C, 0.0);
 
+  using Action = resilience::ContentionManager::Action;
   while (!Events.empty()) {
     auto [Time, Seq, Core] = Events.top();
     Events.pop();
     (void)Seq;
-    JANUS_ASSERT(Cores[Core].Busy, "event for idle core");
-    uint32_t Tid = static_cast<uint32_t>(Cores[Core].TaskIdx + 1);
+    CoreTask &CT = Cores[Core];
+    JANUS_ASSERT(CT.Busy, "event for idle core");
+    uint32_t Tid = static_cast<uint32_t>(CT.TaskIdx + 1);
+
+    // A thrown attempt consults the contention manager before any
+    // turn-taking: a retrying task must not occupy its commit turn.
+    if (CT.Att.Threw) {
+      ++Stats.TaskExceptions;
+      RecordAbort(Tid, CT.Att);
+      auto D = CM->onException(Tid, Core);
+      if (D.Act == Action::Retry) {
+        // Backoff is charged as virtual time on this core.
+        CT.Att = execute(Tasks, CT.TaskIdx, ++CT.AttemptNo);
+        Events.emplace(Time + static_cast<double>(D.BackoffMicros) +
+                           CT.Att.ExecCost,
+                       EventSeq++, Core);
+        continue;
+      }
+      // Exception budget exhausted: surface the failure and fall
+      // through to an empty placeholder commit (the thrown attempt's
+      // log is already empty), keeping ordered successors and the
+      // dense commit clock advancing.
+      ++Stats.TaskFailures;
+      Outcome.Failures.push_back(
+          resilience::TaskFailure{Tid, CM->attempts(Tid), CT.Att.ThrowMsg});
+      CT.Att.Threw = false; // Handled; the event may re-pop after parking.
+      CT.Mode = CommitMode::Placeholder;
+    } else if (CT.Mode == CommitMode::Speculative &&
+               Config.Faults.forceAbort(Tid, CT.AttemptNo)) {
+      // Fault injection: abort before the turn wait and before
+      // detection, exactly as on the threaded engine.
+      ++Stats.FaultsInjected;
+      ++Stats.Retries;
+      RecordAbort(Tid, CT.Att);
+      auto D = CM->onAbort(Tid, Core);
+      if (D.Act == Action::Retry) {
+        CT.Att = execute(Tasks, CT.TaskIdx, ++CT.AttemptNo);
+        Events.emplace(Time + static_cast<double>(D.BackoffMicros) +
+                           CT.Att.ExecCost,
+                       EventSeq++, Core);
+        continue;
+      }
+      ++Stats.SerialFallbacks;
+      CT.Mode = CommitMode::Serial;
+    }
 
     // Ordered mode: wait for this transaction's turn.
     if (Config.Ordered && Tid != NextOrderedTid) {
@@ -104,33 +193,66 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
       continue;
     }
 
-    Attempt &Att = Cores[Core].Att;
+    Attempt &Att = CT.Att;
+    double CommitAt = std::max(Time, LockFreeAt);
 
-    // Detection cost: proportional to the operations examined,
-    // identical for both detectors (§7.1).
-    size_t Examined = Att.Log->size();
-    std::vector<TxLogRef> Window;
-    for (size_t I = Att.BeginSeq; I != History.size(); ++I) {
-      Window.push_back(History[I].Log);
-      Examined += History[I].Log->size();
-    }
-    double DetectCost =
-        Config.Costs.DetectPerOp * static_cast<double>(Examined);
-    double CommitAt = std::max(Time + DetectCost, LockFreeAt);
-
-    ++Stats.ConflictChecks;
-    if (Detector.detectConflicts(Att.Entry, *Att.Log, Window, Reg)) {
-      // Abort: re-execute from scratch on the same core.
-      ++Stats.Retries;
-      if (Config.RecordTrace) {
-        Trace.Events.push_back(TraceEvent{Tid, Att.BeginSeq, 0,
-                                          /*Committed=*/false, Att.Log,
-                                          Att.Entry});
-        ++Stats.TraceEvents;
+    if (CT.Mode == CommitMode::Speculative) {
+      // Detection cost: proportional to the operations examined,
+      // identical for both detectors (§7.1).
+      size_t Examined = Att.Log->size();
+      std::vector<TxLogRef> Window;
+      for (size_t I = Att.BeginSeq; I != History.size(); ++I) {
+        Window.push_back(History[I].Log);
+        Examined += History[I].Log->size();
       }
-      Att = execute(Tasks, Cores[Core].TaskIdx);
-      Events.emplace(CommitAt + Att.ExecCost, EventSeq++, Core);
-      continue;
+      double DetectCost =
+          Config.Costs.DetectPerOp * static_cast<double>(Examined);
+      CommitAt = std::max(Time + DetectCost, LockFreeAt);
+
+      ++Stats.ConflictChecks;
+      if (Detector.detectConflicts(Att.Entry, *Att.Log, Window, Reg)) {
+        // Abort: consult the contention manager.
+        ++Stats.Retries;
+        RecordAbort(Tid, Att);
+        auto D = CM->onAbort(Tid, Core);
+        if (D.Act == Action::Retry) {
+          // Re-execute from scratch on the same core, after backoff.
+          Att = execute(Tasks, CT.TaskIdx, ++CT.AttemptNo);
+          Events.emplace(CommitAt + static_cast<double>(D.BackoffMicros) +
+                             Att.ExecCost,
+                         EventSeq++, Core);
+          continue;
+        }
+        ++Stats.SerialFallbacks;
+        CT.Mode = CommitMode::Serial;
+      }
+    }
+
+    if (CT.Mode == CommitMode::Serial) {
+      // Irrevocable serial fallback: re-execute against the *current*
+      // state and commit without detection. The event loop is
+      // sequential, so nothing can commit between this execution and
+      // its commit — inherently pessimistic, cannot abort; and in
+      // ordered mode this point is only reached on the task's turn.
+      Att = execute(Tasks, CT.TaskIdx, ++CT.AttemptNo);
+      CommitAt = std::max(Time + Att.ExecCost, LockFreeAt);
+      if (Att.Threw) {
+        // The irrevocable execution itself threw: the task fails and
+        // commits an empty placeholder instead.
+        ++Stats.TaskExceptions;
+        ++Stats.TaskFailures;
+        Outcome.Failures.push_back(
+            resilience::TaskFailure{Tid, CM->attempts(Tid), Att.ThrowMsg});
+        Att.Threw = false;
+        CT.Mode = CommitMode::Placeholder; // Log already empty.
+      }
+    }
+
+    // Fault injection: delay the commit by virtual units, widening the
+    // window in which later attempts must detect against this one.
+    if (uint64_t Delay = Config.Faults.commitDelay(Tid, CT.AttemptNo)) {
+      ++Stats.FaultsInjected;
+      CommitAt += static_cast<double>(Delay);
     }
 
     // Commit: replay the log on global memory while holding the write
@@ -143,7 +265,7 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     if (Config.RecordTrace) {
       Trace.Events.push_back(TraceEvent{Tid, Att.BeginSeq, CommitSeq,
                                         /*Committed=*/true, Att.Log,
-                                        Att.Entry});
+                                        Att.Entry, CT.Mode});
       ++Stats.TraceEvents;
     }
     double CommitEnd =

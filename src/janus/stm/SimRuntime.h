@@ -25,16 +25,29 @@
 /// The event loop is sequential and deterministic: identical inputs
 /// produce identical schedules, commits, statistics and final states.
 ///
+/// Robustness (janus::resilience): aborts consult the same
+/// `ContentionManager` escalation ladder as the threaded engine —
+/// backoff charged as virtual time, starved tasks re-executed
+/// irrevocably against the current state (the sequential event loop
+/// makes that inherently pessimistic), failed tasks surfaced as
+/// `TaskFailure`s with empty placeholder commits. A `FaultPlan`
+/// injects the same faults at the same (task, attempt) coordinates on
+/// every run — injected executions stay bit-reproducible.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JANUS_STM_SIMRUNTIME_H
 #define JANUS_STM_SIMRUNTIME_H
 
+#include "janus/resilience/ContentionManager.h"
+#include "janus/resilience/FaultPlan.h"
 #include "janus/stm/AuditTrace.h"
 #include "janus/stm/Detector.h"
 #include "janus/stm/Stats.h"
 #include "janus/stm/TxContext.h"
 
+#include <memory>
+#include <string>
 #include <vector>
 
 namespace janus {
@@ -65,6 +78,11 @@ struct SimConfig {
   CostModel Costs;
   /// Record an AuditTrace of every attempt for hindsight auditing.
   bool RecordTrace = false;
+  /// Contention-management policy; backoff is charged as virtual time,
+  /// keeping injected runs bit-reproducible.
+  resilience::ResilienceConfig Resilience = {};
+  /// Deterministic fault-injection plan (empty = no faults).
+  resilience::FaultPlan Faults = {};
 };
 
 /// Outcome of a simulated run.
@@ -73,6 +91,9 @@ struct SimOutcome {
   double ParallelTime = 0.0;
   /// Virtual duration of the plain sequential loop over the same tasks.
   double SequentialTime = 0.0;
+  /// Tasks whose bodies kept throwing past the exception retry budget;
+  /// their commit slots were filled by empty placeholder commits.
+  std::vector<resilience::TaskFailure> Failures;
 
   double speedup() const {
     return ParallelTime > 0.0 ? SequentialTime / ParallelTime : 0.0;
@@ -115,14 +136,19 @@ private:
   };
 
   /// Executes one attempt of task \p Idx against the current global
-  /// state. \returns the log and the attempt's execution cost.
+  /// state. \returns the log and the attempt's execution cost. A body
+  /// that throws (genuinely or by fault injection at coordinate
+  /// (Idx+1, \p AttemptNo)) yields Threw with an empty log.
   struct Attempt {
     TxLogRef Log;
     Snapshot Entry;
-    double ExecCost;
-    uint64_t BeginSeq;
+    double ExecCost = 0.0;
+    uint64_t BeginSeq = 0;
+    bool Threw = false;
+    std::string ThrowMsg;
   };
-  Attempt execute(const std::vector<TaskFn> &Tasks, size_t Idx);
+  Attempt execute(const std::vector<TaskFn> &Tasks, size_t Idx,
+                  uint32_t AttemptNo);
 
   const ObjectRegistry &Reg;
   ConflictDetector &Detector;
@@ -132,6 +158,8 @@ private:
   std::vector<Committed> History;
   uint64_t CommitSeq = 0;
   std::vector<uint32_t> CommitOrder;
+  /// Contention-management state of the in-progress run().
+  std::unique_ptr<resilience::ContentionManager> CM;
   AuditTrace Trace;
   RunStats Stats;
 };

@@ -93,6 +93,10 @@ struct RunStats {
   StripedCounter ValidationFailures; ///< COMMIT-time now!=tcheck.
   StripedCounter TraceEvents;        ///< Audit-trace records kept.
   StripedCounter EscapedAccesses;    ///< Out-of-tx accesses seen.
+  StripedCounter SerialFallbacks;    ///< Tasks escalated to serial.
+  StripedCounter TaskExceptions;     ///< Attempts ended by a throw.
+  StripedCounter TaskFailures;       ///< Tasks surfaced as failed.
+  StripedCounter FaultsInjected;     ///< FaultPlan actions applied.
 
   void reset() {
     Tasks.reset();
@@ -102,6 +106,10 @@ struct RunStats {
     ValidationFailures.reset();
     TraceEvents.reset();
     EscapedAccesses.reset();
+    SerialFallbacks.reset();
+    TaskExceptions.reset();
+    TaskFailures.reset();
+    FaultsInjected.reset();
   }
 
   /// Figure 10's metric: overall retries over the number of
@@ -122,6 +130,7 @@ struct DetectorStats {
   StripedCounter OnlineChecks;   ///< Answered by online evaluation.
   StripedCounter WriteSetChecks; ///< Fell back to write-set.
   StripedCounter ConflictsFound;
+  StripedCounter DegradedQueries; ///< Budget-exhausted degradations.
 
   void reset() {
     PairQueries.reset();
@@ -130,6 +139,7 @@ struct DetectorStats {
     OnlineChecks.reset();
     WriteSetChecks.reset();
     ConflictsFound.reset();
+    DegradedQueries.reset();
   }
 };
 

@@ -1,10 +1,26 @@
 #include "janus/stm/ThreadedRuntime.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 using namespace janus;
 using namespace janus::stm;
+
+/// Contention backoff. sleep_for on a zero/tiny duration still costs a
+/// syscall, so very short waits spin-yield instead.
+static void backoff(uint64_t Micros) {
+  if (Micros == 0)
+    return;
+  if (Micros < 50) {
+    auto Until = std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(Micros);
+    while (std::chrono::steady_clock::now() < Until)
+      std::this_thread::yield();
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::microseconds(Micros));
+}
 
 ThreadedRuntime::ThreadedRuntime(const ObjectRegistry &Reg,
                                  ConflictDetector &Detector,
@@ -59,12 +75,43 @@ std::vector<uint32_t> ThreadedRuntime::commitOrder() const {
 void ThreadedRuntime::recordEvent(WorkerSlot &Worker, uint32_t Tid,
                                   uint64_t Begin, uint64_t Commit,
                                   bool Committed, TxLogRef Log,
-                                  Snapshot Entry) {
+                                  Snapshot Entry, CommitMode Mode) {
   if (!Config.RecordTrace)
     return;
   Worker.Events.push_back(TraceEvent{Tid, Begin, Commit, Committed,
-                                     std::move(Log), std::move(Entry)});
+                                     std::move(Log), std::move(Entry), Mode});
   ++Stats.TraceEvents;
+}
+
+void ThreadedRuntime::waitForTurn(uint32_t Tid, WorkerSlot &Worker) {
+  if (!Config.Ordered)
+    return;
+  // Task Tid's turn comes when the Tid-1 preceding tasks of this run
+  // have committed, i.e. the Clock reached OrderBase + Tid. Register
+  // under OrderMutex so the handoff cannot race the committer that
+  // bumps the Clock to Target: it stores the Clock first, then takes
+  // OrderMutex to look us up.
+  uint64_t Target = OrderBase.load(std::memory_order_acquire) + Tid;
+  std::unique_lock<std::mutex> Guard(OrderMutex);
+  if (Clock.load(std::memory_order_acquire) < Target) {
+    OrderWaiters[Target] = &Worker.TurnCv;
+    Worker.TurnCv.wait(Guard, [this, Target]() {
+      return Clock.load(std::memory_order_acquire) >= Target;
+    });
+    OrderWaiters.erase(Target);
+  }
+}
+
+void ThreadedRuntime::notifySuccessor(uint64_t CommitTime) {
+  if (!Config.Ordered)
+    return;
+  // Hand the turn to the one transaction our commit made eligible
+  // (its Target equals the new Clock value). Absent entry means it
+  // has not reached its wait yet; it will see the Clock on its own.
+  std::lock_guard<std::mutex> Guard(OrderMutex);
+  auto It = OrderWaiters.find(CommitTime);
+  if (It != OrderWaiters.end())
+    It->second->notify_one();
 }
 
 uint64_t ThreadedRuntime::minActiveBegin(uint64_t Fallback) const {
@@ -85,8 +132,9 @@ void ThreadedRuntime::reclaimStates(uint64_t Min) {
   }
 }
 
-bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid,
-                              WorkerSlot &Worker) {
+ThreadedRuntime::AttemptResult
+ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
+                         WorkerSlot &Worker, std::string *ThrowMsg) {
   // CREATETRANSACTION — no lock. The active-begin slot doubles as the
   // hazard against epoch freeing: advertise the conservative LastSeen
   // (<= any state we could load, since times are monotone), then load.
@@ -109,32 +157,59 @@ bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid,
   // incremental, so validation rounds never re-copy the window.
   HistoryLog::Reader Window(Entry->HistoryTail, Begin);
 
-  // RUNSEQUENTIAL.
+  // RUNSEQUENTIAL — exception-safe: a throwing body (genuine or
+  // fault-injected) must not take down the worker thread. The partial
+  // log is discarded, the hazard slot released, and the decision
+  // (retry vs TaskFailure) is left to the contention manager.
   TxContext Tx(EntrySnap, Tid, Reg, &Stats);
-  Task(Tx);
+  bool Threw = false;
+  try {
+    if (Config.Faults.throwTask(Tid, Attempt)) {
+      ++Stats.FaultsInjected;
+      throw resilience::InjectedFault("injected task exception");
+    }
+    Task(Tx);
+  } catch (const std::exception &E) {
+    Threw = true;
+    if (ThrowMsg)
+      *ThrowMsg = E.what();
+  } catch (...) {
+    Threw = true;
+    if (ThrowMsg)
+      *ThrowMsg = "unknown exception";
+  }
   // The attempt's client window ends here; later accesses through a
   // leaked context/handle are escapes (see Escape.h).
   Tx.endAttempt();
+  if (Threw) {
+    ++Stats.TaskExceptions;
+    Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
+    recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false,
+                std::make_shared<const TxLog>(), std::move(EntrySnap));
+    return AttemptResult::Thrown;
+  }
   TxLogRef Log = std::make_shared<const TxLog>(Tx.log());
+
+  // Fault injection: abort before the ordered wait (a doomed attempt
+  // must not occupy its commit turn) and before detection runs.
+  if (Config.Faults.forceAbort(Tid, Attempt)) {
+    ++Stats.FaultsInjected;
+    Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
+    recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, std::move(Log),
+                std::move(EntrySnap));
+    return AttemptResult::Aborted;
+  }
 
   // Ordered mode: a transaction may attempt to commit only once all
   // preceding transactions (by task id) have committed, i.e. when the
   // Clock has advanced to its own id.
-  if (Config.Ordered) {
-    // Task Tid's turn comes when the Tid-1 preceding tasks of this run
-    // have committed, i.e. the Clock reached OrderBase + Tid. Register
-    // under OrderMutex so the handoff cannot race the committer that
-    // bumps the Clock to Target: it stores the Clock first, then takes
-    // OrderMutex to look us up.
-    uint64_t Target = OrderBase.load(std::memory_order_acquire) + Tid;
-    std::unique_lock<std::mutex> Guard(OrderMutex);
-    if (Clock.load(std::memory_order_acquire) < Target) {
-      OrderWaiters[Target] = &Worker.TurnCv;
-      Worker.TurnCv.wait(Guard, [this, Target]() {
-        return Clock.load(std::memory_order_acquire) >= Target;
-      });
-      OrderWaiters.erase(Target);
-    }
+  waitForTurn(Tid, Worker);
+
+  // Fault injection: stall between execution and commit, widening the
+  // window in which concurrent commits can invalidate this attempt.
+  if (uint64_t Delay = Config.Faults.commitDelay(Tid, Attempt)) {
+    ++Stats.FaultsInjected;
+    backoff(Delay);
   }
 
   std::vector<TxLogRef> OpsC;
@@ -149,7 +224,7 @@ bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid,
       Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
       recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, std::move(Log),
                   std::move(EntrySnap));
-      return false;
+      return AttemptResult::Aborted;
     }
 
     // REPLAYLOGGEDOPERATIONS onto the state we validated against,
@@ -194,21 +269,88 @@ bool ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid,
     }
     recordEvent(Worker, Tid, Begin, Now + 1, /*Committed=*/true,
                 std::move(Log), std::move(EntrySnap));
-    if (Config.Ordered) {
-      // Hand the turn to the one transaction our commit made eligible
-      // (its Target equals the new Clock value). Absent entry means it
-      // has not reached its wait yet; it will see the Clock on its own.
-      std::lock_guard<std::mutex> Guard(OrderMutex);
-      auto It = OrderWaiters.find(Now + 1);
-      if (It != OrderWaiters.end())
-        It->second->notify_one();
-    }
-    return true;
+    notifySuccessor(Now + 1);
+    return AttemptResult::Committed;
   }
+}
+
+void ThreadedRuntime::commitSerial(const TaskFn *Task, uint32_t Tid,
+                                   WorkerSlot &Worker) {
+  // Ordered mode: wait for the turn *before* taking the commit lock —
+  // the predecessor's commit needs the lock to advance the Clock, so
+  // waiting under it would deadlock.
+  waitForTurn(Tid, Worker);
+
+  uint64_t Begin = 0;
+  uint64_t CommitTime = 0;
+  Snapshot EntrySnap;
+  TxLogRef Log;
+  CommitMode Mode = Task ? CommitMode::Serial : CommitMode::Placeholder;
+  {
+    std::lock_guard<std::mutex> Guard(CommitMutex);
+    PublishedState *Current = Published.load(std::memory_order_relaxed);
+    Begin = Current->Time;
+    EntrySnap = Current->State;
+    if (Task) {
+      // Irrevocable pessimistic execution: holding the commit lock
+      // means no concurrent commit can invalidate this attempt, so no
+      // detection is needed and the task cannot abort — guaranteed
+      // progress for a starved task. A body that *throws* here still
+      // fails: degrade to a placeholder commit and surface the
+      // failure.
+      TxContext Tx(EntrySnap, Tid, Reg, &Stats);
+      try {
+        (*Task)(Tx);
+        Tx.endAttempt();
+        Log = std::make_shared<const TxLog>(Tx.log());
+      } catch (const std::exception &E) {
+        Tx.endAttempt();
+        ++Stats.TaskExceptions;
+        ++Stats.TaskFailures;
+        Worker.Failures.push_back(
+            resilience::TaskFailure{Tid, CM->attempts(Tid) + 1, E.what()});
+        Mode = CommitMode::Placeholder;
+      } catch (...) {
+        Tx.endAttempt();
+        ++Stats.TaskExceptions;
+        ++Stats.TaskFailures;
+        Worker.Failures.push_back(resilience::TaskFailure{
+            Tid, CM->attempts(Tid) + 1, "unknown exception"});
+        Mode = CommitMode::Placeholder;
+      }
+    }
+    if (!Log)
+      Log = std::make_shared<const TxLog>(); // Placeholder: no effects.
+    Snapshot Replayed = EntrySnap;
+    for (const LogEntry &E : *Log)
+      Replayed = applyToSnapshot(Replayed, E.Loc, E.Op);
+    CommitTime = Begin + 1;
+    History.append(CommitTime, Log);
+    auto *Next = new PublishedState{CommitTime, std::move(Replayed),
+                                    History.tail(), nullptr};
+    Current->Newer = Next;
+    Published.store(Next, std::memory_order_seq_cst);
+    Clock.store(CommitTime, std::memory_order_release);
+    CommitOrder.push_back(Tid);
+    Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
+    Worker.LastSeen = CommitTime;
+    uint64_t Min = minActiveBegin(CommitTime);
+    reclaimStates(Min);
+    if (Config.ReclaimLogs)
+      History.reclaimUpTo(Min);
+  }
+  recordEvent(Worker, Tid, Begin, CommitTime, /*Committed=*/true,
+              std::move(Log), std::move(EntrySnap), Mode);
+  notifySuccessor(CommitTime);
 }
 
 void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
   Stats.Tasks += Tasks.size();
+  // Task ids (the contention manager's and the fault plan's coordinate
+  // space) are per-run.
+  CM = std::make_unique<resilience::ContentionManager>(Config.Resilience,
+                                                       Tasks.size());
+  Failures.clear();
   if (Config.RecordTrace) {
     // The trace covers one run() call (task ids are per-run): re-anchor
     // at the current shared state and drop any previous run's events.
@@ -229,8 +371,40 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
       if (Idx >= Tasks.size())
         return;
       uint32_t Tid = static_cast<uint32_t>(Idx + 1);
-      while (!runTask(Tasks[Idx], Tid, W))
-        ++Stats.Retries;
+      // RUNTASK with the contention-management escalation ladder:
+      // aborts retry after a deterministic backoff until the retry
+      // budget starves the task into the serial fallback; throws retry
+      // until the exception budget fails the task, which then commits
+      // an empty placeholder so ordered successors and the dense
+      // commit clock still advance.
+      using Action = resilience::ContentionManager::Action;
+      for (uint32_t Attempt = 1;; ++Attempt) {
+        std::string ThrowMsg;
+        AttemptResult R = runTask(Tasks[Idx], Tid, Attempt, W, &ThrowMsg);
+        if (R == AttemptResult::Committed)
+          break;
+        if (R == AttemptResult::Aborted) {
+          ++Stats.Retries;
+          auto D = CM->onAbort(Tid, Slot);
+          if (D.Act == Action::Serial) {
+            ++Stats.SerialFallbacks;
+            commitSerial(&Tasks[Idx], Tid, W);
+            break;
+          }
+          backoff(D.BackoffMicros);
+          continue;
+        }
+        // Thrown.
+        auto D = CM->onException(Tid, Slot);
+        if (D.Act == Action::Fail) {
+          ++Stats.TaskFailures;
+          W.Failures.push_back(
+              resilience::TaskFailure{Tid, CM->attempts(Tid), ThrowMsg});
+          commitSerial(nullptr, Tid, W);
+          break;
+        }
+        backoff(D.BackoffMicros);
+      }
       ++Stats.Commits;
     }
   };
@@ -257,4 +431,13 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
     }
     Trace.Final = sharedState();
   }
+  for (WorkerSlot &W : Workers) {
+    for (resilience::TaskFailure &F : W.Failures)
+      Failures.push_back(std::move(F));
+    W.Failures.clear();
+  }
+  // Stable report order regardless of worker interleaving.
+  std::sort(Failures.begin(), Failures.end(),
+            [](const resilience::TaskFailure &A,
+               const resilience::TaskFailure &B) { return A.Tid < B.Tid; });
 }

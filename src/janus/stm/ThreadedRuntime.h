@@ -37,11 +37,24 @@
 /// recorded into per-thread buffers merged into an `AuditTrace` when
 /// run() returns; `janus::analysis` can audit it after the fact.
 ///
+/// Robustness (janus::resilience): every abort consults a
+/// `ContentionManager` — retries back off exponentially with
+/// deterministic jitter, and a task starved past its retry budget
+/// escalates to an irrevocable serial fallback under the commit lock.
+/// A task body that throws aborts cleanly (log discarded, hazard
+/// released) and is retried up to a budget, then surfaced as a
+/// structured `TaskFailure` while an empty placeholder commit keeps
+/// the clock dense and ordered successors unblocked. A `FaultPlan`
+/// can deterministically force aborts, inject exceptions, and delay
+/// commits at chosen (task, attempt) coordinates.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JANUS_STM_THREADEDRUNTIME_H
 #define JANUS_STM_THREADEDRUNTIME_H
 
+#include "janus/resilience/ContentionManager.h"
+#include "janus/resilience/FaultPlan.h"
 #include "janus/stm/AuditTrace.h"
 #include "janus/stm/Detector.h"
 #include "janus/stm/HistoryLog.h"
@@ -49,7 +62,9 @@
 #include "janus/stm/TxContext.h"
 
 #include <condition_variable>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -70,6 +85,11 @@ struct ThreadedConfig {
   /// Records per committed-history segment — the granularity at which
   /// reclamation returns memory.
   uint32_t HistorySegmentRecords = 64;
+  /// Contention-management policy: backoff, retry budgets, and the
+  /// escalation to the irrevocable serial fallback.
+  resilience::ResilienceConfig Resilience = {};
+  /// Deterministic fault-injection plan (empty = no faults).
+  resilience::FaultPlan Faults = {};
 };
 
 /// Runs task sets under optimistic synchronization with a pluggable
@@ -114,6 +134,14 @@ public:
   /// Call only after run() has returned.
   const AuditTrace &trace() const { return Trace; }
 
+  /// Tasks of the last run() whose bodies kept throwing past the
+  /// exception retry budget. Their slots in the commit order were
+  /// filled by empty placeholder commits; their effects are absent
+  /// from the final state. Call only after run() has returned.
+  const std::vector<resilience::TaskFailure> &failures() const {
+    return Failures;
+  }
+
 private:
   /// The atomically swapped image of the shared state: the latest
   /// commit time, the snapshot it produced, and the history segment a
@@ -153,16 +181,45 @@ private:
     /// turn arrives; see OrderWaiters.
     std::condition_variable TurnCv;
     std::vector<TraceEvent> Events;
+    /// Tasks this worker gave up on; merged after the run.
+    std::vector<resilience::TaskFailure> Failures;
   };
 
-  /// One RUNTASK attempt; \returns true when the transaction committed.
-  bool runTask(const TaskFn &Task, uint32_t Tid, WorkerSlot &Worker);
+  /// How one RUNTASK attempt ended.
+  enum class AttemptResult : uint8_t {
+    Committed, ///< The transaction committed.
+    Aborted,   ///< Conflict detected (or fault-injected); retry.
+    Thrown,    ///< The task body threw; *ThrowMsg holds what().
+  };
+
+  /// One RUNTASK attempt. \p Attempt is the task's 1-based attempt
+  /// number (fault-plan coordinate).
+  AttemptResult runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
+                        WorkerSlot &Worker, std::string *ThrowMsg);
+
+  /// Irrevocable serial fallback: executes \p Task pessimistically
+  /// under the commit lock (cannot conflict, cannot abort) and commits
+  /// it; with \p Task == nullptr commits an empty *placeholder* log for
+  /// a permanently failed task, keeping the commit clock dense and
+  /// ordered successors unblocked. In ordered mode, waits for the
+  /// task's turn *before* taking the lock (the predecessor's commit
+  /// needs it).
+  void commitSerial(const TaskFn *Task, uint32_t Tid, WorkerSlot &Worker);
 
   /// Appends one attempt record to the worker's trace buffer (no-op
   /// unless recording).
   void recordEvent(WorkerSlot &Worker, uint32_t Tid, uint64_t Begin,
                    uint64_t Commit, bool Committed, TxLogRef Log,
-                   Snapshot Entry);
+                   Snapshot Entry,
+                   CommitMode Mode = CommitMode::Speculative);
+
+  /// Blocks the calling worker while it waits for its ordered-mode
+  /// commit turn (Clock >= OrderBase + Tid). No-op when unordered.
+  void waitForTurn(uint32_t Tid, WorkerSlot &Worker);
+
+  /// Wakes the ordered-mode waiter (if any) whose turn the commit at
+  /// \p CommitTime made eligible. No-op when unordered.
+  void notifySuccessor(uint64_t CommitTime);
 
   /// \returns the smallest begin time of any in-flight transaction, or
   /// \p Fallback when none is active.
@@ -204,6 +261,11 @@ private:
   /// OrderMutex; waiters erase their own entry once their turn comes.
   std::unordered_map<uint64_t, std::condition_variable *> OrderWaiters;
   std::atomic<uint64_t> OrderBase{0}; ///< Clock at the start of run().
+
+  /// Contention-management state for the current run() (task ids are
+  /// per-run, so the manager is recreated for each call).
+  std::unique_ptr<resilience::ContentionManager> CM;
+  std::vector<resilience::TaskFailure> Failures;
 
   AuditTrace Trace;
   RunStats Stats;

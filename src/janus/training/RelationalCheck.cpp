@@ -53,7 +53,8 @@ training::lowerToRelational(const Value &Entry, const LocOpSeq &Seq) {
 
 std::optional<bool> training::commuteViaSat(const Value &Entry,
                                             const LocOpSeq &A,
-                                            const LocOpSeq &B) {
+                                            const LocOpSeq &B,
+                                            uint64_t SatConflictBudget) {
   // Note: Add lowering concretizes against the running value, which is
   // order-dependent; restrict the SAT cross-check to sequences whose
   // Adds appear only in one sequence or cancel out. To stay sound we
@@ -99,7 +100,7 @@ std::optional<bool> training::commuteViaSat(const Value &Entry,
   sat::Formula FBA = applyTransformerSymbolic(Arena, Atoms, S, FB,
                                               *TA_afterB, nullptr);
 
-  switch (formulasEquivalent(Arena, Atoms, FAB, FBA)) {
+  switch (formulasEquivalent(Arena, Atoms, FAB, FBA, SatConflictBudget)) {
   case sat::Equivalence::Equivalent:
     return true;
   case sat::Equivalence::Inequivalent:

@@ -38,10 +38,11 @@ lowerToRelational(const Value &Entry, const symbolic::LocOpSeq &Seq);
 
 /// Decides, via the relational/SAT pipeline, whether the two sequences'
 /// state effects commute on \p Entry. \returns nullopt when lowering
-/// fails or the solver exceeds its budget.
+/// fails or the solver exceeds \p SatConflictBudget CDCL conflicts.
 std::optional<bool> commuteViaSat(const Value &Entry,
                                   const symbolic::LocOpSeq &A,
-                                  const symbolic::LocOpSeq &B);
+                                  const symbolic::LocOpSeq &B,
+                                  uint64_t SatConflictBudget = 100000);
 
 } // namespace training
 } // namespace janus

@@ -27,7 +27,15 @@ void Trainer::trainOn(stm::Snapshot &State,
   Logs.reserve(Tasks.size());
   for (size_t I = 0, E = Tasks.size(); I != E; ++I) {
     stm::TxContext Tx(State, static_cast<uint32_t>(I + 1), Reg);
-    Tasks[I](Tx);
+    try {
+      Tasks[I](Tx);
+    } catch (...) {
+      // A throwing training payload contributes nothing: its partial
+      // log is neither applied nor mined (the runtimes discard such
+      // attempts too), and the remaining payloads still train.
+      Logs.push_back(stm::TxLog{});
+      continue;
+    }
     for (const stm::LogEntry &Entry : Tx.log())
       State = stm::applyToSnapshot(State, Entry.Loc, Entry.Op);
     Logs.push_back(Tx.log());
@@ -203,7 +211,7 @@ void Trainer::cachePair(const std::string &LocClass, const Rep &Mine,
     // concrete entry state.
     ++Stats.SatCrossChecks;
     std::optional<bool> Sat = commuteViaSat(Mine.SampleEntry, Mine.Seq,
-                                            Theirs);
+                                            Theirs, Config.SatConflictBudget);
     if (Sat && !*Sat) {
       ++Stats.SatDisagreements;
       return; // Engines disagree: do not cache.

@@ -51,6 +51,11 @@ struct TrainerConfig {
   /// Cross-check unconditional commutativity verdicts via the
   /// relational/SAT engine before caching them.
   bool VerifyWithSat = false;
+  /// CDCL conflict budget for each SAT cross-check. An exhausted
+  /// budget yields Unknown, which the trainer treats like a lowering
+  /// failure (the verdict is cached on the symbolic engine's
+  /// authority). Fault plans may clamp this to starve the cross-check.
+  uint64_t SatConflictBudget = 100000;
   /// Automatically infer tolerate-WAW for define-before-use objects
   /// (valid only for out-of-order parallelization).
   bool InferWAWRelaxation = false;

@@ -16,9 +16,25 @@ REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 OUTDIR="${1:-$REPO_ROOT}"
 BENCH_DIR="$REPO_ROOT/build/bench"
 
+# Configure-if-needed: a missing build tree is created on the spot; a
+# tree configured for a *different* source checkout (a moved or copied
+# repo) is refused with a clear message — cmake's own diagnostic for
+# that situation is cryptic.
+CACHE="$REPO_ROOT/build/CMakeCache.txt"
+if [ -f "$CACHE" ]; then
+  HOME_DIR="$(sed -n 's/^CMAKE_HOME_DIRECTORY:INTERNAL=//p' "$CACHE")"
+  if [ -n "$HOME_DIR" ] && [ "$HOME_DIR" != "$REPO_ROOT" ]; then
+    echo "bench.sh: build/ was configured for '$HOME_DIR', not this checkout" >&2
+    echo "bench.sh: ($REPO_ROOT). Delete build/ and re-run." >&2
+    exit 1
+  fi
+else
+  echo "bench.sh: no configured build tree — running cmake first"
+  cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT" >/dev/null
+fi
 if [ ! -d "$BENCH_DIR" ]; then
-  echo "bench.sh: $BENCH_DIR not found — build first (cmake -B build -S . && cmake --build build)" >&2
-  exit 1
+  echo "bench.sh: building bench harnesses"
+  cmake --build "$REPO_ROOT/build" -j "$(nproc)"
 fi
 
 mkdir -p "$OUTDIR"

@@ -5,7 +5,11 @@
 #   3. ThreadSanitizer build + ctest (JANUS_SANITIZE=thread) — the
 #      dynamic complement of the hindsight auditor;
 #   4. `janus audit` over every workload on both engines;
-#   5. perf smoke: micro_commit --quick must run to completion (the
+#   5. chaos: the same audits under a canned JANUS_FAULTS plan that
+#      force-aborts, injects exceptions, delays commits and starves the
+#      SAT budget — the escalation ladder must absorb every fault and
+#      still produce a CLEAN audit (exit 0);
+#   6. perf smoke: micro_commit --quick must run to completion (the
 #      perf trajectory itself is tools/bench.sh; this only gates on
 #      crashes, never on numbers).
 #
@@ -15,21 +19,37 @@ set -eu
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${1:-$(nproc)}"
 
-echo "== [1/5] plain build + tests =="
+# Refuse a build tree configured for a different source checkout (a
+# moved or copied repo): cmake's own diagnostic for that is cryptic.
+check_build_tree() {
+  local CACHE="$1/CMakeCache.txt"
+  [ -f "$CACHE" ] || return 0
+  local HOME_DIR
+  HOME_DIR="$(sed -n 's/^CMAKE_HOME_DIRECTORY:INTERNAL=//p' "$CACHE")"
+  if [ -n "$HOME_DIR" ] && [ "$HOME_DIR" != "$REPO_ROOT" ]; then
+    echo "ci.sh: $1 was configured for '$HOME_DIR', not this checkout" >&2
+    echo "ci.sh: ($REPO_ROOT). Delete it and re-run." >&2
+    exit 1
+  fi
+}
+check_build_tree "$REPO_ROOT/build"
+check_build_tree "$REPO_ROOT/build-tsan"
+
+echo "== [1/6] plain build + tests =="
 cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT" >/dev/null
 cmake --build "$REPO_ROOT/build" -j "$JOBS"
 (cd "$REPO_ROOT/build" && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/5] static analysis =="
+echo "== [2/6] static analysis =="
 "$REPO_ROOT/tools/lint.sh" "$REPO_ROOT/build"
 
-echo "== [3/5] ThreadSanitizer build + tests =="
+echo "== [3/6] ThreadSanitizer build + tests =="
 cmake -B "$REPO_ROOT/build-tsan" -S "$REPO_ROOT" \
       -DJANUS_SANITIZE=thread >/dev/null
 cmake --build "$REPO_ROOT/build-tsan" -j "$JOBS"
 (cd "$REPO_ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS")
 
-echo "== [4/5] hindsight audit of all workloads =="
+echo "== [4/6] hindsight audit of all workloads =="
 for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
   for E in sim threads; do
     echo "-- audit $W ($E)"
@@ -38,7 +58,23 @@ for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
   done
 done
 
-echo "== [5/5] perf smoke (micro_commit, 1 and 4 threads) =="
+echo "== [5/6] chaos audit under fault injection =="
+# Every task's first attempt is force-aborted, task 2's first attempt
+# throws, every second attempt's commit is delayed, and the trainer's
+# SAT cross-check is starved to 4 conflicts. The run must still commit
+# every task and the hindsight audit must stay CLEAN.
+CHAOS_FAULTS='abort@*.1;throw@2.1;delay@*.2=3;satbudget=4'
+echo "-- JANUS_FAULTS=$CHAOS_FAULTS"
+for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
+  for E in sim threads; do
+    echo "-- chaos audit $W ($E)"
+    JANUS_FAULTS="$CHAOS_FAULTS" \
+      "$REPO_ROOT/build/tools/janus" audit --workload "$W" --engine "$E" \
+      | tail -2
+  done
+done
+
+echo "== [6/6] perf smoke (micro_commit, 1 and 4 threads) =="
 "$REPO_ROOT/build/bench/micro_commit" --quick \
   --json-out="$REPO_ROOT/build/BENCH_micro_commit_smoke.json" >/dev/null
 echo "perf smoke: completed (see build/BENCH_micro_commit_smoke.json)"

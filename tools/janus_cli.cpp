@@ -32,6 +32,10 @@
 ///   --cache-out FILE    save the training artifact (cache + inferred
 ///                       relaxation specs) after training
 ///   --misses            print the distinct missed query keys
+///   --faults SPEC       deterministic fault-injection plan (see
+///                       janus/resilience/FaultPlan.h for the grammar;
+///                       also honoured via env JANUS_FAULTS), e.g.
+///                       --faults 'abort@*.1;throw@2.1;delay@*.2=50'
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,6 +45,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -63,6 +68,7 @@ struct CliOptions {
   bool OnlineFallback = true;
   bool PrintMisses = false;
   std::string CacheIn, CacheOut;
+  resilience::FaultPlan Faults;
 };
 
 void usage() {
@@ -131,6 +137,19 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.OnlineFallback = false;
     } else if (Arg == "--misses") {
       Opts.PrintMisses = true;
+    } else if (Arg == "--faults") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::string Err;
+      std::optional<resilience::FaultPlan> Plan =
+          resilience::FaultPlan::parse(V, &Err);
+      if (!Plan) {
+        std::fprintf(stderr, "janus: error: bad fault spec: %s\n",
+                     Err.c_str());
+        return false;
+      }
+      Opts.Faults = std::move(*Plan);
     } else if (Arg == "--cache-in") {
       const char *V = Next();
       if (!V)
@@ -168,7 +187,25 @@ JanusConfig configFor(const CliOptions &Opts) {
   Cfg.Sequence.OnlineFallback = Opts.OnlineFallback;
   Cfg.Training.InferWAWRelaxation = true;
   Cfg.Training.MaxConcat = 8;
+  Cfg.Faults = Opts.Faults;
   return Cfg;
+}
+
+/// Prints the resilience picture of a finished run: escalations,
+/// exceptions, injected faults, and any task failures (one line each).
+void printResilience(const Janus &J, const RunOutcome &O) {
+  const stm::RunStats &RS = J.runStats();
+  uint64_t Serial = RS.SerialFallbacks.load();
+  uint64_t Exceptions = RS.TaskExceptions.load();
+  uint64_t Injected = RS.FaultsInjected.load();
+  if (Serial || Exceptions || Injected || !O.Failures.empty())
+    std::printf("resilience : %llu serial fallbacks, %llu task "
+                "exceptions, %llu faults injected, %zu failed tasks\n",
+                (unsigned long long)Serial, (unsigned long long)Exceptions,
+                (unsigned long long)Injected, O.Failures.size());
+  for (const resilience::TaskFailure &F : O.Failures)
+    std::printf("  FAILED task %u after %u attempts: %s\n", F.Tid,
+                F.Attempts, F.Reason.c_str());
 }
 
 int cmdTrain(const CliOptions &Opts) {
@@ -251,15 +288,17 @@ int cmdRun(const CliOptions &Opts) {
   std::printf("retries    : %llu (ratio %.3f)\n",
               (unsigned long long)J.runStats().Retries.load(),
               J.runStats().retryRatio());
+  printResilience(J, O);
   if (auto *SD = J.sequenceDetector()) {
     const stm::DetectorStats &DS = J.detectorStats();
     std::printf("queries    : %llu pairs, %llu hits, %llu misses, "
-                "%llu online, %llu write-set\n",
+                "%llu online, %llu write-set, %llu degraded\n",
                 (unsigned long long)DS.PairQueries.load(),
                 (unsigned long long)DS.CacheHits.load(),
                 (unsigned long long)DS.CacheMisses.load(),
                 (unsigned long long)DS.OnlineChecks.load(),
-                (unsigned long long)DS.WriteSetChecks.load());
+                (unsigned long long)DS.WriteSetChecks.load(),
+                (unsigned long long)DS.DegradedQueries.load());
     std::printf("unique     : %zu queries, %zu misses\n",
                 SD->uniqueQueries(), SD->uniqueMisses());
     if (Opts.PrintMisses)
@@ -328,6 +367,7 @@ int cmdAudit(const CliOptions &Opts) {
   std::printf("run        : %llu commits, %llu retries, speedup %.2fx\n",
               (unsigned long long)J.runStats().Commits.load(),
               (unsigned long long)J.runStats().Retries.load(), O.speedup());
+  printResilience(J, O);
   std::printf("%s\n", Report.summary().c_str());
   std::printf("final state: %s\n",
               W->verify(J, Payload) ? "verified OK" : "VERIFICATION FAILED");
