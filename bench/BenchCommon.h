@@ -17,6 +17,7 @@
 #define JANUS_BENCH_BENCHCOMMON_H
 
 #include "janus/support/Format.h"
+#include "janus/support/Json.h"
 #include "janus/workloads/Workload.h"
 
 #include <cstdint>
@@ -153,20 +154,11 @@ public:
   const std::string &render() const { return Text; }
 
 private:
-  static std::string quote(const std::string &S) {
-    std::string Out = "\"";
-    for (char C : S) {
-      if (C == '"' || C == '\\')
-        Out += '\\';
-      if (C == '\n') {
-        Out += "\\n";
-        continue;
-      }
-      Out += C;
-    }
-    Out += '"';
-    return Out;
-  }
+  /// Shared with every other JSON artifact (support/Json.h) so all
+  /// emitters agree on escaping — the hand-rolled version here only
+  /// covered quote/backslash/newline and produced invalid JSON for
+  /// other control characters.
+  static std::string quote(const std::string &S) { return jsonQuote(S); }
 
   std::string Text;
 };
@@ -209,8 +201,9 @@ public:
       Rows.push_back(std::move(Row));
   }
 
-  /// Writes `{"bench": <name>, <meta...>, "rows": [...]}`. \returns
-  /// false when writing was requested but failed.
+  /// Writes `{"schema_version": N, "bench": <name>, <meta...>,
+  /// "rows": [...]}`. \returns false when writing was requested but
+  /// failed.
   bool write() const {
     if (!Enabled)
       return true;
@@ -219,7 +212,8 @@ public:
       std::fprintf(stderr, "error: cannot write %s\n", Path.c_str());
       return false;
     }
-    Out << "{\n  \"bench\": " << JsonValue(Name).render();
+    Out << "{\n  \"schema_version\": " << JsonSchemaVersion;
+    Out << ",\n  \"bench\": " << JsonValue(Name).render();
     for (const auto &[Key, Val] : Meta)
       Out << ",\n  " << JsonValue(Key).render() << ": " << Val.render();
     Out << ",\n  \"rows\": [";

@@ -1,5 +1,7 @@
 #include "janus/core/Janus.h"
 
+#include "janus/sat/Solver.h"
+
 #include <algorithm>
 #include <chrono>
 #include <fstream>
@@ -37,6 +39,29 @@ Janus::Janus(JanusConfig ConfigIn)
         std::min(Config.Training.SatConflictBudget, *B);
   TrainerImpl =
       std::make_unique<training::Trainer>(Reg, Cache, Config.Training);
+  if (Config.Obs.Enabled) {
+    // One lane per executor (worker slot / virtual core) plus the
+    // auxiliary lane for out-of-run events (SAT solves during
+    // training). The sat hook is process-wide; with several concurrent
+    // observed Janus instances the last constructed one wins (and its
+    // destruction uninstalls the hook for all).
+    ObsSink = std::make_unique<obs::Observer>(
+        Config.Obs, std::max(1u, Config.Threads) + 1);
+    obs::Observer *O = ObsSink.get();
+    sat::setSolveObserver([O](const sat::SolveObservation &S) {
+      O->satSolve().record(S.Micros);
+      O->span(O->auxLane(), "sat", /*Tid=*/0, /*Attempt=*/0,
+              O->nowUs() - S.Micros, S.Micros, "conflicts",
+              static_cast<double>(S.Conflicts),
+              S.Result == sat::SolveResult::Unknown ? "budget-exhausted"
+                                                    : nullptr);
+    });
+  }
+}
+
+Janus::~Janus() {
+  if (ObsSink)
+    sat::setSolveObserver({}); // The hook captures ObsSink raw.
 }
 
 bool Janus::saveCacheFile(const std::string &Path) const {
@@ -114,6 +139,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
     SimCfg.RecordTrace = Config.RecordTrace;
     SimCfg.Resilience = Config.Resilience;
     SimCfg.Faults = Config.Faults;
+    SimCfg.Obs = ObsSink.get();
     stm::SimRuntime Runtime(Reg, *Detector, SimCfg);
     Runtime.setInitialState(State);
     stm::SimOutcome Sim = Runtime.run(Tasks);
@@ -167,6 +193,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
   ThreadCfg.HistorySegmentRecords = Config.HistorySegmentRecords;
   ThreadCfg.Resilience = Config.Resilience;
   ThreadCfg.Faults = Config.Faults;
+  ThreadCfg.Obs = ObsSink.get();
   stm::ThreadedRuntime Runtime(Reg, *Detector, ThreadCfg);
   Runtime.setInitialState(State);
   auto Start = Clock::now();

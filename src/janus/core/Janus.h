@@ -24,6 +24,7 @@
 #define JANUS_CORE_JANUS_H
 
 #include "janus/conflict/SequenceDetector.h"
+#include "janus/obs/Obs.h"
 #include "janus/stm/SimRuntime.h"
 #include "janus/stm/ThreadedRuntime.h"
 #include "janus/training/Trainer.h"
@@ -72,6 +73,9 @@ struct JanusConfig {
   /// Deterministic fault-injection plan. Left empty, the constructor
   /// loads it from the `JANUS_FAULTS` environment variable.
   resilience::FaultPlan Faults = {};
+  /// Observability (janus::obs): transaction tracing, metrics, SAT
+  /// solve-time capture. Disabled by default; see DESIGN.md §8.
+  obs::ObsConfig Obs = {};
 };
 
 /// Outcome of one parallel run: the measured parallel duration and the
@@ -94,6 +98,7 @@ struct RunOutcome {
 class Janus {
 public:
   explicit Janus(JanusConfig Config = JanusConfig());
+  ~Janus();
 
   /// Shared-object registry; register objects (or ADT handles) here
   /// before training or running.
@@ -135,6 +140,12 @@ public:
   /// \returns the audit trace of the most recent run (empty unless
   /// configured with RecordTrace).
   const stm::AuditTrace &lastTrace() const { return Trace; }
+
+  /// The observability sink, or nullptr when JanusConfig::Obs is
+  /// disabled. Spans and metrics accumulate across runs until
+  /// Observer::clear().
+  obs::Observer *observer() { return ObsSink.get(); }
+  const obs::Observer *observer() const { return ObsSink.get(); }
 
   /// \returns the value at \p Loc in the current shared state.
   Value valueAt(const Location &Loc) const {
@@ -207,6 +218,9 @@ private:
   stm::Snapshot State;
   stm::RunStats Stats;
   stm::AuditTrace Trace;
+  /// Created by the constructor when Config.Obs.Enabled; handed by raw
+  /// pointer to the per-run engine configurations.
+  std::unique_ptr<obs::Observer> ObsSink;
 };
 
 } // namespace core

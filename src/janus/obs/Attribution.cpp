@@ -1,0 +1,143 @@
+#include "janus/obs/Attribution.h"
+
+#include "janus/conflict/Explain.h"
+#include "janus/support/Format.h"
+#include "janus/support/Json.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+using namespace janus;
+using namespace janus::obs;
+
+/// The Reason strings of conflict/Explain.cpp open with the name of the
+/// Figure 8 check that failed ("SAMEREAD violated: ...", "COMMUTE
+/// violated: ..."); the verdict column is that leading word.
+static std::string verdictOf(const std::string &Reason) {
+  size_t Space = Reason.find(' ');
+  return Space == std::string::npos ? Reason : Reason.substr(0, Space);
+}
+
+AbortAttribution obs::attributeAborts(const stm::AuditTrace &Trace,
+                                      const ObjectRegistry &Reg) {
+  AbortAttribution Out;
+  if (!Trace.Recorded)
+    return Out;
+
+  // Aggregation key: (location, op pair, verdict). std::map keeps the
+  // tie-break order (key asc) deterministic for free.
+  using Key = std::tuple<std::string, std::string, std::string, std::string>;
+  struct Agg {
+    uint64_t Aborts = 0;
+    std::string Detail;
+  };
+  std::map<Key, Agg> ByKey;
+
+  std::vector<const stm::TraceEvent *> Committed = Trace.committedInOrder();
+
+  for (const stm::TraceEvent &E : Trace.Events) {
+    if (E.Committed)
+      continue;
+    ++Out.TotalAborts;
+
+    // The commits the aborted attempt could have conflicted with: those
+    // not yet visible when it began. CommitTime > BeginTime is a
+    // superset of what the detector saw at abort time (see header).
+    std::vector<stm::TxLogRef> Window;
+    for (const stm::TraceEvent *C : Committed)
+      if (C->CommitTime > E.BeginTime && C->Log && !C->Log->empty())
+        Window.push_back(C->Log);
+
+    conflict::ConflictExplanation Ex;
+    if (E.Log && !E.Log->empty() && !Window.empty())
+      Ex = conflict::explainConflict(E.Entry, *E.Log, Window, Reg);
+
+    if (!Ex.Conflicting) {
+      ++Out.Unattributed;
+      continue;
+    }
+    Agg &A = ByKey[{Ex.LocationName, Ex.MineSeq, Ex.TheirsSeq,
+                    verdictOf(Ex.Reason)}];
+    ++A.Aborts;
+    if (A.Detail.empty())
+      A.Detail = Ex.Reason;
+  }
+
+  Out.Rows.reserve(ByKey.size() + (Out.Unattributed ? 1 : 0));
+  for (const auto &[K, A] : ByKey) {
+    AttributionRow R;
+    R.LocationName = std::get<0>(K);
+    R.MineOps = std::get<1>(K);
+    R.TheirOps = std::get<2>(K);
+    R.Verdict = std::get<3>(K);
+    R.Detail = A.Detail;
+    R.Aborts = A.Aborts;
+    Out.Rows.push_back(std::move(R));
+  }
+  // Rank by count desc; map iteration order (key asc) already settled
+  // ties, and stable_sort preserves it.
+  std::stable_sort(Out.Rows.begin(), Out.Rows.end(),
+                   [](const AttributionRow &A, const AttributionRow &B) {
+                     return A.Aborts > B.Aborts;
+                   });
+  if (Out.Unattributed) {
+    AttributionRow R;
+    R.LocationName = "(unattributed)";
+    R.Verdict = "unattributed";
+    R.Detail = "no conflicting committed pair (thrown body, injected "
+               "fault, or stale validation)";
+    R.Aborts = Out.Unattributed;
+    Out.Rows.push_back(std::move(R));
+  }
+  return Out;
+}
+
+std::string AbortAttribution::toTable(size_t TopN) const {
+  std::string Head = "top conflict sources (" +
+                     std::to_string(TotalAborts) + " aborted attempt" +
+                     (TotalAborts == 1 ? "" : "s") + ")\n";
+  if (!TotalAborts)
+    return Head + "  none - every attempt committed first try\n";
+
+  TextTable T;
+  T.setHeader({"#", "aborts", "share", "location", "verdict", "mine",
+               "theirs"});
+  size_t N = TopN ? std::min(TopN, Rows.size()) : Rows.size();
+  for (size_t I = 0; I != N; ++I) {
+    const AttributionRow &R = Rows[I];
+    T.addRow({std::to_string(I + 1), std::to_string(R.Aborts),
+              formatPercent(static_cast<double>(R.Aborts) /
+                            static_cast<double>(TotalAborts)),
+              R.LocationName, R.Verdict, R.MineOps, R.TheirOps});
+  }
+  std::string Out = Head + T.render();
+  if (N && !Rows[0].Detail.empty())
+    Out += "top source detail: " + Rows[0].Detail + "\n";
+  if (N < Rows.size())
+    Out += "(" + std::to_string(Rows.size() - N) + " more row" +
+           (Rows.size() - N == 1 ? "" : "s") + " suppressed)\n";
+  return Out;
+}
+
+std::string AbortAttribution::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.field("total_aborts", TotalAborts);
+  W.field("unattributed", Unattributed);
+  W.key("rows");
+  W.beginArray();
+  for (const AttributionRow &R : Rows) {
+    W.beginObject();
+    W.field("location", R.LocationName);
+    W.field("verdict", R.Verdict);
+    W.field("mine", R.MineOps);
+    W.field("theirs", R.TheirOps);
+    W.field("detail", R.Detail);
+    W.field("aborts", R.Aborts);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}

@@ -1,0 +1,73 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abort attribution: where did the retries go?
+///
+/// Figure 10's retry pathologies are only diagnosable if aborts can be
+/// traced back to *which* location, under *which* operation pair, for
+/// *which* reason. This pass consumes a recorded `AuditTrace`, reruns
+/// the explained conflict judgment (conflict/Explain.h) for every
+/// aborted attempt against the commits that overlapped it, and
+/// aggregates the verdicts into a ranked "top conflict sources" table —
+/// the `janus explain` subcommand.
+///
+/// The window handed to the explainer is every commit with
+/// CommitTime > BeginTime — a superset of what the detector had seen
+/// by the moment it aborted the attempt (the abort decision time is
+/// not recorded). The explanation is therefore a sound diagnosis of a
+/// real non-commutativity the attempt was exposed to, though
+/// occasionally of a *later* commit than the one the detector fired
+/// on. Aborted attempts with no conflicting pair (thrown bodies,
+/// fault-injected aborts) land in the "(unattributed)" bucket.
+///
+/// Deterministic: rows are aggregated by key and ranked by (count
+/// desc, key asc), so identical traces yield identical tables — the
+/// determinism test in tests/obs_test.cpp holds the simulator to this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_OBS_ATTRIBUTION_H
+#define JANUS_OBS_ATTRIBUTION_H
+
+#include "janus/stm/AuditTrace.h"
+#include "janus/support/Location.h"
+
+#include <string>
+#include <vector>
+
+namespace janus {
+namespace obs {
+
+/// One aggregated conflict source.
+struct AttributionRow {
+  std::string LocationName; ///< e.g. "colors[17]".
+  std::string MineOps;      ///< Aborted side, e.g. "R, W(5)".
+  std::string TheirOps;     ///< Committed side.
+  std::string Verdict;      ///< "SAMEREAD", "COMMUTE" or "unattributed".
+  std::string Detail;       ///< First concrete failing condition seen.
+  uint64_t Aborts = 0;
+};
+
+/// The full report, ranked most-aborts-first.
+struct AbortAttribution {
+  uint64_t TotalAborts = 0;
+  uint64_t Unattributed = 0; ///< Thrown/injected, no conflicting pair.
+  std::vector<AttributionRow> Rows;
+
+  /// Aligned "top conflict sources" text table (the `janus explain`
+  /// output), truncated to \p TopN rows (0 = all).
+  std::string toTable(size_t TopN = 0) const;
+
+  /// JSON rows fragment (shared schema; see support/Json.h).
+  std::string toJson() const;
+};
+
+/// Builds the report from \p Trace (must have been recorded:
+/// JanusConfig::RecordTrace / `janus explain` sets it).
+AbortAttribution attributeAborts(const stm::AuditTrace &Trace,
+                                 const ObjectRegistry &Reg);
+
+} // namespace obs
+} // namespace janus
+
+#endif // JANUS_OBS_ATTRIBUTION_H

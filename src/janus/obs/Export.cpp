@@ -1,0 +1,162 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace and metrics exporters (the cold half of janus::obs).
+///
+/// The trace exporter emits the Chrome trace-event format — a JSON
+/// object with a `traceEvents` array of phase-tagged events — which
+/// both Perfetto (ui.perfetto.dev) and chrome://tracing load directly.
+/// Lanes are presented as threads of one "janus" process, with 'M'
+/// metadata records naming them, so the span rows line up with the
+/// executor that ran them. tools/check_trace.py validates this shape
+/// in CI.
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/obs/Obs.h"
+
+#include "janus/support/Format.h"
+#include "janus/support/Json.h"
+
+#include <fstream>
+
+using namespace janus;
+using namespace janus::obs;
+
+std::string Observer::chromeTraceJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema_version", JsonSchemaVersion);
+  W.field("displayTimeUnit", "ms");
+  W.key("otherData");
+  W.beginObject();
+  W.field("tool", "janus");
+  W.field("sample_every", static_cast<uint64_t>(Config.SampleEvery));
+  W.field("spans_dropped", Buffer.dropped());
+  W.endObject();
+  W.key("traceEvents");
+  W.beginArray();
+
+  // Metadata: name the process and each lane. The auxiliary lane hosts
+  // out-of-run events (SAT solves during training).
+  auto Meta = [&](const char *Name, unsigned Lane,
+                  const std::string &Value) {
+    W.beginObject();
+    W.field("name", Name);
+    W.field("ph", "M");
+    W.field("pid", 1);
+    W.field("tid", static_cast<uint64_t>(Lane));
+    W.key("args");
+    W.beginObject();
+    W.field("name", Value);
+    W.endObject();
+    W.endObject();
+  };
+  Meta("process_name", 0, "janus");
+  for (unsigned L = 0; L != Buffer.lanes(); ++L)
+    Meta("thread_name", L,
+         L + 1 == Buffer.lanes() ? std::string("aux (training/sat)")
+                                 : "lane " + std::to_string(L));
+
+  for (const SpanRecord &R : Buffer.merged()) {
+    W.beginObject();
+    W.field("name", R.Name);
+    char Ph[2] = {R.Ph, 0};
+    W.field("ph", Ph);
+    W.field("ts", R.Ts);
+    if (R.Ph == 'X')
+      W.field("dur", R.Dur);
+    if (R.Ph == 'i')
+      W.field("s", "t"); // Instant scope: thread.
+    W.field("pid", 1);
+    W.field("tid", static_cast<uint64_t>(R.Lane));
+    W.field("cat", "janus");
+    W.key("args");
+    W.beginObject();
+    if (R.Tid) {
+      W.field("task", static_cast<uint64_t>(R.Tid));
+      W.field("attempt", static_cast<uint64_t>(R.Attempt));
+    }
+    W.field("lane", static_cast<uint64_t>(R.Lane));
+    if (R.ExtraKey)
+      W.field(R.ExtraKey, R.Extra);
+    if (R.Note)
+      W.field("note", R.Note);
+    W.endObject();
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+bool Observer::writeChromeTrace(const std::string &Path,
+                                std::string *Err) const {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  Out << chromeTraceJson() << "\n";
+  if (!Out) {
+    if (Err)
+      *Err = "write to '" + Path + "' failed";
+    return false;
+  }
+  return true;
+}
+
+std::string Observer::metricsTable() const {
+  TextTable T;
+  T.setHeader({"metric", "count", "mean us", "p50 us", "p99 us",
+               "total ms"});
+  for (const auto &[Name, H] : Registry.histogramValues()) {
+    if (!H.Count) // Unused instrument (e.g. no SAT calls this run).
+      continue;
+    T.addRow({Name, std::to_string(H.Count),
+              formatDouble(H.meanMicros(), 1),
+              formatDouble(H.quantileUs(0.5), 0),
+              formatDouble(H.quantileUs(0.99), 0),
+              formatDouble(H.SumMicros / 1000.0, 2)});
+  }
+  std::string Out = T.render();
+  for (const auto &[Name, V] : Registry.counterValues())
+    if (V)
+      Out += Name + ": " + std::to_string(V) + "\n";
+  uint64_t Dropped = Buffer.dropped();
+  if (Dropped)
+    Out += "obs.spans_dropped: " + std::to_string(Dropped) + "\n";
+  return Out;
+}
+
+std::string Observer::metricsJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("counters");
+  W.beginObject();
+  for (const auto &[Name, V] : Registry.counterValues())
+    W.field(Name, V);
+  W.field("obs.spans_dropped", Buffer.dropped());
+  W.endObject();
+  W.key("histograms");
+  W.beginObject();
+  for (const auto &[Name, H] : Registry.histogramValues()) {
+    W.key(Name);
+    W.beginObject();
+    W.field("count", H.Count);
+    W.field("sum_us", H.SumMicros);
+    W.field("mean_us", H.meanMicros());
+    W.field("p50_us", H.quantileUs(0.5));
+    W.field("p99_us", H.quantileUs(0.99));
+    W.key("bucket_counts");
+    W.beginArray();
+    for (uint64_t C : H.Counts)
+      W.value(C);
+    W.endArray();
+    W.endObject();
+  }
+  W.endObject();
+  W.endObject();
+  return W.str();
+}

@@ -1,0 +1,118 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structured per-transaction tracing.
+///
+/// Every transaction attempt is decomposed into spans — the span
+/// taxonomy of DESIGN.md §8: begin / body / detect / replay / validate
+/// / commit / abort / backoff / serial / sat — recorded into
+/// fixed-lane, cache-line-padded buffers. A lane is an executor slot
+/// (worker slot on the threaded engine, virtual core on the simulator,
+/// plus one auxiliary lane for out-of-run events such as SAT solves
+/// during training); exactly one thread appends to a lane at a time,
+/// so recording takes no lock and no atomic beyond the drop counter.
+///
+/// Span names are static strings (taxonomy members), never built on
+/// the hot path; the one optional numeric argument and optional note
+/// cover everything the exporters need. Timestamps are microseconds —
+/// wall-clock since run start on the threaded engine, virtual time on
+/// the simulator — which is exactly the unit the Chrome trace-event
+/// format expects (see Export.cpp / chrome://tracing / Perfetto).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_OBS_TRACE_H
+#define JANUS_OBS_TRACE_H
+
+#include "janus/support/Striped.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace janus {
+namespace obs {
+
+/// One recorded trace event. `Ph` is the Chrome trace-event phase:
+/// 'X' (complete span with duration) or 'i' (instant event).
+struct SpanRecord {
+  const char *Name = nullptr; ///< Static taxonomy string.
+  char Ph = 'X';
+  double Ts = 0.0;  ///< Start, microseconds.
+  double Dur = 0.0; ///< Duration, microseconds ('X' only).
+  uint32_t Tid = 0; ///< 1-based task id (0 = not task-scoped).
+  uint32_t Attempt = 0;
+  uint32_t Lane = 0;
+  const char *ExtraKey = nullptr; ///< Optional numeric span arg.
+  double Extra = 0.0;
+  const char *Note = nullptr; ///< Optional static-string span arg.
+};
+
+/// Fixed-lane span storage. Lane count is set at construction (threads
+/// + 1 auxiliary); each lane is appended to by one thread at a time.
+class TraceBuffer {
+public:
+  TraceBuffer(unsigned NumLanes, size_t MaxEventsPerLane)
+      : Lanes(NumLanes ? NumLanes : 1), MaxPerLane(MaxEventsPerLane) {}
+
+  unsigned lanes() const { return static_cast<unsigned>(Lanes.size()); }
+
+  /// Appends \p R to \p Lane's buffer; drops (and counts the drop) once
+  /// the lane cap is reached, so a runaway run degrades to a truncated
+  /// trace instead of unbounded memory.
+  void append(unsigned Lane, const SpanRecord &R) {
+    LaneBuf &L = Lanes[Lane < Lanes.size() ? Lane : Lanes.size() - 1];
+    if (L.Events.size() >= MaxPerLane) {
+      ++L.Dropped;
+      return;
+    }
+    L.Events.push_back(R);
+  }
+
+  /// All recorded events, lane by lane (within a lane, recording
+  /// order). Call after the run quiesces.
+  std::vector<SpanRecord> merged() const {
+    std::vector<SpanRecord> Out;
+    size_t Total = 0;
+    for (const LaneBuf &L : Lanes)
+      Total += L.Events.size();
+    Out.reserve(Total);
+    for (const LaneBuf &L : Lanes)
+      Out.insert(Out.end(), L.Events.begin(), L.Events.end());
+    return Out;
+  }
+
+  uint64_t dropped() const {
+    uint64_t N = 0;
+    for (const LaneBuf &L : Lanes)
+      N += L.Dropped;
+    return N;
+  }
+
+  size_t size() const {
+    size_t N = 0;
+    for (const LaneBuf &L : Lanes)
+      N += L.Events.size();
+    return N;
+  }
+
+  void clear() {
+    for (LaneBuf &L : Lanes) {
+      L.Events.clear();
+      L.Dropped = 0;
+    }
+  }
+
+private:
+  struct alignas(CacheLineSize) LaneBuf {
+    std::vector<SpanRecord> Events;
+    uint64_t Dropped = 0;
+  };
+
+  std::vector<LaneBuf> Lanes;
+  size_t MaxPerLane;
+};
+
+} // namespace obs
+} // namespace janus
+
+#endif // JANUS_OBS_TRACE_H

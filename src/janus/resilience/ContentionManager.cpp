@@ -11,6 +11,18 @@ ContentionManager::ContentionManager(ResilienceConfig Config,
                                      size_t NumTasks)
     : Config(Config), TasksState(NumTasks) {}
 
+const char *ContentionManager::toString(Action Act) {
+  switch (Act) {
+  case Action::Retry:
+    return "retry";
+  case Action::Serial:
+    return "serial";
+  case Action::Fail:
+    return "fail";
+  }
+  janusUnreachable("invalid contention-manager action");
+}
+
 /// splitmix64 finalizer — the jitter must be a pure function of its
 /// coordinates so injected and simulated runs stay reproducible.
 static uint64_t mix(uint64_t Z) {

@@ -78,6 +78,10 @@ public:
     uint64_t BackoffMicros = 0; ///< Only meaningful for Retry.
   };
 
+  /// Static-string name of \p Act ("retry" / "serial" / "fail") —
+  /// suitable as a trace-event note (janus::obs records CM decisions).
+  static const char *toString(Action Act);
+
   /// \param NumTasks tasks in the run (ids are 1..NumTasks).
   ContentionManager(ResilienceConfig Config, size_t NumTasks);
 

@@ -1,10 +1,31 @@
 #include "janus/sat/Solver.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <mutex>
 
 using namespace janus;
 using namespace janus::sat;
+
+namespace {
+// The process-wide solve observer (see Solver.h). Installed rarely
+// (Janus construction), read per solve; the copy under the mutex makes
+// uninstall safe against in-flight solves on other threads.
+std::mutex SolveObserverMutex;
+std::function<void(const SolveObservation &)> SolveObserverHook;
+
+std::function<void(const SolveObservation &)> solveObserver() {
+  std::lock_guard<std::mutex> Guard(SolveObserverMutex);
+  return SolveObserverHook;
+}
+} // namespace
+
+void sat::setSolveObserver(
+    std::function<void(const SolveObservation &)> Hook) {
+  std::lock_guard<std::mutex> Guard(SolveObserverMutex);
+  SolveObserverHook = std::move(Hook);
+}
 
 Solver::Solver() = default;
 
@@ -295,6 +316,29 @@ SolveResult Solver::solve(uint64_t ConflictBudget) {
 
 SolveResult Solver::solveWith(const std::vector<Lit> &Assumptions,
                               uint64_t ConflictBudget) {
+  std::function<void(const SolveObservation &)> Hook = solveObserver();
+  if (!Hook)
+    return solveWithImpl(Assumptions, ConflictBudget);
+
+  auto T0 = std::chrono::steady_clock::now();
+  uint64_t Conflicts0 = Statistics.Conflicts;
+  uint64_t Decisions0 = Statistics.Decisions;
+  SolveResult Result = solveWithImpl(Assumptions, ConflictBudget);
+
+  SolveObservation Obs;
+  Obs.Micros = std::chrono::duration<double, std::micro>(
+                   std::chrono::steady_clock::now() - T0)
+                   .count();
+  Obs.Result = Result;
+  Obs.Conflicts = Statistics.Conflicts - Conflicts0;
+  Obs.Decisions = Statistics.Decisions - Decisions0;
+  Obs.Vars = numVars();
+  Hook(Obs);
+  return Result;
+}
+
+SolveResult Solver::solveWithImpl(const std::vector<Lit> &Assumptions,
+                                  uint64_t ConflictBudget) {
   if (Unsatisfiable)
     return SolveResult::Unsat;
   backtrack(0);

@@ -19,6 +19,7 @@
 #include "janus/support/Assert.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,6 +63,23 @@ enum class LBool : uint8_t { False = 0, True = 1, Undef = 2 };
 
 /// Result of a solve() call.
 enum class SolveResult : uint8_t { Sat, Unsat, Unknown };
+
+/// One completed solve() call, as reported to the installed solve
+/// observer (janus::obs records these into the sat_solve_us histogram
+/// and the trace's auxiliary lane).
+struct SolveObservation {
+  double Micros = 0.0;
+  SolveResult Result = SolveResult::Unknown;
+  uint64_t Conflicts = 0; ///< Conflicts this call (not cumulative).
+  uint64_t Decisions = 0; ///< Decisions this call.
+  uint64_t Vars = 0;      ///< Instance size at solve time.
+};
+
+/// Installs a process-wide hook invoked after every solve()/solveWith()
+/// completes; pass an empty function to uninstall. The hook may be
+/// called concurrently from any thread that solves; keep it cheap and
+/// thread-safe. When no hook is installed solve() takes no timestamps.
+void setSolveObserver(std::function<void(const SolveObservation &)> Hook);
 
 /// The CDCL solver. Usage: newVar() for each variable, addClause() for
 /// each clause, then solve(); on Sat, modelValue() inspects the model.
@@ -153,6 +171,8 @@ private:
     return (Code & 1) ? ~L : L;
   }
 
+  SolveResult solveWithImpl(const std::vector<Lit> &Assumptions,
+                            uint64_t ConflictBudget);
   ClauseRef allocClause(const std::vector<Lit> &Lits);
   void attachClause(ClauseRef C);
   void enqueue(Lit L, ClauseRef Reason);

@@ -96,8 +96,16 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     /// this to Serial (irrevocable, no detection) or Placeholder
     /// (failed task, empty log).
     CommitMode Mode = CommitMode::Speculative;
+    /// Virtual start time of the in-flight attempt (obs commit
+    /// latency: begin-to-publication).
+    double AttStart = 0.0;
   };
   std::vector<CoreTask> Cores(Config.NumCores);
+
+  // Observability (janus::obs): spans carry *virtual* timestamps, so a
+  // simulated trace is bit-identical across runs. Folds away under
+  // JANUS_OBS=OFF exactly as on the threaded engine.
+  obs::Observer *const O = obs::janusObs(Config.Obs);
 
   auto RecordAbort = [this](uint32_t Tid, const Attempt &Att) {
     if (!Config.RecordTrace)
@@ -129,7 +137,35 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     Cores[Core].Mode = CommitMode::Speculative;
     Cores[Core].Att = execute(Tasks, Idx, 1);
     Cores[Core].Busy = true;
+    Cores[Core].AttStart = Time;
+    uint32_t Tid = static_cast<uint32_t>(Idx + 1);
+    if (O && O->sampled(Tid))
+      O->span(Core, "body", Tid, 1, Time, Cores[Core].Att.ExecCost);
     Events.emplace(Time + Cores[Core].Att.ExecCost, EventSeq++, Core);
+  };
+
+  // Aborted-attempt retry: abort instant, backoff span (charged as
+  // virtual time), re-execution with its body span, and the completion
+  // event — shared by the exception, injected-abort and conflict paths.
+  auto RetryTraced = [&](unsigned Core, CoreTask &CT, uint32_t Tid,
+                         double From, uint64_t BackoffMicros,
+                         const char *Why) {
+    bool Sampled = O && O->sampled(Tid);
+    if (Sampled) {
+      O->instant(Core, "abort", Tid, CT.AttemptNo, From, Why);
+      if (BackoffMicros) {
+        O->span(Core, "backoff", Tid, CT.AttemptNo, From,
+                static_cast<double>(BackoffMicros), "requested_us",
+                static_cast<double>(BackoffMicros), "retry");
+        O->backoffWait().record(static_cast<double>(BackoffMicros));
+      }
+    }
+    double Start = From + static_cast<double>(BackoffMicros);
+    CT.Att = execute(Tasks, CT.TaskIdx, ++CT.AttemptNo);
+    CT.AttStart = Start;
+    if (Sampled)
+      O->span(Core, "body", Tid, CT.AttemptNo, Start, CT.Att.ExecCost);
+    Events.emplace(Start + CT.Att.ExecCost, EventSeq++, Core);
   };
 
   for (unsigned C = 0; C != Config.NumCores; ++C)
@@ -152,16 +188,15 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
       auto D = CM->onException(Tid, Core);
       if (D.Act == Action::Retry) {
         // Backoff is charged as virtual time on this core.
-        CT.Att = execute(Tasks, CT.TaskIdx, ++CT.AttemptNo);
-        Events.emplace(Time + static_cast<double>(D.BackoffMicros) +
-                           CT.Att.ExecCost,
-                       EventSeq++, Core);
+        RetryTraced(Core, CT, Tid, Time, D.BackoffMicros, "exception");
         continue;
       }
       // Exception budget exhausted: surface the failure and fall
       // through to an empty placeholder commit (the thrown attempt's
       // log is already empty), keeping ordered successors and the
       // dense commit clock advancing.
+      if (O && O->sampled(Tid))
+        O->instant(Core, "abort", Tid, CT.AttemptNo, Time, "exception");
       ++Stats.TaskFailures;
       Outcome.Failures.push_back(
           resilience::TaskFailure{Tid, CM->attempts(Tid), CT.Att.ThrowMsg});
@@ -176,12 +211,11 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
       RecordAbort(Tid, CT.Att);
       auto D = CM->onAbort(Tid, Core);
       if (D.Act == Action::Retry) {
-        CT.Att = execute(Tasks, CT.TaskIdx, ++CT.AttemptNo);
-        Events.emplace(Time + static_cast<double>(D.BackoffMicros) +
-                           CT.Att.ExecCost,
-                       EventSeq++, Core);
+        RetryTraced(Core, CT, Tid, Time, D.BackoffMicros, "injected");
         continue;
       }
+      if (O && O->sampled(Tid))
+        O->instant(Core, "abort", Tid, CT.AttemptNo, Time, "injected");
       ++Stats.SerialFallbacks;
       CT.Mode = CommitMode::Serial;
     }
@@ -210,19 +244,24 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
       CommitAt = std::max(Time + DetectCost, LockFreeAt);
 
       ++Stats.ConflictChecks;
-      if (Detector.detectConflicts(Att.Entry, *Att.Log, Window, Reg)) {
+      bool Conflict = Detector.detectConflicts(Att.Entry, *Att.Log, Window, Reg);
+      if (O && O->sampled(Tid)) {
+        O->detectLatency().record(DetectCost);
+        O->span(Core, "detect", Tid, CT.AttemptNo, Time, DetectCost,
+                "window", static_cast<double>(Window.size()));
+      }
+      if (Conflict) {
         // Abort: consult the contention manager.
         ++Stats.Retries;
         RecordAbort(Tid, Att);
         auto D = CM->onAbort(Tid, Core);
         if (D.Act == Action::Retry) {
           // Re-execute from scratch on the same core, after backoff.
-          Att = execute(Tasks, CT.TaskIdx, ++CT.AttemptNo);
-          Events.emplace(CommitAt + static_cast<double>(D.BackoffMicros) +
-                             Att.ExecCost,
-                         EventSeq++, Core);
+          RetryTraced(Core, CT, Tid, CommitAt, D.BackoffMicros, "conflict");
           continue;
         }
+        if (O && O->sampled(Tid))
+          O->instant(Core, "abort", Tid, CT.AttemptNo, CommitAt, "conflict");
         ++Stats.SerialFallbacks;
         CT.Mode = CommitMode::Serial;
       }
@@ -235,6 +274,7 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
       // its commit — inherently pessimistic, cannot abort; and in
       // ordered mode this point is only reached on the task's turn.
       Att = execute(Tasks, CT.TaskIdx, ++CT.AttemptNo);
+      CT.AttStart = Time;
       CommitAt = std::max(Time + Att.ExecCost, LockFreeAt);
       if (Att.Threw) {
         // The irrevocable execution itself threw: the task fails and
@@ -246,6 +286,11 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
         Att.Threw = false;
         CT.Mode = CommitMode::Placeholder; // Log already empty.
       }
+      if (O && O->sampled(Tid))
+        O->span(Core, "serial", Tid, CT.AttemptNo, Time, Att.ExecCost,
+                "clock", static_cast<double>(CommitSeq + 1),
+                CT.Mode == CommitMode::Placeholder ? "placeholder"
+                                                   : "fallback");
     }
 
     // Fault injection: delay the commit by virtual units, widening the
@@ -271,6 +316,14 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     double CommitEnd =
         CommitAt +
         Config.Costs.CommitPerOp * static_cast<double>(Att.Log->size());
+    if (O && O->sampled(Tid)) {
+      O->span(Core, "commit", Tid, CT.AttemptNo, CommitAt,
+              CommitEnd - CommitAt, "clock",
+              static_cast<double>(CommitSeq));
+      // Commit latency = begin-to-publication of the winning attempt,
+      // in virtual units on this engine.
+      O->commitLatency().record(CommitEnd - CT.AttStart);
+    }
     LockFreeAt = CommitEnd;
     MakeSpan = std::max(MakeSpan, CommitEnd);
     ++Stats.Commits;

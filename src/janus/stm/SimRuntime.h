@@ -39,6 +39,7 @@
 #ifndef JANUS_STM_SIMRUNTIME_H
 #define JANUS_STM_SIMRUNTIME_H
 
+#include "janus/obs/Obs.h"
 #include "janus/resilience/ContentionManager.h"
 #include "janus/resilience/FaultPlan.h"
 #include "janus/stm/AuditTrace.h"
@@ -83,6 +84,11 @@ struct SimConfig {
   resilience::ResilienceConfig Resilience = {};
   /// Deterministic fault-injection plan (empty = no faults).
   resilience::FaultPlan Faults = {};
+  /// Observability sink (janus::obs); nullptr = no instrumentation.
+  /// Span timestamps are *virtual time* — the trace is bit-identical
+  /// across runs. Must be provisioned with at least NumCores lanes and
+  /// outlive the runtime. Appended last for aggregate initializers.
+  obs::Observer *Obs = nullptr;
 };
 
 /// Outcome of a simulated run.

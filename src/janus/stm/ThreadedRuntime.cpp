@@ -134,7 +134,15 @@ void ThreadedRuntime::reclaimStates(uint64_t Min) {
 
 ThreadedRuntime::AttemptResult
 ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
-                         WorkerSlot &Worker, std::string *ThrowMsg) {
+                         unsigned Lane, WorkerSlot &Worker,
+                         std::string *ThrowMsg) {
+  // Observability (janus::obs). With JANUS_OBS=OFF janusObs() folds to
+  // nullptr and every `if (Sampled)` block below — clock reads
+  // included — is dead code; at runtime an unsampled task pays exactly
+  // these two branches.
+  obs::Observer *const O = obs::janusObs(Config.Obs);
+  const bool Sampled = O && O->sampled(Tid);
+  const double AttemptTs = Sampled ? O->nowUs() : 0.0;
   // CREATETRANSACTION — no lock. The active-begin slot doubles as the
   // hazard against epoch freeing: advertise the conservative LastSeen
   // (<= any state we could load, since times are monotone), then load.
@@ -156,12 +164,16 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
   // alive even if reclamation advances past it; collection is
   // incremental, so validation rounds never re-copy the window.
   HistoryLog::Reader Window(Entry->HistoryTail, Begin);
+  if (Sampled)
+    O->span(Lane, "begin", Tid, Attempt, AttemptTs, O->nowUs() - AttemptTs,
+            "clock", static_cast<double>(Begin));
 
   // RUNSEQUENTIAL — exception-safe: a throwing body (genuine or
   // fault-injected) must not take down the worker thread. The partial
   // log is discarded, the hazard slot released, and the decision
   // (retry vs TaskFailure) is left to the contention manager.
   TxContext Tx(EntrySnap, Tid, Reg, &Stats);
+  const double BodyTs = Sampled ? O->nowUs() : 0.0;
   bool Threw = false;
   try {
     if (Config.Faults.throwTask(Tid, Attempt)) {
@@ -181,9 +193,13 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
   // The attempt's client window ends here; later accesses through a
   // leaked context/handle are escapes (see Escape.h).
   Tx.endAttempt();
+  if (Sampled)
+    O->span(Lane, "body", Tid, Attempt, BodyTs, O->nowUs() - BodyTs);
   if (Threw) {
     ++Stats.TaskExceptions;
     Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
+    if (Sampled)
+      O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "exception");
     recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false,
                 std::make_shared<const TxLog>(), std::move(EntrySnap));
     return AttemptResult::Thrown;
@@ -195,6 +211,8 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
   if (Config.Faults.forceAbort(Tid, Attempt)) {
     ++Stats.FaultsInjected;
     Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
+    if (Sampled)
+      O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "injected");
     recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, std::move(Log),
                 std::move(EntrySnap));
     return AttemptResult::Aborted;
@@ -217,11 +235,21 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     const PublishedState *NowState =
         Published.load(std::memory_order_acquire);
     uint64_t Now = NowState->Time;
+    const double DetectTs = Sampled ? O->nowUs() : 0.0;
     Window.collectUpTo(Now, OpsC);
     ++Stats.ConflictChecks;
-    if (Detector.detectConflicts(EntrySnap, *Log, OpsC, Reg)) {
+    bool Conflict = Detector.detectConflicts(EntrySnap, *Log, OpsC, Reg);
+    if (Sampled) {
+      double Dur = O->nowUs() - DetectTs;
+      O->detectLatency().record(Dur);
+      O->span(Lane, "detect", Tid, Attempt, DetectTs, Dur, "window",
+              static_cast<double>(OpsC.size()));
+    }
+    if (Conflict) {
       // Abort: drop this attempt; RUNTASK will be re-invoked.
       Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
+      if (Sampled)
+        O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "conflict");
       recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, std::move(Log),
                   std::move(EntrySnap));
       return AttemptResult::Aborted;
@@ -232,12 +260,17 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     // published state is still this one (pointer identity stands in
     // for the paper's now != tcheck clock comparison — ABA-safe, since
     // our hazard slot keeps NowState allocated until we are done).
+    const double ReplayTs = Sampled ? O->nowUs() : 0.0;
     Snapshot Replayed = NowState->State;
     for (const LogEntry &E : *Log)
       Replayed = applyToSnapshot(Replayed, E.Loc, E.Op);
+    if (Sampled)
+      O->span(Lane, "replay", Tid, Attempt, ReplayTs, O->nowUs() - ReplayTs,
+              "ops", static_cast<double>(Log->size()));
 
     // COMMIT(t, Now): the exclusive section is a validation, one
     // history append, and two pointer stores (plus epoch upkeep).
+    const double CommitTs = Sampled ? O->nowUs() : 0.0;
     {
       std::lock_guard<std::mutex> Guard(CommitMutex);
       PublishedState *Current = Published.load(std::memory_order_relaxed);
@@ -245,6 +278,8 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
         // The history evolved since detection: redo detection (the
         // replayed snapshot is stale too — drop it).
         ++Stats.ValidationFailures;
+        if (Sampled)
+          O->instant(Lane, "validate-fail", Tid, Attempt, CommitTs);
         continue;
       }
       uint64_t CommitTime = Now + 1;
@@ -267,6 +302,13 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
       if (Config.ReclaimLogs)
         History.reclaimUpTo(Min);
     }
+    if (Sampled) {
+      double End = O->nowUs();
+      O->span(Lane, "commit", Tid, Attempt, CommitTs, End - CommitTs,
+              "clock", static_cast<double>(Now + 1));
+      // Commit latency = begin-to-publication of the winning attempt.
+      O->commitLatency().record(End - AttemptTs);
+    }
     recordEvent(Worker, Tid, Begin, Now + 1, /*Committed=*/true,
                 std::move(Log), std::move(EntrySnap));
     notifySuccessor(Now + 1);
@@ -275,7 +317,11 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
 }
 
 void ThreadedRuntime::commitSerial(const TaskFn *Task, uint32_t Tid,
-                                   WorkerSlot &Worker) {
+                                   unsigned Lane, WorkerSlot &Worker) {
+  obs::Observer *const O = obs::janusObs(Config.Obs);
+  const bool Sampled = O && O->sampled(Tid);
+  const double SerialTs = Sampled ? O->nowUs() : 0.0;
+
   // Ordered mode: wait for the turn *before* taking the commit lock —
   // the predecessor's commit needs the lock to advance the Clock, so
   // waiting under it would deadlock.
@@ -339,6 +385,13 @@ void ThreadedRuntime::commitSerial(const TaskFn *Task, uint32_t Tid,
     if (Config.ReclaimLogs)
       History.reclaimUpTo(Min);
   }
+  if (Sampled) {
+    double End = O->nowUs();
+    O->span(Lane, "serial", Tid, /*Attempt=*/0, SerialTs, End - SerialTs,
+            "clock", static_cast<double>(CommitTime),
+            Mode == CommitMode::Placeholder ? "placeholder" : "fallback");
+    O->commitLatency().record(End - SerialTs);
+  }
   recordEvent(Worker, Tid, Begin, CommitTime, /*Committed=*/true,
               std::move(Log), std::move(EntrySnap), Mode);
   notifySuccessor(CommitTime);
@@ -366,6 +419,22 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
 
   auto Worker = [this, &Tasks, &NextTask](unsigned Slot) {
     WorkerSlot &W = Workers[Slot];
+    obs::Observer *const O = obs::janusObs(Config.Obs);
+    // Contention-manager backoff, timed into the trace and the
+    // backoff_wait_us histogram when the task is sampled.
+    auto BackoffTraced = [&](uint32_t Tid, uint32_t Attempt,
+                             uint64_t Micros, const char *Note) {
+      if (!O || !O->sampled(Tid)) {
+        backoff(Micros);
+        return;
+      }
+      double Ts = O->nowUs();
+      backoff(Micros);
+      double Dur = O->nowUs() - Ts;
+      O->backoffWait().record(Dur);
+      O->span(Slot, "backoff", Tid, Attempt, Ts, Dur, "requested_us",
+              static_cast<double>(Micros), Note);
+    };
     while (true) {
       size_t Idx = NextTask.fetch_add(1, std::memory_order_relaxed);
       if (Idx >= Tasks.size())
@@ -380,7 +449,8 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
       using Action = resilience::ContentionManager::Action;
       for (uint32_t Attempt = 1;; ++Attempt) {
         std::string ThrowMsg;
-        AttemptResult R = runTask(Tasks[Idx], Tid, Attempt, W, &ThrowMsg);
+        AttemptResult R =
+            runTask(Tasks[Idx], Tid, Attempt, Slot, W, &ThrowMsg);
         if (R == AttemptResult::Committed)
           break;
         if (R == AttemptResult::Aborted) {
@@ -388,10 +458,11 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
           auto D = CM->onAbort(Tid, Slot);
           if (D.Act == Action::Serial) {
             ++Stats.SerialFallbacks;
-            commitSerial(&Tasks[Idx], Tid, W);
+            commitSerial(&Tasks[Idx], Tid, Slot, W);
             break;
           }
-          backoff(D.BackoffMicros);
+          BackoffTraced(Tid, Attempt, D.BackoffMicros,
+                        resilience::ContentionManager::toString(D.Act));
           continue;
         }
         // Thrown.
@@ -400,10 +471,11 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
           ++Stats.TaskFailures;
           W.Failures.push_back(
               resilience::TaskFailure{Tid, CM->attempts(Tid), ThrowMsg});
-          commitSerial(nullptr, Tid, W);
+          commitSerial(nullptr, Tid, Slot, W);
           break;
         }
-        backoff(D.BackoffMicros);
+        BackoffTraced(Tid, Attempt, D.BackoffMicros,
+                      resilience::ContentionManager::toString(D.Act));
       }
       ++Stats.Commits;
     }

@@ -53,6 +53,7 @@
 #ifndef JANUS_STM_THREADEDRUNTIME_H
 #define JANUS_STM_THREADEDRUNTIME_H
 
+#include "janus/obs/Obs.h"
 #include "janus/resilience/ContentionManager.h"
 #include "janus/resilience/FaultPlan.h"
 #include "janus/stm/AuditTrace.h"
@@ -90,6 +91,10 @@ struct ThreadedConfig {
   resilience::ResilienceConfig Resilience = {};
   /// Deterministic fault-injection plan (empty = no faults).
   resilience::FaultPlan Faults = {};
+  /// Observability sink (janus::obs); nullptr = no instrumentation.
+  /// Must be provisioned with at least NumThreads lanes and outlive the
+  /// runtime. Appended last to keep aggregate initializers working.
+  obs::Observer *Obs = nullptr;
 };
 
 /// Runs task sets under optimistic synchronization with a pluggable
@@ -193,9 +198,11 @@ private:
   };
 
   /// One RUNTASK attempt. \p Attempt is the task's 1-based attempt
-  /// number (fault-plan coordinate).
+  /// number (fault-plan coordinate); \p Lane the worker slot index
+  /// (trace lane).
   AttemptResult runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
-                        WorkerSlot &Worker, std::string *ThrowMsg);
+                        unsigned Lane, WorkerSlot &Worker,
+                        std::string *ThrowMsg);
 
   /// Irrevocable serial fallback: executes \p Task pessimistically
   /// under the commit lock (cannot conflict, cannot abort) and commits
@@ -204,7 +211,8 @@ private:
   /// ordered successors unblocked. In ordered mode, waits for the
   /// task's turn *before* taking the lock (the predecessor's commit
   /// needs it).
-  void commitSerial(const TaskFn *Task, uint32_t Tid, WorkerSlot &Worker);
+  void commitSerial(const TaskFn *Task, uint32_t Tid, unsigned Lane,
+                    WorkerSlot &Worker);
 
   /// Appends one attempt record to the worker's trace buffer (no-op
   /// unless recording).

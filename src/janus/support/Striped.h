@@ -1,0 +1,81 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-line padding and striped (per-thread-sharded) counters.
+///
+/// Shared by the runtime statistics (janus/stm/Stats.h) and the
+/// observability metrics (janus/obs/Metrics.h): a plain `std::atomic`
+/// per counter puts every logged operation of every worker on the same
+/// contended cache lines; with striping the hot-path cost of a bump is
+/// an uncontended fetch-add on a line the thread effectively owns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SUPPORT_STRIPED_H
+#define JANUS_SUPPORT_STRIPED_H
+
+#include <atomic>
+#include <cstdint>
+#include <new>
+
+namespace janus {
+
+/// Destructive-interference granularity used to pad per-thread slots.
+/// Padding-only (never part of a serialized or cross-TU ABI contract),
+/// so the compiler's tuning-dependent value is safe to use here.
+#ifdef __cpp_lib_hardware_interference_size
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Winterference-size"
+inline constexpr std::size_t CacheLineSize =
+    std::hardware_destructive_interference_size;
+#pragma GCC diagnostic pop
+#else
+inline constexpr std::size_t CacheLineSize = 64;
+#endif
+
+/// \returns a small dense id for the calling thread, assigned on first
+/// use; used to pick a counter stripe and a cache shard.
+inline unsigned threadStripeId() {
+  static std::atomic<unsigned> NextId{0};
+  thread_local unsigned Id = NextId.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+/// A monotone counter striped over cache-line-aligned atomic slots.
+/// Bumps are relaxed fetch-adds on the calling thread's stripe; load()
+/// sums the stripes (read them after the run quiesces for an exact
+/// total). Drop-in for a `std::atomic<uint64_t>` member: supports
+/// `++c`, `c += n`, `c.load()`.
+class StripedCounter {
+  static constexpr unsigned NumStripes = 8; // Power of two.
+
+  struct alignas(CacheLineSize) Stripe {
+    std::atomic<uint64_t> N{0};
+  };
+  Stripe Stripes[NumStripes];
+
+public:
+  void add(uint64_t Delta) {
+    Stripes[threadStripeId() & (NumStripes - 1)].N.fetch_add(
+        Delta, std::memory_order_relaxed);
+  }
+
+  void operator++() { add(1); }
+  void operator+=(uint64_t Delta) { add(Delta); }
+
+  uint64_t load() const {
+    uint64_t Sum = 0;
+    for (const Stripe &S : Stripes)
+      Sum += S.N.load(std::memory_order_relaxed);
+    return Sum;
+  }
+
+  void reset() {
+    for (Stripe &S : Stripes)
+      S.N.store(0, std::memory_order_relaxed);
+  }
+};
+
+} // namespace janus
+
+#endif // JANUS_SUPPORT_STRIPED_H

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file produced by `janus run
+--trace-out` (janus::obs; DESIGN.md §8).
+
+Checks, in order:
+  - the file parses as JSON and has the expected top-level shape
+    (`schema_version`, `traceEvents` array, `displayTimeUnit`);
+  - every event's name is a member of the span taxonomy (unknown event
+    types are how exporter/instrumentation drift shows up first);
+  - every event's phase is one that the exporter is allowed to emit
+    ('X' complete, 'i' instant, 'M' metadata) and carries the fields
+    that phase requires (non-negative ts/dur, instant scope);
+  - begin/end phases ('B'/'E'), which the exporter must never emit,
+    are flagged as unclosed-span bugs if they appear unbalanced (and
+    as drift if they appear at all).
+
+Usage: check_trace.py TRACE.json [TRACE2.json ...]
+Exit status: 0 when every file passes, 1 otherwise.
+
+Stdlib only; used by tools/ci.sh (obs stage) and by hand.
+"""
+
+import json
+import sys
+
+# The span taxonomy of DESIGN.md §8 plus the metadata records naming
+# the lanes. Anything else in a trace is drift between the engines'
+# instrumentation and this contract.
+SPAN_NAMES = {
+    "begin", "body", "detect", "replay", "commit",
+    "backoff", "serial", "sat",
+}
+INSTANT_NAMES = {"abort", "validate-fail"}
+METADATA_NAMES = {"process_name", "thread_name"}
+KNOWN_PHASES = {"X", "i", "M", "B", "E"}
+
+
+def check_file(path):
+    """Returns a list of error strings for the trace at *path*."""
+    errors = []
+
+    def err(msg, idx=None):
+        where = f"{path}" if idx is None else f"{path}: event #{idx}"
+        errors.append(f"{where}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    if not isinstance(doc.get("schema_version"), int):
+        err("missing integer schema_version")
+    if doc.get("displayTimeUnit") not in ("ms", "ns"):
+        err(f"bad displayTimeUnit {doc.get('displayTimeUnit')!r}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        err("traceEvents missing or not an array")
+        return errors
+
+    open_spans = {}  # (pid, tid) -> list of begin names.
+    counts = {"X": 0, "i": 0, "M": 0}
+    for idx, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            err("event is not an object", idx)
+            continue
+        name = ev.get("name")
+        ph = ev.get("ph")
+        if ph not in KNOWN_PHASES:
+            err(f"unknown phase {ph!r} (name {name!r})", idx)
+            continue
+
+        if ph == "M":
+            if name not in METADATA_NAMES:
+                err(f"unknown metadata record {name!r}", idx)
+            continue
+
+        counts[ph] = counts.get(ph, 0) + 1
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            err(f"{name!r} has bad ts {ts!r}", idx)
+
+        if ph == "X":
+            if name not in SPAN_NAMES:
+                err(f"unknown span type {name!r}", idx)
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                err(f"span {name!r} has bad dur {dur!r}", idx)
+        elif ph == "i":
+            if name not in INSTANT_NAMES:
+                err(f"unknown instant type {name!r}", idx)
+        elif ph == "B":
+            open_spans.setdefault((ev.get("pid"), ev.get("tid")),
+                                  []).append(name)
+        elif ph == "E":
+            stack = open_spans.get((ev.get("pid"), ev.get("tid")), [])
+            if not stack:
+                err(f"end event {name!r} closes nothing", idx)
+            else:
+                stack.pop()
+
+    for (pid, tid), stack in open_spans.items():
+        for name in stack:
+            errors.append(f"{path}: unclosed span {name!r} on "
+                          f"pid={pid} tid={tid}")
+
+    if counts["X"] + counts["i"] == 0:
+        err("trace contains no spans or instants at all")
+    if not errors:
+        print(f"{path}: OK ({counts['X']} spans, {counts['i']} instants, "
+              f"{len(events)} events)")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        for e in check_file(path):
+            print(e, file=sys.stderr)
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -17,6 +17,10 @@
 ///       auditor over it: commit-order serializability replay,
 ///       vector-clock race re-checks, and ADT escape detection. Exits 0
 ///       when the audit is clean, 3 when it found violations.
+///   janus explain --workload NAME [options]
+///       Like run, but record a trace and aggregate every abort by
+///       (location, operation pair, verdict) into a ranked "top
+///       conflict sources" table — where the retries went and why.
 ///
 /// Run options:
 ///   --threads N         worker threads / simulated cores (default 8)
@@ -37,9 +41,23 @@
 ///                       also honoured via env JANUS_FAULTS), e.g.
 ///                       --faults 'abort@*.1;throw@2.1;delay@*.2=50'
 ///
+/// Observability options (janus::obs; see DESIGN.md §8):
+///   --trace-out FILE    record per-transaction spans and write them as
+///                       Chrome trace-event JSON (load in Perfetto or
+///                       chrome://tracing); also prints the metrics
+///                       table
+///   --sample N          trace/time one task in N (default 1 = all)
+///   --json              print the versioned machine-readable report to
+///                       stdout instead of the text report
+///   --json-out FILE     write the JSON report to FILE (text report
+///                       still goes to stdout)
+///   --top N             explain: show only the top N conflict sources
+///
 //===----------------------------------------------------------------------===//
 
 #include "janus/analysis/Auditor.h"
+#include "janus/obs/Attribution.h"
+#include "janus/support/Json.h"
 #include "janus/workloads/Workload.h"
 
 #include <cstdio>
@@ -69,13 +87,25 @@ struct CliOptions {
   bool PrintMisses = false;
   std::string CacheIn, CacheOut;
   resilience::FaultPlan Faults;
+  std::string TraceOut;
+  uint32_t Sample = 1;
+  bool Json = false;
+  std::string JsonOut;
+  size_t Top = 0;
+
+  /// Observability is on whenever something consumes it: a trace file,
+  /// a JSON report (histograms), or explicit sampling.
+  bool obsEnabled() const {
+    return !TraceOut.empty() || Json || !JsonOut.empty() || Sample > 1;
+  }
 };
 
 void usage() {
   std::fprintf(stderr,
                "usage: janus list | janus train --workload NAME [opts] | "
                "janus run --workload NAME [opts] | "
-               "janus audit --workload NAME [opts]\n"
+               "janus audit --workload NAME [opts] | "
+               "janus explain --workload NAME [opts]\n"
                "(see the file header of tools/janus_cli.cpp for the full "
                "option list)\n");
 }
@@ -150,6 +180,28 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.Faults = std::move(*Plan);
+    } else if (Arg == "--trace-out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.TraceOut = V;
+    } else if (Arg == "--sample") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 1)
+        return false;
+      Opts.Sample = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--json") {
+      Opts.Json = true;
+    } else if (Arg == "--json-out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.JsonOut = V;
+    } else if (Arg == "--top") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.Top = static_cast<size_t>(std::atoll(V));
     } else if (Arg == "--cache-in") {
       const char *V = Next();
       if (!V)
@@ -188,7 +240,129 @@ JanusConfig configFor(const CliOptions &Opts) {
   Cfg.Training.InferWAWRelaxation = true;
   Cfg.Training.MaxConcat = 8;
   Cfg.Faults = Opts.Faults;
+  Cfg.Obs.Enabled = Opts.obsEnabled();
+  Cfg.Obs.SampleEvery = Opts.Sample;
   return Cfg;
+}
+
+/// Writes the recorded trace as Chrome trace-event JSON and reports it
+/// (text mode only; JSON mode carries the path in the report).
+bool exportTrace(Janus &J, const CliOptions &Opts) {
+  obs::Observer *O = J.observer();
+  if (!O || Opts.TraceOut.empty())
+    return true;
+  std::string Err;
+  if (!O->writeChromeTrace(Opts.TraceOut, &Err)) {
+    std::fprintf(stderr, "janus: error: %s\n", Err.c_str());
+    return false;
+  }
+  if (!Opts.Json)
+    std::printf("trace      : %zu spans -> %s (load in Perfetto or "
+                "chrome://tracing)\n",
+                O->trace().size(), Opts.TraceOut.c_str());
+  return true;
+}
+
+/// The versioned machine-readable run report. Shares escaping and the
+/// `schema_version` marker with bench/BenchCommon.h via support/Json.h.
+std::string runReportJson(const std::string &Command,
+                          const std::string &Workload, Janus &J,
+                          const RunOutcome &O, bool Verified,
+                          const CliOptions &Opts) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema_version", JsonSchemaVersion);
+  W.field("tool", "janus");
+  W.field("command", std::string_view(Command));
+  W.field("workload", std::string_view(Workload));
+  W.field("engine",
+          Opts.Engine == EngineKind::Simulated ? "sim" : "threads");
+  W.field("detector", std::string_view(J.detector().name()));
+  W.field("threads", static_cast<uint64_t>(Opts.Threads));
+  W.field("speedup", O.speedup());
+  W.field("parallel_time", O.ParallelTime);
+  W.field("sequential_time", O.SequentialTime);
+  W.field("verified", Verified);
+
+  const stm::RunStats &RS = J.runStats();
+  W.key("stats");
+  W.beginObject();
+  W.field("tasks", RS.Tasks.load());
+  W.field("commits", RS.Commits.load());
+  W.field("retries", RS.Retries.load());
+  W.field("retry_ratio", RS.retryRatio());
+  W.field("conflict_checks", RS.ConflictChecks.load());
+  W.field("validation_failures", RS.ValidationFailures.load());
+  W.field("escaped_accesses", RS.EscapedAccesses.load());
+  W.endObject();
+
+  // The resilience picture (PR 3): escalations, budget exhaustions and
+  // structured failures. A retry budget is exhausted exactly when a
+  // task escalates to serial (abort budget) or is declared failed
+  // (exception budget).
+  W.key("resilience");
+  W.beginObject();
+  W.field("serial_fallbacks", RS.SerialFallbacks.load());
+  W.field("task_exceptions", RS.TaskExceptions.load());
+  W.field("task_failures", RS.TaskFailures.load());
+  W.field("faults_injected", RS.FaultsInjected.load());
+  W.field("retry_budget_exhaustions",
+          RS.SerialFallbacks.load() + RS.TaskFailures.load());
+  W.key("failed_tasks");
+  W.beginArray();
+  for (const resilience::TaskFailure &F : O.Failures) {
+    W.beginObject();
+    W.field("tid", static_cast<uint64_t>(F.Tid));
+    W.field("attempts", static_cast<uint64_t>(F.Attempts));
+    W.field("reason", std::string_view(F.Reason));
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+
+  const stm::DetectorStats &DS = J.detectorStats();
+  W.key("detector_stats");
+  W.beginObject();
+  W.field("pair_queries", DS.PairQueries.load());
+  W.field("cache_hits", DS.CacheHits.load());
+  W.field("cache_misses", DS.CacheMisses.load());
+  W.field("online_checks", DS.OnlineChecks.load());
+  W.field("write_set_checks", DS.WriteSetChecks.load());
+  W.field("conflicts_found", DS.ConflictsFound.load());
+  W.field("degraded_queries", DS.DegradedQueries.load());
+  if (auto *SD = J.sequenceDetector()) {
+    W.field("unique_queries", static_cast<uint64_t>(SD->uniqueQueries()));
+    W.field("unique_misses", static_cast<uint64_t>(SD->uniqueMisses()));
+  }
+  W.endObject();
+
+  if (const obs::Observer *Ob = J.observer()) {
+    W.key("obs");
+    W.raw(Ob->metricsJson());
+    if (!Opts.TraceOut.empty())
+      W.field("trace_file", std::string_view(Opts.TraceOut));
+  }
+  W.endObject();
+  return W.str();
+}
+
+/// Emits the JSON report per --json/--json-out. \returns false on I/O
+/// failure.
+bool emitJsonReport(const std::string &Report, const CliOptions &Opts) {
+  if (Opts.Json)
+    std::printf("%s\n", Report.c_str());
+  if (!Opts.JsonOut.empty()) {
+    std::ofstream Out(Opts.JsonOut, std::ios::trunc);
+    Out << Report << "\n";
+    if (!Out) {
+      std::fprintf(stderr, "janus: error: cannot write '%s'\n",
+                   Opts.JsonOut.c_str());
+      return false;
+    }
+    if (!Opts.Json)
+      std::printf("json report: %s\n", Opts.JsonOut.c_str());
+  }
+  return true;
 }
 
 /// Prints the resilience picture of a finished run: escalations,
@@ -263,59 +437,145 @@ int cmdRun(const CliOptions &Opts) {
                      Opts.CacheIn.c_str());
         return 1;
       }
-      std::printf("loaded training artifact: %zu cache entries\n",
-                  J.cache()->size());
+      if (!Opts.Json)
+        std::printf("loaded training artifact: %zu cache entries\n",
+                    J.cache()->size());
     } else {
       for (const PayloadSpec &P : W->trainingPayloads(Opts.Rounds))
         J.train(W->makeTasks(P));
-      std::printf("trained: %zu cache entries\n", J.cache()->size());
+      if (!Opts.Json)
+        std::printf("trained: %zu cache entries\n", J.cache()->size());
+    }
+  }
+
+  PayloadSpec Payload{Opts.Seed, Opts.Production};
+  RunOutcome O = W->runOn(J, Payload);
+  bool Verified = W->verify(J, Payload);
+
+  if (!Opts.Json) {
+    std::printf("workload   : %s (%s, %s engine, %u %s)\n",
+                W->name().c_str(), J.detector().name().c_str(),
+                Opts.Engine == EngineKind::Simulated ? "simulated"
+                                                     : "threaded",
+                Opts.Threads,
+                Opts.Engine == EngineKind::Simulated ? "cores" : "threads");
+    std::printf("speedup    : %.2fx (parallel %.1f vs sequential %.1f)\n",
+                O.speedup(), O.ParallelTime, O.SequentialTime);
+    std::printf("commits    : %llu\n",
+                (unsigned long long)J.runStats().Commits.load());
+    std::printf("retries    : %llu (ratio %.3f)\n",
+                (unsigned long long)J.runStats().Retries.load(),
+                J.runStats().retryRatio());
+    printResilience(J, O);
+    if (auto *SD = J.sequenceDetector()) {
+      const stm::DetectorStats &DS = J.detectorStats();
+      std::printf("queries    : %llu pairs, %llu hits, %llu misses, "
+                  "%llu online, %llu write-set, %llu degraded\n",
+                  (unsigned long long)DS.PairQueries.load(),
+                  (unsigned long long)DS.CacheHits.load(),
+                  (unsigned long long)DS.CacheMisses.load(),
+                  (unsigned long long)DS.OnlineChecks.load(),
+                  (unsigned long long)DS.WriteSetChecks.load(),
+                  (unsigned long long)DS.DegradedQueries.load());
+      std::printf("unique     : %zu queries, %zu misses\n",
+                  SD->uniqueQueries(), SD->uniqueMisses());
+      if (Opts.PrintMisses)
+        for (const std::string &Key : SD->missedQueryKeys())
+          std::printf("  MISS %s\n", Key.c_str());
+    }
+    if (const obs::Observer *Ob = J.observer())
+      std::printf("%s", Ob->metricsTable().c_str());
+    std::printf("final state: %s\n",
+                Verified ? "verified OK" : "VERIFICATION FAILED");
+  }
+  if (!exportTrace(J, Opts))
+    return 1;
+  if (Opts.Json || !Opts.JsonOut.empty()) {
+    std::string Report =
+        runReportJson("run", W->name(), J, O, Verified, Opts);
+    if (!emitJsonReport(Report, Opts))
+      return 1;
+  }
+  if (!Opts.CacheOut.empty()) {
+    std::ofstream Out(Opts.CacheOut, std::ios::trunc);
+    if (Out) {
+      Out << J.exportTrainingArtifact();
+      if (!Opts.Json)
+        std::printf("training artifact saved to %s\n",
+                    Opts.CacheOut.c_str());
+    }
+  }
+  return Verified ? 0 : 2;
+}
+
+/// `janus explain`: run with trace recording on, then attribute every
+/// abort to its conflict source (location, operation pair, Figure 8
+/// verdict) and print the ranked table. See obs/Attribution.h.
+int cmdExplain(const CliOptions &Opts) {
+  auto W = workloadByName(Opts.WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "janus: error: unknown workload '%s'\n",
+                 Opts.WorkloadName.c_str());
+    return 1;
+  }
+  JanusConfig Cfg = configFor(Opts);
+  Cfg.RecordTrace = true; // Attribution replays the recorded attempts.
+  Janus J(Cfg);
+  W->setup(J);
+
+  if (Opts.Detector == DetectorKind::Sequence) {
+    if (!Opts.CacheIn.empty()) {
+      std::ifstream In(Opts.CacheIn);
+      std::ostringstream Buffer;
+      Buffer << In.rdbuf();
+      if (!In || !J.importTrainingArtifact(Buffer.str())) {
+        std::fprintf(stderr,
+                     "janus: error: cannot load training artifact '%s'\n",
+                     Opts.CacheIn.c_str());
+        return 1;
+      }
+    } else {
+      for (const PayloadSpec &P : W->trainingPayloads(Opts.Rounds))
+        J.train(W->makeTasks(P));
     }
   }
 
   PayloadSpec Payload{Opts.Seed, Opts.Production};
   RunOutcome O = W->runOn(J, Payload);
 
-  std::printf("workload   : %s (%s, %s engine, %u %s)\n",
-              W->name().c_str(), J.detector().name().c_str(),
-              Opts.Engine == EngineKind::Simulated ? "simulated"
-                                                   : "threaded",
-              Opts.Threads,
-              Opts.Engine == EngineKind::Simulated ? "cores" : "threads");
-  std::printf("speedup    : %.2fx (parallel %.1f vs sequential %.1f)\n",
-              O.speedup(), O.ParallelTime, O.SequentialTime);
-  std::printf("commits    : %llu\n",
-              (unsigned long long)J.runStats().Commits.load());
-  std::printf("retries    : %llu (ratio %.3f)\n",
-              (unsigned long long)J.runStats().Retries.load(),
-              J.runStats().retryRatio());
-  printResilience(J, O);
-  if (auto *SD = J.sequenceDetector()) {
-    const stm::DetectorStats &DS = J.detectorStats();
-    std::printf("queries    : %llu pairs, %llu hits, %llu misses, "
-                "%llu online, %llu write-set, %llu degraded\n",
-                (unsigned long long)DS.PairQueries.load(),
-                (unsigned long long)DS.CacheHits.load(),
-                (unsigned long long)DS.CacheMisses.load(),
-                (unsigned long long)DS.OnlineChecks.load(),
-                (unsigned long long)DS.WriteSetChecks.load(),
-                (unsigned long long)DS.DegradedQueries.load());
-    std::printf("unique     : %zu queries, %zu misses\n",
-                SD->uniqueQueries(), SD->uniqueMisses());
-    if (Opts.PrintMisses)
-      for (const std::string &Key : SD->missedQueryKeys())
-        std::printf("  MISS %s\n", Key.c_str());
+  obs::AbortAttribution A =
+      obs::attributeAborts(J.lastTrace(), J.registry());
+
+  if (!Opts.Json) {
+    std::printf("workload   : %s (%s, %s engine, %u %s)\n",
+                W->name().c_str(), J.detector().name().c_str(),
+                Opts.Engine == EngineKind::Simulated ? "simulated"
+                                                     : "threaded",
+                Opts.Threads,
+                Opts.Engine == EngineKind::Simulated ? "cores" : "threads");
+    std::printf("run        : %llu commits, %llu retries, speedup %.2fx\n",
+                (unsigned long long)J.runStats().Commits.load(),
+                (unsigned long long)J.runStats().Retries.load(),
+                O.speedup());
+    printResilience(J, O);
+    std::printf("%s", A.toTable(Opts.Top).c_str());
   }
-  std::printf("final state: %s\n",
-              W->verify(J, Payload) ? "verified OK" : "VERIFICATION FAILED");
-  if (!Opts.CacheOut.empty()) {
-    std::ofstream Out(Opts.CacheOut, std::ios::trunc);
-    if (Out) {
-      Out << J.exportTrainingArtifact();
-      std::printf("training artifact saved to %s\n",
-                  Opts.CacheOut.c_str());
-    }
+  if (!exportTrace(J, Opts))
+    return 1;
+  if (Opts.Json || !Opts.JsonOut.empty()) {
+    JsonWriter Wr;
+    Wr.beginObject();
+    Wr.field("schema_version", JsonSchemaVersion);
+    Wr.field("tool", "janus");
+    Wr.field("command", "explain");
+    Wr.field("workload", std::string_view(W->name()));
+    Wr.key("attribution");
+    Wr.raw(A.toJson());
+    Wr.endObject();
+    if (!emitJsonReport(Wr.str(), Opts))
+      return 1;
   }
-  return W->verify(J, Payload) ? 0 : 2;
+  return 0;
 }
 
 int cmdAudit(const CliOptions &Opts) {
@@ -390,6 +650,8 @@ int main(int Argc, char **Argv) {
     return cmdRun(Opts);
   if (Opts.Command == "audit")
     return cmdAudit(Opts);
+  if (Opts.Command == "explain")
+    return cmdExplain(Opts);
   usage();
   return 1;
 }
