@@ -47,7 +47,10 @@ Janus::Janus(JanusConfig ConfigIn)
     // destruction uninstalls the hook for all).
     ObsSink = std::make_unique<obs::Observer>(
         Config.Obs, std::max(1u, Config.Threads) + 1);
-    obs::Observer *O = ObsSink.get();
+  }
+  // Through the compile-time gate: with JANUS_OBS=OFF the hook is never
+  // installed, so SAT solves pay nothing.
+  if (obs::Observer *O = obs::janusObs(ObsSink.get())) {
     sat::setSolveObserver([O](const sat::SolveObservation &S) {
       O->satSolve().record(S.Micros);
       O->span(O->auxLane(), "sat", /*Tid=*/0, /*Attempt=*/0,

@@ -32,6 +32,8 @@ std::string Observer::chromeTraceJson() const {
   W.beginObject();
   W.field("tool", "janus");
   W.field("sample_every", static_cast<uint64_t>(Config.SampleEvery));
+  W.field("sample_every_effective",
+          static_cast<uint64_t>(effectiveSampleEvery()));
   W.field("spans_dropped", Buffer.dropped());
   W.endObject();
   W.key("traceEvents");
@@ -127,6 +129,10 @@ std::string Observer::metricsTable() const {
   uint64_t Dropped = Buffer.dropped();
   if (Dropped)
     Out += "obs.spans_dropped: " + std::to_string(Dropped) + "\n";
+  if (effectiveSampleEvery() != Config.SampleEvery)
+    Out += "obs.sample_every_effective: " +
+           std::to_string(effectiveSampleEvery()) + " (configured " +
+           std::to_string(Config.SampleEvery) + ")\n";
   return Out;
 }
 
@@ -138,6 +144,8 @@ std::string Observer::metricsJson() const {
   for (const auto &[Name, V] : Registry.counterValues())
     W.field(Name, V);
   W.field("obs.spans_dropped", Buffer.dropped());
+  W.field("obs.sample_every_effective",
+          static_cast<uint64_t>(effectiveSampleEvery()));
   W.endObject();
   W.key("histograms");
   W.beginObject();

@@ -33,6 +33,7 @@
 #include "janus/obs/Metrics.h"
 #include "janus/obs/Trace.h"
 
+#include <atomic>
 #include <chrono>
 #include <string>
 
@@ -55,6 +56,13 @@ struct ObsConfig {
   /// Per-lane span cap; past it events are dropped and counted
   /// (`obs.spans_dropped`), bounding trace memory.
   size_t MaxEventsPerLane = 1u << 20;
+  /// Adaptive sampling: when a span is dropped (a lane hit
+  /// MaxEventsPerLane), double the effective sampling period instead of
+  /// silently truncating the trace tail — later tasks are sampled more
+  /// sparsely but the run's full time range stays represented. Each
+  /// raise is counted (`obs.sample_rate_raises`); the configured
+  /// SampleEvery is never lowered.
+  bool AdaptiveSampling = true;
 };
 
 /// See the file header. One Observer instance serves one Janus
@@ -66,22 +74,31 @@ public:
   Observer(ObsConfig Config, unsigned NumLanes)
       : Config(Config), Buffer(NumLanes, Config.MaxEventsPerLane),
         Start(std::chrono::steady_clock::now()),
+        EffectiveSampleEvery(Config.SampleEvery ? Config.SampleEvery : 1),
         CommitLatency(Registry.histogram("commit_latency_us")),
         DetectLatency(Registry.histogram("detect_latency_us")),
         BackoffWait(Registry.histogram("backoff_wait_us")),
         SatSolve(Registry.histogram("sat_solve_us")),
-        SpansRecorded(Registry.counter("obs.spans_recorded")) {}
+        SpansRecorded(Registry.counter("obs.spans_recorded")),
+        SampleRateRaises(Registry.counter("obs.sample_rate_raises")) {}
 
   const ObsConfig &config() const { return Config; }
 
   /// \returns whether task \p Tid's spans/latencies are recorded. The
   /// sampled congruence class contains task 1, so singleton runs are
-  /// always traced.
+  /// always traced. Uses the *effective* sampling period, which
+  /// adaptive sampling may have raised above ObsConfig::SampleEvery.
   bool sampled(uint32_t Tid) const {
     if (!Config.Enabled)
       return false;
-    return Config.SampleEvery <= 1 ||
-           Tid % Config.SampleEvery == 1 % Config.SampleEvery;
+    uint32_t N = EffectiveSampleEvery.load(std::memory_order_relaxed);
+    return N <= 1 || Tid % N == 1 % N;
+  }
+
+  /// The sampling period currently in force (== ObsConfig::SampleEvery
+  /// until a span drop triggers an adaptive raise).
+  uint32_t effectiveSampleEvery() const {
+    return EffectiveSampleEvery.load(std::memory_order_relaxed);
   }
 
   /// Wall-clock microseconds since the observer was created (the
@@ -94,6 +111,9 @@ public:
   }
 
   /// Records a complete span ('X').
+  // NOLINTNEXTLINE(bugprone-easily-swappable-parameters): the
+  // (tid, attempt) and (ts, dur) orders are the Chrome trace-event
+  // convention every call site follows.
   void span(unsigned Lane, const char *Name, uint32_t Tid, uint32_t Attempt,
             double Ts, double Dur, const char *ExtraKey = nullptr,
             double Extra = 0.0, const char *Note = nullptr) {
@@ -108,7 +128,10 @@ public:
     R.ExtraKey = ExtraKey;
     R.Extra = Extra;
     R.Note = Note;
-    Buffer.append(Lane, R);
+    if (!Buffer.append(Lane, R)) {
+      onSpanDropped();
+      return;
+    }
     ++SpansRecorded;
   }
 
@@ -123,7 +146,10 @@ public:
     R.Attempt = Attempt;
     R.Lane = Lane;
     R.Note = Note;
-    Buffer.append(Lane, R);
+    if (!Buffer.append(Lane, R)) {
+      onSpanDropped();
+      return;
+    }
     ++SpansRecorded;
   }
 
@@ -144,10 +170,13 @@ public:
   LatencyHistogram &satSolve() { return SatSolve; }
 
   /// Drops recorded spans and zeroes every metric (a fresh run on the
-  /// same instance).
+  /// same instance). Also resets the adaptive sampling period to the
+  /// configured one: the raise was a response to the cleared trace.
   void clear() {
     Buffer.clear();
     Registry.reset();
+    EffectiveSampleEvery.store(Config.SampleEvery ? Config.SampleEvery : 1,
+                               std::memory_order_relaxed);
   }
 
   // --- Exporters (Export.cpp; not needed by the engines). -------------
@@ -168,15 +197,42 @@ public:
   std::string metricsJson() const;
 
 private:
+  /// Ceiling for adaptive raises: past one-in-a-million the trace is
+  /// effectively a singleton sample and further doubling is noise.
+  static constexpr uint32_t MaxSampleEvery = 1u << 20;
+
+  /// A lane just dropped a span. Under adaptive sampling, double the
+  /// effective period (saturating at MaxSampleEvery) so the rest of the
+  /// run records a sparser but complete picture. Lock-free: concurrent
+  /// droppers race on the CAS and at most one doubling per observed
+  /// value wins, which is exactly the intended growth rate.
+  void onSpanDropped() {
+    if (!Config.AdaptiveSampling)
+      return;
+    uint32_t Cur = EffectiveSampleEvery.load(std::memory_order_relaxed);
+    while (Cur < MaxSampleEvery) {
+      if (EffectiveSampleEvery.compare_exchange_weak(
+              Cur, Cur * 2, std::memory_order_relaxed,
+              std::memory_order_relaxed)) {
+        ++SampleRateRaises;
+        return;
+      }
+      // Cur was reloaded by the failed CAS; a racer already doubled.
+      return;
+    }
+  }
+
   ObsConfig Config;
   MetricsRegistry Registry;
   TraceBuffer Buffer;
   std::chrono::steady_clock::time_point Start;
+  std::atomic<uint32_t> EffectiveSampleEvery;
   LatencyHistogram &CommitLatency;
   LatencyHistogram &DetectLatency;
   LatencyHistogram &BackoffWait;
   LatencyHistogram &SatSolve;
   Counter &SpansRecorded;
+  Counter &SampleRateRaises;
 };
 
 /// The engines' compile-time gate: with JANUS_OBS_ENABLED=0 this folds

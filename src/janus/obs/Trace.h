@@ -58,14 +58,16 @@ public:
 
   /// Appends \p R to \p Lane's buffer; drops (and counts the drop) once
   /// the lane cap is reached, so a runaway run degrades to a truncated
-  /// trace instead of unbounded memory.
-  void append(unsigned Lane, const SpanRecord &R) {
+  /// trace instead of unbounded memory. \returns false when the record
+  /// was dropped — the Observer's adaptive-sampling feedback signal.
+  bool append(unsigned Lane, const SpanRecord &R) {
     LaneBuf &L = Lanes[Lane < Lanes.size() ? Lane : Lanes.size() - 1];
     if (L.Events.size() >= MaxPerLane) {
       ++L.Dropped;
-      return;
+      return false;
     }
     L.Events.push_back(R);
+    return true;
   }
 
   /// All recorded events, lane by lane (within a lane, recording

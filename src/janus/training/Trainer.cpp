@@ -1,6 +1,7 @@
 #include "janus/training/Trainer.h"
 
-#include "janus/training/RelationalCheck.h"
+#include "janus/verify/RelationalCheck.h"
+#include "janus/verify/Verify.h"
 
 #include <set>
 #include <unordered_map>
@@ -210,11 +211,29 @@ void Trainer::cachePair(const std::string &LocClass, const Rep &Mine,
     // It validates the COMMUTE half of the verdict on the sampled
     // concrete entry state.
     ++Stats.SatCrossChecks;
-    std::optional<bool> Sat = commuteViaSat(Mine.SampleEntry, Mine.Seq,
-                                            Theirs, Config.SatConflictBudget);
+    std::optional<bool> Sat = verify::commuteViaSat(
+        Mine.SampleEntry, Mine.Seq, Theirs, Config.SatConflictBudget);
     if (Sat && !*Sat) {
       ++Stats.SatDisagreements;
       return; // Engines disagree: do not cache.
+    }
+  }
+
+  if (Config.VerifyBeforePublish && !Cond->isNever()) {
+    // Publish gate (janus::verify): bounded-exhaustive small-scope
+    // replay of both execution orders on every input state the
+    // condition admits. A convicted entry is never published — the
+    // runtime falls back conservatively on the missing pair instead.
+    // (Never-conditions admit nothing and are trivially sound.)
+    ++Stats.VerifyChecks;
+    verify::VerifyConfig VC;
+    VC.IntScope = Config.VerifyScope;
+    VC.UseSat = false; // The SAT cross-check above is independent.
+    verify::PairResult VR =
+        verify::checkPair(MineExp, TheirsExp, *Cond, Checks, VC);
+    if (VR.V == verify::Verdict::Unsound) {
+      ++Stats.VerifyRejected;
+      return;
     }
   }
 

@@ -59,6 +59,15 @@ struct TrainerConfig {
   /// Automatically infer tolerate-WAW for define-before-use objects
   /// (valid only for out-of-order parallelization).
   bool InferWAWRelaxation = false;
+  /// Publish gate (janus::verify): before caching an entry, run the
+  /// bounded-exhaustive small-scope soundness check over the condition
+  /// and refuse to publish convicted entries. The same gate the online-
+  /// training direction reuses for hot-swapped tables; `janus verify`
+  /// applies it to whole persisted artifacts.
+  bool VerifyBeforePublish = true;
+  /// Small-scope bound for the publish gate: integer inputs range over
+  /// [-VerifyScope, VerifyScope].
+  int64_t VerifyScope = 2;
 };
 
 /// Counters describing one training session.
@@ -73,6 +82,8 @@ struct TrainStats {
   uint64_t SatCrossChecks = 0;
   uint64_t SatDisagreements = 0;
   uint64_t InferredWAWObjects = 0;
+  uint64_t VerifyChecks = 0;   ///< Publish-gate soundness checks run.
+  uint64_t VerifyRejected = 0; ///< Entries the publish gate convicted.
 };
 
 /// Runs training payloads sequentially and populates a commutativity

@@ -1,7 +1,7 @@
-#include "janus/training/RelationalCheck.h"
+#include "janus/verify/RelationalCheck.h"
 
 using namespace janus;
-using namespace janus::training;
+using namespace janus::verify;
 using namespace janus::relational;
 using symbolic::LocOp;
 using symbolic::LocOpKind;
@@ -24,7 +24,7 @@ Tuple cellTuple(const Value &V) {
 } // namespace
 
 std::optional<Transformer>
-training::lowerToRelational(const Value &Entry, const LocOpSeq &Seq) {
+verify::lowerToRelational(const Value &Entry, const LocOpSeq &Seq) {
   Transformer T;
   Value Cur = Entry;
   for (const LocOp &Op : Seq) {
@@ -51,7 +51,7 @@ training::lowerToRelational(const Value &Entry, const LocOpSeq &Seq) {
   return T;
 }
 
-std::optional<bool> training::commuteViaSat(const Value &Entry,
+std::optional<bool> verify::commuteViaSat(const Value &Entry,
                                             const LocOpSeq &A,
                                             const LocOpSeq &B,
                                             uint64_t SatConflictBudget) {

@@ -16,8 +16,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef JANUS_TRAINING_RELATIONALCHECK_H
-#define JANUS_TRAINING_RELATIONALCHECK_H
+#ifndef JANUS_VERIFY_RELATIONALCHECK_H
+#define JANUS_VERIFY_RELATIONALCHECK_H
 
 #include "janus/relational/Encoding.h"
 #include "janus/symbolic/LocOp.h"
@@ -25,7 +25,7 @@
 #include <optional>
 
 namespace janus {
-namespace training {
+namespace verify {
 
 /// Lowers a concrete per-location sequence, starting from \p Entry, to
 /// a relational transformer over the single-cell schema: Write v
@@ -44,7 +44,7 @@ std::optional<bool> commuteViaSat(const Value &Entry,
                                   const symbolic::LocOpSeq &B,
                                   uint64_t SatConflictBudget = 100000);
 
-} // namespace training
+} // namespace verify
 } // namespace janus
 
-#endif // JANUS_TRAINING_RELATIONALCHECK_H
+#endif // JANUS_VERIFY_RELATIONALCHECK_H

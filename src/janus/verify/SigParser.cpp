@@ -1,0 +1,265 @@
+#include "janus/verify/SigParser.h"
+
+using namespace janus;
+using namespace janus::verify;
+using namespace janus::symbolic;
+using abstraction::AbstractElem;
+using abstraction::AbstractSeq;
+
+namespace {
+
+/// Coefficients past this are outside anything the abstraction layer
+/// emits (they would require merging that many adds of one symbol);
+/// refuse rather than loop unboundedly building the linear term.
+constexpr int64_t MaxCoefMagnitude = 64;
+
+bool allDigits(const std::string &S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (C < '0' || C > '9')
+      return false;
+  return true;
+}
+
+std::optional<int64_t> parseInt(const std::string &S) {
+  std::string Digits = S;
+  bool Neg = false;
+  if (!Digits.empty() && (Digits[0] == '-' || Digits[0] == '+')) {
+    Neg = Digits[0] == '-';
+    Digits = Digits.substr(1);
+  }
+  if (!allDigits(Digits) || Digits.size() > 18)
+    return std::nullopt;
+  int64_t V = 0;
+  for (char C : Digits)
+    V = V * 10 + (C - '0');
+  return Neg ? -V : V;
+}
+
+/// Parses "v0" or "p<N>" (the names Term::toString gives integer
+/// symbols).
+std::optional<SymId> parseIntSymName(const std::string &S) {
+  if (S == "v0")
+    return EntrySym;
+  if (S.size() >= 2 && S[0] == 'p' && allDigits(S.substr(1)))
+    if (std::optional<int64_t> N = parseInt(S.substr(1)))
+      if (*N > 0 && *N <= 0x7fffffff)
+        return static_cast<SymId>(*N);
+  return std::nullopt;
+}
+
+/// Builds k·sym with the public Term API (add the unit symbol |k|
+/// times, then negate); Term exposes no direct scaling.
+std::optional<Term> scaledSym(SymId S, int64_t K) {
+  if (K == 0 || K > MaxCoefMagnitude || K < -MaxCoefMagnitude)
+    return std::nullopt;
+  Term Unit = Term::intSym(S);
+  Term Acc = Unit;
+  for (int64_t I = 1, E = K < 0 ? -K : K; I != E; ++I) {
+    std::optional<Term> Sum = Term::add(Acc, Unit);
+    if (!Sum)
+      return std::nullopt;
+    Acc = *Sum;
+  }
+  return K < 0 ? Acc.negated() : Acc;
+}
+
+/// Parses one additive item of a linear rendering: "name", "C*name" or
+/// a bare integer. \p Negate carries the preceding " - " separator (or
+/// leading '-').
+std::optional<Term> parseLinItem(std::string Item, bool Negate) {
+  if (!Item.empty() && Item[0] == '-') {
+    Negate = !Negate;
+    Item = Item.substr(1);
+  }
+  if (std::optional<int64_t> C = parseInt(Item))
+    return Term::constant(Value::of(Negate ? -*C : *C));
+  int64_t Coef = 1;
+  size_t Star = Item.find('*');
+  if (Star != std::string::npos) {
+    std::optional<int64_t> C = parseInt(Item.substr(0, Star));
+    if (!C)
+      return std::nullopt;
+    Coef = *C;
+    Item = Item.substr(Star + 1);
+  }
+  std::optional<SymId> S = parseIntSymName(Item);
+  if (!S)
+    return std::nullopt;
+  return scaledSym(*S, Negate ? -Coef : Coef);
+}
+
+/// Splits \p S at top level on \p Delim, respecting '['..']' nesting
+/// and double-quoted spans.
+std::optional<std::vector<std::string>> splitTopLevel(const std::string &S,
+                                                      const std::string &Delim) {
+  std::vector<std::string> Out;
+  int Depth = 0;
+  bool InString = false;
+  size_t Start = 0;
+  for (size_t I = 0; I != S.size(); ++I) {
+    char C = S[I];
+    if (C == '"') {
+      InString = !InString;
+    } else if (!InString && C == '[') {
+      ++Depth;
+    } else if (!InString && C == ']') {
+      if (--Depth < 0)
+        return std::nullopt;
+    } else if (!InString && Depth == 0 &&
+               S.compare(I, Delim.size(), Delim) == 0) {
+      Out.push_back(S.substr(Start, I - Start));
+      I += Delim.size() - 1;
+      Start = I + 1;
+    }
+  }
+  if (Depth != 0 || InString)
+    return std::nullopt;
+  Out.push_back(S.substr(Start));
+  return Out;
+}
+
+std::optional<SymLocOp> parseOp(const std::string &Text);
+
+std::optional<SymLocSeq> parseBody(const std::string &Text) {
+  std::optional<std::vector<std::string>> Parts =
+      splitTopLevel(Text, ", ");
+  if (!Parts)
+    return std::nullopt;
+  SymLocSeq Body;
+  for (const std::string &P : *Parts) {
+    std::optional<SymLocOp> Op = parseOp(P);
+    if (!Op)
+      return std::nullopt;
+    Body.push_back(std::move(*Op));
+  }
+  return Body;
+}
+
+std::optional<SymLocOp> parseOp(const std::string &Text) {
+  if (Text == "R")
+    return SymLocOp::read();
+  if (Text.size() >= 4 && Text.compare(0, 2, "W(") == 0 &&
+      Text.back() == ')') {
+    std::optional<Term> T = parseTerm(Text.substr(2, Text.size() - 3));
+    if (!T)
+      return std::nullopt;
+    return SymLocOp::write(std::move(*T));
+  }
+  if (Text.size() >= 4 && Text.compare(0, 2, "A(") == 0 &&
+      Text.back() == ')') {
+    std::optional<Term> T = parseTerm(Text.substr(2, Text.size() - 3));
+    if (!T)
+      return std::nullopt;
+    return SymLocOp::add(std::move(*T));
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::optional<Term> verify::parseTerm(const std::string &Text) {
+  if (Text.empty())
+    return std::nullopt;
+
+  // Constant Values (Value::toString forms).
+  if (Text == "absent")
+    return Term::constant(Value::absent());
+  if (Text == "unit")
+    return Term::constant(Value::unit());
+  if (Text == "true")
+    return Term::constant(Value::of(true));
+  if (Text == "false")
+    return Term::constant(Value::of(false));
+  if (Text.front() == '"') {
+    // Value::toString does not escape; only strings with exactly the
+    // two surrounding quotes round-trip.
+    if (Text.size() < 2 || Text.back() != '"' ||
+        Text.find('"', 1) != Text.size() - 1)
+      return std::nullopt;
+    return Term::constant(Value::of(Text.substr(1, Text.size() - 2)));
+  }
+
+  // Opaque symbol "q<N>".
+  if (Text[0] == 'q' && Text.size() >= 2 && allDigits(Text.substr(1))) {
+    std::optional<int64_t> N = parseInt(Text.substr(1));
+    if (!N || *N < 0 || *N > 0x7fffffff)
+      return std::nullopt;
+    return Term::opaqueSym(static_cast<SymId>(*N));
+  }
+
+  // Read reference "read#<N>[±c]".
+  if (Text.compare(0, 5, "read#") == 0) {
+    std::string Rest = Text.substr(5);
+    size_t Sign = Rest.find_first_of("+-");
+    int64_t Offset = 0;
+    if (Sign != std::string::npos) {
+      std::optional<int64_t> Off = parseInt(Rest.substr(Sign));
+      if (!Off)
+        return std::nullopt;
+      Offset = *Off;
+      Rest = Rest.substr(0, Sign);
+    }
+    std::optional<int64_t> Idx = parseInt(Rest);
+    if (!Idx || *Idx < 0 || *Idx > 0x7fffffff)
+      return std::nullopt;
+    return Term::readPlus(static_cast<uint32_t>(*Idx), Offset);
+  }
+
+  // Linear rendering: items joined by " + " / " - ", e.g.
+  // "v0 + 2*p1 - 3". Rewrite the separators into a uniform item list.
+  std::optional<Term> Acc;
+  size_t Pos = 0;
+  bool Negate = false;
+  while (Pos <= Text.size()) {
+    size_t Plus = Text.find(" + ", Pos);
+    size_t Minus = Text.find(" - ", Pos);
+    size_t Next = std::min(Plus, Minus);
+    std::string Item = Text.substr(
+        Pos, Next == std::string::npos ? std::string::npos : Next - Pos);
+    std::optional<Term> T = parseLinItem(Item, Negate);
+    if (!T)
+      return std::nullopt;
+    if (!Acc) {
+      Acc = std::move(*T);
+    } else {
+      std::optional<Term> Sum = Term::add(*Acc, *T);
+      if (!Sum)
+        return std::nullopt;
+      Acc = std::move(*Sum);
+    }
+    if (Next == std::string::npos)
+      break;
+    Negate = Next == Minus;
+    Pos = Next + 3;
+  }
+  return Acc;
+}
+
+std::optional<AbstractSeq> verify::parseSignature(const std::string &Sig) {
+  AbstractSeq Seq;
+  if (Sig.empty())
+    return Seq; // The empty sequence renders as "".
+  std::optional<std::vector<std::string>> Parts = splitTopLevel(Sig, ", ");
+  if (!Parts)
+    return std::nullopt;
+  for (const std::string &P : *Parts) {
+    AbstractElem E;
+    if (P.size() >= 4 && P.front() == '[' &&
+        P.compare(P.size() - 2, 2, "]+") == 0) {
+      E.IsGroup = true;
+      std::optional<SymLocSeq> Body = parseBody(P.substr(1, P.size() - 3));
+      if (!Body || Body->empty())
+        return std::nullopt;
+      E.Body = std::move(*Body);
+    } else {
+      std::optional<SymLocOp> Op = parseOp(P);
+      if (!Op)
+        return std::nullopt;
+      E.Op = std::move(*Op);
+    }
+    Seq.Elems.push_back(std::move(E));
+  }
+  return Seq;
+}

@@ -1,0 +1,47 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parsing cache-key signatures back into abstract sequences.
+///
+/// The commutativity cache keys entries by the canonical textual
+/// signatures of the two abstract sequences (AbstractSeq::signature()),
+/// e.g. "[A(p1), A(-p1)]+ | R | W(read#0+1)" rendered per element as
+/// "R", "W(term)", "A(term)" or "[body]+". The signature is the *only*
+/// persisted description of the sequences — conditions are stored, the
+/// sequences are not — so offline verification of a trained table must
+/// invert the rendering. The term grammar is Term::toString()'s output:
+/// linear combinations over v0/pN with integer coefficients, opaque
+/// symbols qN, read references read#N±c, and constant Values.
+///
+/// Parsing is exact: parseSignature(S).signature() == S for every
+/// signature the abstraction layer emits (signature_roundtrip in
+/// verify_test.cpp). Inputs outside the grammar (e.g. string constants
+/// containing quotes, which Value::toString does not escape) return
+/// nullopt and the verifier reports the entry as Unsupported rather
+/// than guessing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_VERIFY_SIGPARSER_H
+#define JANUS_VERIFY_SIGPARSER_H
+
+#include "janus/abstraction/AbstractSeq.h"
+
+#include <optional>
+#include <string>
+
+namespace janus {
+namespace verify {
+
+/// Parses one term as rendered by Term::toString(). \returns nullopt on
+/// malformed input.
+std::optional<symbolic::Term> parseTerm(const std::string &Text);
+
+/// Parses a full AbstractSeq::signature() string. \returns nullopt on
+/// malformed input.
+std::optional<abstraction::AbstractSeq> parseSignature(const std::string &Sig);
+
+} // namespace verify
+} // namespace janus
+
+#endif // JANUS_VERIFY_SIGPARSER_H

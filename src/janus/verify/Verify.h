@@ -1,0 +1,170 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static soundness checking of learned commutativity conditions.
+///
+/// JANUS's safety argument rests on the trained detector tables: a
+/// cached condition that admits a non-commuting input state silently
+/// breaks serializability, and the dynamic hindsight auditor can only
+/// convict it on schedules that happen to run. This module closes the
+/// gap statically, per the reduction of commutativity verification to
+/// reachability over a differencing abstraction (Koskinen & Bansal):
+/// because a per-location sequence pair's behaviour is a function of
+/// the entry value and the operand parameters alone, bounded-exhaustive
+/// enumeration of a small scope of those inputs *is* the reachability
+/// check over the reference semantics in `janus::symbolic`/`janus::model`.
+///
+/// For every (location class, signature pair) entry the verifier
+/// decides:
+///   - **soundness** — on every enumerated input state the condition
+///     admits, the two sequences must actually pass Figure 8's checks
+///     (COMMUTE and the applicable SAMEREAD tests) under the concrete
+///     reference semantics. A violation is reported with the concrete
+///     counterexample (entry value + operand bindings) and is
+///     cross-confirmed through the independent relational/SAT engine
+///     and the protocol model checker;
+///   - **precision** — the fraction of enumerated truly-commuting
+///     input states the condition admits (Bansal, Koskinen & Tripp's
+///     usefulness criterion). A sound but imprecise condition costs
+///     parallelism, never correctness.
+///
+/// Surfaced as the `janus verify` CLI subcommand and called by the
+/// trainer before publishing a table entry (Trainer::cachePair).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_VERIFY_VERIFY_H
+#define JANUS_VERIFY_VERIFY_H
+
+#include "janus/conflict/CommutativityCache.h"
+#include "janus/support/Location.h"
+#include "janus/symbolic/SymSeq.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace janus {
+namespace verify {
+
+/// Small-scope bounds for the bounded-exhaustive input enumeration.
+struct VerifyConfig {
+  /// Integer symbols (and a numeric V0) range over [-IntScope, IntScope].
+  int64_t IntScope = 2;
+  /// Distinct tokens enumerated for equality-only (opaque) symbols.
+  /// Two tokens realize every equal/unequal atom over one symbol pair;
+  /// three cover the partitions the shipped conditions can express.
+  unsigned OpaqueTokens = 3;
+  /// Cap on enumerated input states per pair. Enumeration order is
+  /// deterministic, so the cap keeps the checked prefix (and the
+  /// precision score) reproducible across runs.
+  uint64_t MaxPoints = 100000;
+  /// Cross-confirm COMMUTE convictions via the relational/SAT engine.
+  bool UseSat = true;
+  /// Cross-confirm convictions via the protocol model checker (only
+  /// meaningful for unrelaxed classes, where serializability is the
+  /// oracle).
+  bool UseModel = true;
+  /// CDCL conflict budget for each SAT confirmation.
+  uint64_t SatConflictBudget = 100000;
+};
+
+/// Outcome of verifying one cache entry.
+enum class Verdict : uint8_t {
+  Sound,       ///< No admitted input state falsifies Figure 8's checks.
+  Unsound,     ///< Concrete counterexample found.
+  Unsupported, ///< Entry not analyzable (see PairResult::Note).
+};
+
+/// \returns "sound" / "UNSOUND" / "unsupported".
+const char *verdictName(Verdict V);
+
+/// A concrete input state falsifying a cached condition.
+struct Counterexample {
+  /// Entry value of the location (the V0 binding).
+  Value Entry;
+  /// Concrete operand bindings (mine parameters, and the conflict
+  /// history's parameters offset by conflict::TheirParamOffset).
+  symbolic::Bindings Binds;
+  /// Which Figure 8 check failed: "COMMUTE", "SAMEREAD(mine)" or
+  /// "SAMEREAD(theirs)".
+  std::string FailedCheck;
+  /// Human-readable rendering (bindings plus both orders' outcomes).
+  std::string Text;
+};
+
+/// Verification result for one sequence pair.
+struct PairResult {
+  Verdict V = Verdict::Sound;
+  uint64_t PointsChecked = 0;     ///< Enumerated input states.
+  uint64_t AdmittedPoints = 0;    ///< States the condition admits.
+  uint64_t CommutingPoints = 0;   ///< States where the pair commutes.
+  uint64_t AdmittedCommuting = 0; ///< Commuting states admitted.
+  std::optional<Counterexample> Cex; ///< Set when V == Unsound.
+  /// The independent engines' view of a conviction (best-effort;
+  /// meaningful only when V == Unsound).
+  bool SatConfirmed = false;
+  bool ModelConfirmed = false;
+  std::string Note; ///< Reason when V == Unsupported.
+
+  /// Precision: admitted commuting states over commuting states
+  /// (1.0 when the scope contains no commuting state).
+  double precision() const {
+    return CommutingPoints == 0
+               ? 1.0
+               : static_cast<double>(AdmittedCommuting) /
+                     static_cast<double>(CommutingPoints);
+  }
+};
+
+/// Verifies one (mine, theirs) pair against \p Cond. \p Theirs must
+/// already carry the TheirParamOffset symbol convention (as produced by
+/// Trainer::cachePair and parseSignature + offsetTheirs). \p Checks is
+/// the Figure 8 subset the entry's relaxation spec leaves active.
+// NOLINTNEXTLINE(bugprone-easily-swappable-parameters): mine-before-
+// theirs is the fixed convention of the whole conflict pipeline, and
+// the sides are distinguishable anyway (theirs carries the offset).
+PairResult checkPair(const symbolic::SymLocSeq &Mine,
+                     const symbolic::SymLocSeq &Theirs,
+                     const symbolic::Condition &Cond,
+                     symbolic::ChecksSpec Checks,
+                     const VerifyConfig &Config = {});
+
+/// Report for one cache entry.
+struct EntryReport {
+  conflict::CacheKey Key;
+  std::string Condition; ///< Rendered condition.
+  PairResult Result;
+};
+
+/// Report for a whole detector table.
+struct TableReport {
+  uint64_t Entries = 0;
+  uint64_t Sound = 0;
+  uint64_t Unsound = 0;
+  uint64_t Unsupported = 0;
+  double MinPrecision = 1.0;
+  double MeanPrecision = 1.0;
+  /// Every entry, in cache-key order (deterministic).
+  std::vector<EntryReport> EntryReports;
+
+  bool clean() const { return Unsound == 0; }
+
+  /// Versioned JSON report (support/Json.h schema).
+  std::string toJson() const;
+  /// Text rendering; \p Verbose lists sound entries too.
+  std::string toText(bool Verbose = false) const;
+};
+
+/// Verifies every entry of \p Cache. Relaxation specs (which decide the
+/// active Figure 8 checks per location class) are taken from \p Reg,
+/// mirroring the trainer: an object's class inherits its relaxations;
+/// classes not present in the registry get the strict default.
+TableReport verifyTable(const conflict::CommutativityCache &Cache,
+                        const ObjectRegistry &Reg,
+                        const VerifyConfig &Config = {});
+
+} // namespace verify
+} // namespace janus
+
+#endif // JANUS_VERIFY_VERIFY_H

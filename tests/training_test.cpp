@@ -14,13 +14,14 @@
 #include "janus/stm/ThreadedRuntime.h"
 #include "janus/support/Rng.h"
 #include "janus/training/DependenceGraph.h"
-#include "janus/training/RelationalCheck.h"
+#include "janus/verify/RelationalCheck.h"
 #include "janus/training/Trainer.h"
 
 #include <gtest/gtest.h>
 
 using namespace janus;
 using namespace janus::training;
+using namespace janus::verify;
 using namespace janus::symbolic;
 using conflict::CommutativityCache;
 using conflict::PairQuery;

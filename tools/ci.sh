@@ -9,11 +9,15 @@
 #      force-aborts, injects exceptions, delays commits and starves the
 #      SAT budget — the escalation ladder must absorb every fault and
 #      still produce a CLEAN audit (exit 0);
-#   6. observability: one traced workload per engine; the emitted
+#   6. static verification (`janus verify`): every workload's trained
+#      table is checked for condition soundness (DESIGN.md §10) and
+#      must come back clean; a deliberately seeded unsound entry must
+#      be convicted (nonzero exit) to prove the verifier has teeth;
+#   7. observability: one traced workload per engine; the emitted
 #      Chrome trace must satisfy tools/check_trace.py (known event
 #      types only, well-formed spans), and the --json report must be
 #      parseable;
-#   7. perf smoke: micro_commit --quick must run to completion (the
+#   8. perf smoke: micro_commit --quick must run to completion (the
 #      perf trajectory itself is tools/bench.sh; this only gates on
 #      crashes, never on numbers).
 #
@@ -39,21 +43,21 @@ check_build_tree() {
 check_build_tree "$REPO_ROOT/build"
 check_build_tree "$REPO_ROOT/build-tsan"
 
-echo "== [1/7] plain build + tests =="
+echo "== [1/8] plain build + tests =="
 cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT" >/dev/null
 cmake --build "$REPO_ROOT/build" -j "$JOBS"
 (cd "$REPO_ROOT/build" && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/7] static analysis =="
+echo "== [2/8] static analysis =="
 "$REPO_ROOT/tools/lint.sh" "$REPO_ROOT/build"
 
-echo "== [3/7] ThreadSanitizer build + tests =="
+echo "== [3/8] ThreadSanitizer build + tests =="
 cmake -B "$REPO_ROOT/build-tsan" -S "$REPO_ROOT" \
       -DJANUS_SANITIZE=thread >/dev/null
 cmake --build "$REPO_ROOT/build-tsan" -j "$JOBS"
 (cd "$REPO_ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS")
 
-echo "== [4/7] hindsight audit of all workloads =="
+echo "== [4/8] hindsight audit of all workloads =="
 for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
   for E in sim threads; do
     echo "-- audit $W ($E)"
@@ -62,7 +66,7 @@ for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
   done
 done
 
-echo "== [5/7] chaos audit under fault injection =="
+echo "== [5/8] chaos audit under fault injection =="
 # Every task's first attempt is force-aborted, task 2's first attempt
 # throws, every second attempt's commit is delayed, and the trainer's
 # SAT cross-check is starved to 4 conflicts. The run must still commit
@@ -78,7 +82,24 @@ for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
   done
 done
 
-echo "== [6/7] observability: traced runs + trace validation =="
+echo "== [6/8] static verification of trained tables =="
+for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
+  TABLE="$REPO_ROOT/build/ci_table_$W.txt"
+  echo "-- train + verify $W"
+  "$REPO_ROOT/build/tools/janus" train --workload "$W" \
+    --cache-out "$TABLE" >/dev/null
+  "$REPO_ROOT/build/tools/janus" verify --workload "$W" \
+    --cache-in "$TABLE" | tail -2
+done
+echo "-- conviction probe (seeded unsound entry must exit nonzero)"
+if "$REPO_ROOT/build/tools/janus" verify --workload JGraphT-1 --rounds 1 \
+     --seed-unsound >/dev/null; then
+  echo "ci.sh: verifier failed to convict the seeded-unsound table" >&2
+  exit 1
+fi
+echo "conviction probe: convicted as expected."
+
+echo "== [7/8] observability: traced runs + trace validation =="
 for E in sim threads; do
   TRACE="$REPO_ROOT/build/ci_trace_$E.json"
   REPORT="$REPO_ROOT/build/ci_report_$E.json"
@@ -92,7 +113,7 @@ echo "-- abort attribution JGraphT-1 (sim)"
 "$REPO_ROOT/build/tools/janus" explain --workload JGraphT-1 --engine sim \
   --threads 4 --top 5 | tail -8
 
-echo "== [7/7] perf smoke (micro_commit, 1 and 4 threads) =="
+echo "== [8/8] perf smoke (micro_commit, 1 and 4 threads) =="
 "$REPO_ROOT/build/bench/micro_commit" --quick \
   --json-out="$REPO_ROOT/build/BENCH_micro_commit_smoke.json" >/dev/null
 echo "perf smoke: completed (see build/BENCH_micro_commit_smoke.json)"

@@ -21,6 +21,13 @@
 ///       Like run, but record a trace and aggregate every abort by
 ///       (location, operation pair, verdict) into a ranked "top
 ///       conflict sources" table — where the retries went and why.
+///   janus verify --workload NAME [options]
+///       Train (or load a training artifact) and statically verify
+///       every learned commutativity condition: bounded-exhaustive
+///       small-scope soundness + precision scoring, with SAT and
+///       protocol-model cross-confirmation of convictions (see
+///       DESIGN.md §10). Exits 0 when the table is clean, 4 when any
+///       condition is unsound.
 ///
 /// Run options:
 ///   --threads N         worker threads / simulated cores (default 8)
@@ -53,11 +60,23 @@
 ///                       still goes to stdout)
 ///   --top N             explain: show only the top N conflict sources
 ///
+/// Verify options:
+///   --scope N           small-scope bound: integer inputs range over
+///                       [-N, N] (default 2)
+///   --max-points N      cap on enumerated input states per entry
+///                       (default 100000; enumeration is deterministic,
+///                       so the checked prefix is stable across runs)
+///   --verbose           list sound entries too, not only findings
+///   --seed-unsound      inject a deliberately-unsound always-commutes
+///                       entry before verifying (CI uses this to prove
+///                       the verifier convicts; exit must become 4)
+///
 //===----------------------------------------------------------------------===//
 
 #include "janus/analysis/Auditor.h"
 #include "janus/obs/Attribution.h"
 #include "janus/support/Json.h"
+#include "janus/verify/Verify.h"
 #include "janus/workloads/Workload.h"
 
 #include <cstdio>
@@ -92,6 +111,10 @@ struct CliOptions {
   bool Json = false;
   std::string JsonOut;
   size_t Top = 0;
+  int64_t VerifyScope = 2;
+  uint64_t VerifyMaxPoints = 100000;
+  bool Verbose = false;
+  bool SeedUnsound = false;
 
   /// Observability is on whenever something consumes it: a trace file,
   /// a JSON report (histograms), or explicit sampling.
@@ -105,7 +128,8 @@ void usage() {
                "usage: janus list | janus train --workload NAME [opts] | "
                "janus run --workload NAME [opts] | "
                "janus audit --workload NAME [opts] | "
-               "janus explain --workload NAME [opts]\n"
+               "janus explain --workload NAME [opts] | "
+               "janus verify --workload NAME [opts]\n"
                "(see the file header of tools/janus_cli.cpp for the full "
                "option list)\n");
 }
@@ -202,6 +226,20 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.Top = static_cast<size_t>(std::atoll(V));
+    } else if (Arg == "--scope") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 0)
+        return false;
+      Opts.VerifyScope = std::atoll(V);
+    } else if (Arg == "--max-points") {
+      const char *V = Next();
+      if (!V || std::atoll(V) < 1)
+        return false;
+      Opts.VerifyMaxPoints = static_cast<uint64_t>(std::atoll(V));
+    } else if (Arg == "--verbose") {
+      Opts.Verbose = true;
+    } else if (Arg == "--seed-unsound") {
+      Opts.SeedUnsound = true;
     } else if (Arg == "--cache-in") {
       const char *V = Next();
       if (!V)
@@ -402,6 +440,11 @@ int cmdTrain(const CliOptions &Opts) {
               (unsigned long long)TS.CandidatePairs);
   std::printf("detected patterns: %s\n",
               J.patternReport().summary().c_str());
+  if (TS.VerifyChecks)
+    std::printf("publish gate: %llu conditions verified, %llu rejected "
+                "as unsound\n",
+                (unsigned long long)TS.VerifyChecks,
+                (unsigned long long)TS.VerifyRejected);
   if (!Opts.CacheOut.empty()) {
     std::ofstream Out(Opts.CacheOut, std::ios::trunc);
     if (!Out) {
@@ -414,6 +457,63 @@ int cmdTrain(const CliOptions &Opts) {
     std::printf("training artifact saved to %s\n", Opts.CacheOut.c_str());
   }
   return 0;
+}
+
+/// `janus verify`: train (or load an artifact), then statically verify
+/// every cached commutativity condition — the soundness/precision pass
+/// of DESIGN.md §10. Exit 4 on any unsound entry so CI can gate on it.
+int cmdVerify(const CliOptions &Opts) {
+  auto W = workloadByName(Opts.WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "janus: error: unknown workload '%s'\n",
+                 Opts.WorkloadName.c_str());
+    return 1;
+  }
+  Janus J(configFor(Opts));
+  W->setup(J);
+
+  if (!Opts.CacheIn.empty()) {
+    std::ifstream In(Opts.CacheIn);
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    if (!In || !J.importTrainingArtifact(Buffer.str())) {
+      std::fprintf(stderr,
+                   "janus: error: cannot load training artifact '%s'\n",
+                   Opts.CacheIn.c_str());
+      return 1;
+    }
+  } else {
+    for (const PayloadSpec &P : W->trainingPayloads(Opts.Rounds))
+      J.train(W->makeTasks(P));
+  }
+
+  if (Opts.SeedUnsound) {
+    // A write of one fresh parameter against a write of another never
+    // commutes unless the operands coincide, so an always-true
+    // condition for the pair is deliberately unsound — the conviction
+    // probe CI uses to prove the verifier has teeth.
+    conflict::CacheKey Key;
+    Key.LocClass = "seeded.unsound";
+    Key.MineSig = "W(p1)";
+    Key.TheirsSig = "W(p1)";
+    J.cache()->insert(std::move(Key), symbolic::Condition::valid());
+  }
+
+  verify::VerifyConfig VC;
+  VC.IntScope = Opts.VerifyScope;
+  VC.MaxPoints = Opts.VerifyMaxPoints;
+  verify::TableReport R = verify::verifyTable(*J.cache(), J.registry(), VC);
+
+  if (!Opts.Json) {
+    std::printf("workload   : %s (%zu cache entries)\n",
+                W->name().c_str(), J.cache()->size());
+    std::printf("%s", R.toText(Opts.Verbose).c_str());
+    std::printf("table      : %s\n", R.clean() ? "SOUND" : "UNSOUND");
+  }
+  if ((Opts.Json || !Opts.JsonOut.empty()) &&
+      !emitJsonReport(R.toJson(), Opts))
+    return 1;
+  return R.clean() ? 0 : 4;
 }
 
 int cmdRun(const CliOptions &Opts) {
@@ -652,6 +752,8 @@ int main(int Argc, char **Argv) {
     return cmdAudit(Opts);
   if (Opts.Command == "explain")
     return cmdExplain(Opts);
+  if (Opts.Command == "verify")
+    return cmdVerify(Opts);
   usage();
   return 1;
 }

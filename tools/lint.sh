@@ -5,12 +5,18 @@
 #   tools/lint.sh [BUILD_DIR]
 #
 # BUILD_DIR defaults to build/. Exits non-zero only on real findings;
-# when clang-tidy is not installed the script reports and exits 0 so
-# environments without LLVM (like the CI container) still pass.
+# when clang-tidy is not installed that half is skipped (the CI
+# container has no LLVM) — the janus_lint.py concurrency rules run
+# regardless and always gate.
 set -u
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${1:-$REPO_ROOT/build}"
+
+# Concurrency lint (DESIGN.md §10.4): pure python3, no toolchain
+# dependency, so it must pass everywhere.
+python3 "$REPO_ROOT/tools/janus_lint.py" "$REPO_ROOT/src" "$REPO_ROOT/tools" \
+  || exit 1
 
 TIDY="$(command -v clang-tidy || true)"
 if [ -z "$TIDY" ]; then
