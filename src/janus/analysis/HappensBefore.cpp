@@ -140,7 +140,31 @@ analysis::checkHappensBefore(const stm::AuditTrace &Trace,
       auto It = Theirs.find(Loc);
       if (It == Theirs.end())
         continue;
-      if (!hasWriteInvolvement(MineSeq, It->second))
+      // Per-location begin refinement. Under the sharded engine Ej's
+      // begin point differs per location (the owning shard's
+      // acquisition stamp): a window member that committed at or
+      // before that stamp was *observed* by Ej for this location — a
+      // happens-before predecessor there, not a concurrent peer — so
+      // its operations leave this location's conflict history. For
+      // unsharded traces beginTimeFor degenerates to BeginTime, which
+      // every window member's commit already exceeds: no-op.
+      const uint64_t LocBegin = Ej.beginTimeFor(Loc, Trace.Shards);
+      const symbolic::LocOpSeq *TheirSeq = &It->second;
+      symbolic::LocOpSeq Refined;
+      if (LocBegin != Ej.BeginTime) {
+        for (size_t I : Window) {
+          if (Committed[I]->CommitTime <= LocBegin)
+            continue;
+          auto TheirIt = Decomps[I].find(Loc);
+          if (TheirIt != Decomps[I].end())
+            Refined.insert(Refined.end(), TheirIt->second.begin(),
+                           TheirIt->second.end());
+        }
+        if (Refined.empty())
+          continue;
+        TheirSeq = &Refined;
+      }
+      if (!hasWriteInvolvement(MineSeq, *TheirSeq))
         continue;
 
       RaceFinding F;
@@ -148,9 +172,10 @@ analysis::checkHappensBefore(const stm::AuditTrace &Trace,
       F.LocName = Reg.locationName(Loc);
       F.SecondTid = Ej.Tid;
       // Attribute the first window transaction that touched the
-      // location (diagnostic only; the re-check uses the full window).
+      // location and is concurrent with Ej there (diagnostic only;
+      // the re-check uses the full refined window).
       for (size_t I : Window) {
-        if (Decomps[I].count(Loc)) {
+        if (Committed[I]->CommitTime > LocBegin && Decomps[I].count(Loc)) {
           F.FirstTid = Committed[I]->Tid;
           break;
         }
@@ -164,9 +189,9 @@ analysis::checkHappensBefore(const stm::AuditTrace &Trace,
       symbolic::ChecksSpec Checks = conflict::checksFor(Relax);
       Value EntryVal = stm::snapshotValue(Ej.Entry, Loc);
       F.Harmful =
-          conflict::conflictOnline(EntryVal, MineSeq, It->second, Checks);
+          conflict::conflictOnline(EntryVal, MineSeq, *TheirSeq, Checks);
       if (F.Harmful && (Relax.TolerateRAW || Relax.TolerateWAW) &&
-          commutesSemantically(EntryVal, MineSeq, It->second, Checks)) {
+          commutesSemantically(EntryVal, MineSeq, *TheirSeq, Checks)) {
         F.Harmful = false;
         F.Relaxed = true;
       }

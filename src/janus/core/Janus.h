@@ -25,6 +25,7 @@
 
 #include "janus/conflict/SequenceDetector.h"
 #include "janus/obs/Obs.h"
+#include "janus/stm/ShardedRuntime.h"
 #include "janus/stm/SimRuntime.h"
 #include "janus/stm/ThreadedRuntime.h"
 #include "janus/training/Trainer.h"
@@ -49,6 +50,12 @@ enum class EngineKind : uint8_t {
 /// Full configuration of a JANUS instance.
 struct JanusConfig {
   unsigned Threads = 4;
+  /// Commit-pipeline shards for the threaded engine. 1 (the default)
+  /// selects the classic single-commit-point ThreadedRuntime; >1
+  /// selects the location-sharded engine (stm::ShardedRuntime) with
+  /// the value rounded up to a power of two and clamped to
+  /// [1, stm::ShardedRuntime::MaxShards]. Ignored by the simulator.
+  unsigned Shards = 1;
   DetectorKind Detector = DetectorKind::Sequence;
   conflict::SequenceDetectorConfig Sequence;
   EngineKind Engine = EngineKind::Simulated;

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <tuple>
 
 using namespace janus;
@@ -118,6 +119,190 @@ std::string AbortAttribution::toTable(size_t TopN) const {
     Out += "(" + std::to_string(Rows.size() - N) + " more row" +
            (Rows.size() - N == 1 ? "" : "s") + " suppressed)\n";
   return Out;
+}
+
+ContentionHeatmap obs::buildHeatmap(const stm::AuditTrace &Trace,
+                                    const ObjectRegistry &Reg) {
+  ContentionHeatmap Out;
+  if (!Trace.Recorded)
+    return Out;
+
+  struct Agg {
+    uint64_t Aborts = 0;
+    uint64_t Commits = 0;
+    std::set<Location> Locations;
+  };
+  std::map<std::string, Agg> ByObject; // Name-keyed: deterministic.
+
+  for (const stm::TraceEvent &E : Trace.Events) {
+    (E.Committed ? Out.TotalCommits : Out.TotalAborts) += 1;
+    if (!E.Log || E.Log->empty())
+      continue;
+    // One count per (attempt, object): a task hammering many slots of
+    // one array still contended for that one object once.
+    std::set<ObjectId> Seen;
+    for (const stm::LogEntry &Entry : *E.Log) {
+      Agg &A = ByObject[Reg.info(Entry.Loc.Obj).Name];
+      A.Locations.insert(Entry.Loc);
+      if (Seen.insert(Entry.Loc.Obj).second)
+        (E.Committed ? A.Commits : A.Aborts) += 1;
+    }
+  }
+
+  Out.Rows.reserve(ByObject.size());
+  for (const auto &[Name, A] : ByObject) {
+    ObjectHeatRow R;
+    R.ObjectName = Name;
+    R.Aborts = A.Aborts;
+    R.Commits = A.Commits;
+    R.Locations = A.Locations.size();
+    Out.Rows.push_back(std::move(R));
+  }
+  std::stable_sort(Out.Rows.begin(), Out.Rows.end(),
+                   [](const ObjectHeatRow &A, const ObjectHeatRow &B) {
+                     if (A.Aborts != B.Aborts)
+                       return A.Aborts > B.Aborts;
+                     return A.Commits > B.Commits;
+                   });
+  return Out;
+}
+
+std::string ContentionHeatmap::toTable(size_t TopN) const {
+  std::string Head = "contention by object (" + std::to_string(TotalCommits) +
+                     " committed, " + std::to_string(TotalAborts) +
+                     " aborted attempts)\n";
+  if (Rows.empty())
+    return Head + "  no shared accesses recorded\n";
+  TextTable T;
+  T.setHeader({"#", "object", "aborts", "abort share", "commits",
+               "locations"});
+  size_t N = TopN ? std::min(TopN, Rows.size()) : Rows.size();
+  for (size_t I = 0; I != N; ++I) {
+    const ObjectHeatRow &R = Rows[I];
+    T.addRow({std::to_string(I + 1), R.ObjectName, std::to_string(R.Aborts),
+              TotalAborts ? formatPercent(static_cast<double>(R.Aborts) /
+                                          static_cast<double>(TotalAborts))
+                          : "-",
+              std::to_string(R.Commits), std::to_string(R.Locations)});
+  }
+  std::string Out = Head + T.render();
+  if (N < Rows.size())
+    Out += "(" + std::to_string(Rows.size() - N) + " more row" +
+           (Rows.size() - N == 1 ? "" : "s") + " suppressed)\n";
+  return Out;
+}
+
+std::string ContentionHeatmap::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.field("total_aborts", TotalAborts);
+  W.field("total_commits", TotalCommits);
+  W.key("rows");
+  W.beginArray();
+  for (const ObjectHeatRow &R : Rows) {
+    W.beginObject();
+    W.field("object", R.ObjectName);
+    W.field("aborts", R.Aborts);
+    W.field("commits", R.Commits);
+    W.field("locations", R.Locations);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.str();
+}
+
+std::string obs::counterTrackEvents(const stm::AuditTrace &Trace,
+                                    const ObjectRegistry &Reg,
+                                    size_t TopLocations) {
+  if (!Trace.Recorded || !TopLocations)
+    return {};
+
+  // Rank locations by contention: aborted-attempt touches first.
+  struct Heat {
+    uint64_t Aborts = 0;
+    uint64_t Commits = 0;
+  };
+  std::map<Location, Heat> ByLoc;
+  for (const stm::TraceEvent &E : Trace.Events) {
+    if (!E.Log || E.Log->empty())
+      continue;
+    std::set<Location> Seen;
+    for (const stm::LogEntry &Entry : *E.Log)
+      if (Seen.insert(Entry.Loc).second)
+        (E.Committed ? ByLoc[Entry.Loc].Commits : ByLoc[Entry.Loc].Aborts) +=
+            1;
+  }
+  if (ByLoc.empty())
+    return {};
+  std::vector<std::pair<Location, Heat>> Ranked(ByLoc.begin(), ByLoc.end());
+  std::stable_sort(Ranked.begin(), Ranked.end(),
+                   [](const auto &A, const auto &B) {
+                     if (A.second.Aborts != B.second.Aborts)
+                       return A.second.Aborts > B.second.Aborts;
+                     return A.second.Commits > B.second.Commits;
+                   });
+  Ranked.resize(std::min(Ranked.size(), TopLocations));
+  std::map<Location, size_t> Hot;
+  for (size_t I = 0; I != Ranked.size(); ++I)
+    Hot[Ranked[I].first] = I;
+
+  // Samples on the logical clock: (ts, hot index, committed). Aborted
+  // attempts sample at begin + 0.5 so they never collide with a commit
+  // tick on the integer clock.
+  struct Sample {
+    double Ts;
+    size_t Idx;
+    bool Committed;
+  };
+  std::vector<Sample> Samples;
+  for (const stm::TraceEvent &E : Trace.Events) {
+    if (!E.Log || E.Log->empty())
+      continue;
+    double Ts = E.Committed ? static_cast<double>(E.CommitTime)
+                            : static_cast<double>(E.BeginTime) + 0.5;
+    std::set<Location> Seen;
+    for (const stm::LogEntry &Entry : *E.Log) {
+      auto It = Hot.find(Entry.Loc);
+      if (It != Hot.end() && Seen.insert(Entry.Loc).second)
+        Samples.push_back(Sample{Ts, It->second, E.Committed});
+    }
+  }
+  std::stable_sort(Samples.begin(), Samples.end(),
+                   [](const Sample &A, const Sample &B) { return A.Ts < B.Ts; });
+
+  JsonWriter W;
+  // Name the counter process so the track group is self-describing.
+  W.beginObject();
+  W.field("name", "process_name");
+  W.field("ph", "M");
+  W.field("pid", 2);
+  W.field("tid", static_cast<uint64_t>(0));
+  W.key("args");
+  W.beginObject();
+  W.field("name", "contention (logical clock)");
+  W.endObject();
+  W.endObject();
+
+  std::vector<Heat> Running(Ranked.size());
+  for (const Sample &S : Samples) {
+    Heat &H = Running[S.Idx];
+    (S.Committed ? H.Commits : H.Aborts) += 1;
+    W.beginObject();
+    W.field("name", "contention:" + Reg.locationName(Ranked[S.Idx].first));
+    W.field("ph", "C");
+    W.field("ts", S.Ts);
+    W.field("pid", 2);
+    W.field("tid", static_cast<uint64_t>(0));
+    W.field("cat", "janus");
+    W.key("args");
+    W.beginObject();
+    W.field("commits", H.Commits);
+    W.field("aborts", H.Aborts);
+    W.endObject();
+    W.endObject();
+  }
+  return W.str();
 }
 
 std::string AbortAttribution::toJson() const {

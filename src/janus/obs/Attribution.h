@@ -67,6 +67,53 @@ struct AbortAttribution {
 AbortAttribution attributeAborts(const stm::AuditTrace &Trace,
                                  const ObjectRegistry &Reg);
 
+/// One shared object's row in the contention heatmap
+/// (`janus explain --by-object`).
+struct ObjectHeatRow {
+  std::string ObjectName;
+  uint64_t Aborts = 0;    ///< Aborted attempts that touched the object.
+  uint64_t Commits = 0;   ///< Committed attempts that touched it.
+  uint64_t Locations = 0; ///< Distinct locations of it that were touched.
+};
+
+/// Per-object contention rollup: for every shared object, how many
+/// aborted and committed attempts touched it. Where the attribution
+/// table answers "which operation pair conflicts", the heatmap answers
+/// "which object absorbs the contention" — the first question when
+/// choosing a shard count or splitting a hot container.
+struct ContentionHeatmap {
+  uint64_t TotalAborts = 0;  ///< Aborted attempts in the trace.
+  uint64_t TotalCommits = 0; ///< Committed attempts in the trace.
+  /// Ranked by aborts desc, commits desc, name asc (deterministic).
+  std::vector<ObjectHeatRow> Rows;
+
+  /// Aligned text table, truncated to \p TopN rows (0 = all).
+  std::string toTable(size_t TopN = 0) const;
+
+  /// JSON fragment (shared schema; see support/Json.h).
+  std::string toJson() const;
+};
+
+/// Builds the per-object rollup from \p Trace.
+ContentionHeatmap buildHeatmap(const stm::AuditTrace &Trace,
+                               const ObjectRegistry &Reg);
+
+/// Chrome trace-event counter track ('C' phase) for the hottest
+/// locations of \p Trace: per location, cumulative committed and
+/// aborted attempt touches, sampled on the *logical* commit clock
+/// (committed attempts at their CommitTime, aborted ones at their
+/// begin). Rendered as its own "contention (logical clock)" process
+/// (pid 2) so Perfetto draws it as a separate counter group and the
+/// logical timestamps are not confused with the span lanes'
+/// wall-clock microseconds. \p TopLocations bounds the track count
+/// (ranked by aborted touches desc, committed desc, name asc).
+/// \returns a pre-rendered fragment for
+/// Observer::writeChromeTrace(..., ExtraEvents); empty when the trace
+/// is empty or unrecorded.
+std::string counterTrackEvents(const stm::AuditTrace &Trace,
+                               const ObjectRegistry &Reg,
+                               size_t TopLocations = 8);
+
 } // namespace obs
 } // namespace janus
 

@@ -23,7 +23,7 @@
 using namespace janus;
 using namespace janus::obs;
 
-std::string Observer::chromeTraceJson() const {
+std::string Observer::chromeTraceJson(const std::string &ExtraEvents) const {
   JsonWriter W;
   W.beginObject();
   W.field("schema_version", JsonSchemaVersion);
@@ -87,20 +87,24 @@ std::string Observer::chromeTraceJson() const {
     W.endObject();
     W.endObject();
   }
+  // Caller-provided events (counter tracks etc.); raw() separates with
+  // a comma when span events precede it.
+  if (!ExtraEvents.empty())
+    W.raw(ExtraEvents);
   W.endArray();
   W.endObject();
   return W.str();
 }
 
-bool Observer::writeChromeTrace(const std::string &Path,
-                                std::string *Err) const {
+bool Observer::writeChromeTrace(const std::string &Path, std::string *Err,
+                                const std::string &ExtraEvents) const {
   std::ofstream Out(Path, std::ios::trunc);
   if (!Out) {
     if (Err)
       *Err = "cannot open '" + Path + "' for writing";
     return false;
   }
-  Out << chromeTraceJson() << "\n";
+  Out << chromeTraceJson(ExtraEvents) << "\n";
   if (!Out) {
     if (Err)
       *Err = "write to '" + Path + "' failed";

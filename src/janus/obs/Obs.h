@@ -182,12 +182,16 @@ public:
   // --- Exporters (Export.cpp; not needed by the engines). -------------
 
   /// Writes the trace as Chrome trace-event JSON (load in Perfetto or
-  /// chrome://tracing). \returns false on I/O failure.
-  bool writeChromeTrace(const std::string &Path,
-                        std::string *Err = nullptr) const;
+  /// chrome://tracing). \p ExtraEvents, when non-empty, is a
+  /// pre-rendered fragment of additional trace-event objects (comma
+  /// separated, no enclosing brackets) spliced into the traceEvents
+  /// array — e.g. the contention counter track from
+  /// obs::counterTrackEvents. \returns false on I/O failure.
+  bool writeChromeTrace(const std::string &Path, std::string *Err = nullptr,
+                        const std::string &ExtraEvents = {}) const;
 
   /// The trace rendered as Chrome trace-event JSON.
-  std::string chromeTraceJson() const;
+  std::string chromeTraceJson(const std::string &ExtraEvents = {}) const;
 
   /// Metrics rendered as an aligned text table (CLI report section).
   std::string metricsTable() const;

@@ -22,9 +22,11 @@
 
 #include "janus/stm/Log.h"
 #include "janus/stm/Snapshot.h"
+#include "janus/support/Location.h"
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace janus {
@@ -43,7 +45,10 @@ enum class CommitMode : uint8_t {
 struct TraceEvent {
   uint32_t Tid = 0; ///< 1-based task id.
   /// Clock value at CREATETRANSACTION: the attempt observed exactly the
-  /// commits with CommitTime <= BeginTime.
+  /// commits with CommitTime <= BeginTime. Under the sharded engine
+  /// this is the *minimum* over ShardBegins — per shard, the attempt
+  /// observed exactly the commits with CommitTime <= that shard's
+  /// stamp; the auditor refines with ShardBegins when present.
   uint64_t BeginTime = 0;
   /// Clock value assigned at COMMIT; 0 for aborted attempts.
   uint64_t CommitTime = 0;
@@ -51,6 +56,28 @@ struct TraceEvent {
   TxLogRef Log;   ///< The attempt's operation log.
   Snapshot Entry; ///< SharedSnapshot at begin (O(1) persistent copy).
   CommitMode Mode = CommitMode::Speculative;
+  /// Sharded engine only: (shard index, global clock stamp at that
+  /// shard's lazy acquisition), ascending by shard index. A shard's
+  /// stamp is the acquisition-time begin point for every location the
+  /// attempt touched in that shard. Empty for unsharded runtimes and
+  /// for empty-log fast-path commits (which acquired no shard).
+  std::vector<std::pair<uint32_t, uint64_t>> ShardBegins;
+
+  /// The begin point governing \p Loc's observations: its shard's
+  /// acquisition stamp, or BeginTime when the trace is unsharded (so
+  /// the refinement degenerates to the classic single-clock rule).
+  /// \p NumShards is AuditTrace::Shards.
+  uint64_t beginTimeFor(const Location &Loc, uint32_t NumShards) const {
+    if (ShardBegins.empty())
+      return BeginTime;
+    uint32_t S = shardIndexOf(Loc, NumShards);
+    for (const auto &[Shard, Stamp] : ShardBegins)
+      if (Shard == S)
+        return Stamp;
+    // A location outside every acquired shard was never accessed by
+    // this attempt; fall back to the conservative global begin.
+    return BeginTime;
+  }
 };
 
 /// A full recorded run: initial state, every attempt, final state.
@@ -59,6 +86,10 @@ struct AuditTrace {
   Snapshot Initial;      ///< Shared state when run() started.
   Snapshot Final;        ///< Shared state when run() returned.
   std::vector<TraceEvent> Events; ///< In recording order.
+  /// Shard count of the recording engine (power of two); 1 for the
+  /// unsharded runtimes. Lets the auditor re-derive each location's
+  /// shard, and with it the per-location begin stamp.
+  uint32_t Shards = 1;
 
   /// \returns the committed events sorted by commit time — the schedule
   /// the run claims is serializable.

@@ -111,8 +111,8 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     if (!Config.RecordTrace)
       return;
     Trace.Events.push_back(TraceEvent{Tid, Att.BeginSeq, 0,
-                                      /*Committed=*/false, Att.Log,
-                                      Att.Entry});
+                                      /*Committed=*/false, Att.Log, Att.Entry,
+                                      CommitMode::Speculative, {}});
     ++Stats.TraceEvents;
   };
 
@@ -309,8 +309,8 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     History.push_back(Committed{CommitSeq, Att.Log});
     if (Config.RecordTrace) {
       Trace.Events.push_back(TraceEvent{Tid, Att.BeginSeq, CommitSeq,
-                                        /*Committed=*/true, Att.Log,
-                                        Att.Entry, CT.Mode});
+                                        /*Committed=*/true, Att.Log, Att.Entry,
+                                        CT.Mode, {}});
       ++Stats.TraceEvents;
     }
     double CommitEnd =

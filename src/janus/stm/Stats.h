@@ -45,6 +45,8 @@ struct RunStats {
   StripedCounter TaskExceptions;     ///< Attempts ended by a throw.
   StripedCounter TaskFailures;       ///< Tasks surfaced as failed.
   StripedCounter FaultsInjected;     ///< FaultPlan actions applied.
+  StripedCounter CrossShardCommits;  ///< Commits touching >1 shard.
+  StripedCounter EmptyCommits;       ///< Empty-log fast-path commits.
 
   void reset() {
     Tasks.reset();
@@ -58,6 +60,8 @@ struct RunStats {
     TaskExceptions.reset();
     TaskFailures.reset();
     FaultsInjected.reset();
+    CrossShardCommits.reset();
+    EmptyCommits.reset();
   }
 
   /// Figure 10's metric: overall retries over the number of

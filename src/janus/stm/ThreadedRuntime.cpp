@@ -22,6 +22,15 @@ static void backoff(uint64_t Micros) {
   std::this_thread::sleep_for(std::chrono::microseconds(Micros));
 }
 
+/// The shared empty log: every no-effect commit (empty task bodies,
+/// thrown attempts, placeholder commits) references this one instance
+/// instead of allocating a fresh TxLog — the empty-scenario hot path
+/// stays allocation-free.
+static const TxLogRef &emptyTxLog() {
+  static const TxLogRef Empty = std::make_shared<const TxLog>();
+  return Empty;
+}
+
 ThreadedRuntime::ThreadedRuntime(const ObjectRegistry &Reg,
                                  ConflictDetector &Detector,
                                  ThreadedConfig Config)
@@ -41,6 +50,16 @@ ThreadedRuntime::~ThreadedRuntime() {
     delete S;
     S = N;
   }
+  for (PublishedState *P : StatePool)
+    delete P;
+}
+
+ThreadedRuntime::PublishedState *ThreadedRuntime::allocState() {
+  if (StatePool.empty())
+    return new PublishedState;
+  PublishedState *P = StatePool.back();
+  StatePool.pop_back();
+  return P;
 }
 
 void ThreadedRuntime::setInitialState(Snapshot S) {
@@ -79,7 +98,8 @@ void ThreadedRuntime::recordEvent(WorkerSlot &Worker, uint32_t Tid,
   if (!Config.RecordTrace)
     return;
   Worker.Events.push_back(TraceEvent{Tid, Begin, Commit, Committed,
-                                     std::move(Log), std::move(Entry), Mode});
+                                     std::move(Log), std::move(Entry), Mode,
+                                     {}});
   ++Stats.TraceEvents;
 }
 
@@ -127,7 +147,13 @@ uint64_t ThreadedRuntime::minActiveBegin(uint64_t Fallback) const {
 void ThreadedRuntime::reclaimStates(uint64_t Min) {
   while (OldestState->Time < Min && OldestState->Newer) {
     PublishedState *Next = OldestState->Newer;
-    delete OldestState;
+    // Recycle instead of delete: the commit path reuses the node, so a
+    // steady-state commit storm allocates nothing. Snapshot and tail
+    // refs are dropped now — that is the actual reclamation.
+    OldestState->State = Snapshot{};
+    OldestState->HistoryTail = {};
+    OldestState->Newer = nullptr;
+    StatePool.push_back(OldestState);
     OldestState = Next;
   }
 }
@@ -200,11 +226,12 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
     if (Sampled)
       O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "exception");
-    recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false,
-                std::make_shared<const TxLog>(), std::move(EntrySnap));
+    recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, emptyTxLog(),
+                std::move(EntrySnap));
     return AttemptResult::Thrown;
   }
-  TxLogRef Log = std::make_shared<const TxLog>(Tx.log());
+  TxLogRef Log = Tx.log().empty() ? emptyTxLog()
+                                  : std::make_shared<const TxLog>(Tx.log());
 
   // Fault injection: abort before the ordered wait (a doomed attempt
   // must not occupy its commit turn) and before detection runs.
@@ -231,28 +258,34 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
   }
 
   std::vector<TxLogRef> OpsC;
+  const bool Empty = Log->empty();
   while (true) {
     const PublishedState *NowState =
         Published.load(std::memory_order_acquire);
     uint64_t Now = NowState->Time;
-    const double DetectTs = Sampled ? O->nowUs() : 0.0;
-    Window.collectUpTo(Now, OpsC);
-    ++Stats.ConflictChecks;
-    bool Conflict = Detector.detectConflicts(EntrySnap, *Log, OpsC, Reg);
-    if (Sampled) {
-      double Dur = O->nowUs() - DetectTs;
-      O->detectLatency().record(Dur);
-      O->span(Lane, "detect", Tid, Attempt, DetectTs, Dur, "window",
-              static_cast<double>(OpsC.size()));
-    }
-    if (Conflict) {
-      // Abort: drop this attempt; RUNTASK will be re-invoked.
-      Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
-      if (Sampled)
-        O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "conflict");
-      recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, std::move(Log),
-                  std::move(EntrySnap));
-      return AttemptResult::Aborted;
+    // An empty log cannot conflict with anything and replays to the
+    // published snapshot itself, so detection and replay are skipped
+    // wholesale — the empty commit is a clock bump plus the publish.
+    if (!Empty) {
+      const double DetectTs = Sampled ? O->nowUs() : 0.0;
+      Window.collectUpTo(Now, OpsC);
+      ++Stats.ConflictChecks;
+      bool Conflict = Detector.detectConflicts(EntrySnap, *Log, OpsC, Reg);
+      if (Sampled) {
+        double Dur = O->nowUs() - DetectTs;
+        O->detectLatency().record(Dur);
+        O->span(Lane, "detect", Tid, Attempt, DetectTs, Dur, "window",
+                static_cast<double>(OpsC.size()));
+      }
+      if (Conflict) {
+        // Abort: drop this attempt; RUNTASK will be re-invoked.
+        Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
+        if (Sampled)
+          O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "conflict");
+        recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false,
+                    std::move(Log), std::move(EntrySnap));
+        return AttemptResult::Aborted;
+      }
     }
 
     // REPLAYLOGGEDOPERATIONS onto the state we validated against,
@@ -264,7 +297,7 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     Snapshot Replayed = NowState->State;
     for (const LogEntry &E : *Log)
       Replayed = applyToSnapshot(Replayed, E.Loc, E.Op);
-    if (Sampled)
+    if (Sampled && !Empty)
       O->span(Lane, "replay", Tid, Attempt, ReplayTs, O->nowUs() - ReplayTs,
               "ops", static_cast<double>(Log->size()));
 
@@ -284,8 +317,11 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
       }
       uint64_t CommitTime = Now + 1;
       History.append(CommitTime, Log);
-      auto *Next = new PublishedState{CommitTime, std::move(Replayed),
-                                      History.tail(), nullptr};
+      PublishedState *Next = allocState();
+      Next->Time = CommitTime;
+      Next->State = std::move(Replayed);
+      Next->HistoryTail = History.tail();
+      Next->Newer = nullptr;
       Current->Newer = Next;
       Published.store(Next, std::memory_order_seq_cst);
       Clock.store(CommitTime, std::memory_order_release);
@@ -309,6 +345,8 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
       // Commit latency = begin-to-publication of the winning attempt.
       O->commitLatency().record(End - AttemptTs);
     }
+    if (Empty)
+      ++Stats.EmptyCommits;
     recordEvent(Worker, Tid, Begin, Now + 1, /*Committed=*/true,
                 std::move(Log), std::move(EntrySnap));
     notifySuccessor(Now + 1);
@@ -348,7 +386,8 @@ void ThreadedRuntime::commitSerial(const TaskFn *Task, uint32_t Tid,
       try {
         (*Task)(Tx);
         Tx.endAttempt();
-        Log = std::make_shared<const TxLog>(Tx.log());
+        Log = Tx.log().empty() ? emptyTxLog()
+                               : std::make_shared<const TxLog>(Tx.log());
       } catch (const std::exception &E) {
         Tx.endAttempt();
         ++Stats.TaskExceptions;
@@ -366,14 +405,17 @@ void ThreadedRuntime::commitSerial(const TaskFn *Task, uint32_t Tid,
       }
     }
     if (!Log)
-      Log = std::make_shared<const TxLog>(); // Placeholder: no effects.
+      Log = emptyTxLog(); // Placeholder: no effects.
     Snapshot Replayed = EntrySnap;
     for (const LogEntry &E : *Log)
       Replayed = applyToSnapshot(Replayed, E.Loc, E.Op);
     CommitTime = Begin + 1;
     History.append(CommitTime, Log);
-    auto *Next = new PublishedState{CommitTime, std::move(Replayed),
-                                    History.tail(), nullptr};
+    PublishedState *Next = allocState();
+    Next->Time = CommitTime;
+    Next->State = std::move(Replayed);
+    Next->HistoryTail = History.tail();
+    Next->Newer = nullptr;
     Current->Newer = Next;
     Published.store(Next, std::memory_order_seq_cst);
     Clock.store(CommitTime, std::memory_order_release);

@@ -233,10 +233,15 @@ private:
   /// \p Fallback when none is active.
   uint64_t minActiveBegin(uint64_t Fallback) const;
 
-  /// Frees published states no in-flight transaction can still
-  /// reference (Time < \p Min, never the newest). Caller holds
-  /// CommitMutex.
+  /// Recycles published states no in-flight transaction can still
+  /// reference (Time < \p Min, never the newest): their snapshot and
+  /// history-tail refs are dropped and the nodes parked in StatePool
+  /// for the next commit. Caller holds CommitMutex.
   void reclaimStates(uint64_t Min);
+
+  /// Pops a recycled PublishedState (or allocates the pool's first).
+  /// Caller holds CommitMutex and fills every field.
+  PublishedState *allocState();
 
   const ObjectRegistry &Reg;
   ConflictDetector &Detector;
@@ -250,6 +255,9 @@ private:
   /// Oldest state still allocated; chain head for epoch freeing.
   /// Mutated only under CommitMutex (and the destructor).
   PublishedState *OldestState = nullptr;
+  /// Recycled PublishedState nodes (guarded by CommitMutex): commits
+  /// reuse them so the steady-state commit path allocates nothing.
+  std::vector<PublishedState *> StatePool;
   HistoryLog History;
 
   /// Serializes commits only: validate-bump-swap plus the CommitOrder

@@ -27,20 +27,22 @@ void TxContext::flagEscape(const char *Fallback) {
 
 Value TxContext::read(const Location &Loc) {
   JANUS_CHECK_ACTIVE("TxContext::read");
-  Value V = snapshotValue(Private, Loc);
+  Value V = snapshotValue(stateFor(Loc), Loc);
   Log.push_back(LogEntry{Loc, LocOp::read(V)});
   return V;
 }
 
 void TxContext::write(const Location &Loc, Value V) {
   JANUS_CHECK_ACTIVE("TxContext::write");
-  Private = Private.set(Loc, V);
+  Snapshot &P = stateFor(Loc);
+  P = P.set(Loc, V);
   Log.push_back(LogEntry{Loc, LocOp::write(std::move(V))});
 }
 
 void TxContext::add(const Location &Loc, int64_t Delta) {
   JANUS_CHECK_ACTIVE("TxContext::add");
   LocOp Op = LocOp::add(Delta);
-  Private = applyToSnapshot(Private, Loc, Op);
+  Snapshot &P = stateFor(Loc);
+  P = applyToSnapshot(P, Loc, Op);
   Log.push_back(LogEntry{Loc, std::move(Op)});
 }

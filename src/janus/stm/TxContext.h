@@ -33,6 +33,35 @@
 namespace janus {
 namespace stm {
 
+/// Backend for location-sharded execution (ShardedRuntime): routes each
+/// location to a power-of-two shard and materializes per-shard entry
+/// snapshots lazily, on the attempt's first touch of that shard. The
+/// backend owns the view storage (per-worker scratch, reset between
+/// attempts) so the sharded read/write hot path allocates nothing.
+class ShardBackend {
+public:
+  /// One shard as this attempt sees it.
+  struct View {
+    Snapshot Entry;     ///< Shard slice of the state at acquisition.
+    Snapshot Private;   ///< Privatized copy the attempt mutates.
+    uint64_t Stamp = 0; ///< Global clock stamp at acquisition.
+    bool Acquired = false;
+  };
+
+  virtual ~ShardBackend() = default;
+
+  /// Number of shards; always a power of two.
+  virtual uint32_t shardCount() const = 0;
+
+  /// Per-attempt view slots, at least shardCount() entries.
+  virtual View *views() = 0;
+
+  /// Materializes views()[S] for the bound attempt (first touch):
+  /// hazard-protects the shard's published state and fills Entry,
+  /// Private, Stamp, and Acquired.
+  virtual void acquire(uint32_t S) = 0;
+};
+
 /// Per-attempt transaction state handed to the task body.
 class TxContext {
 public:
@@ -45,6 +74,14 @@ public:
             RunStats *Stats = nullptr)
       : Entry(std::move(Entry)), Private(this->Entry), Tid(Tid), Reg(Reg),
         Stats(Stats) {}
+
+  /// Sharded-mode context: accesses route to per-shard views acquired
+  /// lazily from \p Backend instead of one whole-space snapshot.
+  TxContext(ShardBackend &Backend, uint32_t Tid, const ObjectRegistry &Reg,
+            RunStats *Stats = nullptr)
+      : Tid(Tid), Reg(Reg), Stats(Stats), Shards(&Backend),
+        ShardViews(Backend.views()),
+        ShardIndexMask(Backend.shardCount() - 1) {}
 
   // --- Client API (used by the ADT handles) ---------------------------
 
@@ -93,15 +130,40 @@ public:
   /// \returns true while the attempt is executing (before endAttempt).
   bool inActiveAttempt() const { return Active; }
 
+  /// Unsharded contexts only — sharded attempts have one entry
+  /// snapshot per acquired shard (ShardBackend::View::Entry).
   const Snapshot &entrySnapshot() const { return Entry; }
   const Snapshot &privatizedState() const { return Private; }
   const TxLog &log() const { return Log; }
   double virtualCost() const { return VirtualCost; }
 
+  /// Sharded mode: bitmask of shard indices this attempt touched
+  /// (shard counts are capped at 64). Zero for unsharded contexts and
+  /// for attempts that made no shared access.
+  uint64_t accessedShards() const { return AccessedMask; }
+
+  /// \returns whether this context routes through a ShardBackend.
+  bool sharded() const { return Shards != nullptr; }
+
 private:
   /// Reports one escaped access (slow path; only reached when the
   /// context is inactive and checks are compiled in).
   void flagEscape(const char *Fallback);
+
+  /// The privatized state \p Loc lives in: the whole-space copy for
+  /// unsharded contexts, else the owning shard's view (acquired on
+  /// first touch).
+  Snapshot &stateFor(const Location &Loc) {
+    if (!Shards)
+      return Private;
+    uint32_t S = shardIndexOf(Loc, ShardIndexMask + 1);
+    ShardBackend::View &V = ShardViews[S];
+    if (!V.Acquired) {
+      Shards->acquire(S);
+      AccessedMask |= uint64_t{1} << S;
+    }
+    return V.Private;
+  }
 
   Snapshot Entry;   ///< SharedSnapshot: state at Begin.
   Snapshot Private; ///< SharedPrivatized: state seen by this attempt.
@@ -113,6 +175,10 @@ private:
   bool Active = true;
   /// Access point recorded by guard() for escape attribution.
   mutable const char *PendingEscapeWhere = nullptr;
+  ShardBackend *Shards = nullptr;             ///< Null = unsharded.
+  ShardBackend::View *ShardViews = nullptr;   ///< Cached Shards->views().
+  uint32_t ShardIndexMask = 0;                ///< shardCount() - 1.
+  uint64_t AccessedMask = 0;
 };
 
 /// A task body: the paper's (prog, o̅ → v̅) pair, closed over its

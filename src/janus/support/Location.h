@@ -71,6 +71,18 @@ struct Location {
   std::string toString() const;
 };
 
+/// Routes a location to one of \p NumShards location-keyed shards.
+/// \p NumShards must be a power of two (the sharded engine guarantees
+/// this). The fold mixes the high hash bits into the low ones so
+/// string-keyed locations spread even when only their upper bits
+/// differ; integer keys already vary in the low bits.
+inline uint32_t shardIndexOf(const Location &Loc, uint32_t NumShards) {
+  JANUS_ASSERT((NumShards & (NumShards - 1)) == 0 && NumShards != 0,
+               "shard count must be a power of two");
+  uint64_t H = Loc.hash();
+  return static_cast<uint32_t>(H ^ (H >> 32)) & (NumShards - 1);
+}
+
 /// Consistency relaxations a user may attach to a shared object
 /// (paper §5.3 "Relaxed Consistency").
 struct RelaxationSpec {

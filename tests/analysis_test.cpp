@@ -178,9 +178,9 @@ TEST(SerializabilityTest, ScheduleIssuesAreReported) {
   AuditTrace Trace;
   Trace.Recorded = true;
   // Task 1 commits twice; task 2 never; tid 9 is unknown.
-  Trace.Events.push_back(TraceEvent{1, 0, 1, true, Log, Snapshot()});
-  Trace.Events.push_back(TraceEvent{1, 1, 2, true, Log, Snapshot()});
-  Trace.Events.push_back(TraceEvent{9, 2, 3, true, Log, Snapshot()});
+  Trace.Events.push_back(TraceEvent{1, 0, 1, true, Log, Snapshot(), CommitMode::Speculative, {}});
+  Trace.Events.push_back(TraceEvent{1, 1, 2, true, Log, Snapshot(), CommitMode::Speculative, {}});
+  Trace.Events.push_back(TraceEvent{9, 2, 3, true, Log, Snapshot(), CommitMode::Speculative, {}});
   std::vector<TaskFn> Tasks(2, [&](TxContext &Tx) {
     Tx.write(Location(Obj), Value::of(1));
   });

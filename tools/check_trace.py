@@ -32,7 +32,10 @@ SPAN_NAMES = {
 }
 INSTANT_NAMES = {"abort", "validate-fail"}
 METADATA_NAMES = {"process_name", "thread_name"}
-KNOWN_PHASES = {"X", "i", "M", "B", "E"}
+KNOWN_PHASES = {"X", "i", "M", "B", "E", "C"}
+# Counter tracks ('C', pid 2) come from obs::counterTrackEvents: one
+# track per hot location, named "contention:<location>".
+COUNTER_PREFIX = "contention:"
 
 
 def check_file(path):
@@ -61,7 +64,7 @@ def check_file(path):
         return errors
 
     open_spans = {}  # (pid, tid) -> list of begin names.
-    counts = {"X": 0, "i": 0, "M": 0}
+    counts = {"X": 0, "i": 0, "M": 0, "C": 0}
     for idx, ev in enumerate(events):
         if not isinstance(ev, dict):
             err("event is not an object", idx)
@@ -91,6 +94,15 @@ def check_file(path):
         elif ph == "i":
             if name not in INSTANT_NAMES:
                 err(f"unknown instant type {name!r}", idx)
+        elif ph == "C":
+            if not (isinstance(name, str)
+                    and name.startswith(COUNTER_PREFIX)):
+                err(f"unknown counter track {name!r}", idx)
+            if ev.get("pid") != 2:
+                err(f"counter {name!r} not on the counter process "
+                    f"(pid 2)", idx)
+            if not isinstance(ev.get("args"), dict):
+                err(f"counter {name!r} has no args object", idx)
         elif ph == "B":
             open_spans.setdefault((ev.get("pid"), ev.get("tid")),
                                   []).append(name)

@@ -4,7 +4,9 @@
 #   2. static analysis (tools/lint.sh; skipped when clang-tidy absent);
 #   3. ThreadSanitizer build + ctest (JANUS_SANITIZE=thread) — the
 #      dynamic complement of the hindsight auditor;
-#   4. `janus audit` over every workload on both engines;
+#   4. `janus audit` over every workload on both engines, plus a
+#      sharded pass (--shards 8, threads engine) — the location-
+#      sharded commit pipeline must stay audit-clean (DESIGN.md §11);
 #   5. chaos: the same audits under a canned JANUS_FAULTS plan that
 #      force-aborts, injects exceptions, delays commits and starves the
 #      SAT budget — the escalation ladder must absorb every fault and
@@ -17,9 +19,11 @@
 #      Chrome trace must satisfy tools/check_trace.py (known event
 #      types only, well-formed spans), and the --json report must be
 #      parseable;
-#   8. perf smoke: micro_commit --quick must run to completion (the
-#      perf trajectory itself is tools/bench.sh; this only gates on
-#      crashes, never on numbers).
+#   8. perf smoke: micro_commit --quick (including the 1/4/16
+#      shard-count sweep) must run to completion, then
+#      tools/perfdiff.py prints the deltas against the committed
+#      baseline NON-fatally (the perf trajectory itself is
+#      tools/bench.sh; this stage gates on crashes, never on numbers).
 #
 # Usage: tools/ci.sh [JOBS]   (JOBS defaults to nproc)
 set -eu
@@ -64,6 +68,9 @@ for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
     "$REPO_ROOT/build/tools/janus" audit --workload "$W" --engine "$E" \
       | tail -2
   done
+  echo "-- audit $W (threads, 8 shards)"
+  "$REPO_ROOT/build/tools/janus" audit --workload "$W" --engine threads \
+    --shards 8 | tail -2
 done
 
 echo "== [5/8] chaos audit under fault injection =="
@@ -81,6 +88,10 @@ for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
       | tail -2
   done
 done
+echo "-- chaos audit JGraphT-1 (threads, 8 shards)"
+JANUS_FAULTS="$CHAOS_FAULTS" \
+  "$REPO_ROOT/build/tools/janus" audit --workload JGraphT-1 \
+  --engine threads --shards 8 | tail -2
 
 echo "== [6/8] static verification of trained tables =="
 for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
@@ -112,10 +123,24 @@ done
 echo "-- abort attribution JGraphT-1 (sim)"
 "$REPO_ROOT/build/tools/janus" explain --workload JGraphT-1 --engine sim \
   --threads 4 --top 5 | tail -8
+echo "-- contention heatmap + counter track JGraphT-1 (sim)"
+HEAT_TRACE="$REPO_ROOT/build/ci_trace_heat.json"
+"$REPO_ROOT/build/tools/janus" explain --workload JGraphT-1 --engine sim \
+  --threads 4 --top 5 --by-object --trace-out "$HEAT_TRACE" | tail -6
+python3 "$REPO_ROOT/tools/check_trace.py" "$HEAT_TRACE"
 
-echo "== [8/8] perf smoke (micro_commit, 1 and 4 threads) =="
+echo "== [8/8] perf smoke (micro_commit --quick, incl. shard sweep) =="
 "$REPO_ROOT/build/bench/micro_commit" --quick \
   --json-out="$REPO_ROOT/build/BENCH_micro_commit_smoke.json" >/dev/null
 echo "perf smoke: completed (see build/BENCH_micro_commit_smoke.json)"
+# Non-fatal perf diff against the committed trajectory baseline: the
+# quick run is noisy (and shorter than the committed full run), so the
+# deltas are informational — regressions print but never fail CI.
+if [ -f "$REPO_ROOT/BENCH_micro_commit.json" ]; then
+  echo "-- perfdiff vs committed baseline (informational)"
+  python3 "$REPO_ROOT/tools/perfdiff.py" \
+    "$REPO_ROOT/BENCH_micro_commit.json" \
+    "$REPO_ROOT/build/BENCH_micro_commit_smoke.json" || true
+fi
 
 echo "ci: all stages passed."

@@ -31,6 +31,10 @@
 ///
 /// Run options:
 ///   --threads N         worker threads / simulated cores (default 8)
+///   --shards N          commit-pipeline shards for the threaded engine
+///                       (default 1 = classic single commit point; >1
+///                       selects the location-sharded engine, rounded
+///                       up to a power of two; see DESIGN.md §11)
 ///   --detector seq|ws   conflict detection algorithm (default seq)
 ///   --engine sim|threads  execution engine (default sim)
 ///   --production        use the production-sized payload
@@ -59,6 +63,10 @@
 ///   --json-out FILE     write the JSON report to FILE (text report
 ///                       still goes to stdout)
 ///   --top N             explain: show only the top N conflict sources
+///   --by-object         explain: add the per-object contention heatmap
+///                       rollup (which object absorbs the aborts); with
+///                       --trace-out, also emits a Perfetto counter
+///                       track per hot location on the logical clock
 ///
 /// Verify options:
 ///   --scope N           small-scope bound: integer inputs range over
@@ -96,6 +104,8 @@ struct CliOptions {
   std::string Command;
   std::string WorkloadName;
   unsigned Threads = 8;
+  unsigned Shards = 1;
+  bool ByObject = false;
   DetectorKind Detector = DetectorKind::Sequence;
   EngineKind Engine = EngineKind::Simulated;
   bool Production = false;
@@ -153,6 +163,13 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.Threads = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--shards") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 1)
+        return false;
+      Opts.Shards = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--by-object") {
+      Opts.ByObject = true;
     } else if (Arg == "--detector") {
       const char *V = Next();
       if (!V)
@@ -271,6 +288,7 @@ int cmdList() {
 JanusConfig configFor(const CliOptions &Opts) {
   JanusConfig Cfg;
   Cfg.Threads = Opts.Threads;
+  Cfg.Shards = Opts.Shards;
   Cfg.Detector = Opts.Detector;
   Cfg.Engine = Opts.Engine;
   Cfg.Sequence.UseAbstraction = Opts.UseAbstraction;
@@ -285,12 +303,13 @@ JanusConfig configFor(const CliOptions &Opts) {
 
 /// Writes the recorded trace as Chrome trace-event JSON and reports it
 /// (text mode only; JSON mode carries the path in the report).
-bool exportTrace(Janus &J, const CliOptions &Opts) {
+bool exportTrace(Janus &J, const CliOptions &Opts,
+                 const std::string &ExtraEvents = {}) {
   obs::Observer *O = J.observer();
   if (!O || Opts.TraceOut.empty())
     return true;
   std::string Err;
-  if (!O->writeChromeTrace(Opts.TraceOut, &Err)) {
+  if (!O->writeChromeTrace(Opts.TraceOut, &Err, ExtraEvents)) {
     std::fprintf(stderr, "janus: error: %s\n", Err.c_str());
     return false;
   }
@@ -317,6 +336,7 @@ std::string runReportJson(const std::string &Command,
           Opts.Engine == EngineKind::Simulated ? "sim" : "threads");
   W.field("detector", std::string_view(J.detector().name()));
   W.field("threads", static_cast<uint64_t>(Opts.Threads));
+  W.field("shards", static_cast<uint64_t>(Opts.Shards));
   W.field("speedup", O.speedup());
   W.field("parallel_time", O.ParallelTime);
   W.field("sequential_time", O.SequentialTime);
@@ -332,6 +352,8 @@ std::string runReportJson(const std::string &Command,
   W.field("conflict_checks", RS.ConflictChecks.load());
   W.field("validation_failures", RS.ValidationFailures.load());
   W.field("escaped_accesses", RS.EscapedAccesses.load());
+  W.field("cross_shard_commits", RS.CrossShardCommits.load());
+  W.field("empty_commits", RS.EmptyCommits.load());
   W.endObject();
 
   // The resilience picture (PR 3): escalations, budget exhaustions and
@@ -645,6 +667,13 @@ int cmdExplain(const CliOptions &Opts) {
 
   obs::AbortAttribution A =
       obs::attributeAborts(J.lastTrace(), J.registry());
+  obs::ContentionHeatmap Heat;
+  std::string CounterTrack;
+  if (Opts.ByObject) {
+    Heat = obs::buildHeatmap(J.lastTrace(), J.registry());
+    if (!Opts.TraceOut.empty())
+      CounterTrack = obs::counterTrackEvents(J.lastTrace(), J.registry());
+  }
 
   if (!Opts.Json) {
     std::printf("workload   : %s (%s, %s engine, %u %s)\n",
@@ -659,8 +688,10 @@ int cmdExplain(const CliOptions &Opts) {
                 O.speedup());
     printResilience(J, O);
     std::printf("%s", A.toTable(Opts.Top).c_str());
+    if (Opts.ByObject)
+      std::printf("%s", Heat.toTable(Opts.Top).c_str());
   }
-  if (!exportTrace(J, Opts))
+  if (!exportTrace(J, Opts, CounterTrack))
     return 1;
   if (Opts.Json || !Opts.JsonOut.empty()) {
     JsonWriter Wr;
@@ -671,6 +702,10 @@ int cmdExplain(const CliOptions &Opts) {
     Wr.field("workload", std::string_view(W->name()));
     Wr.key("attribution");
     Wr.raw(A.toJson());
+    if (Opts.ByObject) {
+      Wr.key("by_object");
+      Wr.raw(Heat.toJson());
+    }
     Wr.endObject();
     if (!emitJsonReport(Wr.str(), Opts))
       return 1;
@@ -740,6 +775,12 @@ int main(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
     usage();
+    return 1;
+  }
+  if (Opts.Shards > 1 && Opts.Engine != EngineKind::Threaded) {
+    std::fprintf(stderr, "janus: error: --shards %u requires --engine "
+                         "threads (the simulator has no sharded pipeline)\n",
+                 Opts.Shards);
     return 1;
   }
   if (Opts.Command == "list")

@@ -16,9 +16,11 @@ correctness argument depends on but that no compiler checks:
 
   R2 snapshot-hazard-scope
      `Published.load(...)` is an epoch-protected snapshot-pointer read:
-     it may only appear in a function that first either acquires
-     CommitMutex (a guard over the epoch's free path) or publishes a
-     hazard via `Begin.store(...)`. A bare read races reclaimStates().
+     it may only appear in a function that first either acquires a
+     CommitMutex (a guard or manual .lock() over the epoch's free
+     path) or publishes a hazard — `Begin.store(...)` in the unsharded
+     runtime, a `Hazards[shard]` slot in the sharded one (DESIGN.md
+     §11.2). A bare read races reclaimStates().
 
   R3 lock-hierarchy
      The documented hierarchy is single-level: OrderMutex and
@@ -28,7 +30,11 @@ correctness argument depends on but that no compiler checks:
      Shard mutexes (detector caches) are leaves acquired alone. The
      rule flags any guard over a tracked mutex while another tracked
      guard is still in scope, and any manual .lock()/.unlock() on them
-     (RAII only).
+     (RAII only). Exception: the sharded runtime's *per-shard* commit
+     mutexes (indexed `Shards[i].CommitMutex`) follow the documented
+     multi-lock protocol — ascending acquire, reverse release
+     (DESIGN.md §11.3) — which no single RAII guard can express; the
+     indexed form is therefore exempt from the manual-lock check.
 
   R4 obs-gating
      `->span(`, `->instant(` and latency-histogram `.record(` calls are
@@ -36,8 +42,9 @@ correctness argument depends on but that no compiler checks:
      that obtained its observer through the `janusObs(...)` gate (which
      folds to nullptr under JANUS_OBS=OFF).
 
-A finding can be waived with `// JANUS_LINT_ALLOW(<rule>): <reason>` on
-the same line; the reason is mandatory.
+A finding can be waived with `// JANUS_LINT_ALLOW(<rule>): <reason>`
+on the same line, or on a comment-only line above (the waiver then
+applies to the next code line); the reason is mandatory.
 
 Exit status: 0 clean, 1 findings, 2 usage/IO error.
 """
@@ -55,7 +62,7 @@ ATOMIC_OPS = (
 )
 GUARD_DECL = re.compile(
     r"\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\s*<[^>]*>\s*"
-    r"\w+\s*\(\s*([\w.\->]+)\s*[),]"
+    r"\w+\s*\(\s*([\w.\[\]\->]+)\s*[),]"
 )
 # The documented hierarchy roots (ThreadedRuntime.h). Shard mutexes are
 # leaves; matching plain "Mutex" members through S./S-> catches them.
@@ -144,12 +151,18 @@ def lint_file(path, raw_lines):
     # Pass 0: strip comments/strings; remember waivers per line.
     lines = []
     waived = {}  # line index -> set of waived rules
+    pending = set()  # waivers on comment-only lines: apply to next code line
     in_block = False
     for idx, raw in enumerate(raw_lines):
-        for m in ALLOW.finditer(raw):
-            waived.setdefault(idx, set()).add(m.group(1))
+        rules = {m.group(1) for m in ALLOW.finditer(raw)}
         clean, in_block = strip_noise(raw.rstrip("\n"), in_block)
         lines.append(clean)
+        if clean.strip():
+            if rules or pending:
+                waived.setdefault(idx, set()).update(rules | pending)
+            pending = set()
+        else:
+            pending |= rules
 
     def report(idx, rule, msg):
         if rule not in waived.get(idx, set()):
@@ -200,7 +213,11 @@ def lint_file(path, raw_lines):
             if tracked:
                 guard_stack.append((name, depth))
         for mu in HIERARCHY:
-            if re.search(rf"\b{mu}\s*\.\s*(?:lock|unlock)\s*\(", clean):
+            # Indexed per-shard mutexes (`Shards[i].CommitMutex`) use
+            # the ascending-acquire / reverse-release multi-lock
+            # protocol (DESIGN.md §11.3) that RAII cannot express.
+            if re.search(rf"\b{mu}\s*\.\s*(?:lock|unlock)\s*\(", clean) and \
+                    not re.search(rf"\]\s*\.\s*{mu}\s*\.", clean):
                 report(
                     idx,
                     "lock-hierarchy",
@@ -211,7 +228,13 @@ def lint_file(path, raw_lines):
             obs_gated = True
         if re.search(r"\bCommitMutex\b", clean) and gm:
             hazard_ok = True
+        if re.search(r"\bCommitMutex\s*\.\s*lock\s*\(", clean):
+            hazard_ok = True
         if re.search(r"\bBegin\s*\.\s*store\s*\(", clean):
+            hazard_ok = True
+        # Sharded runtime: publishing (or aliasing) a per-shard hazard
+        # slot protects subsequent Published reads the same way.
+        if re.search(r"\bHazards\s*\[", clean):
             hazard_ok = True
 
         # --- R2: snapshot-pointer read needs the hazard/guard first.

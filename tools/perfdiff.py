@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Diff two bench-report JSON files (BENCH_*.json, bench/BenchCommon.h
+schema) row by row and report the perf deltas.
+
+Rows are matched on their configuration identity — engine, detector,
+scenario, ordered, threads, shards — and compared on the measurements:
+ns_per_commit (relative delta) and the retry ratio retries/commits
+(absolute delta). Rows present on only one side are listed, not
+counted as regressions.
+
+Usage:
+  perfdiff.py BASELINE.json CURRENT.json [--threshold PCT]
+
+--threshold PCT (default 10): ns_per_commit regressions beyond PCT
+percent are counted and reflected in the exit status.
+
+Exit status: 0 when no regression beyond the threshold, 1 when at
+least one row regressed, 2 on usage/parse errors. CI runs this
+non-fatally: microbenchmark noise (especially on shared or
+single-core machines) makes hard gating counterproductive, but the
+printed deltas make a perf trajectory reviewable per commit.
+
+Stdlib only; used by tools/ci.sh (perf-smoke stage) and by hand.
+"""
+
+import json
+import sys
+
+IDENTITY = ("engine", "detector", "scenario", "ordered", "threads", "shards")
+
+
+def load_rows(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"perfdiff: {path}: unreadable or invalid JSON: {e}")
+    rows = doc.get("rows")
+    if not isinstance(rows, list):
+        sys.exit(f"perfdiff: {path}: no rows array")
+    out = {}
+    for row in rows:
+        key = tuple(row.get(f) for f in IDENTITY)
+        if key in out:
+            sys.exit(f"perfdiff: {path}: duplicate row identity {key}")
+        out[key] = row
+    return doc.get("bench", "?"), out
+
+
+def fmt_key(key):
+    parts = []
+    for field, value in zip(IDENTITY, key):
+        if value is None:
+            continue
+        parts.append(f"{field}={value}")
+    return " ".join(parts)
+
+
+def retry_ratio(row):
+    commits = row.get("commits") or 0
+    return (row.get("retries") or 0) / commits if commits else 0.0
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 10.0
+    for a in argv[1:]:
+        if a.startswith("--threshold"):
+            try:
+                threshold = float(a.split("=", 1)[1])
+            except (IndexError, ValueError):
+                sys.exit("perfdiff: bad --threshold=PCT")
+    if len(args) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    base_name, base = load_rows(args[0])
+    cur_name, cur = load_rows(args[1])
+    if base_name != cur_name:
+        print(f"perfdiff: warning: comparing different benches "
+              f"({base_name} vs {cur_name})", file=sys.stderr)
+
+    regressions = 0
+    compared = 0
+    for key in sorted(cur, key=fmt_key):
+        if key not in base:
+            print(f"  new row: {fmt_key(key)}")
+            continue
+        b, c = base[key], cur[key]
+        bn, cn = b.get("ns_per_commit"), c.get("ns_per_commit")
+        if not isinstance(bn, (int, float)) or not bn or \
+           not isinstance(cn, (int, float)):
+            continue
+        compared += 1
+        delta = (cn - bn) / bn * 100.0
+        rr = retry_ratio(c) - retry_ratio(b)
+        marker = ""
+        if delta > threshold:
+            marker = "  <-- REGRESSION"
+            regressions += 1
+        elif delta < -threshold:
+            marker = "  (improved)"
+        print(f"  {fmt_key(key)}: ns/commit {bn:.0f} -> {cn:.0f} "
+              f"({delta:+.1f}%), retry-ratio {rr:+.3f}{marker}")
+    for key in sorted(base, key=fmt_key):
+        if key not in cur:
+            print(f"  dropped row: {fmt_key(key)}")
+
+    print(f"perfdiff: {compared} rows compared, {regressions} beyond "
+          f"{threshold:.0f}% ({base_name})")
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
