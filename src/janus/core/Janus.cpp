@@ -143,6 +143,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
     SimCfg.Resilience = Config.Resilience;
     SimCfg.Faults = Config.Faults;
     SimCfg.Obs = ObsSink.get();
+    SimCfg.Cancel = Config.Cancel;
     stm::SimRuntime Runtime(Reg, *Detector, SimCfg);
     Runtime.setInitialState(State);
     stm::SimOutcome Sim = Runtime.run(Tasks);
@@ -162,6 +163,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
     Stats.TaskExceptions += Runtime.stats().TaskExceptions.load();
     Stats.TaskFailures += Runtime.stats().TaskFailures.load();
     Stats.FaultsInjected += Runtime.stats().FaultsInjected.load();
+    Stats.CancelledTasks += Runtime.stats().CancelledTasks.load();
     return Outcome;
   }
 
@@ -204,6 +206,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
     Stats.FaultsInjected += R.FaultsInjected.load();
     Stats.CrossShardCommits += R.CrossShardCommits.load();
     Stats.EmptyCommits += R.EmptyCommits.load();
+    Stats.CancelledTasks += R.CancelledTasks.load();
   };
 
   if (Config.Shards > 1) {
@@ -219,6 +222,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
     ShardCfg.Resilience = Config.Resilience;
     ShardCfg.Faults = Config.Faults;
     ShardCfg.Obs = ObsSink.get();
+    ShardCfg.Cancel = Config.Cancel;
     stm::ShardedRuntime Runtime(Reg, *Detector, ShardCfg);
     Runtime.setInitialState(State);
     auto Start = Clock::now();
@@ -242,6 +246,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
   ThreadCfg.Resilience = Config.Resilience;
   ThreadCfg.Faults = Config.Faults;
   ThreadCfg.Obs = ObsSink.get();
+  ThreadCfg.Cancel = Config.Cancel;
   stm::ThreadedRuntime Runtime(Reg, *Detector, ThreadCfg);
   Runtime.setInitialState(State);
   auto Start = Clock::now();

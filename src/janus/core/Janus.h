@@ -83,6 +83,11 @@ struct JanusConfig {
   /// Observability (janus::obs): transaction tracing, metrics, SAT
   /// solve-time capture. Disabled by default; see DESIGN.md §8.
   obs::ObsConfig Obs = {};
+  /// Cooperative cancellation (deadlines / shutdown), consulted by the
+  /// engines at attempt boundaries and inside backoff waits. Task ids
+  /// index the table per run. Not owned; must outlive every run that
+  /// uses it. Appended last (aggregate initializers).
+  const resilience::CancellationTable *Cancel = nullptr;
 };
 
 /// Outcome of one parallel run: the measured parallel duration and the
@@ -139,6 +144,26 @@ public:
   /// Alias for runInOrder (the conservative default).
   RunOutcome run(const std::vector<stm::TaskFn> &Tasks) {
     return runInOrder(Tasks);
+  }
+
+  /// Replaces the fault-injection plan for subsequent runs. A
+  /// long-running service (janus::serve) translates its chaos plan's
+  /// client-coordinate clauses into per-batch task coordinates here.
+  void setFaults(resilience::FaultPlan P) { Config.Faults = std::move(P); }
+
+  /// Points subsequent runs at \p T (nullptr detaches). The table's
+  /// task tokens are indexed by the next run's 1-based task ids; the
+  /// caller re-provisions it per batch.
+  void setCancellations(const resilience::CancellationTable *T) {
+    Config.Cancel = T;
+  }
+
+  /// Shares \p B with the contention manager of subsequent runs:
+  /// engines tick commits into it, the CM publishes serial-fallback /
+  /// retry-exhaustion decisions and obeys its escalation level.
+  /// nullptr detaches. Not owned.
+  void setPressureBoard(resilience::PressureBoard *B) {
+    Config.Resilience.Board = B;
   }
 
   /// \returns the shared state after the last run.

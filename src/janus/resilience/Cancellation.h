@@ -1,0 +1,123 @@
+// Cooperative cancellation for long-running transactional work.
+//
+// A CancelToken is a tiny lock-free cell carrying two facts: an explicit
+// cancellation state (set once, by anyone) and an optional absolute
+// deadline in steady-clock microseconds. Engines poll tokens at attempt
+// boundaries and inside backoff waits; they never block on one. A task
+// whose token reports a non-None reason is failed with an empty
+// placeholder commit so the dense commit clock (Theorem 4.1) stays
+// intact and ordered successors are unblocked — exactly the mechanism
+// already used for exception-exhausted tasks.
+//
+// CancellationTable groups one global token (service-wide shutdown)
+// with one token per task id. status(Tid) consults the global token
+// first so a drain hard-deadline cancels every in-flight attempt with a
+// single store. cancel() is a CAS on an atomic byte: safe to call from
+// a signal handler (async-signal-safe: no locks, no allocation).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace janus::resilience {
+
+enum class CancelReason : uint8_t {
+  None = 0,
+  Deadline = 1, // per-submission deadline expired
+  Shutdown = 2, // service drain passed its hard deadline
+};
+
+inline const char *toString(CancelReason R) {
+  switch (R) {
+  case CancelReason::None:
+    return "none";
+  case CancelReason::Deadline:
+    return "deadline exceeded";
+  case CancelReason::Shutdown:
+    return "shutdown";
+  }
+  return "?";
+}
+
+class CancelToken {
+public:
+  CancelToken() = default;
+  CancelToken(const CancelToken &) = delete;
+  CancelToken &operator=(const CancelToken &) = delete;
+
+  // Steady-clock microseconds; the shared time base for deadlines.
+  static int64_t nowUs() {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  // First cancel wins; later reasons do not overwrite the original.
+  void cancel(CancelReason R) {
+    uint8_t Expected = 0;
+    State.compare_exchange_strong(Expected, static_cast<uint8_t>(R),
+                                  std::memory_order_acq_rel,
+                                  std::memory_order_acquire);
+  }
+
+  // Absolute deadline (CancelToken::nowUs() time base). 0 clears it.
+  void setDeadlineUs(int64_t Abs) {
+    DeadlineUs.store(Abs, std::memory_order_release);
+  }
+
+  int64_t deadlineUs() const {
+    return DeadlineUs.load(std::memory_order_acquire);
+  }
+
+  CancelReason status() const {
+    uint8_t S = State.load(std::memory_order_acquire);
+    if (S != 0)
+      return static_cast<CancelReason>(S);
+    int64_t D = DeadlineUs.load(std::memory_order_acquire);
+    if (D != 0 && nowUs() >= D)
+      return CancelReason::Deadline;
+    return CancelReason::None;
+  }
+
+private:
+  std::atomic<uint8_t> State{0};
+  std::atomic<int64_t> DeadlineUs{0};
+};
+
+// One global token plus one per task id (1-based, matching engine Tids).
+// The token vector is sized at construction and never resized, so
+// engines may hold CancelToken pointers across the whole run.
+class CancellationTable {
+public:
+  CancellationTable() = default;
+  explicit CancellationTable(size_t NumTasks) : Tokens(NumTasks) {}
+
+  CancelToken &global() { return Global; }
+  const CancelToken &global() const { return Global; }
+
+  CancelToken *task(uint32_t Tid) {
+    if (Tid == 0 || Tid > Tokens.size())
+      return nullptr;
+    return &Tokens[Tid - 1];
+  }
+
+  // Global shutdown dominates any per-task reason.
+  CancelReason status(uint32_t Tid) const {
+    CancelReason G = Global.status();
+    if (G != CancelReason::None)
+      return G;
+    if (Tid == 0 || Tid > Tokens.size())
+      return CancelReason::None;
+    return Tokens[Tid - 1].status();
+  }
+
+  size_t size() const { return Tokens.size(); }
+
+private:
+  CancelToken Global;
+  std::vector<CancelToken> Tokens;
+};
+
+} // namespace janus::resilience

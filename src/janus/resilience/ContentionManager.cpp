@@ -56,9 +56,23 @@ ContentionManager::Decision ContentionManager::onAbort(uint32_t Tid,
                "abort for unknown task id");
   TaskState &T = TasksState[Tid - 1];
   ++T.Aborts;
-  if (Config.SpeculativeRetryBudget != 0 &&
-      T.Aborts >= Config.SpeculativeRetryBudget)
+  // Under watchdog escalation the budget shrinks (level 1) or vanishes
+  // (level 2): when lanes are demonstrably stuck, spending more aborts
+  // on optimism only widens everyone's conflict windows.
+  uint32_t Budget = Config.SpeculativeRetryBudget;
+  if (Config.Board) {
+    uint32_t Level =
+        Config.Board->EscalationLevel.load(std::memory_order_acquire);
+    if (Level >= 2)
+      Budget = 1;
+    else if (Level == 1 && Budget > 1)
+      Budget = std::max(1u, Budget / 2);
+  }
+  if (Budget != 0 && T.Aborts >= Budget) {
+    if (Config.Board)
+      Config.Board->SerialFallbacks.fetch_add(1, std::memory_order_relaxed);
     return {Action::Serial, 0};
+  }
   return {Action::Retry, backoffFor(Tid, T.Aborts, Lane)};
 }
 
@@ -68,8 +82,11 @@ ContentionManager::Decision ContentionManager::onException(uint32_t Tid,
                "exception for unknown task id");
   TaskState &T = TasksState[Tid - 1];
   ++T.Throws;
-  if (T.Throws > Config.ExceptionRetryBudget)
+  if (T.Throws > Config.ExceptionRetryBudget) {
+    if (Config.Board)
+      Config.Board->RetryExhaustions.fetch_add(1, std::memory_order_relaxed);
     return {Action::Fail, 0};
+  }
   return {Action::Retry, backoffFor(Tid, T.Throws, Lane)};
 }
 

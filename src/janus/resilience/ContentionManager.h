@@ -41,12 +41,34 @@
 #ifndef JANUS_RESILIENCE_CONTENTIONMANAGER_H
 #define JANUS_RESILIENCE_CONTENTIONMANAGER_H
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
 namespace janus {
 namespace resilience {
+
+/// Live contention-pressure signals shared between the engines, the
+/// contention manager and a supervising service (janus::serve). All
+/// fields are monotone counters except EscalationLevel, which the
+/// watchdog raises when lanes stall and decays when progress resumes:
+///
+///   0 — normal operation;
+///   1 — degraded: the CM halves the speculative retry budget so hot
+///       tasks reach the guaranteed-progress serial rung sooner;
+///   2 — forced serial: every abort escalates straight to the serial
+///       fallback (optimism has demonstrably stopped paying off).
+///
+/// The board outlives any single run(): a long-running service points
+/// every batch's ResilienceConfig at the same instance so admission
+/// control sees pressure accumulate across batches.
+struct PressureBoard {
+  std::atomic<uint64_t> CommitTicks{0};      ///< Commits (any engine).
+  std::atomic<uint64_t> SerialFallbacks{0};  ///< CM Serial decisions.
+  std::atomic<uint64_t> RetryExhaustions{0}; ///< CM Fail decisions.
+  std::atomic<uint32_t> EscalationLevel{0};  ///< 0 / 1 / 2, see above.
+};
 
 /// Tunable policy of the escalation ladder.
 struct ResilienceConfig {
@@ -62,6 +84,12 @@ struct ResilienceConfig {
   uint32_t BackoffBaseMicros = 2;
   /// Exponential backoff cap.
   uint32_t BackoffCapMicros = 512;
+  /// Optional shared pressure board. When set, the CM publishes its
+  /// Serial/Fail decisions there and consults EscalationLevel before
+  /// deciding (level 1 halves the speculative budget, level 2 forces
+  /// serial on the first abort). Appended last so existing aggregate
+  /// initializers keep compiling. Not owned.
+  PressureBoard *Board = nullptr;
 };
 
 /// Per-run contention-management state. See the file header.

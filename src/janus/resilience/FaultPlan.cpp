@@ -56,15 +56,23 @@ bool parseArg(const std::string &Text, uint64_t &Out) {
   return true;
 }
 
-/// Parses the '@tid.attempt' coordinate suffix of a clause.
+/// Parses the coordinate suffix of a clause: '@tid.attempt' (task
+/// coordinates) or '@client:sub' (service coordinates, ClientCoords
+/// set). The separator — '.' vs ':' — is the only thing that tells the
+/// two spaces apart.
 bool parseCoords(const std::string &Text, FaultAction &A) {
   if (Text.empty() || Text[0] != '@')
     return false;
-  size_t Dot = Text.find('.');
-  if (Dot == std::string::npos)
-    return false;
-  return parseCoord(Text.substr(1, Dot - 1), A.Tid) &&
-         parseCoord(Text.substr(Dot + 1), A.Attempt);
+  size_t Sep = Text.find('.');
+  A.ClientCoords = false;
+  if (Sep == std::string::npos) {
+    Sep = Text.find(':');
+    if (Sep == std::string::npos)
+      return false;
+    A.ClientCoords = true;
+  }
+  return parseCoord(Text.substr(1, Sep - 1), A.Tid) &&
+         parseCoord(Text.substr(Sep + 1), A.Attempt);
 }
 
 } // namespace
@@ -101,6 +109,23 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string &Spec,
         return Fail(Clause, "expected delay@TID.ATTEMPT=MICROS");
       if (!parseCoords(Head.substr(5), A))
         return Fail(Clause, "expected delay@TID.ATTEMPT=MICROS");
+    } else if (Clause.rfind("acquiredelay", 0) == 0) {
+      A.K = FaultAction::Kind::AcquireDelay;
+      if (Eq == std::string::npos ||
+          !parseArg(Clause.substr(Eq + 1), A.Arg) ||
+          !parseCoords(Head.substr(12), A))
+        return Fail(Clause, "expected acquiredelay@TID.ATTEMPT=MICROS");
+      if (A.ClientCoords)
+        return Fail(Clause,
+                    "acquiredelay takes task coordinates (TID.ATTEMPT)");
+    } else if (Clause.rfind("shed", 0) == 0) {
+      A.K = FaultAction::Kind::Shed;
+      if (Eq != std::string::npos)
+        return Fail(Clause, "shed takes no argument");
+      if (!parseCoords(Head.substr(4), A) || !A.ClientCoords)
+        return Fail(Clause,
+                    "expected shed@CLIENT:SUB ('*' wildcards; shed is an "
+                    "admission-time fault)");
     } else if (Clause.rfind("satbudget", 0) == 0) {
       A.K = FaultAction::Kind::SatBudget;
       if (Head != "satbudget" || Eq == std::string::npos ||
@@ -131,11 +156,28 @@ FaultPlan FaultPlan::fromEnv() {
 const FaultAction *FaultPlan::matches(FaultAction::Kind K, uint32_t Tid,
                                       uint32_t Attempt) const {
   for (const FaultAction &A : Actions) {
-    if (A.K != K)
+    // Client-coordinate clauses live in a different namespace: the
+    // engines must never interpret a client id as a task id.
+    if (A.ClientCoords || A.K != K)
       continue;
     if (A.Tid != 0 && A.Tid != Tid)
       continue;
     if (A.Attempt != 0 && A.Attempt != Attempt)
+      continue;
+    return &A;
+  }
+  return nullptr;
+}
+
+const FaultAction *FaultPlan::clientMatch(FaultAction::Kind K,
+                                          uint32_t Client,
+                                          uint32_t Sub) const {
+  for (const FaultAction &A : Actions) {
+    if (!A.ClientCoords || A.K != K)
+      continue;
+    if (A.Tid != 0 && A.Tid != Client)
+      continue;
+    if (A.Attempt != 0 && A.Attempt != Sub)
       continue;
     return &A;
   }
@@ -153,20 +195,29 @@ std::string FaultPlan::toString() const {
   auto Coord = [](uint32_t C) {
     return C == 0 ? std::string("*") : std::to_string(C);
   };
+  auto Coords = [&](const FaultAction &A) {
+    return "@" + Coord(A.Tid) + (A.ClientCoords ? ":" : ".") +
+           Coord(A.Attempt);
+  };
   std::string Out;
   for (const FaultAction &A : Actions) {
     if (!Out.empty())
       Out += ';';
     switch (A.K) {
     case FaultAction::Kind::ForceAbort:
-      Out += "abort@" + Coord(A.Tid) + "." + Coord(A.Attempt);
+      Out += "abort" + Coords(A);
       break;
     case FaultAction::Kind::ThrowTask:
-      Out += "throw@" + Coord(A.Tid) + "." + Coord(A.Attempt);
+      Out += "throw" + Coords(A);
       break;
     case FaultAction::Kind::DelayCommit:
-      Out += "delay@" + Coord(A.Tid) + "." + Coord(A.Attempt) + "=" +
-             std::to_string(A.Arg);
+      Out += "delay" + Coords(A) + "=" + std::to_string(A.Arg);
+      break;
+    case FaultAction::Kind::AcquireDelay:
+      Out += "acquiredelay" + Coords(A) + "=" + std::to_string(A.Arg);
+      break;
+    case FaultAction::Kind::Shed:
+      Out += "shed" + Coords(A);
       break;
     case FaultAction::Kind::SatBudget:
       Out += "satbudget=" + std::to_string(A.Arg);

@@ -1,0 +1,126 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free multi-producer single-consumer submission queue.
+///
+/// Vyukov's non-intrusive MPSC queue: producers link nodes onto an
+/// atomically exchanged head with two wait-free stores, the single
+/// consumer walks the tail. A permanently allocated stub node keeps
+/// the list non-empty so neither side ever special-cases "first
+/// element". The only blocking-adjacent state is the instant between a
+/// producer's exchange and its Next store; the consumer detects that
+/// in-flight push (tail != head but tail->Next still null) and reports
+/// "empty for now" instead of spinning — the service's scheduler loop
+/// simply comes back on its next tick.
+///
+/// push() is safe from any number of threads concurrently; pop() must
+/// only ever be called from one thread at a time (the scheduler). The
+/// approximate size counter feeds admission control: it may transiently
+/// over-count by in-flight pushes, which errs toward shedding — the
+/// safe direction under overload.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_SERVE_SUBMISSIONQUEUE_H
+#define JANUS_SERVE_SUBMISSIONQUEUE_H
+
+#include <atomic>
+#include <cstddef>
+#include <utility>
+
+namespace janus {
+namespace serve {
+
+template <typename T> class MpscQueue {
+public:
+  MpscQueue() : Head(&Stub), Tail(&Stub) {}
+
+  MpscQueue(const MpscQueue &) = delete;
+  MpscQueue &operator=(const MpscQueue &) = delete;
+
+  ~MpscQueue() {
+    // Single-threaded by now (no live producers): drain and free.
+    T Discard;
+    while (pop(Discard))
+      ;
+  }
+
+  /// Enqueues \p Item. Wait-free for producers: one allocation, one
+  /// exchange, one store.
+  void push(T Item) {
+    Node *N = new Node(std::move(Item));
+    N->Next.store(nullptr, std::memory_order_relaxed);
+    // Publish the node as the new head; the previous head's Next link
+    // is the handover the consumer follows.
+    Node *Prev = Head.exchange(N, std::memory_order_acq_rel);
+    Prev->Next.store(N, std::memory_order_release);
+    Count.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Dequeues into \p Out. \returns false when the queue is empty *or*
+  /// a producer is mid-push (its node will be visible on a later call).
+  /// Single consumer only.
+  bool pop(T &Out) {
+    Node *TailN = Tail;
+    Node *Next = TailN->Next.load(std::memory_order_acquire);
+    if (TailN == &Stub) {
+      // Skip the stub to the first real node.
+      if (!Next)
+        return false; // Truly empty.
+      Tail = Next;
+      TailN = Next;
+      Next = Next->Next.load(std::memory_order_acquire);
+    }
+    if (Next) {
+      Tail = Next;
+      Out = std::move(TailN->Item);
+      delete TailN;
+      Count.fetch_sub(1, std::memory_order_relaxed);
+      return true;
+    }
+    // TailN is the last linked node. If it is also the head, the queue
+    // has exactly one element — re-insert the stub behind it so we can
+    // hand the node out while keeping the list non-empty.
+    if (TailN != Head.load(std::memory_order_acquire))
+      return false; // A producer is mid-push; retry later.
+    pushStub();
+    Next = TailN->Next.load(std::memory_order_acquire);
+    if (!Next)
+      return false; // Another producer overtook the stub; retry later.
+    Tail = Next;
+    Out = std::move(TailN->Item);
+    delete TailN;
+    Count.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Approximate element count (may over-count by in-flight pushes).
+  size_t sizeApprox() const {
+    ptrdiff_t N = Count.load(std::memory_order_relaxed);
+    return N > 0 ? static_cast<size_t>(N) : 0;
+  }
+
+private:
+  struct Node {
+    Node() = default;
+    explicit Node(T I) : Item(std::move(I)) {}
+    std::atomic<Node *> Next{nullptr};
+    T Item{};
+  };
+
+  void pushStub() {
+    Stub.Next.store(nullptr, std::memory_order_relaxed);
+    Node *Prev = Head.exchange(&Stub, std::memory_order_acq_rel);
+    Prev->Next.store(&Stub, std::memory_order_release);
+  }
+
+  std::atomic<Node *> Head;       ///< Producers exchange onto this.
+  Node *Tail;                     ///< Consumer-only.
+  Node Stub;                      ///< Permanent sentinel.
+  std::atomic<ptrdiff_t> Count{0};
+};
+
+} // namespace serve
+} // namespace janus
+
+#endif // JANUS_SERVE_SUBMISSIONQUEUE_H

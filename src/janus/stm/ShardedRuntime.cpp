@@ -23,6 +23,24 @@ static void backoff(uint64_t Micros) {
   std::this_thread::sleep_for(std::chrono::microseconds(Micros));
 }
 
+/// Backoff that honours cooperative cancellation: sleeps in short
+/// slices, re-checking the task's token between them, so a deadline or
+/// shutdown cannot be stretched by a capped-but-long contention wait.
+static void cancellableBackoff(uint64_t Micros,
+                               const resilience::CancellationTable *Cancel,
+                               uint32_t Tid) {
+  if (!Cancel) {
+    backoff(Micros);
+    return;
+  }
+  while (Micros > 0 &&
+         Cancel->status(Tid) == resilience::CancelReason::None) {
+    uint64_t Slice = std::min<uint64_t>(Micros, 500);
+    backoff(Slice);
+    Micros -= Slice;
+  }
+}
+
 /// The shared empty log: empty-commit fast paths and placeholders all
 /// reference one immutable instance instead of allocating per commit.
 static TxLogRef emptyTxLog() {
@@ -395,6 +413,19 @@ ShardedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     return AttemptResult::Aborted;
   }
 
+  // Cooperative cancellation, before the ordered wait: a doomed
+  // attempt must not occupy its commit turn. The worker loop turns
+  // this into a placeholder-committed TaskFailure.
+  if (Config.Cancel &&
+      Config.Cancel->status(Tid) != resilience::CancelReason::None) {
+    if (Sampled)
+      O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "cancelled");
+    recordEvent(Worker, Tid, Mask, ClockAtBegin, 0, /*Committed=*/false,
+                std::move(Log));
+    releaseAttempt(Worker, Mask);
+    return AttemptResult::Cancelled;
+  }
+
   // Ordered mode: wait for all preceding tasks to commit.
   waitForTurn(Tid, Worker);
 
@@ -532,8 +563,20 @@ ShardedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     // fallback, so the multi-lock cannot deadlock). Validate all,
     // stamp one global clock tick, publish all, unlock in reverse.
     const double CommitTs = Sampled ? O->nowUs() : 0.0;
-    for (uint32_t I = 0; I != NumTouched; ++I)
+    for (uint32_t I = 0; I != NumTouched; ++I) {
       Shards[Touched[I]].CommitMutex.lock();
+      // Torn-commit probe (fault injection): stall between successive
+      // shard-lock acquisitions — the window in which a broken
+      // two-phase protocol would let readers observe a partial
+      // publication. The torn-commit test drives concurrent readers
+      // through exactly this gap.
+      if (I + 1 != NumTouched) {
+        if (uint64_t D = Config.Faults.acquireDelay(Tid, Attempt)) {
+          ++Stats.FaultsInjected;
+          backoff(D);
+        }
+      }
+    }
     bool Valid = true;
     for (uint32_t I = 0; I != NumTouched; ++I) {
       const uint32_t S = Touched[I];
@@ -706,11 +749,11 @@ void ShardedRuntime::run(const std::vector<TaskFn> &Tasks) {
     auto BackoffTraced = [&](uint32_t Tid, uint32_t Attempt, uint64_t Micros,
                              const char *Note) {
       if (!O || !O->sampled(Tid)) {
-        backoff(Micros);
+        cancellableBackoff(Micros, Config.Cancel, Tid);
         return;
       }
       double Ts = O->nowUs();
-      backoff(Micros);
+      cancellableBackoff(Micros, Config.Cancel, Tid);
       double Dur = O->nowUs() - Ts;
       O->backoffWait().record(Dur);
       O->span(Slot, "backoff", Tid, Attempt, Ts, Dur, "requested_us",
@@ -722,11 +765,38 @@ void ShardedRuntime::run(const std::vector<TaskFn> &Tasks) {
         return;
       uint32_t Tid = static_cast<uint32_t>(Idx + 1);
       using Action = resilience::ContentionManager::Action;
+      // Fails the task for cancel reason CR: a structured TaskFailure
+      // plus an empty placeholder commit, as for exception exhaustion.
+      auto FailCancelled = [&](uint32_t Tid2, uint32_t AttemptsMade,
+                               resilience::CancelReason CR) {
+        ++Stats.TaskFailures;
+        ++Stats.CancelledTasks;
+        W.Failures.push_back(resilience::TaskFailure{
+            Tid2, AttemptsMade, resilience::toString(CR),
+            CR == resilience::CancelReason::Shutdown
+                ? resilience::TaskFailure::Kind::Shutdown
+                : resilience::TaskFailure::Kind::Deadline});
+        commitSerial(nullptr, Tid2, Slot, W);
+      };
       for (uint32_t Attempt = 1;; ++Attempt) {
+        if (Config.Cancel) {
+          resilience::CancelReason CR = Config.Cancel->status(Tid);
+          if (CR != resilience::CancelReason::None) {
+            FailCancelled(Tid, Attempt - 1, CR);
+            break;
+          }
+        }
         std::string ThrowMsg;
         AttemptResult R = runTask(Tasks[Idx], Tid, Attempt, Slot, W, &ThrowMsg);
         if (R == AttemptResult::Committed)
           break;
+        if (R == AttemptResult::Cancelled) {
+          resilience::CancelReason CR = Config.Cancel->status(Tid);
+          if (CR == resilience::CancelReason::None)
+            CR = resilience::CancelReason::Shutdown; // Unreachable guard.
+          FailCancelled(Tid, Attempt, CR);
+          break;
+        }
         if (R == AttemptResult::Aborted) {
           ++Stats.Retries;
           auto D = CM->onAbort(Tid, Slot);
@@ -752,6 +822,9 @@ void ShardedRuntime::run(const std::vector<TaskFn> &Tasks) {
                       resilience::ContentionManager::toString(D.Act));
       }
       ++Stats.Commits;
+      if (Config.Resilience.Board)
+        Config.Resilience.Board->CommitTicks.fetch_add(
+            1, std::memory_order_relaxed);
     }
   };
 

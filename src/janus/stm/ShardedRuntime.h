@@ -54,6 +54,7 @@
 #define JANUS_STM_SHARDEDRUNTIME_H
 
 #include "janus/obs/Obs.h"
+#include "janus/resilience/Cancellation.h"
 #include "janus/resilience/ContentionManager.h"
 #include "janus/resilience/FaultPlan.h"
 #include "janus/stm/AuditTrace.h"
@@ -98,6 +99,11 @@ struct ShardedConfig {
   /// provisioned with at least NumThreads lanes and outlive the
   /// runtime.
   obs::Observer *Obs = nullptr;
+  /// Cooperative cancellation (janus::serve deadlines / drain),
+  /// consulted at attempt boundaries and inside backoff waits; a
+  /// cancelled task fails with a placeholder commit. nullptr = never
+  /// cancelled. Not owned; appended last (aggregate initializers).
+  const resilience::CancellationTable *Cancel = nullptr;
 };
 
 /// Runs task sets under optimistic synchronization with per-shard
@@ -247,6 +253,7 @@ private:
     Committed,
     Aborted,
     Thrown,
+    Cancelled, ///< Cancellation token fired mid-attempt; fail the task.
   };
 
   AttemptResult runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,

@@ -180,6 +180,33 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     JANUS_ASSERT(CT.Busy, "event for idle core");
     uint32_t Tid = static_cast<uint32_t>(CT.TaskIdx + 1);
 
+    // Cooperative cancellation at the attempt boundary: a cancelled
+    // task (deadline expired or shutdown) fails with an empty
+    // placeholder commit — the same dense-clock mechanism as
+    // exception-exhausted tasks. A pending throw on the same attempt
+    // is subsumed by the cancellation.
+    if (Config.Cancel && CT.Mode == CommitMode::Speculative) {
+      resilience::CancelReason CR = Config.Cancel->status(Tid);
+      if (CR != resilience::CancelReason::None) {
+        if (CT.Att.Threw) {
+          ++Stats.TaskExceptions;
+          CT.Att.Threw = false;
+        }
+        RecordAbort(Tid, CT.Att);
+        if (O && O->sampled(Tid))
+          O->instant(Core, "abort", Tid, CT.AttemptNo, Time, "cancelled");
+        ++Stats.TaskFailures;
+        ++Stats.CancelledTasks;
+        Outcome.Failures.push_back(resilience::TaskFailure{
+            Tid, CT.AttemptNo, resilience::toString(CR),
+            CR == resilience::CancelReason::Shutdown
+                ? resilience::TaskFailure::Kind::Shutdown
+                : resilience::TaskFailure::Kind::Deadline});
+        CT.Att.Log = std::make_shared<const TxLog>();
+        CT.Mode = CommitMode::Placeholder;
+      }
+    }
+
     // A thrown attempt consults the contention manager before any
     // turn-taking: a retrying task must not occupy its commit turn.
     if (CT.Att.Threw) {
@@ -327,6 +354,9 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     LockFreeAt = CommitEnd;
     MakeSpan = std::max(MakeSpan, CommitEnd);
     ++Stats.Commits;
+    if (Config.Resilience.Board)
+      Config.Resilience.Board->CommitTicks.fetch_add(
+          1, std::memory_order_relaxed);
     Cores[Core].Busy = false;
 
     if (Config.Ordered) {

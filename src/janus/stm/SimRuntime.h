@@ -40,6 +40,7 @@
 #define JANUS_STM_SIMRUNTIME_H
 
 #include "janus/obs/Obs.h"
+#include "janus/resilience/Cancellation.h"
 #include "janus/resilience/ContentionManager.h"
 #include "janus/resilience/FaultPlan.h"
 #include "janus/stm/AuditTrace.h"
@@ -89,6 +90,12 @@ struct SimConfig {
   /// across runs. Must be provisioned with at least NumCores lanes and
   /// outlive the runtime. Appended last for aggregate initializers.
   obs::Observer *Obs = nullptr;
+  /// Cooperative cancellation, consulted at event boundaries. The
+  /// simulator checks real (wall-clock) token state, so deadline-driven
+  /// cancellation makes a simulated run wall-clock-dependent; plans
+  /// that only use explicit cancel() remain reproducible. nullptr =
+  /// never cancelled. Not owned; appended last.
+  const resilience::CancellationTable *Cancel = nullptr;
 };
 
 /// Outcome of a simulated run.

@@ -47,6 +47,7 @@ struct RunStats {
   StripedCounter FaultsInjected;     ///< FaultPlan actions applied.
   StripedCounter CrossShardCommits;  ///< Commits touching >1 shard.
   StripedCounter EmptyCommits;       ///< Empty-log fast-path commits.
+  StripedCounter CancelledTasks;     ///< Deadline/shutdown cancellations.
 
   void reset() {
     Tasks.reset();
@@ -62,6 +63,7 @@ struct RunStats {
     FaultsInjected.reset();
     CrossShardCommits.reset();
     EmptyCommits.reset();
+    CancelledTasks.reset();
   }
 
   /// Figure 10's metric: overall retries over the number of

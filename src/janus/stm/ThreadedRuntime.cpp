@@ -22,6 +22,24 @@ static void backoff(uint64_t Micros) {
   std::this_thread::sleep_for(std::chrono::microseconds(Micros));
 }
 
+/// Backoff that honours cooperative cancellation: sleeps in short
+/// slices, re-checking the task's token between them, so a deadline or
+/// shutdown cannot be stretched by a capped-but-long contention wait.
+static void cancellableBackoff(uint64_t Micros,
+                               const resilience::CancellationTable *Cancel,
+                               uint32_t Tid) {
+  if (!Cancel) {
+    backoff(Micros);
+    return;
+  }
+  while (Micros > 0 &&
+         Cancel->status(Tid) == resilience::CancelReason::None) {
+    uint64_t Slice = std::min<uint64_t>(Micros, 500);
+    backoff(Slice);
+    Micros -= Slice;
+  }
+}
+
 /// The shared empty log: every no-effect commit (empty task bodies,
 /// thrown attempts, placeholder commits) references this one instance
 /// instead of allocating a fresh TxLog — the empty-scenario hot path
@@ -243,6 +261,20 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, std::move(Log),
                 std::move(EntrySnap));
     return AttemptResult::Aborted;
+  }
+
+  // Cooperative cancellation, checked *before* the ordered wait: a
+  // doomed attempt must not occupy its commit turn (the worker loop
+  // will fill the slot with a placeholder instead). This is the hook
+  // that lets long-running first attempts honour their deadline.
+  if (Config.Cancel &&
+      Config.Cancel->status(Tid) != resilience::CancelReason::None) {
+    Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
+    if (Sampled)
+      O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "cancelled");
+    recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, std::move(Log),
+                std::move(EntrySnap));
+    return AttemptResult::Cancelled;
   }
 
   // Ordered mode: a transaction may attempt to commit only once all
@@ -467,11 +499,11 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
     auto BackoffTraced = [&](uint32_t Tid, uint32_t Attempt,
                              uint64_t Micros, const char *Note) {
       if (!O || !O->sampled(Tid)) {
-        backoff(Micros);
+        cancellableBackoff(Micros, Config.Cancel, Tid);
         return;
       }
       double Ts = O->nowUs();
-      backoff(Micros);
+      cancellableBackoff(Micros, Config.Cancel, Tid);
       double Dur = O->nowUs() - Ts;
       O->backoffWait().record(Dur);
       O->span(Slot, "backoff", Tid, Attempt, Ts, Dur, "requested_us",
@@ -489,12 +521,43 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
       // an empty placeholder so ordered successors and the dense
       // commit clock still advance.
       using Action = resilience::ContentionManager::Action;
+      // Fails the task for cancel reason CR: records a structured
+      // TaskFailure and fills the task's commit slot with an empty
+      // placeholder so the dense clock and ordered successors advance —
+      // identical machinery to exception-exhausted tasks.
+      auto FailCancelled = [&](uint32_t Tid2, uint32_t AttemptsMade,
+                               resilience::CancelReason CR) {
+        ++Stats.TaskFailures;
+        ++Stats.CancelledTasks;
+        W.Failures.push_back(resilience::TaskFailure{
+            Tid2, AttemptsMade, resilience::toString(CR),
+            CR == resilience::CancelReason::Shutdown
+                ? resilience::TaskFailure::Kind::Shutdown
+                : resilience::TaskFailure::Kind::Deadline});
+        commitSerial(nullptr, Tid2, Slot, W);
+      };
       for (uint32_t Attempt = 1;; ++Attempt) {
+        // Attempt boundary: honour deadlines/shutdown before spending
+        // another speculative attempt on a cancelled task.
+        if (Config.Cancel) {
+          resilience::CancelReason CR = Config.Cancel->status(Tid);
+          if (CR != resilience::CancelReason::None) {
+            FailCancelled(Tid, Attempt - 1, CR);
+            break;
+          }
+        }
         std::string ThrowMsg;
         AttemptResult R =
             runTask(Tasks[Idx], Tid, Attempt, Slot, W, &ThrowMsg);
         if (R == AttemptResult::Committed)
           break;
+        if (R == AttemptResult::Cancelled) {
+          resilience::CancelReason CR = Config.Cancel->status(Tid);
+          if (CR == resilience::CancelReason::None)
+            CR = resilience::CancelReason::Shutdown; // Unreachable guard.
+          FailCancelled(Tid, Attempt, CR);
+          break;
+        }
         if (R == AttemptResult::Aborted) {
           ++Stats.Retries;
           auto D = CM->onAbort(Tid, Slot);
@@ -520,6 +583,9 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
                       resilience::ContentionManager::toString(D.Act));
       }
       ++Stats.Commits;
+      if (Config.Resilience.Board)
+        Config.Resilience.Board->CommitTicks.fetch_add(
+            1, std::memory_order_relaxed);
     }
   };
 

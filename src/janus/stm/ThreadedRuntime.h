@@ -54,6 +54,7 @@
 #define JANUS_STM_THREADEDRUNTIME_H
 
 #include "janus/obs/Obs.h"
+#include "janus/resilience/Cancellation.h"
 #include "janus/resilience/ContentionManager.h"
 #include "janus/resilience/FaultPlan.h"
 #include "janus/stm/AuditTrace.h"
@@ -95,6 +96,12 @@ struct ThreadedConfig {
   /// Must be provisioned with at least NumThreads lanes and outlive the
   /// runtime. Appended last to keep aggregate initializers working.
   obs::Observer *Obs = nullptr;
+  /// Cooperative cancellation (janus::serve deadlines / drain):
+  /// consulted at attempt boundaries and inside backoff waits. A
+  /// cancelled task fails with an empty placeholder commit, keeping the
+  /// clock dense. nullptr = never cancelled. Not owned; appended after
+  /// Obs for the same aggregate-init reason.
+  const resilience::CancellationTable *Cancel = nullptr;
 };
 
 /// Runs task sets under optimistic synchronization with a pluggable
@@ -195,6 +202,7 @@ private:
     Committed, ///< The transaction committed.
     Aborted,   ///< Conflict detected (or fault-injected); retry.
     Thrown,    ///< The task body threw; *ThrowMsg holds what().
+    Cancelled, ///< Cancellation token fired mid-attempt; fail the task.
   };
 
   /// One RUNTASK attempt. \p Attempt is the task's 1-based attempt

@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 using namespace janus;
 using namespace janus::stm;
@@ -361,6 +362,89 @@ TEST(ThreadedRuntimeTest, EmptyCommitsAreCountedOnTheFastPath) {
   EXPECT_EQ(R.stats().Commits.load(), static_cast<uint64_t>(N));
   EXPECT_EQ(R.stats().EmptyCommits.load(), static_cast<uint64_t>(N));
   EXPECT_EQ(R.commitOrder().size(), static_cast<size_t>(N));
+}
+
+// Torn-commit probe: a cross-shard commit must publish to every touched
+// shard atomically, even while a chaos plan stalls the two-phase lock
+// acquisition mid-acquire (acquiredelay widens the window in which a
+// broken publication would be observable), force-aborts first attempts
+// and injects a transient throw. Writer tasks write the same value to
+// both halves of a shard-spanning pair; probe tasks read both halves
+// and commit the difference — any committed nonzero difference is a
+// torn observation that escaped detection, i.e. partial publication.
+TEST(ShardedRuntimeTest, TornCommitProbeUnderMidAcquireFaults) {
+  ObjectRegistry Reg;
+  ObjectId Pairs = Reg.registerObject("pairs", "pairs.elem");
+  ObjectId Seen = Reg.registerObject("seen", "seen.elem");
+  WriteSetDetector D;
+  ShardedConfig Cfg = shardedConfig(4, 8);
+  Cfg.RecordTrace = true;
+  {
+    std::string Err;
+    std::optional<resilience::FaultPlan> Plan = resilience::FaultPlan::parse(
+        "abort@*.1;acquiredelay@*.2=300;delay@*.3=3;throw@5.2", &Err);
+    ASSERT_TRUE(Plan.has_value()) << Err;
+    Cfg.Faults = std::move(*Plan);
+  }
+  ShardedRuntime R(Reg, D, Cfg);
+  const uint32_t NumShards = R.numShards();
+
+  // Each pair spans two distinct shards; slots are disjoint across
+  // pairs (slotInShard scans forward from a per-pair floor).
+  const int NumPairs = 8;
+  std::vector<int> SlotA(NumPairs), SlotB(NumPairs);
+  Snapshot Init;
+  for (int P = 0; P != NumPairs; ++P) {
+    uint32_t SA = static_cast<uint32_t>(P) % NumShards;
+    uint32_t SB = (SA + NumShards / 2) % NumShards;
+    SlotA[P] = slotInShard(Pairs, SA, NumShards, P * 1000);
+    SlotB[P] = slotInShard(Pairs, SB, NumShards, P * 1000 + 500);
+    Init = Init.set(Location(Pairs, SlotA[P]), Value::of(int64_t(P)));
+    Init = Init.set(Location(Pairs, SlotB[P]), Value::of(int64_t(P)));
+  }
+  R.setInitialState(Init);
+
+  // Interleave writers (both halves := same fresh value) with probes
+  // (commit the observed difference into a private slot).
+  const int N = 48;
+  std::vector<TaskFn> Tasks;
+  for (int I = 0; I != N; ++I) {
+    const int P = I % NumPairs;
+    const Location A(Pairs, SlotA[P]), B(Pairs, SlotB[P]);
+    if (I % 2 == 0)
+      Tasks.push_back([A, B, I](TxContext &Tx) {
+        Tx.write(A, Value::of(int64_t(100 + I)));
+        Tx.write(B, Value::of(int64_t(100 + I)));
+      });
+    else
+      Tasks.push_back([A, B, Seen, I](TxContext &Tx) {
+        int64_t VA = Tx.read(A).asInt();
+        int64_t VB = Tx.read(B).asInt();
+        Tx.write(Location(Seen, I), Value::of(VA - VB));
+      });
+  }
+  R.run(Tasks);
+
+  // The chaos plan actually fired, and cross-shard commits happened.
+  EXPECT_GT(R.stats().FaultsInjected.load(), 0u);
+  EXPECT_GT(R.stats().CrossShardCommits.load(), 0u);
+
+  // No partial publication: every pair's halves agree in the final
+  // state, and no probe ever committed a torn observation.
+  Snapshot S = R.sharedState();
+  for (int P = 0; P != NumPairs; ++P)
+    EXPECT_EQ(snapshotValue(S, Location(Pairs, SlotA[P])).asInt(),
+              snapshotValue(S, Location(Pairs, SlotB[P])).asInt())
+        << "pair " << P << " published torn";
+  for (int I = 1; I < N; I += 2)
+    EXPECT_EQ(snapshotValue(S, Location(Seen, I)).asInt(), 0)
+        << "probe " << I << " committed a torn read";
+
+  // The dense clock survived the fault mix, and the recorded trace
+  // passes the full hindsight audit.
+  EXPECT_EQ(R.commitOrder().size(), static_cast<size_t>(N));
+  analysis::AuditReport Report = analysis::audit(R.trace(), Tasks, Reg);
+  EXPECT_TRUE(Report.clean()) << Report.summary();
 }
 
 TEST(ShardedRuntimeTest, ShardedAndUnshardedEnginesAgreeOnFinalState) {

@@ -21,9 +21,18 @@
 #      parseable;
 #   8. perf smoke: micro_commit --quick (including the 1/4/16
 #      shard-count sweep) must run to completion, then
-#      tools/perfdiff.py prints the deltas against the committed
-#      baseline NON-fatally (the perf trajectory itself is
-#      tools/bench.sh; this stage gates on crashes, never on numbers).
+#      tools/perfdiff.py gates the deltas against the committed
+#      baseline — FATALLY: a ns/commit regression beyond
+#      JANUS_PERF_THRESHOLD percent (default 75, wide because the
+#      quick run is noisy) or a retry-ratio increase beyond
+#      JANUS_RETRY_THRESHOLD (default 1.5) fails the stage;
+#   9. service soak: bounded `janus serve` runs under a chaos plan
+#      with client-coordinate clauses (sheds, injected throws) on
+#      both engines plus a sharded pass, each with --audit — every
+#      run must drain gracefully with exit 0 (exactly one terminal
+#      reply per submission, every batch audit clean); then
+#      serve_soak --quick checks committed throughput holds within
+#      tolerance under 4x admission-controlled overload.
 #
 # Usage: tools/ci.sh [JOBS]   (JOBS defaults to nproc)
 set -eu
@@ -47,21 +56,21 @@ check_build_tree() {
 check_build_tree "$REPO_ROOT/build"
 check_build_tree "$REPO_ROOT/build-tsan"
 
-echo "== [1/8] plain build + tests =="
+echo "== [1/9] plain build + tests =="
 cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT" >/dev/null
 cmake --build "$REPO_ROOT/build" -j "$JOBS"
 (cd "$REPO_ROOT/build" && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/8] static analysis =="
+echo "== [2/9] static analysis =="
 "$REPO_ROOT/tools/lint.sh" "$REPO_ROOT/build"
 
-echo "== [3/8] ThreadSanitizer build + tests =="
+echo "== [3/9] ThreadSanitizer build + tests =="
 cmake -B "$REPO_ROOT/build-tsan" -S "$REPO_ROOT" \
       -DJANUS_SANITIZE=thread >/dev/null
 cmake --build "$REPO_ROOT/build-tsan" -j "$JOBS"
 (cd "$REPO_ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS")
 
-echo "== [4/8] hindsight audit of all workloads =="
+echo "== [4/9] hindsight audit of all workloads =="
 for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
   for E in sim threads; do
     echo "-- audit $W ($E)"
@@ -73,7 +82,7 @@ for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
     --shards 8 | tail -2
 done
 
-echo "== [5/8] chaos audit under fault injection =="
+echo "== [5/9] chaos audit under fault injection =="
 # Every task's first attempt is force-aborted, task 2's first attempt
 # throws, every second attempt's commit is delayed, and the trainer's
 # SAT cross-check is starved to 4 conflicts. The run must still commit
@@ -93,7 +102,7 @@ JANUS_FAULTS="$CHAOS_FAULTS" \
   "$REPO_ROOT/build/tools/janus" audit --workload JGraphT-1 \
   --engine threads --shards 8 | tail -2
 
-echo "== [6/8] static verification of trained tables =="
+echo "== [6/9] static verification of trained tables =="
 for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
   TABLE="$REPO_ROOT/build/ci_table_$W.txt"
   echo "-- train + verify $W"
@@ -110,7 +119,7 @@ if "$REPO_ROOT/build/tools/janus" verify --workload JGraphT-1 --rounds 1 \
 fi
 echo "conviction probe: convicted as expected."
 
-echo "== [7/8] observability: traced runs + trace validation =="
+echo "== [7/9] observability: traced runs + trace validation =="
 for E in sim threads; do
   TRACE="$REPO_ROOT/build/ci_trace_$E.json"
   REPORT="$REPO_ROOT/build/ci_report_$E.json"
@@ -129,18 +138,45 @@ HEAT_TRACE="$REPO_ROOT/build/ci_trace_heat.json"
   --threads 4 --top 5 --by-object --trace-out "$HEAT_TRACE" | tail -6
 python3 "$REPO_ROOT/tools/check_trace.py" "$HEAT_TRACE"
 
-echo "== [8/8] perf smoke (micro_commit --quick, incl. shard sweep) =="
+echo "== [8/9] perf smoke (micro_commit --quick, incl. shard sweep) =="
 "$REPO_ROOT/build/bench/micro_commit" --quick \
   --json-out="$REPO_ROOT/build/BENCH_micro_commit_smoke.json" >/dev/null
 echo "perf smoke: completed (see build/BENCH_micro_commit_smoke.json)"
-# Non-fatal perf diff against the committed trajectory baseline: the
-# quick run is noisy (and shorter than the committed full run), so the
-# deltas are informational — regressions print but never fail CI.
+# Fatal perf diff against the committed trajectory baseline. The quick
+# run is noisy (and shorter than the committed full run), so the
+# throughput threshold is wide by default; the retry-ratio gate is
+# largely immune to machine speed and stays tight. Override per
+# machine: JANUS_PERF_THRESHOLD (percent) / JANUS_RETRY_THRESHOLD
+# (absolute retries-per-commit delta).
 if [ -f "$REPO_ROOT/BENCH_micro_commit.json" ]; then
-  echo "-- perfdiff vs committed baseline (informational)"
+  echo "-- perfdiff vs committed baseline (gating)"
   python3 "$REPO_ROOT/tools/perfdiff.py" \
     "$REPO_ROOT/BENCH_micro_commit.json" \
-    "$REPO_ROOT/build/BENCH_micro_commit_smoke.json" || true
+    "$REPO_ROOT/build/BENCH_micro_commit_smoke.json" \
+    --threshold="${JANUS_PERF_THRESHOLD:-75}" \
+    --retry-threshold="${JANUS_RETRY_THRESHOLD:-1.5}" \
+    --min-ns="${JANUS_PERF_MIN_NS:-1000}"
 fi
+
+echo "== [9/9] service soak: janus serve under chaos, graceful drain =="
+# Client-coordinate chaos: every client's 7th submission is shed at
+# admission, client 3's first submission gets an injected throw, and
+# the task-coordinate clauses abort every first attempt and delay every
+# second. Each run must drain with exit 0: exactly one terminal reply
+# per submission and every batch audit clean (--audit).
+SOAK_FAULTS='abort@*.1;delay@*.2=2;shed@*:7;throw@3:1'
+for E in threads sim; do
+  echo "-- serve soak JGraphT-1 ($E, chaos, audit)"
+  "$REPO_ROOT/build/tools/janus" serve --workload JGraphT-1 --engine "$E" \
+    --threads 4 --clients 4 --rate 400 --duration-ms 1500 \
+    --faults "$SOAK_FAULTS" --audit | tail -3
+done
+echo "-- serve soak JGraphT-1 (threads, 8 shards, chaos, audit)"
+"$REPO_ROOT/build/tools/janus" serve --workload JGraphT-1 --engine threads \
+  --shards 8 --threads 4 --clients 4 --rate 400 --duration-ms 1500 \
+  --faults "$SOAK_FAULTS" --audit | tail -3
+echo "-- serve_soak --quick (admission-control overload gate)"
+"$REPO_ROOT/build/bench/serve_soak" --quick \
+  --json-out="$REPO_ROOT/build/BENCH_serve_soak_smoke.json" | tail -4
 
 echo "ci: all stages passed."

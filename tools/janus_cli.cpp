@@ -28,6 +28,15 @@
 ///       protocol-model cross-confirmation of convictions (see
 ///       DESIGN.md §10). Exits 0 when the table is clean, 4 when any
 ///       condition is unsound.
+///   janus serve --workload NAME [options]
+///       Long-running submission service (janus::serve; DESIGN.md §12):
+///       train, then accept transactional submissions from in-process
+///       load-generator clients (and, with --socket, a line-oriented
+///       local-socket frontend), batch them onto the engine with
+///       admission control, per-submission deadlines, a stall watchdog
+///       and graceful drain. SIGINT/SIGTERM drains and exits. Exits 0
+///       iff every submission received exactly one terminal reply and
+///       all batch audits were clean.
 ///
 /// Run options:
 ///   --threads N         worker threads / simulated cores (default 8)
@@ -51,6 +60,44 @@
 ///                       janus/resilience/FaultPlan.h for the grammar;
 ///                       also honoured via env JANUS_FAULTS), e.g.
 ///                       --faults 'abort@*.1;throw@2.1;delay@*.2=50'
+///                       serve also accepts (client, submission)
+///                       clauses: 'shed@*:7;throw@3:1'
+///
+/// Contention-manager knobs (janus/resilience/ContentionManager.h —
+/// the escalation ladder, tunable without recompiling):
+///   --serial-after N    aborted speculative attempts before a task
+///                       escalates to the irrevocable serial fallback
+///                       (default 16; 0 = retry forever, the paper's
+///                       behaviour)
+///   --retry-budget N    thrown attempts before a task is declared
+///                       failed and surfaced as a TaskFailure
+///                       (default 2)
+///   --backoff-cap-us N  exponential backoff cap in microseconds
+///                       (default 512)
+///
+/// Serve options (only meaningful with `janus serve`):
+///   --clients N         in-process load-generator clients (default 4;
+///                       0 = no generators, socket submissions only)
+///   --rate N            submissions/second per client (default 200;
+///                       0 = submit as fast as possible)
+///   --duration-ms N     generator run time; the service drains and
+///                       exits after the generators finish (default
+///                       2000; 0 = run until SIGINT/SIGTERM)
+///   --deadline-ms N     per-submission deadline (default 0 = none)
+///   --batch-max N       max submissions per engine batch (default 32)
+///   --queue-cap N       global submission-queue cap; admissions beyond
+///                       it are shed Overloaded (default 1024)
+///   --lane-cap N        per-client pending cap (default 256)
+///   --drain-ms N        drain hard deadline: in-flight work still
+///                       unfinished this long after the stop request is
+///                       cancelled (default 2000)
+///   --socket PATH       serve a line-oriented AF_UNIX frontend at PATH
+///                       (protocol: janus/serve/Frontend.h)
+///   --metrics-every-ms N  dump the live metrics JSON to stderr every N
+///                       ms (the socket `metrics` request polls the
+///                       same snapshot)
+///   --audit             record and audit every batch trace; unclean
+///                       audits fail the run (exit 1)
 ///
 /// Observability options (janus::obs; see DESIGN.md §8):
 ///   --trace-out FILE    record per-transaction spans and write them as
@@ -83,22 +130,47 @@
 
 #include "janus/analysis/Auditor.h"
 #include "janus/obs/Attribution.h"
+#include "janus/serve/Frontend.h"
 #include "janus/support/Json.h"
 #include "janus/verify/Verify.h"
 #include "janus/workloads/Workload.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <optional>
+#include <random>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 using namespace janus;
 using namespace janus::core;
 using namespace janus::workloads;
 
 namespace {
+
+/// Signal plumbing, shared by `run` (cooperative cancellation of the
+/// in-flight run so observability output survives an interrupt) and
+/// `serve` (stop flag polled by the scheduler). Everything the handler
+/// touches is lock-free: an atomic flag store and a CAS on an atomic
+/// byte (CancelToken::cancel), both async-signal-safe.
+std::atomic<bool> GStopRequested{false};
+janus::resilience::CancellationTable GRunCancel; ///< Global token only.
+
+void onStopSignal(int) {
+  GStopRequested.store(true, std::memory_order_release);
+  GRunCancel.global().cancel(janus::resilience::CancelReason::Shutdown);
+}
+
+void installStopHandlers() {
+  std::signal(SIGINT, onStopSignal);
+  std::signal(SIGTERM, onStopSignal);
+}
 
 struct CliOptions {
   std::string Command;
@@ -126,10 +198,30 @@ struct CliOptions {
   bool Verbose = false;
   bool SeedUnsound = false;
 
+  // Contention-manager knobs (defaults mirror ResilienceConfig).
+  uint32_t SerialAfter = 16;
+  uint32_t RetryBudget = 2;
+  uint32_t BackoffCapUs = 512;
+
+  // Serve options.
+  unsigned ServeClients = 4;
+  uint32_t ServeRate = 200;
+  int64_t ServeDurationMs = 2000;
+  int64_t ServeDeadlineMs = 0;
+  uint32_t ServeBatchMax = 32;
+  uint32_t ServeQueueCap = 1024;
+  uint32_t ServeLaneCap = 256;
+  int64_t ServeDrainMs = 2000;
+  std::string ServeSocket;
+  int64_t MetricsEveryMs = 0;
+  bool Audit = false;
+
   /// Observability is on whenever something consumes it: a trace file,
-  /// a JSON report (histograms), or explicit sampling.
+  /// a JSON report (histograms), or explicit sampling. The service
+  /// always runs with it — its counters are the operator's view.
   bool obsEnabled() const {
-    return !TraceOut.empty() || Json || !JsonOut.empty() || Sample > 1;
+    return Command == "serve" || !TraceOut.empty() || Json ||
+           !JsonOut.empty() || Sample > 1;
   }
 };
 
@@ -139,7 +231,8 @@ void usage() {
                "janus run --workload NAME [opts] | "
                "janus audit --workload NAME [opts] | "
                "janus explain --workload NAME [opts] | "
-               "janus verify --workload NAME [opts]\n"
+               "janus verify --workload NAME [opts] | "
+               "janus serve --workload NAME [opts]\n"
                "(see the file header of tools/janus_cli.cpp for the full "
                "option list)\n");
 }
@@ -257,6 +350,73 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Verbose = true;
     } else if (Arg == "--seed-unsound") {
       Opts.SeedUnsound = true;
+    } else if (Arg == "--serial-after") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 0)
+        return false;
+      Opts.SerialAfter = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--retry-budget") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 0)
+        return false;
+      Opts.RetryBudget = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--backoff-cap-us") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 0)
+        return false;
+      Opts.BackoffCapUs = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--clients") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 0)
+        return false;
+      Opts.ServeClients = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--rate") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 0)
+        return false;
+      Opts.ServeRate = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--duration-ms") {
+      const char *V = Next();
+      if (!V || std::atoll(V) < 0)
+        return false;
+      Opts.ServeDurationMs = std::atoll(V);
+    } else if (Arg == "--deadline-ms") {
+      const char *V = Next();
+      if (!V || std::atoll(V) < 0)
+        return false;
+      Opts.ServeDeadlineMs = std::atoll(V);
+    } else if (Arg == "--batch-max") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 1)
+        return false;
+      Opts.ServeBatchMax = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--queue-cap") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 1)
+        return false;
+      Opts.ServeQueueCap = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--lane-cap") {
+      const char *V = Next();
+      if (!V || std::atoi(V) < 1)
+        return false;
+      Opts.ServeLaneCap = static_cast<uint32_t>(std::atoi(V));
+    } else if (Arg == "--drain-ms") {
+      const char *V = Next();
+      if (!V || std::atoll(V) < 0)
+        return false;
+      Opts.ServeDrainMs = std::atoll(V);
+    } else if (Arg == "--socket") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.ServeSocket = V;
+    } else if (Arg == "--metrics-every-ms") {
+      const char *V = Next();
+      if (!V || std::atoll(V) < 0)
+        return false;
+      Opts.MetricsEveryMs = std::atoll(V);
+    } else if (Arg == "--audit") {
+      Opts.Audit = true;
     } else if (Arg == "--cache-in") {
       const char *V = Next();
       if (!V)
@@ -295,6 +455,9 @@ JanusConfig configFor(const CliOptions &Opts) {
   Cfg.Sequence.OnlineFallback = Opts.OnlineFallback;
   Cfg.Training.InferWAWRelaxation = true;
   Cfg.Training.MaxConcat = 8;
+  Cfg.Resilience.SpeculativeRetryBudget = Opts.SerialAfter;
+  Cfg.Resilience.ExceptionRetryBudget = Opts.RetryBudget;
+  Cfg.Resilience.BackoffCapMicros = Opts.BackoffCapUs;
   Cfg.Faults = Opts.Faults;
   Cfg.Obs.Enabled = Opts.obsEnabled();
   Cfg.Obs.SampleEvery = Opts.Sample;
@@ -374,6 +537,7 @@ std::string runReportJson(const std::string &Command,
     W.beginObject();
     W.field("tid", static_cast<uint64_t>(F.Tid));
     W.field("attempts", static_cast<uint64_t>(F.Attempts));
+    W.field("kind", resilience::toString(F.FailKind));
     W.field("reason", std::string_view(F.Reason));
     W.endObject();
   }
@@ -570,9 +734,23 @@ int cmdRun(const CliOptions &Opts) {
     }
   }
 
+  // SIGINT/SIGTERM cancels the in-flight run cooperatively (global
+  // shutdown token checked at attempt boundaries and inside backoff
+  // waits), so the trace/metrics/JSON output below still happens —
+  // interrupting a long run no longer drops its observability.
+  installStopHandlers();
+  J.setCancellations(&GRunCancel);
+
   PayloadSpec Payload{Opts.Seed, Opts.Production};
   RunOutcome O = W->runOn(J, Payload);
-  bool Verified = W->verify(J, Payload);
+  J.setCancellations(nullptr);
+  const bool Interrupted = GStopRequested.load(std::memory_order_acquire);
+  bool Verified = !Interrupted && W->verify(J, Payload);
+
+  if (Interrupted && !Opts.Json)
+    std::printf("interrupted: run cancelled (%zu tasks unfinished); "
+                "flushing observability output\n",
+                O.Failures.size());
 
   if (!Opts.Json) {
     std::printf("workload   : %s (%s, %s engine, %u %s)\n",
@@ -627,7 +805,219 @@ int cmdRun(const CliOptions &Opts) {
                     Opts.CacheOut.c_str());
     }
   }
+  if (Interrupted)
+    return 130; // Conventional SIGINT exit, observability flushed.
   return Verified ? 0 : 2;
+}
+
+/// `janus serve`: the long-running submission service (janus::serve,
+/// DESIGN.md §12). In-process load-generator clients (and optionally a
+/// local-socket frontend) submit tasks drawn from the workload's
+/// production task set; the service batches them onto the engine with
+/// admission control, deadlines, a stall watchdog and graceful drain.
+int cmdServe(const CliOptions &Opts) {
+  using namespace janus::serve;
+  using SteadyClock = std::chrono::steady_clock;
+
+  auto W = workloadByName(Opts.WorkloadName);
+  if (!W) {
+    std::fprintf(stderr, "janus: error: unknown workload '%s'\n",
+                 Opts.WorkloadName.c_str());
+    return 1;
+  }
+  JanusConfig Cfg = configFor(Opts);
+  Cfg.RecordTrace = Opts.Audit; // Per-batch audits replay the trace.
+  Janus J(Cfg);
+  W->setup(J);
+
+  if (Opts.Detector == DetectorKind::Sequence) {
+    if (!Opts.CacheIn.empty()) {
+      std::ifstream In(Opts.CacheIn);
+      std::ostringstream Buffer;
+      Buffer << In.rdbuf();
+      if (!In || !J.importTrainingArtifact(Buffer.str())) {
+        std::fprintf(stderr,
+                     "janus: error: cannot load training artifact '%s'\n",
+                     Opts.CacheIn.c_str());
+        return 1;
+      }
+    } else {
+      for (const PayloadSpec &P : W->trainingPayloads(Opts.Rounds))
+        J.train(W->makeTasks(P));
+    }
+  }
+
+  // Submissions name tasks by index into the workload's production
+  // task set (modulo), so the mix a client generates is the mix the
+  // paper benchmarks.
+  std::vector<stm::TaskFn> Pool =
+      W->makeTasks(PayloadSpec{Opts.Seed, Opts.Production});
+  if (Pool.empty()) {
+    std::fprintf(stderr, "janus: error: workload produced no tasks\n");
+    return 1;
+  }
+
+  ServeConfig SC;
+  SC.BatchMax = Opts.ServeBatchMax;
+  SC.QueueCap = Opts.ServeQueueCap;
+  SC.LaneCap = Opts.ServeLaneCap;
+  SC.Ordered = W->ordered();
+  SC.Audit = Opts.Audit;
+  SC.DrainHardUs = Opts.ServeDrainMs * 1000;
+  SC.StopFlag = &GStopRequested;
+  SC.MetricsPeriodUs = Opts.MetricsEveryMs * 1000;
+  if (SC.MetricsPeriodUs > 0)
+    SC.MetricsSink = [](const std::string &Json) {
+      std::fprintf(stderr, "metrics %s\n", Json.c_str());
+    };
+
+  Service S(J, Pool, SC);
+
+  std::unique_ptr<SocketFrontend> Frontend;
+  if (!Opts.ServeSocket.empty()) {
+    Frontend = std::make_unique<SocketFrontend>(
+        S, Opts.ServeSocket, [&J]() -> std::string {
+          const obs::Observer *O = J.observer();
+          return O ? O->metricsJson() : std::string("{}");
+        });
+    std::string Err;
+    if (!Frontend->start(&Err)) {
+      std::fprintf(stderr, "janus: error: frontend: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf("serving on %s\n", Opts.ServeSocket.c_str());
+  }
+  S.setReplySink([&](const Reply &R) {
+    if (Frontend && Frontend->route(R))
+      return; // Socket client; written to its connection.
+    // In-process generator clients: replies are counted by the service
+    // report; nothing to stream.
+  });
+
+  installStopHandlers();
+
+  // In-process load generators: client ids 1..N, each submitting a
+  // deterministic pseudo-random task mix at the configured rate.
+  const size_t PoolSize = Pool.size();
+  std::atomic<bool> GenStop{false};
+  std::vector<std::thread> Generators;
+  for (unsigned C = 0; C < Opts.ServeClients; ++C)
+    Generators.emplace_back([&, C] {
+      std::mt19937_64 Rng(Opts.Seed * 8191 + C);
+      const int64_t PeriodUs =
+          Opts.ServeRate > 0 ? 1000000 / Opts.ServeRate : 0;
+      const auto End = Opts.ServeDurationMs > 0
+                           ? SteadyClock::now() +
+                                 std::chrono::milliseconds(
+                                     Opts.ServeDurationMs)
+                           : SteadyClock::time_point::max();
+      uint64_t SubId = 0;
+      while (SteadyClock::now() < End &&
+             !GenStop.load(std::memory_order_acquire) && !S.stopping()) {
+        S.submit(C + 1, ++SubId,
+                 static_cast<uint32_t>(Rng() % PoolSize),
+                 Opts.ServeDeadlineMs > 0 ? Opts.ServeDeadlineMs * 1000
+                                          : 0);
+        if (PeriodUs > 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(PeriodUs));
+      }
+    });
+
+  // Bounded runs stop themselves once the generators finish; unbounded
+  // ones (duration 0) run until a signal flips the stop flag. With no
+  // generators (socket-only mode) the duration bounds wall clock
+  // directly — polled so a signal-initiated stop still wins.
+  std::thread Stopper([&] {
+    for (std::thread &T : Generators)
+      T.join();
+    if (Opts.ServeDurationMs > 0) {
+      if (Generators.empty()) {
+        const auto End = SteadyClock::now() +
+                         std::chrono::milliseconds(Opts.ServeDurationMs);
+        while (SteadyClock::now() < End && !S.stopping())
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      }
+      S.requestStop();
+    }
+  });
+
+  S.serve(); // Blocks until stop + drain complete.
+  GenStop.store(true, std::memory_order_release);
+  Stopper.join();
+  if (Frontend)
+    Frontend->stop();
+
+  ServeReport R = S.report();
+  if (!Opts.Json) {
+    std::printf("workload   : %s (%s engine, %u threads, %u shards, %s)\n",
+                W->name().c_str(),
+                Opts.Engine == EngineKind::Simulated ? "simulated"
+                                                     : "threaded",
+                Opts.Threads, Opts.Shards,
+                SC.Ordered ? "in-order" : "out-of-order");
+    std::printf("received   : %llu submissions (%llu shed)\n",
+                (unsigned long long)R.Received,
+                (unsigned long long)R.Sheds);
+    std::printf("replies    : %llu (%llu committed, %llu failed, %llu "
+                "deadline, %llu drained)\n",
+                (unsigned long long)R.Replies,
+                (unsigned long long)R.Committed,
+                (unsigned long long)R.Failed,
+                (unsigned long long)R.DeadlineFailures,
+                (unsigned long long)R.DrainedInflight);
+    std::printf("batches    : %llu (%llu watchdog escalations, %llu "
+                "audit violations)\n",
+                (unsigned long long)R.Batches,
+                (unsigned long long)R.WatchdogEscalations,
+                (unsigned long long)R.AuditViolations);
+    if (Frontend)
+      std::printf("frontend   : %llu connections\n",
+                  (unsigned long long)Frontend->connectionsAccepted());
+    std::printf("drain      : %s\n",
+                R.DrainedInTime ? "graceful (within hard deadline)"
+                                : "hard (in-flight work cancelled)");
+    if (const obs::Observer *Ob = J.observer())
+      std::printf("%s", Ob->metricsTable().c_str());
+    std::printf("service    : %s\n",
+                R.clean() ? "CLEAN (every submission got exactly one "
+                            "terminal reply)"
+                          : "UNCLEAN");
+  }
+  if (Opts.Json || !Opts.JsonOut.empty()) {
+    JsonWriter Wr;
+    Wr.beginObject();
+    Wr.field("schema_version", JsonSchemaVersion);
+    Wr.field("tool", "janus");
+    Wr.field("command", "serve");
+    Wr.field("workload", std::string_view(W->name()));
+    Wr.field("engine",
+             Opts.Engine == EngineKind::Simulated ? "sim" : "threads");
+    Wr.field("threads", static_cast<uint64_t>(Opts.Threads));
+    Wr.field("shards", static_cast<uint64_t>(Opts.Shards));
+    Wr.key("serve");
+    Wr.beginObject();
+    Wr.field("received", R.Received);
+    Wr.field("sheds", R.Sheds);
+    Wr.field("committed", R.Committed);
+    Wr.field("failed", R.Failed);
+    Wr.field("deadline_failures", R.DeadlineFailures);
+    Wr.field("drained_inflight", R.DrainedInflight);
+    Wr.field("watchdog_escalations", R.WatchdogEscalations);
+    Wr.field("batches", R.Batches);
+    Wr.field("replies", R.Replies);
+    Wr.field("audit_violations", R.AuditViolations);
+    Wr.field("drained_in_time", R.DrainedInTime);
+    Wr.field("clean", R.clean());
+    Wr.endObject();
+    if (const obs::Observer *Ob = J.observer()) {
+      Wr.key("obs");
+      Wr.raw(Ob->metricsJson());
+    }
+    Wr.endObject();
+    if (!emitJsonReport(Wr.str(), Opts))
+      return 1;
+  }
+  return R.clean() ? 0 : 1;
 }
 
 /// `janus explain`: run with trace recording on, then attribute every
@@ -795,6 +1185,8 @@ int main(int Argc, char **Argv) {
     return cmdExplain(Opts);
   if (Opts.Command == "verify")
     return cmdVerify(Opts);
+  if (Opts.Command == "serve")
+    return cmdServe(Opts);
   usage();
   return 1;
 }

@@ -9,16 +9,29 @@ ns_per_commit (relative delta) and the retry ratio retries/commits
 counted as regressions.
 
 Usage:
-  perfdiff.py BASELINE.json CURRENT.json [--threshold PCT]
+  perfdiff.py BASELINE.json CURRENT.json [--threshold=PCT]
+              [--retry-threshold=DELTA]
 
 --threshold PCT (default 10): ns_per_commit regressions beyond PCT
 percent are counted and reflected in the exit status.
 
-Exit status: 0 when no regression beyond the threshold, 1 when at
-least one row regressed, 2 on usage/parse errors. CI runs this
-non-fatally: microbenchmark noise (especially on shared or
-single-core machines) makes hard gating counterproductive, but the
-printed deltas make a perf trajectory reviewable per commit.
+--retry-threshold DELTA (default: off): absolute retry-ratio
+increases beyond DELTA also count as regressions. A throughput
+number can stay flat while the engine burns ever more aborted
+attempts to get there; this gate makes that visible and fatal.
+
+--min-ns NS (default 0): rows whose baseline ns_per_commit is below
+NS are printed but never gate. Sub-microsecond rows move by whole
+multiples from scheduler jitter alone on small or shared machines —
+a relative threshold is meaningless there.
+
+Exit status: 0 when no regression beyond the thresholds, 1 when at
+least one row regressed, 2 on usage/parse errors. tools/ci.sh runs
+this fatally in its perf-smoke stage, with machine-specific slack
+dialled in via JANUS_PERF_THRESHOLD / JANUS_RETRY_THRESHOLD —
+microbenchmark noise on shared or single-core machines needs a wide
+throughput threshold, while the retry-ratio gate tolerates
+scheduling noise and can stay tight.
 
 Stdlib only; used by tools/ci.sh (perf-smoke stage) and by hand.
 """
@@ -64,8 +77,20 @@ def retry_ratio(row):
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     threshold = 10.0
+    retry_threshold = None
+    min_ns = 0.0
     for a in argv[1:]:
-        if a.startswith("--threshold"):
+        if a.startswith("--retry-threshold"):
+            try:
+                retry_threshold = float(a.split("=", 1)[1])
+            except (IndexError, ValueError):
+                sys.exit("perfdiff: bad --retry-threshold=DELTA")
+        elif a.startswith("--min-ns"):
+            try:
+                min_ns = float(a.split("=", 1)[1])
+            except (IndexError, ValueError):
+                sys.exit("perfdiff: bad --min-ns=NS")
+        elif a.startswith("--threshold"):
             try:
                 threshold = float(a.split("=", 1)[1])
             except (IndexError, ValueError):
@@ -95,8 +120,14 @@ def main(argv):
         delta = (cn - bn) / bn * 100.0
         rr = retry_ratio(c) - retry_ratio(b)
         marker = ""
-        if delta > threshold:
+        if bn < min_ns:
+            if delta > threshold:
+                marker = "  (below --min-ns noise floor, not gating)"
+        elif delta > threshold:
             marker = "  <-- REGRESSION"
+            regressions += 1
+        elif retry_threshold is not None and rr > retry_threshold:
+            marker = "  <-- RETRY REGRESSION"
             regressions += 1
         elif delta < -threshold:
             marker = "  (improved)"
@@ -106,8 +137,11 @@ def main(argv):
         if key not in cur:
             print(f"  dropped row: {fmt_key(key)}")
 
+    gates = f"{threshold:.0f}%"
+    if retry_threshold is not None:
+        gates += f" / retry-ratio +{retry_threshold:g}"
     print(f"perfdiff: {compared} rows compared, {regressions} beyond "
-          f"{threshold:.0f}% ({base_name})")
+          f"{gates} ({base_name})")
     return 1 if regressions else 0
 
 
