@@ -37,17 +37,26 @@ Janus::Janus(JanusConfig ConfigIn)
   if (std::optional<uint64_t> B = Config.Faults.satConflictBudget())
     Config.Training.SatConflictBudget =
         std::min(Config.Training.SatConflictBudget, *B);
-  TrainerImpl =
-      std::make_unique<training::Trainer>(Reg, Cache, Config.Training);
   if (Config.Obs.Enabled) {
     // One lane per executor (worker slot / virtual core) plus the
-    // auxiliary lane for out-of-run events (SAT solves during
-    // training). The sat hook is process-wide; with several concurrent
+    // auxiliary lane for out-of-run events (SAT solves and training
+    // spans). The sat hook is process-wide; with several concurrent
     // observed Janus instances the last constructed one wins (and its
     // destruction uninstalls the hook for all).
     ObsSink = std::make_unique<obs::Observer>(
         Config.Obs, std::max(1u, Config.Threads) + 1);
   }
+  if (Config.Record.Enabled) {
+    // Same lane provisioning as the observer: one ring per worker
+    // lane plus the auxiliary lane (serve tags, out-of-run events).
+    RecSink = std::make_unique<obs::Recorder>(
+        Config.Record, std::max(1u, Config.Threads) + 1);
+  }
+  // The trainer captures its config by value — the observer must exist
+  // (and be wired in) before construction.
+  Config.Training.Obs = ObsSink.get();
+  TrainerImpl =
+      std::make_unique<training::Trainer>(Reg, Cache, Config.Training);
   // Through the compile-time gate: with JANUS_OBS=OFF the hook is never
   // installed, so SAT solves pay nothing.
   if (obs::Observer *O = obs::janusObs(ObsSink.get())) {
@@ -144,6 +153,9 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
     SimCfg.Faults = Config.Faults;
     SimCfg.Obs = ObsSink.get();
     SimCfg.Cancel = Config.Cancel;
+    SimCfg.Rec = RecSink.get();
+    SimCfg.Replay = Config.Replay;
+    SimCfg.ReplayProblems = Config.ReplayProblems;
     stm::SimRuntime Runtime(Reg, *Detector, SimCfg);
     Runtime.setInitialState(State);
     stm::SimOutcome Sim = Runtime.run(Tasks);
@@ -223,6 +235,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
     ShardCfg.Faults = Config.Faults;
     ShardCfg.Obs = ObsSink.get();
     ShardCfg.Cancel = Config.Cancel;
+    ShardCfg.Rec = RecSink.get();
     stm::ShardedRuntime Runtime(Reg, *Detector, ShardCfg);
     Runtime.setInitialState(State);
     auto Start = Clock::now();
@@ -247,6 +260,7 @@ RunOutcome Janus::runTasks(const std::vector<stm::TaskFn> &Tasks,
   ThreadCfg.Faults = Config.Faults;
   ThreadCfg.Obs = ObsSink.get();
   ThreadCfg.Cancel = Config.Cancel;
+  ThreadCfg.Rec = RecSink.get();
   stm::ThreadedRuntime Runtime(Reg, *Detector, ThreadCfg);
   Runtime.setInitialState(State);
   auto Start = Clock::now();

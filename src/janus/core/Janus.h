@@ -88,6 +88,20 @@ struct JanusConfig {
   /// index the table per run. Not owned; must outlive every run that
   /// uses it. Appended last (aggregate initializers).
   const resilience::CancellationTable *Cancel = nullptr;
+  /// Flight recorder (janus::obs::Recorder): an always-on, bounded,
+  /// lock-free per-lane ring of compact binary events (attempt
+  /// begin/abort/commit with dense-clock stamps, shard acquisitions,
+  /// escalations, cancellations) dumped to `.jrec` on demand and
+  /// re-executed deterministically by `janus replay`. Disabled by
+  /// default; see DESIGN.md §13.
+  obs::RecorderConfig Record = {};
+  /// Forced deterministic schedule (`janus replay`): when set, runs on
+  /// the simulated engine re-execute this recorded schedule instead of
+  /// simulating scheduling decisions. Not owned; appended last.
+  const stm::ReplaySchedule *Replay = nullptr;
+  /// Sink for replay execution problems (divergence evidence); used
+  /// with Replay. Not owned; appended last.
+  std::vector<std::string> *ReplayProblems = nullptr;
 };
 
 /// Outcome of one parallel run: the measured parallel duration and the
@@ -179,6 +193,12 @@ public:
   obs::Observer *observer() { return ObsSink.get(); }
   const obs::Observer *observer() const { return ObsSink.get(); }
 
+  /// The flight recorder, or nullptr when JanusConfig::Record is
+  /// disabled. Events accumulate across runs until Recorder::clear();
+  /// snapshot only between runs (quiesced engine).
+  obs::Recorder *recorder() { return RecSink.get(); }
+  const obs::Recorder *recorder() const { return RecSink.get(); }
+
   /// \returns the value at \p Loc in the current shared state.
   Value valueAt(const Location &Loc) const {
     return stm::snapshotValue(State, Loc);
@@ -253,6 +273,9 @@ private:
   /// Created by the constructor when Config.Obs.Enabled; handed by raw
   /// pointer to the per-run engine configurations.
   std::unique_ptr<obs::Observer> ObsSink;
+  /// Created by the constructor when Config.Record.Enabled; handed by
+  /// raw pointer to the per-run engine configurations.
+  std::unique_ptr<obs::Recorder> RecSink;
 };
 
 } // namespace core

@@ -1,0 +1,358 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// `.jrec` binary codec (flight-recorder dumps). Layout:
+///
+///   bytes 0..3   magic "JREC"
+///   bytes 4..7   u32 version (currently 1)
+///   bytes 8..11  u32 header length H
+///   bytes 12..   H bytes of flat JSON metadata (RecMeta)
+///   next 8       u64 event count N
+///   next 40*N    events, little-endian, field by field:
+///                u64 Seq, u64 Clock, u64 TimeUs, u32 Tid, u32 Attempt,
+///                u32 Aux, u8 Kind, u8 Mode, u16 Lane
+///   last 8       u64 FNV-1a-64 checksum of everything before it
+///
+/// All integers little-endian regardless of host. Decoding is strict:
+/// a short file, bad magic, unknown version, malformed header,
+/// impossible count, or checksum mismatch each produce a distinct,
+/// clean error — never a partial result.
+///
+//===----------------------------------------------------------------------===//
+
+#include "janus/obs/Recorder.h"
+
+#include "janus/support/Json.h"
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+using namespace janus;
+using namespace janus::obs;
+
+namespace {
+
+constexpr char Magic[4] = {'J', 'R', 'E', 'C'};
+constexpr uint32_t Version = 1;
+constexpr size_t EventBytes = 40;
+
+void putU16(std::string &Out, uint16_t V) {
+  for (int I = 0; I != 2; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I != 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I != 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+
+uint16_t getU16(const unsigned char *P) {
+  return static_cast<uint16_t>(P[0] | (P[1] << 8));
+}
+
+uint32_t getU32(const unsigned char *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+uint64_t getU64(const unsigned char *P) {
+  return static_cast<uint64_t>(getU32(P)) |
+         (static_cast<uint64_t>(getU32(P + 4)) << 32);
+}
+
+uint64_t fnv1a64(const std::string &Data) {
+  uint64_t H = 14695981039346656037ull;
+  for (unsigned char C : Data) {
+    H ^= C;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+std::string metaToJson(const RecMeta &M) {
+  JsonWriter W;
+  W.beginObject();
+  W.field("workload", M.Workload);
+  W.field("engine", M.Engine);
+  W.field("seed", M.Seed);
+  W.field("threads", static_cast<uint64_t>(M.Threads));
+  W.field("shards", static_cast<uint64_t>(M.Shards));
+  W.field("production", static_cast<uint64_t>(M.Production));
+  W.field("rounds", static_cast<uint64_t>(M.Rounds));
+  W.field("detector", M.Detector);
+  W.field("abstraction", M.Abstraction);
+  W.field("fallback", M.Fallback);
+  W.field("faults", M.Faults);
+  W.field("reason", M.Reason);
+  W.field("written", M.Written);
+  W.field("overwritten", M.Overwritten);
+  W.field("lanes", static_cast<uint64_t>(M.NumLanes));
+  W.field("sample_every", static_cast<uint64_t>(M.SampleEvery));
+  W.endObject();
+  return W.str();
+}
+
+/// Minimal scanner for the flat JSON object metaToJson emits: every
+/// value is a string, integer or bool, and keys contain no escapes.
+/// Not a general JSON parser — it only needs to round-trip its own
+/// writer's output, and to fail cleanly on anything else.
+class FlatJsonScanner {
+public:
+  explicit FlatJsonScanner(const std::string &Text) : Text(Text) {}
+
+  bool parse(std::string *Err) {
+    Pos = 0;
+    if (!expect('{', Err))
+      return false;
+    skipWs();
+    if (peek() == '}')
+      return true;
+    while (true) {
+      std::string Key, SVal;
+      if (!parseString(Key, Err))
+        return false;
+      if (!expect(':', Err))
+        return false;
+      skipWs();
+      if (peek() == '"') {
+        if (!parseString(SVal, Err))
+          return false;
+        Strings[Key] = SVal;
+      } else if (peek() == 't' || peek() == 'f') {
+        const bool V = peek() == 't';
+        const char *Word = V ? "true" : "false";
+        for (const char *C = Word; *C; ++C)
+          if (!expect(*C, Err))
+            return false;
+        Bools[Key] = V;
+      } else {
+        uint64_t V = 0;
+        bool Any = false;
+        while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9') {
+          V = V * 10 + static_cast<uint64_t>(Text[Pos] - '0');
+          ++Pos;
+          Any = true;
+        }
+        if (!Any) {
+          if (Err)
+            *Err = "header: expected value for key '" + Key + "'";
+          return false;
+        }
+        Ints[Key] = V;
+      }
+      skipWs();
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      break;
+    }
+    return expect('}', Err);
+  }
+
+  std::string str(const std::string &Key) const {
+    auto It = Strings.find(Key);
+    return It == Strings.end() ? std::string() : It->second;
+  }
+  uint64_t num(const std::string &Key) const {
+    auto It = Ints.find(Key);
+    return It == Ints.end() ? 0 : It->second;
+  }
+  bool flag(const std::string &Key) const {
+    auto It = Bools.find(Key);
+    return It != Bools.end() && It->second;
+  }
+
+private:
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\n' || Text[Pos] == '\t'))
+      ++Pos;
+  }
+  char peek() {
+    skipWs();
+    return Pos < Text.size() ? Text[Pos] : '\0';
+  }
+  bool expect(char C, std::string *Err) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C) {
+      if (Err)
+        *Err = std::string("header: expected '") + C + "' at offset " +
+               std::to_string(Pos);
+      return false;
+    }
+    ++Pos;
+    return true;
+  }
+  bool parseString(std::string &Out, std::string *Err) {
+    if (!expect('"', Err))
+      return false;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C == '\\' && Pos < Text.size()) {
+        char E = Text[Pos++];
+        switch (E) {
+        case 'n': C = '\n'; break;
+        case 't': C = '\t'; break;
+        case 'r': C = '\r'; break;
+        case '"': C = '"'; break;
+        case '\\': C = '\\'; break;
+        default:
+          if (Err)
+            *Err = "header: unsupported escape in string";
+          return false;
+        }
+      }
+      Out.push_back(C);
+    }
+    if (Pos >= Text.size()) {
+      if (Err)
+        *Err = "header: unterminated string";
+      return false;
+    }
+    ++Pos; // Closing quote.
+    return true;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::map<std::string, std::string> Strings;
+  std::map<std::string, uint64_t> Ints;
+  std::map<std::string, bool> Bools;
+};
+
+} // namespace
+
+bool janus::obs::writeJrec(const std::string &Path, const RecMeta &Meta,
+                           const std::vector<RecEvent> &Events,
+                           std::string *Err) {
+  std::string Out;
+  Out.reserve(64 + Events.size() * EventBytes);
+  Out.append(Magic, 4);
+  putU32(Out, Version);
+  const std::string Header = metaToJson(Meta);
+  putU32(Out, static_cast<uint32_t>(Header.size()));
+  Out += Header;
+  putU64(Out, Events.size());
+  for (const RecEvent &E : Events) {
+    putU64(Out, E.Seq);
+    putU64(Out, E.Clock);
+    putU64(Out, E.TimeUs);
+    putU32(Out, E.Tid);
+    putU32(Out, E.Attempt);
+    putU32(Out, E.Aux);
+    Out.push_back(static_cast<char>(E.Kind));
+    Out.push_back(static_cast<char>(E.Mode));
+    putU16(Out, E.Lane);
+  }
+  putU64(Out, fnv1a64(Out));
+
+  FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open '" + Path + "' for writing";
+    return false;
+  }
+  const bool Ok = std::fwrite(Out.data(), 1, Out.size(), F) == Out.size();
+  std::fclose(F);
+  if (!Ok && Err)
+    *Err = "short write to '" + Path + "'";
+  return Ok;
+}
+
+bool janus::obs::readJrec(const std::string &Path, RecMeta &Meta,
+                          std::vector<RecEvent> &Events, std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Path + ": " + Msg;
+    return false;
+  };
+
+  FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return Fail("cannot open");
+  std::string Data;
+  char Chunk[65536];
+  size_t N;
+  while ((N = std::fread(Chunk, 1, sizeof(Chunk), F)) > 0)
+    Data.append(Chunk, N);
+  std::fclose(F);
+
+  // Fixed prefix: magic + version + header length.
+  if (Data.size() < 12 + 8 + 8)
+    return Fail("truncated (shorter than any valid .jrec)");
+  const auto *P = reinterpret_cast<const unsigned char *>(Data.data());
+  if (std::memcmp(Data.data(), Magic, 4) != 0)
+    return Fail("bad magic (not a .jrec file)");
+  const uint32_t V = getU32(P + 4);
+  if (V != Version)
+    return Fail("unsupported version " + std::to_string(V));
+
+  // Checksum before trusting any variable-length field.
+  const std::string Body = Data.substr(0, Data.size() - 8);
+  const uint64_t Want =
+      getU64(reinterpret_cast<const unsigned char *>(Data.data()) +
+             Data.size() - 8);
+  if (fnv1a64(Body) != Want)
+    return Fail("checksum mismatch (corrupt or truncated)");
+
+  const uint32_t HeaderLen = getU32(P + 8);
+  if (12 + static_cast<size_t>(HeaderLen) + 8 + 8 > Data.size())
+    return Fail("header length exceeds file size");
+  const std::string Header = Data.substr(12, HeaderLen);
+  FlatJsonScanner Scan(Header);
+  std::string HErr;
+  if (!Scan.parse(&HErr))
+    return Fail("malformed header: " + HErr);
+  Meta.Workload = Scan.str("workload");
+  Meta.Engine = Scan.str("engine");
+  Meta.Seed = Scan.num("seed");
+  Meta.Threads = static_cast<uint32_t>(Scan.num("threads"));
+  Meta.Shards = static_cast<uint32_t>(Scan.num("shards"));
+  Meta.Production = static_cast<uint32_t>(Scan.num("production"));
+  Meta.Rounds = static_cast<uint32_t>(Scan.num("rounds"));
+  Meta.Detector = Scan.str("detector");
+  Meta.Abstraction = Scan.flag("abstraction");
+  Meta.Fallback = Scan.flag("fallback");
+  Meta.Faults = Scan.str("faults");
+  Meta.Reason = Scan.str("reason");
+  Meta.Written = Scan.num("written");
+  Meta.Overwritten = Scan.num("overwritten");
+  Meta.NumLanes = static_cast<uint32_t>(Scan.num("lanes"));
+  Meta.SampleEvery = static_cast<uint32_t>(Scan.num("sample_every"));
+
+  size_t Pos = 12 + HeaderLen;
+  const uint64_t Count = getU64(P + Pos);
+  Pos += 8;
+  if (Pos + Count * EventBytes + 8 != Data.size())
+    return Fail("event count " + std::to_string(Count) +
+                " does not match file size");
+  Events.clear();
+  Events.reserve(Count);
+  for (uint64_t I = 0; I != Count; ++I) {
+    const unsigned char *E = P + Pos + I * EventBytes;
+    RecEvent R;
+    R.Seq = getU64(E);
+    R.Clock = getU64(E + 8);
+    R.TimeUs = getU64(E + 16);
+    R.Tid = getU32(E + 24);
+    R.Attempt = getU32(E + 28);
+    R.Aux = getU32(E + 32);
+    R.Kind = E[36];
+    R.Mode = E[37];
+    R.Lane = getU16(E + 38);
+    if (R.Kind < 1 || R.Kind > 7)
+      return Fail("event #" + std::to_string(I) + " has unknown kind " +
+                  std::to_string(R.Kind));
+    Events.push_back(R);
+  }
+  return true;
+}

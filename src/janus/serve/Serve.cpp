@@ -2,6 +2,7 @@
 
 #include "janus/analysis/Auditor.h"
 #include "janus/support/Assert.h"
+#include "janus/support/Json.h"
 
 #include <algorithm>
 #include <chrono>
@@ -83,7 +84,30 @@ void Service::shed(uint64_t Client, uint64_t SubId, const char *Why) {
   Sheds.fetch_add(1, std::memory_order_relaxed);
   if (CtrSheds)
     CtrSheds->add(1);
+  tallyClient(Client, ReplyStatus::Overloaded);
   replyOut(Reply{Client, SubId, ReplyStatus::Overloaded, Why});
+}
+
+void Service::tallyClient(uint64_t Client, ReplyStatus S) {
+  std::lock_guard<std::mutex> G(AdmMutex);
+  ClientAdmission &C = Admissions[Client];
+  switch (S) {
+  case ReplyStatus::Committed:
+    ++C.Committed;
+    break;
+  case ReplyStatus::Failed:
+    ++C.Failed;
+    break;
+  case ReplyStatus::Deadline:
+    ++C.Deadlines;
+    break;
+  case ReplyStatus::Overloaded:
+    ++C.Sheds;
+    break;
+  case ReplyStatus::Cancelled:
+    ++C.Cancelled;
+    break;
+  }
 }
 
 bool Service::submit(uint64_t Client, uint64_t SubId, uint32_t TaskIndex,
@@ -187,6 +211,7 @@ size_t Service::buildBatch(std::vector<Submission> &Batch) {
           if (CtrDeadline)
             CtrDeadline->add(1);
           admissionDone(S.Client);
+          tallyClient(S.Client, ReplyStatus::Deadline);
           replyOut(Reply{S.Client, S.SubId, ReplyStatus::Deadline,
                          "deadline exceeded before start"});
           continue;
@@ -235,6 +260,16 @@ void Service::runBatch(std::vector<Submission> &Batch) {
   for (const Submission &S : Batch)
     Tasks.push_back(TaskPool[S.TaskIndex % TaskPool.size()]);
 
+  // Flight recorder: tag each batch member with its (client, sub id)
+  // on the auxiliary lane, so a dump triggered mid-service carries the
+  // mapping from engine task ids back to client submissions.
+  if (obs::Recorder *R = obs::janusRec(J.recorder()))
+    for (size_t I = 0; I != N; ++I)
+      R->record(R->lanes() - 1, obs::RecKind::ServeTag,
+                static_cast<uint32_t>(I + 1), /*Attempt=*/0,
+                /*Clock=*/Batch[I].SubId,
+                static_cast<uint32_t>(Batch[I].Client));
+
   {
     std::lock_guard<std::mutex> G(ActiveMutex);
     ActiveTable = &Table;
@@ -260,8 +295,14 @@ void Service::runBatch(std::vector<Submission> &Batch) {
   if (Config.Audit && J.lastTrace().Recorded) {
     analysis::AuditReport AR = analysis::audit(J.lastTrace(), Tasks,
                                                J.registry());
-    if (!AR.clean())
+    if (!AR.clean()) {
       AuditViolations.fetch_add(1, std::memory_order_relaxed);
+      // Anomaly trigger: snapshot the flight recorder while the batch
+      // that violated its audit is still in the ring (scheduler
+      // thread, engine quiesced).
+      if (Config.DumpFn)
+        Config.DumpFn("audit-violation");
+    }
   }
 
   // Exactly one terminal reply per batch member, keyed by task id.
@@ -277,6 +318,7 @@ void Service::runBatch(std::vector<Submission> &Batch) {
       CommittedN.fetch_add(1, std::memory_order_relaxed);
       if (CtrCommitted)
         CtrCommitted->add(1);
+      tallyClient(S.Client, ReplyStatus::Committed);
       replyOut(Reply{S.Client, S.SubId, ReplyStatus::Committed, {}});
       continue;
     }
@@ -285,16 +327,19 @@ void Service::runBatch(std::vector<Submission> &Batch) {
       DeadlineFailures.fetch_add(1, std::memory_order_relaxed);
       if (CtrDeadline)
         CtrDeadline->add(1);
+      tallyClient(S.Client, ReplyStatus::Deadline);
       replyOut(Reply{S.Client, S.SubId, ReplyStatus::Deadline, F->Reason});
       break;
     case resilience::TaskFailure::Kind::Shutdown:
       DrainedInflight.fetch_add(1, std::memory_order_relaxed);
       if (CtrDrained)
         CtrDrained->add(1);
+      tallyClient(S.Client, ReplyStatus::Cancelled);
       replyOut(Reply{S.Client, S.SubId, ReplyStatus::Cancelled, F->Reason});
       break;
     case resilience::TaskFailure::Kind::Exception:
       FailedN.fetch_add(1, std::memory_order_relaxed);
+      tallyClient(S.Client, ReplyStatus::Failed);
       replyOut(Reply{S.Client, S.SubId, ReplyStatus::Failed, F->Reason});
       break;
     }
@@ -312,6 +357,7 @@ void Service::failBacklog() {
       if (CtrDrained)
         CtrDrained->add(1);
       admissionDone(S.Client);
+      tallyClient(S.Client, ReplyStatus::Cancelled);
       replyOut(
           Reply{S.Client, S.SubId, ReplyStatus::Cancelled,
                 "drain hard deadline"});
@@ -335,6 +381,19 @@ void Service::serve() {
       Config.MetricsSink(O->metricsJson());
   };
 
+  // Flight-recorder dump triggers, polled here only: the scheduler
+  // thread between batches is the one place the engine is quiesced, so
+  // Recorder::snapshot() inside DumpFn races with nothing.
+  auto PollDumps = [&] {
+    if (!Config.DumpFn)
+      return;
+    if (Config.DumpFlag &&
+        Config.DumpFlag->exchange(false, std::memory_order_acq_rel))
+      Config.DumpFn("sigusr2");
+    if (WantDump.exchange(false, std::memory_order_acq_rel))
+      Config.DumpFn("watchdog");
+  };
+
   std::vector<Submission> Batch;
   while (true) {
     if (Config.StopFlag &&
@@ -342,7 +401,16 @@ void Service::serve() {
       requestStop();
     if (HardCancelled.load(std::memory_order_acquire))
       break; // The post-loop sweep fails the backlog.
+    PollDumps();
     drainQueueIntoLanes();
+    {
+      // Lane-depth snapshot for rollupJson(): the only window into the
+      // scheduler-private Lanes map.
+      std::lock_guard<std::mutex> G(RollupMutex);
+      LaneDepths.clear();
+      for (const auto &KV : Lanes)
+        LaneDepths[KV.first] = KV.second.Q.size();
+    }
     Batch.clear();
     if (buildBatch(Batch) != 0) {
       runBatch(Batch);
@@ -408,6 +476,10 @@ void Service::watchdogLoop() {
         WatchdogEscalations.fetch_add(1, std::memory_order_relaxed);
         if (CtrEscalations)
           CtrEscalations->add(1);
+        // Anomaly trigger: ask the scheduler to dump the flight
+        // recorder once the stalled batch (the anomaly itself) has
+        // finished and the engine is quiesced.
+        WantDump.store(true, std::memory_order_release);
       }
       LastProgressUs = Now; // Re-arm for the next rung.
     }
@@ -451,4 +523,50 @@ ServeReport Service::report() const {
   R.AuditViolations = AuditViolations.load(std::memory_order_relaxed);
   R.DrainedInTime = !HardCancelled.load(std::memory_order_relaxed);
   return R;
+}
+
+std::string Service::rollupJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.field("schema_version", JsonSchemaVersion);
+  W.key("clients");
+  W.beginArray();
+  {
+    std::lock_guard<std::mutex> G(AdmMutex);
+    for (const auto &[Client, C] : Admissions) {
+      W.beginObject();
+      W.field("client", static_cast<uint64_t>(Client));
+      W.field("seq", static_cast<uint64_t>(C.Seq));
+      W.field("pending", static_cast<uint64_t>(C.Pending));
+      W.field("sheds", C.Sheds);
+      W.field("committed", C.Committed);
+      W.field("failed", C.Failed);
+      W.field("deadline", C.Deadlines);
+      W.field("cancelled", C.Cancelled);
+      W.endObject();
+    }
+  }
+  W.endArray();
+  W.key("lanes");
+  W.beginArray();
+  {
+    std::lock_guard<std::mutex> G(RollupMutex);
+    for (const auto &[Client, Depth] : LaneDepths) {
+      W.beginObject();
+      W.field("client", static_cast<uint64_t>(Client));
+      W.field("depth", static_cast<uint64_t>(Depth));
+      W.endObject();
+    }
+  }
+  W.endArray();
+  W.field("queue_depth", static_cast<uint64_t>(Queue.sizeApprox()));
+  W.field("watchdog_level", static_cast<uint64_t>(Board.EscalationLevel.load(
+                                std::memory_order_acquire)));
+  W.field("shed_gate", ShedGate.load(std::memory_order_acquire));
+  W.field("batches", Batches.load(std::memory_order_relaxed));
+  W.field("sheds", Sheds.load(std::memory_order_relaxed));
+  W.field("deadline_failures",
+          DeadlineFailures.load(std::memory_order_relaxed));
+  W.endObject();
+  return W.str();
 }

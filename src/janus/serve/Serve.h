@@ -148,6 +148,17 @@ struct ServeConfig {
   /// hands Observer::metricsJson() to MetricsSink. 0 = off.
   int64_t MetricsPeriodUs = 0;
   std::function<void(const std::string &)> MetricsSink;
+  /// Flight-recorder dump hook. Invoked on the scheduler thread with
+  /// no batch in flight (the engine quiesced), when a trigger fires:
+  /// DumpFlag ("sigusr2"), a watchdog escalation ("watchdog"), or an
+  /// unclean batch audit ("audit-violation"). The argument names the
+  /// trigger; the callback typically snapshots the recorder to a
+  /// `.jrec` file. Unset = no dumps.
+  std::function<void(const char *Reason)> DumpFn;
+  /// External dump request (e.g. set by a SIGUSR2 handler); polled by
+  /// the scheduler between batches and cleared when consumed.
+  /// nullptr = triggered dumps only.
+  std::atomic<bool> *DumpFlag = nullptr;
 };
 
 /// What happened over one serve() lifetime. Reply accounting is the
@@ -214,6 +225,14 @@ public:
   /// Stable snapshot; call after serve() returns for final numbers.
   ServeReport report() const;
 
+  /// Per-client / per-lane rollups as a JSON object (schema_version'd;
+  /// see DESIGN.md §12): per client the admission sequence, pending
+  /// count, and terminal-outcome tallies; per lane the queue depth
+  /// snapshotted at the last batch boundary; plus the global queue
+  /// depth, watchdog escalation level, and shed-gate state.
+  /// Thread-safe; composable into the metrics socket reply.
+  std::string rollupJson() const;
+
 private:
   struct Lane {
     std::deque<Submission> Q;
@@ -223,6 +242,12 @@ private:
   struct ClientAdmission {
     uint32_t Seq = 0;     ///< Submissions seen (chaos coordinate).
     uint32_t Pending = 0; ///< Queued or in the current batch.
+    // Per-client terminal-outcome rollups (metrics schema v3).
+    uint64_t Sheds = 0;
+    uint64_t Committed = 0;
+    uint64_t Failed = 0;
+    uint64_t Deadlines = 0;
+    uint64_t Cancelled = 0;
   };
 
   /// Emits the terminal reply for \p R (exactly once per submission).
@@ -233,6 +258,8 @@ private:
   /// Sheds \p Client's submission \p SubId: counts it and emits the
   /// Overloaded reply.
   void shed(uint64_t Client, uint64_t SubId, const char *Why);
+  /// Tallies a terminal outcome into the client's rollup counters.
+  void tallyClient(uint64_t Client, ReplyStatus S);
 
   /// Moves everything the MPSC queue currently holds into the lanes.
   void drainQueueIntoLanes();
@@ -262,8 +289,14 @@ private:
   MpscQueue<Submission> Queue;
   std::map<uint64_t, Lane> Lanes; ///< Scheduler-thread only.
 
-  std::mutex AdmMutex; ///< Guards Admissions.
+  mutable std::mutex AdmMutex; ///< Guards Admissions.
   std::map<uint64_t, ClientAdmission> Admissions;
+
+  /// Lane queue depths, snapshotted by the scheduler at batch
+  /// boundaries so rollupJson() never touches the scheduler-private
+  /// Lanes map. Guarded by RollupMutex.
+  mutable std::mutex RollupMutex;
+  std::map<uint64_t, size_t> LaneDepths;
 
   std::mutex ReplyMutex; ///< Guards Sink + reply counters.
   std::function<void(const Reply &)> Sink;
@@ -274,6 +307,10 @@ private:
   std::atomic<int64_t> DrainStartUs{0};
   std::atomic<bool> ShedGate{false};
   std::atomic<bool> BatchInFlight{false};
+  /// Watchdog → scheduler dump handoff: the watchdog only sets the
+  /// flag; the scheduler consumes it between batches (quiesced) and
+  /// invokes DumpFn("watchdog").
+  std::atomic<bool> WantDump{false};
 
   /// The in-flight batch's cancellation table, for the watchdog's
   /// drain hard stop. Guarded by ActiveMutex (set/cleared by the

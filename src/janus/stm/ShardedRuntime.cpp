@@ -384,6 +384,25 @@ ShardedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
   }
   Tx.endAttempt();
   const uint64_t Mask = Tx.accessedShards();
+  // Flight recorder: one begin + one shard-acquire per touched shard +
+  // the terminal event, emitted together at the attempt's end while the
+  // views (and their acquisition stamps) are still live — the same
+  // harvest recordEvent performs for the audit trace.
+  obs::Recorder *const Rec = obs::janusRec(Config.Rec);
+  const bool RecOn = Rec && Rec->sampled(Tid);
+  auto RecAttempt = [&](obs::RecKind Kind, uint64_t TermClock, uint32_t Aux,
+                        uint8_t TermMode) {
+    if (!RecOn)
+      return;
+    Rec->record(Lane, obs::RecKind::Begin, Tid, Attempt, ClockAtBegin);
+    for (uint64_t M = Mask; M;) {
+      const uint32_t S = static_cast<uint32_t>(std::countr_zero(M));
+      M &= M - 1;
+      Rec->record(Lane, obs::RecKind::ShardAcquire, Tid, Attempt,
+                  Worker.Views[S].Stamp, S);
+    }
+    Rec->record(Lane, Kind, Tid, Attempt, TermClock, Aux, TermMode);
+  };
   if (Sampled) {
     O->span(Lane, "begin", Tid, Attempt, AttemptTs, BodyTs - AttemptTs,
             "clock", static_cast<double>(ClockAtBegin));
@@ -394,6 +413,7 @@ ShardedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     ++Stats.TaskExceptions;
     if (Sampled)
       O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "exception");
+    RecAttempt(obs::RecKind::Abort, ClockAtBegin, obs::RecAbortException, 0);
     recordEvent(Worker, Tid, Mask, ClockAtBegin, 0, /*Committed=*/false,
                 emptyTxLog());
     releaseAttempt(Worker, Mask);
@@ -407,6 +427,7 @@ ShardedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     ++Stats.FaultsInjected;
     if (Sampled)
       O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "injected");
+    RecAttempt(obs::RecKind::Abort, ClockAtBegin, obs::RecAbortInjected, 0);
     recordEvent(Worker, Tid, Mask, ClockAtBegin, 0, /*Committed=*/false,
                 std::move(Log));
     releaseAttempt(Worker, Mask);
@@ -420,6 +441,7 @@ ShardedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
       Config.Cancel->status(Tid) != resilience::CancelReason::None) {
     if (Sampled)
       O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "cancelled");
+    RecAttempt(obs::RecKind::Abort, ClockAtBegin, obs::RecAbortCancelled, 0);
     recordEvent(Worker, Tid, Mask, ClockAtBegin, 0, /*Committed=*/false,
                 std::move(Log));
     releaseAttempt(Worker, Mask);
@@ -451,6 +473,8 @@ ShardedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
               static_cast<double>(CommitTime));
       O->commitLatency().record(End - AttemptTs);
     }
+    RecAttempt(obs::RecKind::Commit, CommitTime, 0,
+               static_cast<uint8_t>(CommitMode::Speculative));
     recordEvent(Worker, Tid, 0, ClockAtBegin, CommitTime, /*Committed=*/true,
                 std::move(Log));
     notifySuccessor(CommitTime);
@@ -527,6 +551,12 @@ ShardedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
         ++*ShardAbortCounters[ConflictShard];
       if (Sampled)
         O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "conflict");
+      // Detect-end clock: the conflicting commit's global stamp is at
+      // most the clock read here (it published before detection saw
+      // it), so replay's window (begin, detect-end] covers it.
+      RecAttempt(obs::RecKind::Abort,
+                 Clock.load(std::memory_order_acquire),
+                 obs::RecAbortConflict, 0);
       recordEvent(Worker, Tid, Mask, ClockAtBegin, 0, /*Committed=*/false,
                   std::move(Log));
       releaseAttempt(Worker, Mask);
@@ -628,6 +658,8 @@ ShardedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
               "shards", static_cast<double>(NumTouched));
       O->commitLatency().record(End - AttemptTs);
     }
+    RecAttempt(obs::RecKind::Commit, CommitTime, 0,
+               static_cast<uint8_t>(CommitMode::Speculative));
     recordEvent(Worker, Tid, Mask, ClockAtBegin, CommitTime,
                 /*Committed=*/true, std::move(Log));
     releaseAttempt(Worker, Mask);
@@ -723,6 +755,12 @@ void ShardedRuntime::commitSerial(const TaskFn *Task, uint32_t Tid,
             Mode == CommitMode::Placeholder ? "placeholder" : "fallback");
     O->commitLatency().record(End - SerialTs);
   }
+  // Serial/placeholder commits emit no begin or shard-acquire events —
+  // the replayer derives their entry (CommitTime - 1) from the mode.
+  if (obs::Recorder *R = obs::janusRec(Config.Rec))
+    if (R->sampled(Tid))
+      R->record(Lane, obs::RecKind::Commit, Tid, /*Attempt=*/0, CommitTime,
+                0, static_cast<uint8_t>(Mode));
   recordEvent(Worker, Tid, EffectMask, CommitTime - 1, CommitTime,
               /*Committed=*/true, std::move(Log), Mode);
   releaseAttempt(Worker, Mask);
@@ -776,6 +814,11 @@ void ShardedRuntime::run(const std::vector<TaskFn> &Tasks) {
             CR == resilience::CancelReason::Shutdown
                 ? resilience::TaskFailure::Kind::Shutdown
                 : resilience::TaskFailure::Kind::Deadline});
+        if (obs::Recorder *R = obs::janusRec(Config.Rec))
+          if (R->sampled(Tid2))
+            R->record(Slot, obs::RecKind::Cancel, Tid2, AttemptsMade,
+                      Clock.load(std::memory_order_acquire),
+                      static_cast<uint32_t>(CR));
         commitSerial(nullptr, Tid2, Slot, W);
       };
       for (uint32_t Attempt = 1;; ++Attempt) {
@@ -802,6 +845,10 @@ void ShardedRuntime::run(const std::vector<TaskFn> &Tasks) {
           auto D = CM->onAbort(Tid, Slot);
           if (D.Act == Action::Serial) {
             ++Stats.SerialFallbacks;
+            if (obs::Recorder *R = obs::janusRec(Config.Rec))
+              if (R->sampled(Tid))
+                R->record(Slot, obs::RecKind::Escalation, Tid, Attempt,
+                          Clock.load(std::memory_order_acquire));
             commitSerial(&Tasks[Idx], Tid, Slot, W);
             break;
           }

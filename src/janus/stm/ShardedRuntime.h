@@ -54,6 +54,7 @@
 #define JANUS_STM_SHARDEDRUNTIME_H
 
 #include "janus/obs/Obs.h"
+#include "janus/obs/Recorder.h"
 #include "janus/resilience/Cancellation.h"
 #include "janus/resilience/ContentionManager.h"
 #include "janus/resilience/FaultPlan.h"
@@ -104,6 +105,12 @@ struct ShardedConfig {
   /// cancelled task fails with a placeholder commit. nullptr = never
   /// cancelled. Not owned; appended last (aggregate initializers).
   const resilience::CancellationTable *Cancel = nullptr;
+  /// Flight recorder (janus::obs::Recorder): per-lane begin/abort/
+  /// commit/shard-acquire events with dense-clock stamps, replayable
+  /// via `janus replay`. Must be provisioned with at least NumThreads
+  /// lanes and outlive the runtime. nullptr = no recording. Not
+  /// owned; appended last.
+  obs::Recorder *Rec = nullptr;
 };
 
 /// Runs task sets under optimistic synchronization with per-shard

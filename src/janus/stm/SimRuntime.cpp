@@ -18,6 +18,9 @@ SimRuntime::Attempt SimRuntime::execute(const std::vector<TaskFn> &Tasks,
   A.BeginSeq = CommitSeq;
   A.Entry = Shared;
   uint32_t Tid = static_cast<uint32_t>(Idx + 1);
+  if (obs::Recorder *R = obs::janusRec(Config.Rec))
+    if (R->sampled(Tid))
+      R->record(0, obs::RecKind::Begin, Tid, AttemptNo, A.BeginSeq);
   TxContext Tx(Shared, Tid, Reg, &Stats);
   try {
     if (Config.Faults.throwTask(Tid, AttemptNo)) {
@@ -42,36 +45,38 @@ SimRuntime::Attempt SimRuntime::execute(const std::vector<TaskFn> &Tasks,
   return A;
 }
 
+double SimRuntime::sequentialBaseline(const std::vector<TaskFn> &Tasks) {
+  Snapshot State = Shared;
+  double Time = 0.0;
+  for (size_t I = 0, E = Tasks.size(); I != E; ++I) {
+    TxContext Tx(State, static_cast<uint32_t>(I + 1), Reg);
+    bool Threw = false;
+    try {
+      Tasks[I](Tx);
+    } catch (...) {
+      // The baseline only provides the speedup denominator; a task
+      // that throws contributes the work it did before failing and
+      // no state change (matching the parallel engine, where a
+      // failed task's effects never reach the shared state).
+      Threw = true;
+    }
+    Tx.endAttempt();
+    Time += Tx.virtualCost() +
+            Config.Costs.SeqPerOp * static_cast<double>(Tx.log().size());
+    if (Threw)
+      continue;
+    for (const LogEntry &E2 : Tx.log())
+      State = applyToSnapshot(State, E2.Loc, E2.Op);
+  }
+  return Time;
+}
+
 SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
+  if (Config.Replay)
+    return runReplay(Tasks);
   Stats.Tasks += Tasks.size();
   SimOutcome Outcome;
-
-  // ---- Sequential baseline: the original loop, no STM overhead. ------
-  {
-    Snapshot State = Shared;
-    double Time = 0.0;
-    for (size_t I = 0, E = Tasks.size(); I != E; ++I) {
-      TxContext Tx(State, static_cast<uint32_t>(I + 1), Reg);
-      bool Threw = false;
-      try {
-        Tasks[I](Tx);
-      } catch (...) {
-        // The baseline only provides the speedup denominator; a task
-        // that throws contributes the work it did before failing and
-        // no state change (matching the parallel engine, where a
-        // failed task's effects never reach the shared state).
-        Threw = true;
-      }
-      Tx.endAttempt();
-      Time += Tx.virtualCost() +
-              Config.Costs.SeqPerOp * static_cast<double>(Tx.log().size());
-      if (Threw)
-        continue;
-      for (const LogEntry &E2 : Tx.log())
-        State = applyToSnapshot(State, E2.Loc, E2.Op);
-    }
-    Outcome.SequentialTime = Time;
-  }
+  Outcome.SequentialTime = sequentialBaseline(Tasks);
 
   // ---- Parallel simulation. ------------------------------------------
   History.clear();
@@ -107,7 +112,12 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
   // JANUS_OBS=OFF exactly as on the threaded engine.
   obs::Observer *const O = obs::janusObs(Config.Obs);
 
-  auto RecordAbort = [this](uint32_t Tid, const Attempt &Att) {
+  auto RecordAbort = [this](uint32_t Tid, const Attempt &Att,
+                            uint32_t AttemptNo, uint32_t Reason,
+                            uint64_t EndClock) {
+    if (obs::Recorder *R = obs::janusRec(Config.Rec))
+      if (R->sampled(Tid))
+        R->record(0, obs::RecKind::Abort, Tid, AttemptNo, EndClock, Reason);
     if (!Config.RecordTrace)
       return;
     Trace.Events.push_back(TraceEvent{Tid, Att.BeginSeq, 0,
@@ -192,7 +202,7 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
           ++Stats.TaskExceptions;
           CT.Att.Threw = false;
         }
-        RecordAbort(Tid, CT.Att);
+        RecordAbort(Tid, CT.Att, CT.AttemptNo, obs::RecAbortCancelled, 0);
         if (O && O->sampled(Tid))
           O->instant(Core, "abort", Tid, CT.AttemptNo, Time, "cancelled");
         ++Stats.TaskFailures;
@@ -211,7 +221,7 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     // turn-taking: a retrying task must not occupy its commit turn.
     if (CT.Att.Threw) {
       ++Stats.TaskExceptions;
-      RecordAbort(Tid, CT.Att);
+      RecordAbort(Tid, CT.Att, CT.AttemptNo, obs::RecAbortException, 0);
       auto D = CM->onException(Tid, Core);
       if (D.Act == Action::Retry) {
         // Backoff is charged as virtual time on this core.
@@ -235,7 +245,7 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
       // detection, exactly as on the threaded engine.
       ++Stats.FaultsInjected;
       ++Stats.Retries;
-      RecordAbort(Tid, CT.Att);
+      RecordAbort(Tid, CT.Att, CT.AttemptNo, obs::RecAbortInjected, 0);
       auto D = CM->onAbort(Tid, Core);
       if (D.Act == Action::Retry) {
         RetryTraced(Core, CT, Tid, Time, D.BackoffMicros, "injected");
@@ -278,9 +288,11 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
                 "window", static_cast<double>(Window.size()));
       }
       if (Conflict) {
-        // Abort: consult the contention manager.
+        // Abort: consult the contention manager. The recorded detect-end
+        // clock is the current commit count — the upper bound of the
+        // window this attempt conflicted with.
         ++Stats.Retries;
-        RecordAbort(Tid, Att);
+        RecordAbort(Tid, Att, CT.AttemptNo, obs::RecAbortConflict, CommitSeq);
         auto D = CM->onAbort(Tid, Core);
         if (D.Act == Action::Retry) {
           // Re-execute from scratch on the same core, after backoff.
@@ -334,6 +346,10 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
     for (const LogEntry &E : *Att.Log)
       Shared = applyToSnapshot(Shared, E.Loc, E.Op);
     History.push_back(Committed{CommitSeq, Att.Log});
+    if (obs::Recorder *R = obs::janusRec(Config.Rec))
+      if (R->sampled(Tid))
+        R->record(0, obs::RecKind::Commit, Tid, CT.AttemptNo, CommitSeq, 0,
+                  static_cast<uint8_t>(CT.Mode));
     if (Config.RecordTrace) {
       Trace.Events.push_back(TraceEvent{Tid, Att.BeginSeq, CommitSeq,
                                         /*Committed=*/true, Att.Log, Att.Entry,
@@ -379,5 +395,225 @@ SimOutcome SimRuntime::run(const std::vector<TaskFn> &Tasks) {
   if (Config.RecordTrace)
     Trace.Final = Shared;
   Outcome.ParallelTime = MakeSpan;
+  return Outcome;
+}
+
+SimOutcome SimRuntime::runReplay(const std::vector<TaskFn> &Tasks) {
+  const ReplaySchedule &Sched = *Config.Replay;
+  Stats.Tasks += Tasks.size();
+  SimOutcome Outcome;
+  Outcome.SequentialTime = sequentialBaseline(Tasks);
+
+  auto Problem = [this](std::string Msg) {
+    if (Config.ReplayProblems)
+      Config.ReplayProblems->push_back(std::move(Msg));
+  };
+
+  History.clear();
+  CommitOrder.clear();
+  CommitSeq = 0;
+  if (Config.RecordTrace) {
+    Trace.Recorded = true;
+    Trace.Initial = Shared;
+    Trace.Events.clear();
+    Trace.Shards = Sched.Shards;
+  }
+
+  // Persistent snapshots at every commit clock: StateAt[k] is the
+  // global state after commit k (StateAt[0] = initial). LogAt[k] is
+  // commit k's replayed log. Both are what entry reconstruction below
+  // reads; Snapshot copies are O(1), so keeping them all is cheap.
+  std::vector<Snapshot> StateAt{Shared};
+  std::vector<TxLogRef> LogAt{nullptr};
+
+  obs::Observer *const O = obs::janusObs(Config.Obs);
+  double VirtualNow = 0.0;
+
+  // Reconstructs the entry snapshot a recorded attempt observed. For
+  // unsharded attempts that is simply the state at its begin clock.
+  // A sharded attempt saw each acquired shard at that shard's own
+  // acquisition stamp: start from the state at the earliest stamp and
+  // re-apply, from each later commit k, exactly the operations whose
+  // location routes to a shard acquired at stamp >= k — per-location
+  // detection decomposition (§5.3) run in reverse.
+  auto EntryFor = [&](const ReplayStep &S, bool *Ok) -> Snapshot {
+    *Ok = true;
+    if (S.ShardStamps.empty()) {
+      if (S.Begin >= StateAt.size()) {
+        Problem("task " + std::to_string(S.Tid) + " attempt " +
+                std::to_string(S.Attempt) + ": begin clock " +
+                std::to_string(S.Begin) + " exceeds replayed commits");
+        *Ok = false;
+        return StateAt.back();
+      }
+      return StateAt[S.Begin];
+    }
+    uint64_t MinStamp = ~uint64_t{0}, MaxStamp = 0;
+    for (const auto &[Shard, Stamp] : S.ShardStamps) {
+      MinStamp = std::min(MinStamp, Stamp);
+      MaxStamp = std::max(MaxStamp, Stamp);
+    }
+    if (MaxStamp >= StateAt.size()) {
+      Problem("task " + std::to_string(S.Tid) + " attempt " +
+              std::to_string(S.Attempt) + ": shard stamp " +
+              std::to_string(MaxStamp) + " exceeds replayed commits");
+      *Ok = false;
+      return StateAt.back();
+    }
+    auto StampOf = [&](uint32_t Shard) -> uint64_t {
+      for (const auto &[Sh, Stamp] : S.ShardStamps)
+        if (Sh == Shard)
+          return Stamp;
+      return MinStamp; // Unacquired shard: never read; base state is fine.
+    };
+    Snapshot E = StateAt[MinStamp];
+    for (uint64_t K = MinStamp + 1; K <= MaxStamp; ++K)
+      for (const LogEntry &LE : *LogAt[K])
+        if (StampOf(shardIndexOf(LE.Loc, Sched.Shards)) >= K)
+          E = applyToSnapshot(E, LE.Loc, LE.Op);
+    return E;
+  };
+
+  // Executes one forced attempt against \p Entry — no fault injection
+  // (the recording already decided every outcome), no detection.
+  auto ExecuteAt = [&](const ReplayStep &S, const Snapshot &Entry,
+                       bool *Threw, std::string *Msg) -> TxLogRef {
+    TxContext Tx(Entry, S.Tid, Reg, &Stats);
+    *Threw = false;
+    try {
+      Tasks[S.Tid - 1](Tx);
+    } catch (const std::exception &E) {
+      *Threw = true;
+      *Msg = E.what();
+    } catch (...) {
+      *Threw = true;
+      *Msg = "unknown exception";
+    }
+    Tx.endAttempt();
+    VirtualNow += Config.Costs.BeginCost + Tx.virtualCost() +
+                  Config.Costs.PerLogOp * static_cast<double>(Tx.log().size());
+    return *Threw ? std::make_shared<const TxLog>()
+                  : std::make_shared<const TxLog>(Tx.log());
+  };
+
+  for (const ReplayStep &S : Sched.Steps) {
+    if (S.Tid == 0 || S.Tid > Tasks.size()) {
+      Problem("schedule names task " + std::to_string(S.Tid) +
+              " but the workload has " + std::to_string(Tasks.size()));
+      continue;
+    }
+    const double StepTs = VirtualNow;
+
+    if (!S.Committed) {
+      // Injected, exception and cancellation aborts are not
+      // re-executed: their outcomes were forced from outside the
+      // protocol and carry no schedule information. Conflict aborts
+      // *are* re-executed at their reconstructed entry — the
+      // divergence check needs their logs to confirm the recorded
+      // conflict had a real footprint overlap.
+      if (S.AbortReason != obs::RecAbortConflict)
+        continue;
+      bool Ok = false, Threw = false;
+      std::string Msg;
+      Snapshot Entry = EntryFor(S, &Ok);
+      TxLogRef Log = ExecuteAt(S, Entry, &Threw, &Msg);
+      if (Threw)
+        Problem("task " + std::to_string(S.Tid) + " attempt " +
+                std::to_string(S.Attempt) +
+                " threw while replaying a conflict-aborted attempt: " + Msg);
+      ++Stats.Retries;
+      if (Config.RecordTrace) {
+        TraceEvent E{S.Tid,
+                     S.Begin,
+                     0,
+                     /*Committed=*/false,
+                     Log,
+                     std::move(Entry),
+                     CommitMode::Speculative,
+                     S.ShardStamps};
+        Trace.Events.push_back(std::move(E));
+        ++Stats.TraceEvents;
+      }
+      if (O && O->sampled(S.Tid)) {
+        O->span(0, "body", S.Tid, S.Attempt, StepTs, VirtualNow - StepTs);
+        O->instant(0, "abort", S.Tid, S.Attempt, VirtualNow, "conflict");
+      }
+      continue;
+    }
+
+    // Committed step: the dense clock advances by exactly one.
+    const auto Mode = static_cast<CommitMode>(S.Mode);
+    if (S.CommitTime != CommitSeq + 1)
+      Problem("task " + std::to_string(S.Tid) + ": recorded commit clock " +
+              std::to_string(S.CommitTime) + " arrived at replay clock " +
+              std::to_string(CommitSeq + 1));
+    TxLogRef Log;
+    Snapshot Entry;
+    if (Mode == CommitMode::Placeholder) {
+      // The recorded task failed permanently; nothing executes.
+      Log = std::make_shared<const TxLog>();
+      Entry = StateAt.back();
+      ++Stats.TaskFailures;
+      Outcome.Failures.push_back(resilience::TaskFailure{
+          S.Tid, S.Attempt, "recorded placeholder (task failed when recorded)"});
+    } else {
+      bool Ok = false, Threw = false;
+      std::string Msg;
+      if (Mode == CommitMode::Serial) {
+        // Serial fallback executed under the full commit lock: its
+        // entry is exactly the predecessor's published state.
+        Entry = StateAt[S.CommitTime - 1 < StateAt.size() ? S.CommitTime - 1
+                                                          : StateAt.size() - 1];
+        ++Stats.SerialFallbacks;
+      } else {
+        Entry = EntryFor(S, &Ok);
+      }
+      Log = ExecuteAt(S, Entry, &Threw, &Msg);
+      if (Threw) {
+        // Commit an empty log to keep the clock dense; the divergence
+        // check surfaces the problem.
+        Problem("task " + std::to_string(S.Tid) + " attempt " +
+                std::to_string(S.Attempt) +
+                " threw while replaying a committed attempt: " + Msg);
+        ++Stats.TaskExceptions;
+      }
+    }
+
+    ++CommitSeq;
+    CommitOrder.push_back(S.Tid);
+    Snapshot Next = StateAt.back();
+    for (const LogEntry &LE : *Log)
+      Next = applyToSnapshot(Next, LE.Loc, LE.Op);
+    StateAt.push_back(Next);
+    LogAt.push_back(Log);
+    Shared = std::move(Next);
+    History.push_back(Committed{CommitSeq, Log});
+    ++Stats.Commits;
+    if (Config.RecordTrace) {
+      TraceEvent E{S.Tid,       S.Begin, CommitSeq, /*Committed=*/true,
+                   Log,         Entry,   Mode,      S.ShardStamps};
+      Trace.Events.push_back(std::move(E));
+      ++Stats.TraceEvents;
+    }
+    if (O && O->sampled(S.Tid)) {
+      const char *SpanName =
+          Mode == CommitMode::Speculative ? "commit" : "serial";
+      O->span(0, SpanName, S.Tid, S.Attempt, StepTs,
+              std::max(VirtualNow - StepTs, 0.0), "clock",
+              static_cast<double>(CommitSeq),
+              Mode == CommitMode::Placeholder ? "placeholder" : nullptr);
+      O->commitLatency().record(std::max(VirtualNow - StepTs, 0.0));
+    }
+    VirtualNow +=
+        Config.Costs.CommitPerOp * static_cast<double>(Log->size());
+  }
+
+  if (CommitSeq != Sched.MaxTid)
+    Problem("replay committed " + std::to_string(CommitSeq) +
+            " transactions; the recording holds " +
+            std::to_string(Sched.MaxTid));
+  if (Config.RecordTrace)
+    Trace.Final = Shared;
+  Outcome.ParallelTime = VirtualNow;
   return Outcome;
 }

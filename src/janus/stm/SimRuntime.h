@@ -40,11 +40,13 @@
 #define JANUS_STM_SIMRUNTIME_H
 
 #include "janus/obs/Obs.h"
+#include "janus/obs/Recorder.h"
 #include "janus/resilience/Cancellation.h"
 #include "janus/resilience/ContentionManager.h"
 #include "janus/resilience/FaultPlan.h"
 #include "janus/stm/AuditTrace.h"
 #include "janus/stm/Detector.h"
+#include "janus/stm/Replay.h"
 #include "janus/stm/Stats.h"
 #include "janus/stm/TxContext.h"
 
@@ -96,6 +98,19 @@ struct SimConfig {
   /// that only use explicit cancel() remain reproducible. nullptr =
   /// never cancelled. Not owned; appended last.
   const resilience::CancellationTable *Cancel = nullptr;
+  /// Flight recorder (janus::obs::Recorder); nullptr = no recording.
+  /// The simulator is single-threaded, so all events go to lane 0.
+  /// Not owned; appended last.
+  obs::Recorder *Rec = nullptr;
+  /// Forced schedule: when set, run() replays this recorded schedule
+  /// deterministically instead of simulating scheduling decisions —
+  /// each step executes against its reconstructed entry snapshot and
+  /// commits in the recorded dense-clock order. Not owned.
+  const ReplaySchedule *Replay = nullptr;
+  /// Replay execution problems (a committed step's body throwing, an
+  /// out-of-order recorded clock) are appended here instead of
+  /// aborting; the divergence check reads them post-hoc. Not owned.
+  std::vector<std::string> *ReplayProblems = nullptr;
 };
 
 /// Outcome of a simulated run.
@@ -162,6 +177,13 @@ private:
   };
   Attempt execute(const std::vector<TaskFn> &Tasks, size_t Idx,
                   uint32_t AttemptNo);
+
+  /// Virtual duration of the plain sequential loop (the speedup
+  /// denominator), shared by the simulated and replayed paths.
+  double sequentialBaseline(const std::vector<TaskFn> &Tasks);
+
+  /// Forced deterministic re-execution of Config.Replay's schedule.
+  SimOutcome runReplay(const std::vector<TaskFn> &Tasks);
 
   const ObjectRegistry &Reg;
   ConflictDetector &Detector;

@@ -211,6 +211,9 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
   if (Sampled)
     O->span(Lane, "begin", Tid, Attempt, AttemptTs, O->nowUs() - AttemptTs,
             "clock", static_cast<double>(Begin));
+  if (obs::Recorder *R = obs::janusRec(Config.Rec))
+    if (R->sampled(Tid))
+      R->record(Lane, obs::RecKind::Begin, Tid, Attempt, Begin);
 
   // RUNSEQUENTIAL — exception-safe: a throwing body (genuine or
   // fault-injected) must not take down the worker thread. The partial
@@ -244,6 +247,10 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
     if (Sampled)
       O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "exception");
+    if (obs::Recorder *R = obs::janusRec(Config.Rec))
+      if (R->sampled(Tid))
+        R->record(Lane, obs::RecKind::Abort, Tid, Attempt, Begin,
+                  obs::RecAbortException);
     recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, emptyTxLog(),
                 std::move(EntrySnap));
     return AttemptResult::Thrown;
@@ -258,6 +265,10 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
     if (Sampled)
       O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "injected");
+    if (obs::Recorder *R = obs::janusRec(Config.Rec))
+      if (R->sampled(Tid))
+        R->record(Lane, obs::RecKind::Abort, Tid, Attempt, Begin,
+                  obs::RecAbortInjected);
     recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, std::move(Log),
                 std::move(EntrySnap));
     return AttemptResult::Aborted;
@@ -272,6 +283,10 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
     if (Sampled)
       O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "cancelled");
+    if (obs::Recorder *R = obs::janusRec(Config.Rec))
+      if (R->sampled(Tid))
+        R->record(Lane, obs::RecKind::Abort, Tid, Attempt, Begin,
+                  obs::RecAbortCancelled);
     recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false, std::move(Log),
                 std::move(EntrySnap));
     return AttemptResult::Cancelled;
@@ -314,6 +329,12 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
         Worker.Begin.store(NoActiveBegin, std::memory_order_seq_cst);
         if (Sampled)
           O->instant(Lane, "abort", Tid, Attempt, O->nowUs(), "conflict");
+        // Detect-end clock: the published time the conflict was found
+        // against — replay re-runs detection over (Begin, Now].
+        if (obs::Recorder *R = obs::janusRec(Config.Rec))
+          if (R->sampled(Tid))
+            R->record(Lane, obs::RecKind::Abort, Tid, Attempt, Now,
+                      obs::RecAbortConflict);
         recordEvent(Worker, Tid, Begin, 0, /*Committed=*/false,
                     std::move(Log), std::move(EntrySnap));
         return AttemptResult::Aborted;
@@ -379,6 +400,10 @@ ThreadedRuntime::runTask(const TaskFn &Task, uint32_t Tid, uint32_t Attempt,
     }
     if (Empty)
       ++Stats.EmptyCommits;
+    if (obs::Recorder *R = obs::janusRec(Config.Rec))
+      if (R->sampled(Tid))
+        R->record(Lane, obs::RecKind::Commit, Tid, Attempt, Now + 1, 0,
+                  static_cast<uint8_t>(CommitMode::Speculative));
     recordEvent(Worker, Tid, Begin, Now + 1, /*Committed=*/true,
                 std::move(Log), std::move(EntrySnap));
     notifySuccessor(Now + 1);
@@ -466,6 +491,12 @@ void ThreadedRuntime::commitSerial(const TaskFn *Task, uint32_t Tid,
             Mode == CommitMode::Placeholder ? "placeholder" : "fallback");
     O->commitLatency().record(End - SerialTs);
   }
+  // Serial/placeholder commits emit no begin event — the replayer
+  // derives their entry (CommitTime - 1) from the mode.
+  if (obs::Recorder *R = obs::janusRec(Config.Rec))
+    if (R->sampled(Tid))
+      R->record(Lane, obs::RecKind::Commit, Tid, /*Attempt=*/0, CommitTime,
+                0, static_cast<uint8_t>(Mode));
   recordEvent(Worker, Tid, Begin, CommitTime, /*Committed=*/true,
               std::move(Log), std::move(EntrySnap), Mode);
   notifySuccessor(CommitTime);
@@ -534,6 +565,11 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
             CR == resilience::CancelReason::Shutdown
                 ? resilience::TaskFailure::Kind::Shutdown
                 : resilience::TaskFailure::Kind::Deadline});
+        if (obs::Recorder *R = obs::janusRec(Config.Rec))
+          if (R->sampled(Tid2))
+            R->record(Slot, obs::RecKind::Cancel, Tid2, AttemptsMade,
+                      Clock.load(std::memory_order_acquire),
+                      static_cast<uint32_t>(CR));
         commitSerial(nullptr, Tid2, Slot, W);
       };
       for (uint32_t Attempt = 1;; ++Attempt) {
@@ -563,6 +599,10 @@ void ThreadedRuntime::run(const std::vector<TaskFn> &Tasks) {
           auto D = CM->onAbort(Tid, Slot);
           if (D.Act == Action::Serial) {
             ++Stats.SerialFallbacks;
+            if (obs::Recorder *R = obs::janusRec(Config.Rec))
+              if (R->sampled(Tid))
+                R->record(Slot, obs::RecKind::Escalation, Tid, Attempt,
+                          Clock.load(std::memory_order_acquire));
             commitSerial(&Tasks[Idx], Tid, Slot, W);
             break;
           }

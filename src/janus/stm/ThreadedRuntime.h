@@ -54,6 +54,7 @@
 #define JANUS_STM_THREADEDRUNTIME_H
 
 #include "janus/obs/Obs.h"
+#include "janus/obs/Recorder.h"
 #include "janus/resilience/Cancellation.h"
 #include "janus/resilience/ContentionManager.h"
 #include "janus/resilience/FaultPlan.h"
@@ -102,6 +103,11 @@ struct ThreadedConfig {
   /// clock dense. nullptr = never cancelled. Not owned; appended after
   /// Obs for the same aggregate-init reason.
   const resilience::CancellationTable *Cancel = nullptr;
+  /// Flight recorder (janus::obs::Recorder): per-lane begin/abort/
+  /// commit events with dense-clock stamps, replayable via
+  /// `janus replay`. Must be provisioned with at least NumThreads
+  /// lanes. nullptr = no recording. Not owned; appended last.
+  obs::Recorder *Rec = nullptr;
 };
 
 /// Runs task sets under optimistic synchronization with a pluggable

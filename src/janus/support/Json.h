@@ -27,7 +27,10 @@ namespace janus {
 /// not bump it). Version history:
 ///   1 — implicit: the PR-2 bench rows (no marker).
 ///   2 — marker added; bench rows, `janus run --json`, obs exports.
-inline constexpr int JsonSchemaVersion = 2;
+///   3 — serve metrics gained per-client/per-lane rollups (the
+///       `metrics` socket reply composes Observer::metricsJson() with
+///       Service::rollupJson() under "rollups").
+inline constexpr int JsonSchemaVersion = 3;
 
 /// \returns \p S with every character that cannot appear raw inside a
 /// JSON string escaped (quotes, backslash, and all control characters,

@@ -22,6 +22,10 @@ Trainer::Trainer(ObjectRegistry &Reg,
 void Trainer::trainOn(stm::Snapshot &State,
                       const std::vector<stm::TaskFn> &Tasks) {
   Stats.TasksRun += Tasks.size();
+  // Training-phase spans land on the auxiliary lane (no worker lane
+  // exists outside a run); with JANUS_OBS=OFF every block is dead code.
+  obs::Observer *const O = obs::janusObs(Config.Obs);
+  const double ExecTs = O ? O->nowUs() : 0.0;
 
   // Sequential, synchronization-free execution with logging.
   std::vector<stm::TxLog> Logs;
@@ -42,6 +46,11 @@ void Trainer::trainOn(stm::Snapshot &State,
     Logs.push_back(Tx.log());
   }
 
+  if (O)
+    O->span(O->auxLane(), "train-exec", /*Tid=*/0, /*Attempt=*/0, ExecTs,
+            O->nowUs() - ExecTs, "tasks", static_cast<double>(Tasks.size()));
+
+  const double MineTs = O ? O->nowUs() : 0.0;
   DependenceGraph Graph(Logs);
   auto Subs = Graph.taskSubsequences();
 
@@ -68,9 +77,25 @@ void Trainer::trainOn(stm::Snapshot &State,
   }
 
   Patterns.mergeWith(PatternReport::analyze(Subs, Reg));
-  if (Config.InferWAWRelaxation)
+  if (O)
+    O->span(O->auxLane(), "train-mine", /*Tid=*/0, /*Attempt=*/0, MineTs,
+            O->nowUs() - MineTs, "locations",
+            static_cast<double>(Subs.size()));
+  if (Config.InferWAWRelaxation) {
+    const double RelaxTs = O ? O->nowUs() : 0.0;
     inferRelaxations(Subs);
+    if (O)
+      O->span(O->auxLane(), "train-relax", /*Tid=*/0, /*Attempt=*/0, RelaxTs,
+              O->nowUs() - RelaxTs, "objects",
+              static_cast<double>(Stats.InferredWAWObjects));
+  }
+  const double PairsTs = O ? O->nowUs() : 0.0;
+  const uint64_t PairsBefore = Stats.CandidatePairs;
   minePairs(Subs, SubEntryValues);
+  if (O)
+    O->span(O->auxLane(), "train-pairs", /*Tid=*/0, /*Attempt=*/0, PairsTs,
+            O->nowUs() - PairsTs, "pairs",
+            static_cast<double>(Stats.CandidatePairs - PairsBefore));
 }
 
 void Trainer::inferRelaxations(
@@ -226,11 +251,17 @@ void Trainer::cachePair(const std::string &LocClass, const Rep &Mine,
     // runtime falls back conservatively on the missing pair instead.
     // (Never-conditions admit nothing and are trivially sound.)
     ++Stats.VerifyChecks;
+    obs::Observer *const O = obs::janusObs(Config.Obs);
+    const double VerifyTs = O ? O->nowUs() : 0.0;
     verify::VerifyConfig VC;
     VC.IntScope = Config.VerifyScope;
     VC.UseSat = false; // The SAT cross-check above is independent.
     verify::PairResult VR =
         verify::checkPair(MineExp, TheirsExp, *Cond, Checks, VC);
+    if (O)
+      O->span(O->auxLane(), "train-verify", /*Tid=*/0, /*Attempt=*/0,
+              VerifyTs, O->nowUs() - VerifyTs, nullptr, 0.0,
+              VR.V == verify::Verdict::Unsound ? "unsound" : nullptr);
     if (VR.V == verify::Verdict::Unsound) {
       ++Stats.VerifyRejected;
       return;

@@ -27,6 +27,7 @@
 
 #include "janus/conflict/CommutativityCache.h"
 #include "janus/conflict/SequenceDetector.h"
+#include "janus/obs/Obs.h"
 #include "janus/stm/TxContext.h"
 #include "janus/training/DependenceGraph.h"
 #include "janus/training/PatternReport.h"
@@ -68,6 +69,11 @@ struct TrainerConfig {
   /// Small-scope bound for the publish gate: integer inputs range over
   /// [-VerifyScope, VerifyScope].
   int64_t VerifyScope = 2;
+  /// Observability sink: training-phase spans (sequential execution,
+  /// mining, relaxation inference, condition computation, verify gate)
+  /// on the auxiliary lane. nullptr = no instrumentation. Not owned;
+  /// appended last (aggregate initializers).
+  obs::Observer *Obs = nullptr;
 };
 
 /// Counters describing one training session.

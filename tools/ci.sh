@@ -33,6 +33,13 @@
 #      reply per submission, every batch audit clean); then
 #      serve_soak --quick checks committed throughput holds within
 #      tolerance under 4x admission-controlled overload.
+#  10. flight recorder + replay: every workload is recorded under the
+#      stage-5 chaos plan on both the threaded and the sharded engine
+#      (--record-out), each dump must satisfy tools/check_trace.py's
+#      binary checks, and `janus replay` must re-execute it with a
+#      bit-identical commit order and dense clock sequence plus a clean
+#      audit (exit 0); a seeded-divergence probe (--probe-divergence)
+#      must exit nonzero to prove the comparison has teeth.
 #
 # Usage: tools/ci.sh [JOBS]   (JOBS defaults to nproc)
 set -eu
@@ -56,21 +63,21 @@ check_build_tree() {
 check_build_tree "$REPO_ROOT/build"
 check_build_tree "$REPO_ROOT/build-tsan"
 
-echo "== [1/9] plain build + tests =="
+echo "== [1/10] plain build + tests =="
 cmake -B "$REPO_ROOT/build" -S "$REPO_ROOT" >/dev/null
 cmake --build "$REPO_ROOT/build" -j "$JOBS"
 (cd "$REPO_ROOT/build" && ctest --output-on-failure -j "$JOBS")
 
-echo "== [2/9] static analysis =="
+echo "== [2/10] static analysis =="
 "$REPO_ROOT/tools/lint.sh" "$REPO_ROOT/build"
 
-echo "== [3/9] ThreadSanitizer build + tests =="
+echo "== [3/10] ThreadSanitizer build + tests =="
 cmake -B "$REPO_ROOT/build-tsan" -S "$REPO_ROOT" \
       -DJANUS_SANITIZE=thread >/dev/null
 cmake --build "$REPO_ROOT/build-tsan" -j "$JOBS"
 (cd "$REPO_ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS")
 
-echo "== [4/9] hindsight audit of all workloads =="
+echo "== [4/10] hindsight audit of all workloads =="
 for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
   for E in sim threads; do
     echo "-- audit $W ($E)"
@@ -82,7 +89,7 @@ for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
     --shards 8 | tail -2
 done
 
-echo "== [5/9] chaos audit under fault injection =="
+echo "== [5/10] chaos audit under fault injection =="
 # Every task's first attempt is force-aborted, task 2's first attempt
 # throws, every second attempt's commit is delayed, and the trainer's
 # SAT cross-check is starved to 4 conflicts. The run must still commit
@@ -102,7 +109,7 @@ JANUS_FAULTS="$CHAOS_FAULTS" \
   "$REPO_ROOT/build/tools/janus" audit --workload JGraphT-1 \
   --engine threads --shards 8 | tail -2
 
-echo "== [6/9] static verification of trained tables =="
+echo "== [6/10] static verification of trained tables =="
 for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
   TABLE="$REPO_ROOT/build/ci_table_$W.txt"
   echo "-- train + verify $W"
@@ -119,7 +126,7 @@ if "$REPO_ROOT/build/tools/janus" verify --workload JGraphT-1 --rounds 1 \
 fi
 echo "conviction probe: convicted as expected."
 
-echo "== [7/9] observability: traced runs + trace validation =="
+echo "== [7/10] observability: traced runs + trace validation =="
 for E in sim threads; do
   TRACE="$REPO_ROOT/build/ci_trace_$E.json"
   REPORT="$REPO_ROOT/build/ci_report_$E.json"
@@ -138,7 +145,7 @@ HEAT_TRACE="$REPO_ROOT/build/ci_trace_heat.json"
   --threads 4 --top 5 --by-object --trace-out "$HEAT_TRACE" | tail -6
 python3 "$REPO_ROOT/tools/check_trace.py" "$HEAT_TRACE"
 
-echo "== [8/9] perf smoke (micro_commit --quick, incl. shard sweep) =="
+echo "== [8/10] perf smoke (micro_commit --quick, incl. shard sweep) =="
 "$REPO_ROOT/build/bench/micro_commit" --quick \
   --json-out="$REPO_ROOT/build/BENCH_micro_commit_smoke.json" >/dev/null
 echo "perf smoke: completed (see build/BENCH_micro_commit_smoke.json)"
@@ -158,7 +165,7 @@ if [ -f "$REPO_ROOT/BENCH_micro_commit.json" ]; then
     --min-ns="${JANUS_PERF_MIN_NS:-1000}"
 fi
 
-echo "== [9/9] service soak: janus serve under chaos, graceful drain =="
+echo "== [9/10] service soak: janus serve under chaos, graceful drain =="
 # Client-coordinate chaos: every client's 7th submission is shed at
 # admission, client 3's first submission gets an injected throw, and
 # the task-coordinate clauses abort every first attempt and delay every
@@ -178,5 +185,35 @@ echo "-- serve soak JGraphT-1 (threads, 8 shards, chaos, audit)"
 echo "-- serve_soak --quick (admission-control overload gate)"
 "$REPO_ROOT/build/bench/serve_soak" --quick \
   --json-out="$REPO_ROOT/build/BENCH_serve_soak_smoke.json" | tail -4
+
+echo "== [10/10] flight recorder + deterministic replay =="
+# Record every workload under the stage-5 chaos plan — first attempts
+# force-aborted, injected throws, delayed commits, a starved SAT budget
+# — on the classic threaded engine and on the sharded pipeline, then
+# validate each dump and replay it in the simulator. The replayed
+# commit order and dense clock sequence must match the recording bit
+# for bit and the hindsight audit of the replayed trace must be CLEAN.
+for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
+  for SHARDS in 1 8; do
+    REC="$REPO_ROOT/build/ci_rec_${W}_s${SHARDS}.jrec"
+    echo "-- record + replay $W (threads, $SHARDS shard(s), chaos)"
+    "$REPO_ROOT/build/tools/janus" run --workload "$W" --engine threads \
+      --threads 8 --shards "$SHARDS" --production \
+      --faults "$CHAOS_FAULTS" --record-out "$REC" >/dev/null
+    python3 "$REPO_ROOT/tools/check_trace.py" "$REC"
+    # No pipe here: the replay's own exit code (5 divergence, 3 unclean
+    # audit) must reach set -e.
+    "$REPO_ROOT/build/tools/janus" replay "$REC" > "$REC.out"
+    grep -E 'divergence|audit:' "$REC.out"
+  done
+done
+echo "-- divergence probe (tampered schedule must exit nonzero)"
+if "$REPO_ROOT/build/tools/janus" replay \
+     "$REPO_ROOT/build/ci_rec_Weka_s1.jrec" --probe-divergence \
+     >/dev/null 2>&1; then
+  echo "ci.sh: replay failed to flag the tampered schedule" >&2
+  exit 1
+fi
+echo "divergence probe: diverged as expected."
 
 echo "ci: all stages passed."

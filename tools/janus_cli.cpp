@@ -37,6 +37,15 @@
 ///       and graceful drain. SIGINT/SIGTERM drains and exits. Exits 0
 ///       iff every submission received exactly one terminal reply and
 ///       all batch audits were clean.
+///   janus replay FILE.jrec [options]
+///       Deterministically re-execute a flight-recorder dump (DESIGN.md
+///       §13): rebuild the recorded run configuration from the file
+///       header (same workload, seed, training, detector), reconstruct
+///       the forced schedule from the event stream, and re-execute it
+///       on the simulated engine under full instrumentation. The
+///       replayed commit order and dense clock sequence must match the
+///       recording bit for bit. Exits 0 when the replay matches and the
+///       audit is clean, 5 on divergence, 3 on an unclean audit.
 ///
 /// Run options:
 ///   --threads N         worker threads / simulated cores (default 8)
@@ -109,6 +118,20 @@
 ///                       stdout instead of the text report
 ///   --json-out FILE     write the JSON report to FILE (text report
 ///                       still goes to stdout)
+///   --record-out FILE   arm the flight recorder (obs/Recorder.h) and
+///                       dump the event stream to FILE as binary
+///                       `.jrec`. `run` dumps once at the end; `serve`
+///                       dumps on SIGUSR2, on a watchdog escalation,
+///                       and on an audit violation (subsequent dumps
+///                       get numeric suffixes). Replayable with
+///                       `janus replay` (run dumps; serve dumps are
+///                       inspection-only — batch clocks restart)
+///   --record-cap N      per-lane recorder ring capacity in events
+///                       (default 65536; the ring overwrites its
+///                       oldest records, and replay refuses wrapped
+///                       dumps)
+///   --record-window-ms N  anomaly dumps keep only the last N ms of
+///                       events (default 0 = the whole ring)
 ///   --top N             explain: show only the top N conflict sources
 ///   --by-object         explain: add the per-object contention heatmap
 ///                       rollup (which object absorbs the aborts); with
@@ -126,11 +149,21 @@
 ///                       entry before verifying (CI uses this to prove
 ///                       the verifier convicts; exit must become 4)
 ///
+/// Replay options:
+///   --probe-divergence  tamper with the decoded schedule before
+///                       replaying (the final commit is rewritten into
+///                       a conflict abort) so the run *must* diverge;
+///                       CI uses this to prove the divergence check has
+///                       teeth (exit must become 5)
+///
 //===----------------------------------------------------------------------===//
 
 #include "janus/analysis/Auditor.h"
+#include "janus/analysis/Divergence.h"
 #include "janus/obs/Attribution.h"
+#include "janus/obs/Recorder.h"
 #include "janus/serve/Frontend.h"
+#include "janus/stm/Replay.h"
 #include "janus/support/Json.h"
 #include "janus/verify/Verify.h"
 #include "janus/workloads/Workload.h"
@@ -139,6 +172,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <optional>
@@ -162,14 +196,26 @@ namespace {
 std::atomic<bool> GStopRequested{false};
 janus::resilience::CancellationTable GRunCancel; ///< Global token only.
 
+/// SIGUSR2 requests a flight-recorder dump. The handler only flips the
+/// flag; serve's scheduler polls it between batches (ServeConfig::
+/// DumpFlag), so the dump itself runs quiesced.
+std::atomic<bool> GDumpRequested{false};
+
 void onStopSignal(int) {
   GStopRequested.store(true, std::memory_order_release);
   GRunCancel.global().cancel(janus::resilience::CancelReason::Shutdown);
 }
 
+void onDumpSignal(int) {
+  GDumpRequested.store(true, std::memory_order_release);
+}
+
 void installStopHandlers() {
   std::signal(SIGINT, onStopSignal);
   std::signal(SIGTERM, onStopSignal);
+#ifdef SIGUSR2
+  std::signal(SIGUSR2, onDumpSignal);
+#endif
 }
 
 struct CliOptions {
@@ -188,7 +234,13 @@ struct CliOptions {
   bool PrintMisses = false;
   std::string CacheIn, CacheOut;
   resilience::FaultPlan Faults;
+  std::string FaultsSpec; ///< Raw --faults text (recorded in .jrec meta).
   std::string TraceOut;
+  std::string RecordOut;
+  uint32_t RecordCap = 1u << 16;
+  int64_t RecordWindowMs = 0;
+  std::string ReplayFile;       ///< `janus replay` positional argument.
+  bool ProbeDivergence = false; ///< Tamper the schedule; replay must fail.
   uint32_t Sample = 1;
   bool Json = false;
   std::string JsonOut;
@@ -232,7 +284,8 @@ void usage() {
                "janus audit --workload NAME [opts] | "
                "janus explain --workload NAME [opts] | "
                "janus verify --workload NAME [opts] | "
-               "janus serve --workload NAME [opts]\n"
+               "janus serve --workload NAME [opts] | "
+               "janus replay FILE.jrec [opts]\n"
                "(see the file header of tools/janus_cli.cpp for the full "
                "option list)\n");
 }
@@ -314,6 +367,24 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         return false;
       }
       Opts.Faults = std::move(*Plan);
+      Opts.FaultsSpec = V;
+    } else if (Arg == "--record-out") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      Opts.RecordOut = V;
+    } else if (Arg == "--record-cap") {
+      const char *V = Next();
+      if (!V || std::atoll(V) < 16)
+        return false;
+      Opts.RecordCap = static_cast<uint32_t>(std::atoll(V));
+    } else if (Arg == "--record-window-ms") {
+      const char *V = Next();
+      if (!V || std::atoll(V) < 0)
+        return false;
+      Opts.RecordWindowMs = std::atoll(V);
+    } else if (Arg == "--probe-divergence") {
+      Opts.ProbeDivergence = true;
     } else if (Arg == "--trace-out") {
       const char *V = Next();
       if (!V)
@@ -427,6 +498,9 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       if (!V)
         return false;
       Opts.CacheOut = V;
+    } else if (Opts.Command == "replay" && !Arg.empty() && Arg[0] != '-' &&
+               Opts.ReplayFile.empty()) {
+      Opts.ReplayFile = Arg; // The positional `.jrec` path.
     } else {
       std::fprintf(stderr, "janus: error: unknown option '%s'\n",
                    Arg.c_str());
@@ -461,7 +535,42 @@ JanusConfig configFor(const CliOptions &Opts) {
   Cfg.Faults = Opts.Faults;
   Cfg.Obs.Enabled = Opts.obsEnabled();
   Cfg.Obs.SampleEvery = Opts.Sample;
+  // The flight recorder keeps its default SampleEvery of 1: a sampled
+  // stream cannot be replayed, and a complete one is still bounded by
+  // the per-lane ring.
+  Cfg.Record.Enabled = !Opts.RecordOut.empty();
+  Cfg.Record.PerLaneCap = Opts.RecordCap;
+  Cfg.Record.SnapshotWindowUs = Opts.RecordWindowMs * 1000;
   return Cfg;
+}
+
+/// Fills the `.jrec` header: the full run configuration (so `janus
+/// replay` can re-train an identical cache and rebuild the same task
+/// set) plus dump provenance.
+obs::RecMeta recMetaFor(const CliOptions &Opts, const std::string &Workload,
+                        const char *Reason, const obs::Recorder &R) {
+  obs::RecMeta M;
+  M.Workload = Workload;
+  M.Engine = Opts.Engine == EngineKind::Simulated ? "sim" : "threads";
+  M.Seed = Opts.Seed;
+  M.Threads = Opts.Threads;
+  M.Shards = Opts.Shards;
+  M.Production = Opts.Production ? 1 : 0;
+  M.Rounds = Opts.Rounds > 0 ? static_cast<uint32_t>(Opts.Rounds) : 0;
+  M.Detector =
+      Opts.Detector == DetectorKind::WriteSet ? "writeset" : "sequence";
+  M.Abstraction = Opts.UseAbstraction;
+  M.Fallback = Opts.OnlineFallback;
+  if (!Opts.FaultsSpec.empty())
+    M.Faults = Opts.FaultsSpec;
+  else if (const char *Env = std::getenv("JANUS_FAULTS"))
+    M.Faults = Env; // The Janus constructor loads the same variable.
+  M.Reason = Reason;
+  M.Written = R.written();
+  M.Overwritten = R.overwritten();
+  M.NumLanes = R.lanes();
+  M.SampleEvery = R.config().SampleEvery;
+  return M;
 }
 
 /// Writes the recorded trace as Chrome trace-event JSON and reports it
@@ -642,6 +751,11 @@ int cmdTrain(const CliOptions &Opts) {
     Out << J.exportTrainingArtifact();
     std::printf("training artifact saved to %s\n", Opts.CacheOut.c_str());
   }
+  // Training emits its own spans (mining, condition computation,
+  // abstraction, verify gate) when observability is on; --trace-out
+  // makes the offline phase Perfetto-loadable like any run.
+  if (!exportTrace(J, Opts))
+    return 1;
   return 0;
 }
 
@@ -790,6 +904,23 @@ int cmdRun(const CliOptions &Opts) {
   }
   if (!exportTrace(J, Opts))
     return 1;
+  if (!Opts.RecordOut.empty()) {
+    // The engine is quiesced (run returned), so the snapshot is safe.
+    obs::Recorder *R = J.recorder();
+    std::vector<obs::RecEvent> Events = R->snapshot();
+    std::string Err;
+    if (!obs::writeJrec(Opts.RecordOut, recMetaFor(Opts, W->name(), "manual", *R),
+                        Events, &Err)) {
+      std::fprintf(stderr, "janus: error: %s\n", Err.c_str());
+      return 1;
+    }
+    if (!Opts.Json)
+      std::printf("recording  : %zu events (%llu written, %llu overwritten) "
+                  "-> %s\n",
+                  Events.size(), (unsigned long long)R->written(),
+                  (unsigned long long)R->overwritten(),
+                  Opts.RecordOut.c_str());
+  }
   if (Opts.Json || !Opts.JsonOut.empty()) {
     std::string Report =
         runReportJson("run", W->name(), J, O, Verified, Opts);
@@ -871,14 +1002,51 @@ int cmdServe(const CliOptions &Opts) {
       std::fprintf(stderr, "metrics %s\n", Json.c_str());
     };
 
+  // Flight-recorder dumps. Every DumpFn call happens on the scheduler
+  // thread with no batch in flight (Serve.cpp quiesces first), so the
+  // snapshot and the dump counter race with nothing.
+  unsigned DumpCount = 0;
+  if (!Opts.RecordOut.empty()) {
+    SC.DumpFlag = &GDumpRequested; // SIGUSR2 requests a dump.
+    SC.DumpFn = [&J, &W, &Opts, &DumpCount](const char *Reason) {
+      obs::Recorder *R = J.recorder();
+      if (!R)
+        return;
+      std::string Path = Opts.RecordOut;
+      if (DumpCount > 0)
+        Path += "." + std::to_string(DumpCount);
+      ++DumpCount;
+      std::vector<obs::RecEvent> Events =
+          R->snapshot(R->config().SnapshotWindowUs);
+      std::string Err;
+      if (!obs::writeJrec(Path, recMetaFor(Opts, W->name(), Reason, *R),
+                          Events, &Err))
+        std::fprintf(stderr, "janus: error: recorder dump: %s\n",
+                     Err.c_str());
+      else
+        std::fprintf(stderr, "recorder dump (%s): %zu events -> %s\n",
+                     Reason, Events.size(), Path.c_str());
+    };
+  }
+
   Service S(J, Pool, SC);
 
   std::unique_ptr<SocketFrontend> Frontend;
   if (!Opts.ServeSocket.empty()) {
+    // The `metrics` reply composes the observer counters with the
+    // service's per-client/per-lane rollups (schema v3).
     Frontend = std::make_unique<SocketFrontend>(
-        S, Opts.ServeSocket, [&J]() -> std::string {
+        S, Opts.ServeSocket, [&J, &S]() -> std::string {
           const obs::Observer *O = J.observer();
-          return O ? O->metricsJson() : std::string("{}");
+          JsonWriter Wr;
+          Wr.beginObject();
+          Wr.field("schema_version", JsonSchemaVersion);
+          Wr.key("obs");
+          Wr.raw(O ? O->metricsJson() : std::string("{}"));
+          Wr.key("rollups");
+          Wr.raw(S.rollupJson());
+          Wr.endObject();
+          return Wr.str();
         });
     std::string Err;
     if (!Frontend->start(&Err)) {
@@ -1009,6 +1177,8 @@ int cmdServe(const CliOptions &Opts) {
     Wr.field("drained_in_time", R.DrainedInTime);
     Wr.field("clean", R.clean());
     Wr.endObject();
+    Wr.key("rollups");
+    Wr.raw(S.rollupJson());
     if (const obs::Observer *Ob = J.observer()) {
       Wr.key("obs");
       Wr.raw(Ob->metricsJson());
@@ -1159,6 +1329,176 @@ int cmdAudit(const CliOptions &Opts) {
   return Report.clean() ? 0 : 3;
 }
 
+/// `janus replay`: deterministic re-execution of a flight-recorder dump
+/// (DESIGN.md §13). The `.jrec` header names the full run configuration,
+/// so the replay rebuilds the same instance (same workload, seed,
+/// training rounds, detector) and then forces the recorded schedule
+/// through the simulated engine; the divergence check compares the
+/// replayed commit order and dense clock sequence against the recording
+/// bit for bit. Exit 5 on divergence, 3 on an unclean audit, 0 clean.
+int cmdReplay(const CliOptions &Opts) {
+  if (Opts.ReplayFile.empty()) {
+    std::fprintf(stderr,
+                 "janus: error: replay needs a .jrec file argument\n");
+    return 1;
+  }
+  obs::RecMeta Meta;
+  std::vector<obs::RecEvent> Events;
+  std::string Err;
+  if (!obs::readJrec(Opts.ReplayFile, Meta, Events, &Err)) {
+    std::fprintf(stderr, "janus: error: %s\n", Err.c_str());
+    return 1;
+  }
+  if (Meta.SampleEvery > 1) {
+    std::fprintf(stderr,
+                 "janus: error: '%s' was recorded with --sample %u; a "
+                 "sampled stream is inspection-only (replay needs every "
+                 "event)\n",
+                 Opts.ReplayFile.c_str(), Meta.SampleEvery);
+    return 1;
+  }
+  if (Meta.Overwritten > 0) {
+    std::fprintf(stderr,
+                 "janus: error: '%s' lost %llu events to ring wrap-around; "
+                 "re-record with a larger --record-cap\n",
+                 Opts.ReplayFile.c_str(),
+                 (unsigned long long)Meta.Overwritten);
+    return 1;
+  }
+  auto W = workloadByName(Meta.Workload);
+  if (!W) {
+    std::fprintf(stderr,
+                 "janus: error: recording names unknown workload '%s'\n",
+                 Meta.Workload.c_str());
+    return 1;
+  }
+
+  stm::ReplaySchedule Sched;
+  if (!stm::buildReplaySchedule(Events, Meta.Shards, Sched, &Err)) {
+    std::fprintf(stderr, "janus: error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  if (Opts.ProbeDivergence) {
+    // Rewrite the final commit into a conflict abort while leaving the
+    // recorded commit reference untouched: the replay must now come up
+    // one commit short and fail the bit-for-bit comparison. Steps are
+    // sorted by decision clock with commits first, so the last committed
+    // step is the one with the largest commit time.
+    for (size_t I = Sched.Steps.size(); I-- > 0;) {
+      stm::ReplayStep &St = Sched.Steps[I];
+      if (!St.Committed)
+        continue;
+      St.Committed = false;
+      St.AbortReason = obs::RecAbortConflict;
+      St.End = St.CommitTime > 0 ? St.CommitTime - 1 : 0;
+      St.CommitTime = 0;
+      St.Mode = 0;
+      break;
+    }
+  }
+
+  // Rebuild the recorded configuration on the simulated engine. The
+  // fault plan is deliberately not re-armed: the schedule already
+  // encodes every injected outcome as a recorded abort.
+  JanusConfig Cfg;
+  Cfg.Threads = std::max(1u, Meta.Threads);
+  Cfg.Engine = EngineKind::Simulated;
+  Cfg.Detector = Meta.Detector == "writeset" ? DetectorKind::WriteSet
+                                             : DetectorKind::Sequence;
+  Cfg.Sequence.UseAbstraction = Meta.Abstraction;
+  Cfg.Sequence.OnlineFallback = Meta.Fallback;
+  Cfg.Training.InferWAWRelaxation = true;
+  Cfg.Training.MaxConcat = 8;
+  Cfg.RecordTrace = true; // The divergence check reads the replayed trace.
+  Cfg.Obs.Enabled = true; // Replay runs under full instrumentation.
+  std::vector<std::string> Problems;
+  Cfg.Replay = &Sched;
+  Cfg.ReplayProblems = &Problems;
+  Janus J(Cfg);
+  W->setup(J);
+
+  if (Cfg.Detector == DetectorKind::Sequence)
+    for (const PayloadSpec &P :
+         W->trainingPayloads(static_cast<int>(Meta.Rounds)))
+      J.train(W->makeTasks(P));
+
+  PayloadSpec Payload{Meta.Seed, Meta.Production != 0};
+  std::vector<stm::TaskFn> Tasks = W->makeTasks(Payload);
+  if (Tasks.size() != Sched.MaxTid) {
+    std::fprintf(stderr,
+                 "janus: error: the recording holds %u tasks but the "
+                 "workload produced %zu — wrong seed or payload?\n",
+                 Sched.MaxTid, Tasks.size());
+    return 1;
+  }
+  RunOutcome O = W->ordered() ? J.runInOrder(Tasks) : J.runOutOfOrder(Tasks);
+  (void)O;
+
+  analysis::DivergenceReport DR =
+      analysis::checkDivergence(Sched, J.lastTrace());
+  // Execution-time problems (a step that could not re-execute at all)
+  // are divergence evidence too; surface them ahead of the comparisons.
+  DR.Findings.insert(DR.Findings.begin(), Problems.begin(), Problems.end());
+  analysis::AuditReport AR =
+      analysis::audit(J.lastTrace(), Tasks, J.registry());
+
+  uint64_t ReplayedCommits = 0, ReplayedAborts = 0;
+  for (const stm::TraceEvent &E : J.lastTrace().Events)
+    (E.Committed ? ReplayedCommits : ReplayedAborts) += 1;
+
+  if (!Opts.Json) {
+    std::printf("recording  : %s (%s, %s engine, %u threads, %u shards%s%s)\n",
+                Opts.ReplayFile.c_str(), Meta.Workload.c_str(),
+                Meta.Engine.c_str(), Meta.Threads, Meta.Shards,
+                Meta.Reason.empty() ? "" : ", reason: ",
+                Meta.Reason.c_str());
+    std::printf("schedule   : %u tasks, %zu steps, %zu recorded commits\n",
+                Sched.MaxTid, Sched.Steps.size(), Sched.CommitRef.size());
+    if (Opts.ProbeDivergence)
+      std::printf("probe      : final commit rewritten into a conflict "
+                  "abort; divergence expected\n");
+    std::printf("replay     : %llu commits, %llu conflict aborts "
+                "re-executed\n",
+                (unsigned long long)ReplayedCommits,
+                (unsigned long long)ReplayedAborts);
+    std::printf("divergence : %s\n", DR.summary().c_str());
+    std::printf("%s\n", AR.summary().c_str());
+    if (const obs::Observer *Ob = J.observer())
+      std::printf("%s", Ob->metricsTable().c_str());
+  }
+  if (!exportTrace(J, Opts))
+    return 1;
+  if (Opts.Json || !Opts.JsonOut.empty()) {
+    JsonWriter Wr;
+    Wr.beginObject();
+    Wr.field("schema_version", JsonSchemaVersion);
+    Wr.field("tool", "janus");
+    Wr.field("command", "replay");
+    Wr.field("file", std::string_view(Opts.ReplayFile));
+    Wr.field("workload", std::string_view(Meta.Workload));
+    Wr.field("recorded_engine", std::string_view(Meta.Engine));
+    Wr.field("reason", std::string_view(Meta.Reason));
+    Wr.field("tasks", static_cast<uint64_t>(Sched.MaxTid));
+    Wr.field("steps", static_cast<uint64_t>(Sched.Steps.size()));
+    Wr.field("replayed_commits", ReplayedCommits);
+    Wr.field("replayed_conflict_aborts", ReplayedAborts);
+    Wr.field("divergence_clean", DR.clean());
+    Wr.key("divergence_findings");
+    Wr.beginArray();
+    for (const std::string &F : DR.Findings)
+      Wr.value(std::string_view(F));
+    Wr.endArray();
+    Wr.field("audit_clean", AR.clean());
+    Wr.endObject();
+    if (!emitJsonReport(Wr.str(), Opts))
+      return 1;
+  }
+  if (!DR.clean())
+    return 5;
+  return AR.clean() ? 0 : 3;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -1167,7 +1507,10 @@ int main(int Argc, char **Argv) {
     usage();
     return 1;
   }
-  if (Opts.Shards > 1 && Opts.Engine != EngineKind::Threaded) {
+  // Replay reconstructs its configuration from the recording's header,
+  // so the CLI shard/engine combination check does not apply to it.
+  if (Opts.Shards > 1 && Opts.Engine != EngineKind::Threaded &&
+      Opts.Command != "replay") {
     std::fprintf(stderr, "janus: error: --shards %u requires --engine "
                          "threads (the simulator has no sharded pipeline)\n",
                  Opts.Shards);
@@ -1187,6 +1530,8 @@ int main(int Argc, char **Argv) {
     return cmdVerify(Opts);
   if (Opts.Command == "serve")
     return cmdServe(Opts);
+  if (Opts.Command == "replay")
+    return cmdReplay(Opts);
   usage();
   return 1;
 }
