@@ -83,6 +83,9 @@ inline Measurement runExperiment(const std::string &WorkloadName,
   // the paper deemed too slow to run online — see EXPERIMENTS.md).
   Cfg.Sequence.OnlineFallback = Spec.OnlineFallback;
   Cfg.Sequence.RelaxationFastPath = !Spec.DisableFastPath;
+  // Tier-1 spec tables on, matching the CLI default: spec-covered
+  // locations (declared ADTs) short-circuit the learned pipeline.
+  Cfg.Sequence.Specs = janus::conflict::SpecMode::On;
   Cfg.Training.InferWAWRelaxation = true;
   Cfg.Training.MaxConcat = 8;
   Janus J(Cfg);
@@ -125,9 +128,12 @@ inline Measurement runExperiment(const std::string &WorkloadName,
   return M;
 }
 
-/// The five benchmark names in Table 5 order.
+/// The five benchmark names in Table 5 order, followed by the two
+/// spec-table stress kernels (DESIGN.md §14) so the perf trajectory
+/// tracks the tier-1 fast path too.
 inline std::vector<std::string> benchmarkNames() {
-  return {"JFileSync", "JGraphT-1", "JGraphT-2", "PMD", "Weka"};
+  return {"JFileSync", "JGraphT-1", "JGraphT-2", "PMD",
+          "Weka",      "HashChurn", "SSCA2"};
 }
 
 /// A scalar cell of a bench-report row: string, integer, floating

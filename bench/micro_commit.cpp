@@ -351,8 +351,11 @@ std::unique_ptr<ConflictDetector> makeDetector(const std::string &Kind) {
     return std::make_unique<WriteSetDetector>();
   conflict::SequenceDetectorConfig Cfg;
   // Untrained cache: the online fallback is what lets commutative Adds
-  // commute, exercising the sequence machinery end to end.
+  // commute, exercising the sequence machinery end to end. Specs on:
+  // the contended counter is ADT-declared below, so its add/add pairs
+  // take the tier-1 table instead of the online replay (§14).
   Cfg.OnlineFallback = true;
+  Cfg.Specs = conflict::SpecMode::On;
   return std::make_unique<conflict::SequenceDetector>(
       std::make_shared<conflict::CommutativityCache>(), Cfg);
 }
@@ -364,6 +367,7 @@ RunResult timedRep(const Scenario &S, const std::string &Detector,
                    int NumTasks, MakeRuntime &&Make) {
   ObjectRegistry Reg;
   ObjectId Counter = Reg.registerObject("counter");
+  Reg.declareAdt(Counter, AdtKind::Counter);
   ObjectId Arr = Reg.registerObject("slots", "slots.elem");
   std::unique_ptr<ConflictDetector> Det = makeDetector(Detector);
   auto Runtime = Make(Reg, *Det);

@@ -11,6 +11,12 @@
 /// decomposition, SAT equivalence queries, and snapshot costs
 /// (persistent map vs deep copy).
 ///
+/// The per-tier breakdown (DESIGN.md §14) is the trio
+/// BM_SequenceDetectSpec / BM_SequenceDetectCached /
+/// BM_SequenceDetectOnline: the same logs answered by the tier-1 spec
+/// table, the learned cache (symbolize + abstract + probe), and the
+/// exact online replay. Compare their ns/query at equal Arg.
+///
 //===----------------------------------------------------------------------===//
 
 #include "janus/conflict/SequenceDetector.h"
@@ -50,9 +56,13 @@ struct DetectorFixture {
   TxLog Mine;
   std::vector<TxLogRef> Committed;
 
-  explicit DetectorFixture(int Locs, int OpsPer)
+  explicit DetectorFixture(int Locs, int OpsPer, bool DeclareAdt = false)
       : Cache(std::make_shared<conflict::CommutativityCache>()) {
     Obj = Reg.registerObject("work", "work.elem");
+    // Declaring the counter ADT makes every pair spec-covered, so the
+    // tier-1 table can answer without symbolization or cache probes.
+    if (DeclareAdt)
+      Reg.declareAdt(Obj, AdtKind::Counter);
     Mine = makeLog(Obj, Locs, OpsPer, 3);
     Committed.push_back(
         std::make_shared<const TxLog>(makeLog(Obj, Locs, OpsPer, 7)));
@@ -95,6 +105,22 @@ static void BM_SequenceDetectCached(benchmark::State &State) {
 }
 BENCHMARK(BM_SequenceDetectCached)->Arg(4)->Arg(16)->Arg(64);
 
+static void BM_SequenceDetectSpec(benchmark::State &State) {
+  // Tier-1: add-only sequences on a declared counter ADT; every pair
+  // is answered by the hand-written spec table (no symbolization, no
+  // cache probe, no SAT).
+  DetectorFixture F(static_cast<int>(State.range(0)), 8,
+                    /*DeclareAdt=*/true);
+  conflict::SequenceDetectorConfig Cfg;
+  Cfg.Specs = conflict::SpecMode::On;
+  conflict::SequenceDetector D(F.Cache, Cfg); // Empty cache: spec only.
+  for (auto _ : State)
+    benchmark::DoNotOptimize(
+        D.detectConflicts(Snapshot(), F.Mine, F.Committed, F.Reg));
+  State.SetItemsProcessed(State.iterations() * F.Mine.size());
+}
+BENCHMARK(BM_SequenceDetectSpec)->Arg(4)->Arg(16)->Arg(64);
+
 static void BM_SequenceDetectCachedNoMemo(benchmark::State &State) {
   DetectorFixture F(static_cast<int>(State.range(0)), 8);
   F.trainCache();
@@ -119,6 +145,59 @@ static void BM_SequenceDetectOnline(benchmark::State &State) {
   State.SetItemsProcessed(State.iterations() * F.Mine.size());
 }
 BENCHMARK(BM_SequenceDetectOnline)->Arg(4)->Arg(16)->Arg(64);
+
+//===--------------------------------------------------------------------===//
+// Per-pair-query tier costs. The BM_SequenceDetect* trio above shares
+// the decompose overhead; this trio isolates what each tier pays for
+// ONE pair query, which is the §14 "ns/query" comparison: the spec
+// table answers in a predicate evaluation, the learned cache pays
+// symbolize + abstract + signature render + probe + condition eval,
+// and a miss pays full condition synthesis (symbolic replay + SAT).
+//===--------------------------------------------------------------------===//
+
+static void BM_PairQuerySpec(benchmark::State &State) {
+  conflict::SpecFn Fn = conflict::specFor(AdtKind::Counter);
+  symbolic::LocOpSeq Mine{LocOp::add(3), LocOp::add(-3)};
+  symbolic::LocOpSeq Theirs{LocOp::add(7), LocOp::add(-7)};
+  Value Entry = Value::of(int64_t(5));
+  symbolic::ChecksSpec Checks;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Fn(Entry, Mine, Theirs, Checks));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PairQuerySpec);
+
+static void BM_PairQueryCached(benchmark::State &State) {
+  auto Cache = std::make_shared<conflict::CommutativityCache>();
+  symbolic::LocOpSeq Mine{LocOp::add(3), LocOp::add(-3)};
+  symbolic::LocOpSeq Theirs{LocOp::add(7), LocOp::add(-7)};
+  conflict::PairQuery Seed =
+      conflict::buildPairQuery("work.elem", Mine, Theirs, true);
+  auto Cond = symbolic::commutativityCondition(Seed.MineAbs.expandOnce(),
+                                               Seed.TheirsAbs.expandOnce());
+  Cache->insert(Seed.Key, Cond ? *Cond : symbolic::Condition::never());
+  for (auto _ : State) {
+    conflict::PairQuery Q =
+        conflict::buildPairQuery("work.elem", Mine, Theirs, true);
+    std::optional<symbolic::Condition> Hit = Cache->lookup(Q.Key);
+    benchmark::DoNotOptimize(Hit->evaluate(Q.Binds));
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PairQueryCached);
+
+static void BM_PairQuerySatFallback(benchmark::State &State) {
+  symbolic::LocOpSeq Mine{LocOp::add(3), LocOp::add(-3)};
+  symbolic::LocOpSeq Theirs{LocOp::add(7), LocOp::add(-7)};
+  for (auto _ : State) {
+    conflict::PairQuery Q =
+        conflict::buildPairQuery("work.elem", Mine, Theirs, true);
+    benchmark::DoNotOptimize(symbolic::commutativityCondition(
+        Q.MineAbs.expandOnce(), Q.TheirsAbs.expandOnce()));
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_PairQuerySatFallback);
 
 static void BM_Decompose(benchmark::State &State) {
   DetectorFixture F(static_cast<int>(State.range(0)), 8);

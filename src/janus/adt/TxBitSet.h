@@ -37,6 +37,7 @@ public:
     TxBitSet B;
     std::string Class = Name + ".bit";
     B.Obj = Reg.registerObject(std::move(Name), std::move(Class), Relax);
+    Reg.declareAdt(B.Obj, AdtKind::BitSet);
     B.Capacity = Capacity;
     return B;
   }

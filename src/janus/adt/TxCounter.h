@@ -34,6 +34,7 @@ public:
                           RelaxationSpec Relax = {}) {
     TxCounter C;
     C.Obj = Reg.registerObject(std::move(Name), "", Relax);
+    Reg.declareAdt(C.Obj, AdtKind::Counter);
     return C;
   }
 

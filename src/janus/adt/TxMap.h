@@ -33,6 +33,7 @@ public:
     TxMap M;
     std::string Class = Name + ".entry";
     M.Obj = Reg.registerObject(std::move(Name), std::move(Class), Relax);
+    Reg.declareAdt(M.Obj, AdtKind::Map);
     return M;
   }
 

@@ -38,6 +38,7 @@ public:
     TxQueue Q;
     std::string Class = Name + ".cell";
     Q.Obj = Reg.registerObject(std::move(Name), std::move(Class), Relax);
+    Reg.declareAdt(Q.Obj, AdtKind::Queue);
     return Q;
   }
 

@@ -37,10 +37,22 @@ PairQuery conflict::buildPairQuery(const std::string &LocClass,
 PairQuery conflict::buildPairQueryFrom(const std::string &LocClass,
                                        abstraction::AbstractResult MineAbs,
                                        abstraction::AbstractResult TheirsAbs) {
+  std::string MineSig = MineAbs.Seq.signature();
+  std::string TheirsSig = TheirsAbs.Seq.signature();
+  return buildPairQueryFrom(LocClass, std::move(MineAbs),
+                            std::move(TheirsAbs), std::move(MineSig),
+                            std::move(TheirsSig));
+}
+
+PairQuery conflict::buildPairQueryFrom(const std::string &LocClass,
+                                       abstraction::AbstractResult MineAbs,
+                                       abstraction::AbstractResult TheirsAbs,
+                                       std::string MineSig,
+                                       std::string TheirsSig) {
   PairQuery Q;
   Q.Key.LocClass = LocClass;
-  Q.Key.MineSig = MineAbs.Seq.signature();
-  Q.Key.TheirsSig = TheirsAbs.Seq.signature();
+  Q.Key.MineSig = std::move(MineSig);
+  Q.Key.TheirsSig = std::move(TheirsSig);
   Q.MineAbs = std::move(MineAbs.Seq);
   Q.TheirsAbs = std::move(TheirsAbs.Seq);
 
@@ -90,25 +102,58 @@ static std::string memoKey(const LocOpSeq &Seq) {
   return Key;
 }
 
-abstraction::AbstractResult
+uint64_t
+SequenceDetector::internIn(std::unordered_map<std::string, uint64_t> &Table,
+                           const std::string &Text) {
+  {
+    std::shared_lock<std::shared_mutex> Guard(InternMutex);
+    auto It = Table.find(Text);
+    if (It != Table.end())
+      return It->second;
+  }
+  std::unique_lock<std::shared_mutex> Guard(InternMutex);
+  auto It = Table.find(Text);
+  if (It != Table.end())
+    return It->second;
+  if (Table.size() >= MaxInternEntries)
+    return 0; // Overflow: callers fall back to string-keyed tracking.
+  uint64_t Id = Table.size() + 1;
+  Table.emplace(Text, Id);
+  return Id;
+}
+
+std::shared_ptr<const SequenceDetector::InternedAbs>
 SequenceDetector::abstracted(const LocOpSeq &Seq) {
-  if (!Config.MemoizeSignatures)
-    return abstractSequence(symbolize(Seq), Config.UseAbstraction);
+  if (!Config.MemoizeSignatures) {
+    auto Fresh = std::make_shared<InternedAbs>();
+    Fresh->Abs = abstractSequence(symbolize(Seq), Config.UseAbstraction);
+    Fresh->Sig = Fresh->Abs.Seq.signature();
+    return Fresh;
+  }
   std::string Key = memoKey(Seq);
   MemoShard &S =
       *Memos[std::hash<std::string>{}(Key) & (Memos.size() - 1)];
   {
     std::shared_lock<std::shared_mutex> Guard(S.Mutex);
     auto It = S.Memo.find(Key);
-    if (It != S.Memo.end())
+    if (It != S.Memo.end()) {
+      // Hash-cons hit: the canonical abstraction, its rendered
+      // signature and its id are all reused; nothing is re-derived.
+      ++Stats.SignatureInternHits;
       return It->second;
+    }
   }
-  abstraction::AbstractResult Result =
-      abstractSequence(symbolize(Seq), Config.UseAbstraction);
+  auto Fresh = std::make_shared<InternedAbs>();
+  Fresh->Abs = abstractSequence(symbolize(Seq), Config.UseAbstraction);
+  Fresh->Sig = Fresh->Abs.Seq.signature();
+  // Ids are per distinct signature (not per concrete sequence), so the
+  // unique-query accounting matches the rendered-key accounting even
+  // when many concrete sequences share one abstraction.
+  Fresh->Id = internIn(SigIds, Fresh->Sig);
   std::unique_lock<std::shared_mutex> Guard(S.Mutex);
   if (S.Memo.size() < MaxMemoEntries / Memos.size())
-    S.Memo.emplace(std::move(Key), Result);
-  return Result;
+    S.Memo.emplace(std::move(Key), Fresh);
+  return Fresh;
 }
 
 std::string SequenceDetector::name() const {
@@ -124,7 +169,7 @@ size_t SequenceDetector::uniqueQueries() const {
   size_t N = 0;
   for (const auto &S : Tracking) {
     std::lock_guard<std::mutex> Guard(S->Mutex);
-    N += S->Seen.size();
+    N += S->Seen.size() + S->SeenIds.size();
   }
   return N;
 }
@@ -147,6 +192,7 @@ std::vector<std::string> SequenceDetector::missedQueryKeys() const {
     Out.insert(Out.end(), S->Missed.begin(), S->Missed.end());
   }
   std::sort(Out.begin(), Out.end());
+  Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
   return Out;
 }
 
@@ -155,10 +201,30 @@ void SequenceDetector::resetUniqueQueryTracking() {
     std::lock_guard<std::mutex> Guard(S->Mutex);
     S->Seen.clear();
     S->Missed.clear();
+    S->SeenIds.clear();
   }
 }
 
-void SequenceDetector::trackQuery(std::string KeyStr, bool Missed) {
+void SequenceDetector::trackQuery(const CacheKey &Key, uint64_t MineId,
+                                  uint64_t TheirsId, bool Missed) {
+  // Fast path: the interned id triple identifies the query without
+  // rendering the cache key. Misses additionally materialize the key
+  // string (they are rare, and missedQueryKeys() wants text).
+  if (MineId != 0 && TheirsId != 0) {
+    if (uint64_t ClassId = internIn(ClassIds, Key.LocClass)) {
+      std::array<uint64_t, 3> IdKey{ClassId, MineId, TheirsId};
+      uint64_t H = ClassId * 0x9e3779b97f4a7c15ULL;
+      H ^= MineId + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+      H ^= TheirsId + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2);
+      TrackShard &S = *Tracking[H & (Tracking.size() - 1)];
+      std::lock_guard<std::mutex> Guard(S.Mutex);
+      S.SeenIds.insert(IdKey);
+      if (Missed)
+        S.Missed.insert(Key.toString());
+      return;
+    }
+  }
+  std::string KeyStr = Key.toString();
   TrackShard &S =
       *Tracking[std::hash<std::string>{}(KeyStr) & (Tracking.size() - 1)];
   std::lock_guard<std::mutex> Guard(S.Mutex);
@@ -209,6 +275,31 @@ bool SequenceDetector::locationConflicts(const Value &EntryVal,
                                          bool Degrade) {
   ChecksSpec Checks = checksFor(Info.Relax);
 
+  // Tier 1: the per-ADT spec table (conflict/SpecTable.h). A hit is an
+  // exact Figure 8 verdict computed in one pass over the concrete
+  // pair — no symbolization, no signature rendering, no cache probe.
+  if (Config.Specs != SpecMode::Off) {
+    if (SpecFn Spec = specFor(Info.Kind)) {
+      switch (Spec(EntryVal, Mine, Theirs, Checks)) {
+      case SpecVerdict::Commutes:
+        ++Stats.SpecHits;
+        return false;
+      case SpecVerdict::Conflicts:
+        ++Stats.SpecHits;
+        return true;
+      case SpecVerdict::Abstain:
+        ++Stats.SpecAbstains;
+        break;
+      }
+    }
+    if (Config.Specs == SpecMode::Only) {
+      // Isolation mode: abstains (and spec-less objects) bypass the
+      // learned tiers and are answered by the write-set test.
+      ++Stats.WriteSetChecks;
+      return seqWrites(Mine) || seqWrites(Theirs);
+    }
+  }
+
   // Fast path for tolerate-WAW objects (§5.3): with the COMMUTE test
   // dropped, the only remaining concern is SAMEREAD — and a sequence
   // whose every read follows its own defining write observes values
@@ -232,11 +323,13 @@ bool SequenceDetector::locationConflicts(const Value &EntryVal,
     return seqWrites(Mine) || seqWrites(Theirs);
   }
 
-  PairQuery Q = buildPairQueryFrom(Info.LocClass, abstracted(Mine),
-                                   abstracted(Theirs));
+  std::shared_ptr<const InternedAbs> MineI = abstracted(Mine);
+  std::shared_ptr<const InternedAbs> TheirsI = abstracted(Theirs);
+  PairQuery Q = buildPairQueryFrom(Info.LocClass, MineI->Abs, TheirsI->Abs,
+                                   MineI->Sig, TheirsI->Sig);
 
   std::optional<Condition> Cached = Cache->lookup(Q.Key);
-  trackQuery(Q.Key.toString(), /*Missed=*/!Cached);
+  trackQuery(Q.Key, MineI->Id, TheirsI->Id, /*Missed=*/!Cached);
 
   if (Cached) {
     ++Stats.CacheHits;

@@ -27,6 +27,7 @@
 #include "janus/conflict/CommutativityCache.h"
 #include "janus/conflict/Decompose.h"
 #include "janus/conflict/OnlineConflict.h"
+#include "janus/conflict/SpecTable.h"
 #include "janus/stm/Detector.h"
 
 #include <memory>
@@ -69,6 +70,14 @@ PairQuery buildPairQueryFrom(const std::string &LocClass,
                              abstraction::AbstractResult MineAbs,
                              abstraction::AbstractResult TheirsAbs);
 
+/// As above, but with the two signature strings already rendered (the
+/// detector's interned path: a memo hit carries its canonical signature
+/// and skips re-rendering it per query).
+PairQuery buildPairQueryFrom(const std::string &LocClass,
+                             abstraction::AbstractResult MineAbs,
+                             abstraction::AbstractResult TheirsAbs,
+                             std::string MineSig, std::string TheirsSig);
+
 /// Configuration of the sequence-based detector.
 struct SequenceDetectorConfig {
   /// Kleene-cross sequence abstraction (§5.2). Figure 11 compares
@@ -91,9 +100,20 @@ struct SequenceDetectorConfig {
   /// Memoize symbolization + abstraction per distinct concrete
   /// sequence. Per-location sequences recur constantly (the same task
   /// shapes stream past the detector), so this removes nearly all of
-  /// the per-query canonicalization cost. Capped; pure caching, no
-  /// semantic effect.
+  /// the per-query canonicalization cost. Memo entries are *interned*:
+  /// each carries its signature rendered once plus a hash-cons id, so
+  /// repeated attempts skip re-canonicalization entirely
+  /// (DetectorStats::SignatureInternHits counts the skips). Capped;
+  /// pure caching, no semantic effect.
   bool MemoizeSignatures = true;
+  /// Per-ADT spec-table dispatch (conflict/SpecTable.h): tier 1 of the
+  /// query path. On asks the spec first and falls through to the
+  /// learned cache on Abstain; Only answers abstains with the write-set
+  /// test, bypassing the cache and online tiers; Off restores the
+  /// paper's original pipeline. Off by default so the learned-path
+  /// harnesses (Figure 11) see the full query stream; the CLI defaults
+  /// to On.
+  SpecMode Specs = SpecMode::Off;
   /// Lock stripes for the signature memo and the unique-query tracking
   /// tables (rounded up to a power of two). Detection rounds running on
   /// different worker threads hash to different stripes, so the memo
@@ -140,6 +160,17 @@ public:
   std::vector<std::string> missedQueryKeys() const;
 
 private:
+  /// An interned abstraction: the canonical abstract result plus its
+  /// signature rendered exactly once and a process-local hash-cons id
+  /// (ids are assigned per distinct *signature*, so two concrete
+  /// sequences with the same abstraction share an id). Id 0 means
+  /// "not interned" (memo disabled or intern table at capacity).
+  struct InternedAbs {
+    abstraction::AbstractResult Abs;
+    std::string Sig;
+    uint64_t Id = 0;
+  };
+
   /// With \p Degrade set, the precise sequence machinery is skipped
   /// and the location is answered by the write-set test.
   bool locationConflicts(const Value &EntryVal,
@@ -147,34 +178,56 @@ private:
                          const symbolic::LocOpSeq &Theirs,
                          const ObjectInfo &Info, bool Degrade);
 
-  /// Memoized abstractSequence(symbolize(Seq), UseAbstraction).
-  abstraction::AbstractResult abstracted(const symbolic::LocOpSeq &Seq);
+  /// Memoized + interned abstractSequence(symbolize(Seq),
+  /// UseAbstraction) with its pre-rendered signature.
+  std::shared_ptr<const InternedAbs>
+  abstracted(const symbolic::LocOpSeq &Seq);
 
-  /// Records one production query (and optionally its miss) in the
-  /// tracking shard its key hashes to.
-  void trackQuery(std::string KeyStr, bool Missed);
+  /// Records one production query (and optionally its miss). The fast
+  /// path keys the seen-set by (class id, mine id, theirs id) without
+  /// rendering the cache key; the string is materialized only on a
+  /// miss (diagnostics) or when an id is unavailable.
+  void trackQuery(const CacheKey &Key, uint64_t MineId, uint64_t TheirsId,
+                  bool Missed);
+
+  /// Hash-cons id for \p Text in \p Table (1-based; 0 when the table
+  /// is at capacity).
+  uint64_t internIn(std::unordered_map<std::string, uint64_t> &Table,
+                    const std::string &Text);
 
   std::shared_ptr<CommutativityCache> Cache;
   SequenceDetectorConfig Config;
 
-  /// One stripe of the Figure 11 unique-query accounting.
+  /// One stripe of the Figure 11 unique-query accounting. SeenIds is
+  /// the rendering-free fast path; Seen/Missed hold rendered keys for
+  /// misses and non-interned queries.
   struct alignas(64) TrackShard {
     mutable std::mutex Mutex;
     std::set<std::string> Seen;
     std::set<std::string> Missed;
+    std::set<std::array<uint64_t, 3>> SeenIds;
   };
 
   /// One stripe of the signature memo: injective key over (kind,
-  /// operand, read result) triples → canonical abstraction.
+  /// operand, read result) triples → interned canonical abstraction.
   struct alignas(64) MemoShard {
     mutable std::shared_mutex Mutex;
-    std::unordered_map<std::string, abstraction::AbstractResult> Memo;
+    std::unordered_map<std::string, std::shared_ptr<const InternedAbs>>
+        Memo;
   };
 
   std::vector<std::unique_ptr<TrackShard>> Tracking; ///< Pow-2 size.
   std::vector<std::unique_ptr<MemoShard>> Memos;     ///< Pow-2 size.
   /// Total memo capacity, split evenly across the shards.
   static constexpr size_t MaxMemoEntries = 1u << 16;
+
+  /// Hash-cons tables: distinct signature text → id, distinct location
+  /// class → id. Read-mostly (inserts happen only on first sight);
+  /// capped, with overflow falling back to string-keyed tracking.
+  mutable std::shared_mutex InternMutex;
+  std::unordered_map<std::string, uint64_t> SigIds;
+  std::unordered_map<std::string, uint64_t> ClassIds;
+  static constexpr size_t MaxInternEntries = 1u << 16;
 };
 
 } // namespace conflict

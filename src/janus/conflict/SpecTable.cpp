@@ -1,0 +1,26 @@
+#include "janus/conflict/SpecTable.h"
+
+using namespace janus;
+using namespace janus::conflict;
+
+const char *conflict::specModeName(SpecMode Mode) {
+  switch (Mode) {
+  case SpecMode::Off:
+    return "off";
+  case SpecMode::On:
+    return "on";
+  case SpecMode::Only:
+    return "only";
+  }
+  return "off";
+}
+
+std::optional<SpecMode> conflict::parseSpecMode(std::string_view Text) {
+  if (Text == "off")
+    return SpecMode::Off;
+  if (Text == "on")
+    return SpecMode::On;
+  if (Text == "only")
+    return SpecMode::Only;
+  return std::nullopt;
+}

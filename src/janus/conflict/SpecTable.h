@@ -1,0 +1,460 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-written per-ADT commutativity spec tables.
+///
+/// Boosting-style conflict abstractions: each ADT handle (janus::adt)
+/// declares its AdtKind at registration, and the sequence detector asks
+/// the matching spec — a cheap structural predicate over the two
+/// concrete per-location operation sequences — before touching any of
+/// the learned machinery. A spec hit answers the Figure 8 CONFLICT
+/// question in one pass over the pair: no symbolization, no signature
+/// canonicalization, no CommutativityCache probe, no SAT.
+///
+/// Verdict discipline:
+///   - Commutes is returned only when the Figure 8 checks (under the
+///     active ChecksSpec) provably pass for the concrete pair — the
+///     verdicts are *exact*, not heuristic, so a spec hit never commits
+///     a non-commuting transaction (soundness) and never retries a pair
+///     a sound learned condition would have passed (no regression).
+///   - Conflicts is likewise exact: the checks provably fail.
+///   - Abstain hands the pair to the learned-cache tier untouched —
+///     anything outside the ADT's operation vocabulary, or any shape
+///     whose outcome depends on values the spec cannot evaluate in one
+///     pass, abstains.
+///
+/// The spec functions are constexpr and noexcept, and — because Value
+/// is not a literal type in C++20 — are written over scalar summaries
+/// of the sequences (indices, deltas, kind flags) rather than Value
+/// temporaries.
+///
+/// `janus verify` replays every shipped spec against the reference
+/// semantics (evalSequence over both execution orders) on a bounded
+/// exhaustive small scope and convicts any spec claiming Commutes where
+/// the orders diverge; tools/janus_lint.py requires every table entry
+/// to be constexpr and noexcept and covered by that gate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_CONFLICT_SPECTABLE_H
+#define JANUS_CONFLICT_SPECTABLE_H
+
+#include "janus/support/Location.h"
+#include "janus/symbolic/LocOp.h"
+#include "janus/symbolic/SymSeq.h"
+
+#include <optional>
+#include <string_view>
+
+namespace janus {
+namespace conflict {
+
+/// Answer of one spec evaluation over a per-location sequence pair.
+enum class SpecVerdict : uint8_t {
+  Commutes,  ///< The Figure 8 checks provably pass; no conflict.
+  Conflicts, ///< The checks provably fail; conflict.
+  Abstain,   ///< Outside the spec's competence; use the learned path.
+};
+
+/// Detector dispatch policy for the spec tier.
+enum class SpecMode : uint8_t {
+  Off,  ///< Never consult spec tables (the paper's original pipeline).
+  On,   ///< Tier 1 = specs, tier 2 = learned cache, tier 3 = fallback.
+  Only, ///< Specs answer or the write-set test does; the learned
+        ///< cache/online tiers are bypassed (isolation/measurement).
+};
+
+/// A spec: verdict over (entry value, mine, theirs, active checks).
+using SpecFn = SpecVerdict (*)(const Value &Entry,
+                               const symbolic::LocOpSeq &Mine,
+                               const symbolic::LocOpSeq &Theirs,
+                               const symbolic::ChecksSpec &Checks) noexcept;
+
+namespace spec_detail {
+
+/// Tri-state answer of a value comparison the spec may fail to decide.
+enum class Tri : uint8_t { False, True, Unknown };
+
+/// Kind of an absorbing sequence's computed final value.
+enum class FinalKind : uint8_t {
+  Unknown, ///< Not computable in one pass (stay out).
+  Absent,  ///< The last write stored Absent, no trailing adds.
+  Int,     ///< Integer (possibly last write plus trailing adds).
+  Other,   ///< Bool/string: the last write's operand verbatim.
+};
+
+/// One-pass structural summary of a concrete per-location sequence.
+/// Holds scalars only (no Value members) so the spec functions stay
+/// constexpr-legal under C++20.
+struct SeqShape {
+  bool HasRead = false;
+  bool HasWrite = false;
+  bool HasAdd = false;
+  /// Every Add operand is an integer (NetAdd is meaningful).
+  bool AddsInt = true;
+  /// A Read occurs before the first Write and before the first Add:
+  /// such reads observe the location's start value directly.
+  bool ReadBeforeMutation = false;
+  /// A Read occurs before the first Write (it may follow Adds).
+  bool ReadBeforeWrite = false;
+  /// Sum of all Add deltas (valid when AddsInt).
+  int64_t NetAdd = 0;
+  /// Index of the last Write op, or -1.
+  int32_t LastWrite = -1;
+  /// Net integer delta of Adds after the last Write.
+  int64_t TrailAdd = 0;
+  /// An Add follows the last Write.
+  bool HasTrailAdd = false;
+  /// Trailing adds are applicable (int deltas on an int/Absent base).
+  bool TrailOk = true;
+};
+
+/// Summarizes \p Seq in a single pass.
+constexpr SeqShape classifySeq(const symbolic::LocOpSeq &Seq) noexcept {
+  using symbolic::LocOp;
+  using symbolic::LocOpKind;
+  SeqShape S;
+  for (size_t I = 0; I != Seq.size(); ++I) {
+    const LocOp &Op = Seq[I];
+    switch (Op.Kind) {
+    case LocOpKind::Read:
+      S.HasRead = true;
+      if (!S.HasWrite) {
+        S.ReadBeforeWrite = true;
+        if (!S.HasAdd)
+          S.ReadBeforeMutation = true;
+      }
+      break;
+    case LocOpKind::Write:
+      S.HasWrite = true;
+      S.LastWrite = static_cast<int32_t>(I);
+      S.TrailAdd = 0;
+      S.HasTrailAdd = false;
+      S.TrailOk = true;
+      break;
+    case LocOpKind::Add:
+      S.HasAdd = true;
+      if (!Op.Operand.isInt()) {
+        S.AddsInt = false;
+        S.TrailOk = false;
+        break;
+      }
+      S.NetAdd += Op.Operand.asInt();
+      if (S.LastWrite >= 0) {
+        S.HasTrailAdd = true;
+        const Value &Base = Seq[S.LastWrite].Operand;
+        if (!Base.isInt() && !Base.isAbsent())
+          S.TrailOk = false; // Add on bool/string: never predict it.
+        S.TrailAdd += Op.Operand.asInt();
+      }
+      break;
+    }
+  }
+  return S;
+}
+
+/// Final value of an absorbing sequence (entry-independent: the last
+/// write plus its trailing adds). IntVal is set for FinalKind::Int.
+constexpr FinalKind finalKind(const symbolic::LocOpSeq &Seq,
+                              const SeqShape &S, int64_t &IntVal) noexcept {
+  if (S.LastWrite < 0 || !S.TrailOk)
+    return FinalKind::Unknown;
+  const Value &Base = Seq[S.LastWrite].Operand;
+  if (!S.HasTrailAdd) {
+    if (Base.isInt()) {
+      IntVal = Base.asInt();
+      return FinalKind::Int;
+    }
+    return Base.isAbsent() ? FinalKind::Absent : FinalKind::Other;
+  }
+  // TrailOk guarantees an int or Absent base (Absent starts at 0).
+  IntVal = (Base.isInt() ? Base.asInt() : 0) + S.TrailAdd;
+  return FinalKind::Int;
+}
+
+/// Do two absorbing sequences compute the same final value?
+constexpr Tri finalsEqual(const symbolic::LocOpSeq &Mine, const SeqShape &M,
+                          const symbolic::LocOpSeq &Theirs,
+                          const SeqShape &T) noexcept {
+  int64_t MV = 0, TV = 0;
+  FinalKind MK = finalKind(Mine, M, MV);
+  FinalKind TK = finalKind(Theirs, T, TV);
+  if (MK == FinalKind::Unknown || TK == FinalKind::Unknown)
+    return Tri::Unknown;
+  if (MK != TK)
+    return Tri::False;
+  if (MK == FinalKind::Int)
+    return MV == TV ? Tri::True : Tri::False;
+  if (MK == FinalKind::Absent)
+    return Tri::True;
+  return Mine[M.LastWrite].Operand == Theirs[T.LastWrite].Operand
+             ? Tri::True
+             : Tri::False;
+}
+
+/// Does running a sequence with shape \p S from \p Entry leave the
+/// location's value equal to \p Entry?
+constexpr Tri preservesEntry(const Value &Entry,
+                             const symbolic::LocOpSeq &Seq,
+                             const SeqShape &S) noexcept {
+  if (S.HasWrite) {
+    int64_t V = 0;
+    switch (finalKind(Seq, S, V)) {
+    case FinalKind::Unknown:
+      return Tri::Unknown;
+    case FinalKind::Absent:
+      return Entry.isAbsent() ? Tri::True : Tri::False;
+    case FinalKind::Int:
+      return Entry.isInt() && Entry.asInt() == V ? Tri::True : Tri::False;
+    case FinalKind::Other:
+      return Seq[S.LastWrite].Operand == Entry ? Tri::True : Tri::False;
+    }
+    return Tri::Unknown;
+  }
+  if (!S.HasAdd)
+    return Tri::True;
+  if (!S.AddsInt)
+    return Tri::Unknown;
+  if (Entry.isInt())
+    return S.NetAdd == 0 ? Tri::True : Tri::False;
+  if (Entry.isAbsent())
+    return Tri::False; // Adds turn Absent into Int; never equal again.
+  return Tri::Unknown; // Add on bool/string asserts at runtime.
+}
+
+/// The shared scalar-cell engine behind the per-ADT specs: exact
+/// Figure 8 verdicts for the structurally tractable pair shapes,
+/// Abstain for everything else. Every rule mirrors the reference
+/// semantics of evalSequence run on both execution orders.
+constexpr SpecVerdict scalarVerdict(const Value &Entry,
+                                    const symbolic::LocOpSeq &Mine,
+                                    const symbolic::LocOpSeq &Theirs,
+                                    const symbolic::ChecksSpec &Checks)
+    noexcept {
+  // An empty sequence performs no operation and cannot conflict.
+  if (Mine.empty() || Theirs.empty())
+    return SpecVerdict::Commutes;
+
+  const SeqShape M = classifySeq(Mine);
+  const SeqShape T = classifySeq(Theirs);
+
+  const bool MineReadOnly = !M.HasWrite && !M.HasAdd;
+  const bool TheirsReadOnly = !T.HasWrite && !T.HasAdd;
+
+  // Read-only vs read-only: both observe the entry value in any order.
+  if (MineReadOnly && TheirsReadOnly)
+    return SpecVerdict::Commutes;
+
+  // One side read-only: the mutating side runs from the entry value in
+  // both orders (the reader changes nothing), so its reads and the
+  // final value are order-independent. Only the reader's SAMEREAD
+  // check can fail — exactly when the mutator changes the value the
+  // reader observes.
+  if (MineReadOnly || TheirsReadOnly) {
+    const bool Check = MineReadOnly ? Checks.SameReadA : Checks.SameReadB;
+    if (!Check)
+      return SpecVerdict::Commutes;
+    const Tri Same = MineReadOnly ? preservesEntry(Entry, Theirs, T)
+                                  : preservesEntry(Entry, Mine, M);
+    if (Same == Tri::Unknown)
+      return SpecVerdict::Abstain;
+    return Same == Tri::True ? SpecVerdict::Commutes
+                             : SpecVerdict::Conflicts;
+  }
+
+  // No reads anywhere: only the final COMMUTE test can fail.
+  if (!M.HasRead && !T.HasRead) {
+    if (!Checks.Commute)
+      return SpecVerdict::Commutes;
+    if (M.HasWrite && T.HasWrite) {
+      // Both absorbing: the later sequence's computed final wins.
+      switch (finalsEqual(Mine, M, Theirs, T)) {
+      case Tri::True:
+        return SpecVerdict::Commutes;
+      case Tri::False:
+        return SpecVerdict::Conflicts;
+      case Tri::Unknown:
+        return SpecVerdict::Abstain;
+      }
+    }
+    if (!M.HasWrite && !T.HasWrite) {
+      // Both pure adds: integer addition commutes.
+      if (!M.AddsInt || !T.AddsInt)
+        return SpecVerdict::Abstain;
+      if (Entry.isInt() || Entry.isAbsent())
+        return SpecVerdict::Commutes;
+      return SpecVerdict::Abstain; // Add on bool/string: undefined.
+    }
+    // One absorbing side, one pure-add side: absorb-then-add yields
+    // final+delta, add-then-absorb yields final.
+    {
+      const symbolic::LocOpSeq &WSeq = M.HasWrite ? Mine : Theirs;
+      const SeqShape &W = M.HasWrite ? M : T;
+      const SeqShape &A = M.HasWrite ? T : M;
+      if (!A.AddsInt)
+        return SpecVerdict::Abstain;
+      int64_t V = 0;
+      switch (finalKind(WSeq, W, V)) {
+      case FinalKind::Int:
+        return A.NetAdd == 0 ? SpecVerdict::Commutes
+                             : SpecVerdict::Conflicts;
+      case FinalKind::Absent:
+        // Int(delta) in one order vs Absent in the other: never equal.
+        return SpecVerdict::Conflicts;
+      case FinalKind::Other:
+      case FinalKind::Unknown:
+        return SpecVerdict::Abstain;
+      }
+      return SpecVerdict::Abstain;
+    }
+  }
+
+  // Reads plus adds only (the counter shapes): the final value is
+  // entry+netM+netT in either order, so COMMUTE always holds; a side's
+  // reads shift by the other side's net delta.
+  if (!M.HasWrite && !T.HasWrite) {
+    if (!M.AddsInt || !T.AddsInt)
+      return SpecVerdict::Abstain;
+    if (!Entry.isInt() && !Entry.isAbsent())
+      return SpecVerdict::Abstain;
+    bool Pass = true;
+    // Mine's reads with Theirs evaluated first, and vice versa.
+    if (Checks.SameReadA && M.HasRead) {
+      if (T.NetAdd != 0)
+        Pass = false; // Reads shift by a provably nonzero delta.
+      else if (!Entry.isInt() && T.HasAdd && M.ReadBeforeMutation)
+        Pass = false; // Absent entry: Int(0) vs Absent at the read.
+    }
+    if (Checks.SameReadB && T.HasRead) {
+      if (M.NetAdd != 0)
+        Pass = false;
+      else if (!Entry.isInt() && M.HasAdd && T.ReadBeforeMutation)
+        Pass = false;
+    }
+    return Pass ? SpecVerdict::Commutes : SpecVerdict::Conflicts;
+  }
+
+  // Reads plus writes only, both sides absorbing (the queue head/tail
+  // read-then-bump shapes): reads before a side's first write observe
+  // the start value; reads after it observe the side's own last write
+  // and are order-insensitive.
+  if (!M.HasAdd && !T.HasAdd && M.HasWrite && T.HasWrite) {
+    const Tri FinalsSame = finalsEqual(Mine, M, Theirs, T);
+    const Tri TKeeps = preservesEntry(Entry, Theirs, T);
+    const Tri MKeeps = preservesEntry(Entry, Mine, M);
+    if (FinalsSame == Tri::Unknown || TKeeps == Tri::Unknown ||
+        MKeeps == Tri::Unknown)
+      return SpecVerdict::Abstain;
+    if (Checks.SameReadA && M.ReadBeforeWrite && TKeeps == Tri::False)
+      return SpecVerdict::Conflicts;
+    if (Checks.SameReadB && T.ReadBeforeWrite && MKeeps == Tri::False)
+      return SpecVerdict::Conflicts;
+    if (Checks.Commute && FinalsSame == Tri::False)
+      return SpecVerdict::Conflicts;
+    return SpecVerdict::Commutes;
+  }
+
+  return SpecVerdict::Abstain;
+}
+
+/// \returns true when \p Seq contains an operation of kind \p K.
+constexpr bool seqHasKind(const symbolic::LocOpSeq &Seq,
+                          symbolic::LocOpKind K) noexcept {
+  for (const symbolic::LocOp &Op : Seq)
+    if (Op.Kind == K)
+      return true;
+  return false;
+}
+
+} // namespace spec_detail
+
+/// TxCounter: reduction cells see reads and integer adds only. Pure
+/// add/add pairs always commute; a read next to a nonzero net delta
+/// conflicts (exactly). An absolute Write is outside the counter
+/// vocabulary — abstain rather than trust the fast path.
+constexpr SpecVerdict specCounter(const Value &Entry,
+                                  const symbolic::LocOpSeq &Mine,
+                                  const symbolic::LocOpSeq &Theirs,
+                                  const symbolic::ChecksSpec &Checks) noexcept {
+  return spec_detail::seqHasKind(Mine, symbolic::LocOpKind::Write) ||
+                 spec_detail::seqHasKind(Theirs, symbolic::LocOpKind::Write)
+             ? SpecVerdict::Abstain
+             : spec_detail::scalarVerdict(Entry, Mine, Theirs, Checks);
+}
+
+/// TxMap: one location per key, so cross-key pairs never meet here
+/// (put(k1)/get(k2) with k1 != k2 commute by projection). Same-key
+/// pairs use the full scalar engine: get/get commutes, addAt/addAt
+/// commutes, put/put commutes iff the stored values agree, get vs
+/// put/erase/addAt is decided by value preservation.
+constexpr SpecVerdict specMapEntry(const Value &Entry,
+                                   const symbolic::LocOpSeq &Mine,
+                                   const symbolic::LocOpSeq &Theirs,
+                                   const symbolic::ChecksSpec &Checks) noexcept {
+  return spec_detail::scalarVerdict(Entry, Mine, Theirs, Checks);
+}
+
+/// TxQueue: head/tail counters and cells see reads and writes only
+/// (enqueue/enqueue and dequeue/dequeue are the read-then-bump shapes
+/// that conflict exactly; producer-only vs consumer-only pairs never
+/// share a location). An Add is outside the queue vocabulary.
+constexpr SpecVerdict specQueue(const Value &Entry,
+                                const symbolic::LocOpSeq &Mine,
+                                const symbolic::LocOpSeq &Theirs,
+                                const symbolic::ChecksSpec &Checks) noexcept {
+  return spec_detail::seqHasKind(Mine, symbolic::LocOpKind::Add) ||
+                 spec_detail::seqHasKind(Theirs, symbolic::LocOpKind::Add)
+             ? SpecVerdict::Abstain
+             : spec_detail::scalarVerdict(Entry, Mine, Theirs, Checks);
+}
+
+/// TxBitSet: one boolean location per bit; set/set and clear/clear
+/// commute (equal writes), set/clear conflicts, get vs set is decided
+/// by value preservation. An Add is outside the bit-set vocabulary.
+constexpr SpecVerdict specBitSet(const Value &Entry,
+                                 const symbolic::LocOpSeq &Mine,
+                                 const symbolic::LocOpSeq &Theirs,
+                                 const symbolic::ChecksSpec &Checks) noexcept {
+  return spec_detail::seqHasKind(Mine, symbolic::LocOpKind::Add) ||
+                 spec_detail::seqHasKind(Theirs, symbolic::LocOpKind::Add)
+             ? SpecVerdict::Abstain
+             : spec_detail::scalarVerdict(Entry, Mine, Theirs, Checks);
+}
+
+/// One registered spec table: the ADT kind it serves, the spec
+/// function, and a stable name for diagnostics and `janus verify`.
+struct SpecTableEntry {
+  AdtKind Kind;
+  SpecFn Fn;
+  const char *Name;
+};
+
+/// The shipped spec tables. tools/janus_lint.py checks that every
+/// entry's function is constexpr/noexcept and referenced by the spec
+/// verification tests.
+inline constexpr SpecTableEntry SpecTables[] = {
+    {AdtKind::Counter, &specCounter, "counter"},
+    {AdtKind::Map, &specMapEntry, "map"},
+    {AdtKind::Queue, &specQueue, "queue"},
+    {AdtKind::BitSet, &specBitSet, "bitset"},
+};
+
+/// \returns the spec for \p Kind, or nullptr when the kind carries no
+/// hand-written table (AdtKind::None and future kinds).
+constexpr SpecFn specFor(AdtKind Kind) noexcept {
+  for (const SpecTableEntry &E : SpecTables)
+    if (E.Kind == Kind)
+      return E.Fn;
+  return nullptr;
+}
+
+/// \returns the stable CLI name of \p Mode ("on", "off", "only").
+const char *specModeName(SpecMode Mode);
+
+/// Parses a `--specs` CLI value. \returns nullopt on unknown input.
+std::optional<SpecMode> parseSpecMode(std::string_view Text);
+
+} // namespace conflict
+} // namespace janus
+
+#endif // JANUS_CONFLICT_SPECTABLE_H

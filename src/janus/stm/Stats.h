@@ -79,21 +79,29 @@ struct RunStats {
 /// per-location sequence-pair commutativity question.
 struct DetectorStats {
   StripedCounter PairQueries;    ///< Per-location queries issued.
+  StripedCounter SpecHits;       ///< Answered by a per-ADT spec table.
+  StripedCounter SpecAbstains;   ///< Spec consulted but abstained.
   StripedCounter CacheHits;      ///< Answered from the cache.
   StripedCounter CacheMisses;    ///< No matching cache entry.
   StripedCounter OnlineChecks;   ///< Answered by online evaluation.
   StripedCounter WriteSetChecks; ///< Fell back to write-set.
   StripedCounter ConflictsFound;
   StripedCounter DegradedQueries; ///< Budget-exhausted degradations.
+  /// Signature-memo hits that reused an interned abstraction (and its
+  /// pre-rendered signature), skipping re-canonicalization.
+  StripedCounter SignatureInternHits;
 
   void reset() {
     PairQueries.reset();
+    SpecHits.reset();
+    SpecAbstains.reset();
     CacheHits.reset();
     CacheMisses.reset();
     OnlineChecks.reset();
     WriteSetChecks.reset();
     ConflictsFound.reset();
     DegradedQueries.reset();
+    SignatureInternHits.reset();
   }
 };
 

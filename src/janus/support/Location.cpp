@@ -36,3 +36,19 @@ ObjectId ObjectRegistry::registerObject(std::string Name,
 std::string ObjectRegistry::locationName(const Location &Loc) const {
   return info(Loc.Obj).Name + keyToString(Loc.Key);
 }
+
+const char *janus::adtKindName(AdtKind Kind) {
+  switch (Kind) {
+  case AdtKind::None:
+    return "none";
+  case AdtKind::Counter:
+    return "counter";
+  case AdtKind::Map:
+    return "map";
+  case AdtKind::Queue:
+    return "queue";
+  case AdtKind::BitSet:
+    return "bitset";
+  }
+  return "none";
+}

@@ -83,6 +83,24 @@ inline uint32_t shardIndexOf(const Location &Loc, uint32_t NumShards) {
   return static_cast<uint32_t>(H ^ (H >> 32)) & (NumShards - 1);
 }
 
+/// Abstract-data-type kind of a registered shared object. ADT handles
+/// (janus::adt) declare their kind at registration; the sequence
+/// detector uses it to select a hand-written commutativity spec table
+/// (conflict/SpecTable.h) that answers common per-location queries
+/// without symbolization, signature canonicalization, cache probes or
+/// SAT. None means "no spec table": plain scalars, arrays, and any
+/// object registered without an ADT handle.
+enum class AdtKind : uint8_t {
+  None = 0, ///< No hand-written spec table; always use the learned path.
+  Counter,  ///< TxCounter: commutative integer reduction cell.
+  Map,      ///< TxMap: string-keyed entries, one location per key.
+  Queue,    ///< TxQueue: head/tail counters plus per-index cells.
+  BitSet,   ///< TxBitSet: one boolean location per bit index.
+};
+
+/// \returns a stable lower-case name for \p Kind (diagnostics, JSON).
+const char *adtKindName(AdtKind Kind);
+
 /// Consistency relaxations a user may attach to a shared object
 /// (paper §5.3 "Relaxed Consistency").
 struct RelaxationSpec {
@@ -104,6 +122,10 @@ struct ObjectInfo {
   std::string LocClass;
   /// User-provided consistency relaxations.
   RelaxationSpec Relax;
+  /// ADT kind declared by the adt handle that registered this object
+  /// (None for plain objects). Appended last: aggregate initializers
+  /// that predate the field stay valid.
+  AdtKind Kind = AdtKind::None;
 };
 
 /// Registry of shared objects for one JANUS instance.
@@ -127,6 +149,14 @@ public:
   void setRelaxation(ObjectId Obj, RelaxationSpec Relax) {
     JANUS_ASSERT(Obj.Id < Objects.size(), "unregistered object id");
     Objects[Obj.Id].Relax = Relax;
+  }
+
+  /// Declares the ADT kind of an already-registered object. Called by
+  /// the adt handle factories (TxCounter::create and friends) so the
+  /// detector can dispatch to the matching spec table.
+  void declareAdt(ObjectId Obj, AdtKind Kind) {
+    JANUS_ASSERT(Obj.Id < Objects.size(), "unregistered object id");
+    Objects[Obj.Id].Kind = Kind;
   }
 
   size_t size() const { return Objects.size(); }

@@ -1,0 +1,233 @@
+#include "janus/verify/SpecCheck.h"
+
+#include "janus/conflict/OnlineConflict.h"
+#include "janus/support/Json.h"
+
+#include <sstream>
+
+using namespace janus;
+using namespace janus::verify;
+using namespace janus::symbolic;
+using conflict::SpecTableEntry;
+using conflict::SpecVerdict;
+
+namespace {
+
+/// Cap on rendered counterexamples kept per table; convictions beyond
+/// it are still counted in SpecTableResult::Convictions.
+constexpr uint64_t MaxRenderedFindings = 10;
+
+/// Enumerates every sequence of length 0..MaxLen over \p Pool, in a
+/// deterministic order (shorter first, then lexicographic by pool
+/// index).
+std::vector<LocOpSeq> enumerateSeqs(const std::vector<LocOp> &Pool,
+                                    size_t MaxLen) {
+  std::vector<LocOpSeq> Out;
+  Out.push_back({}); // Length 0.
+  std::vector<LocOpSeq> Frontier = Out;
+  for (size_t Len = 1; Len <= MaxLen; ++Len) {
+    std::vector<LocOpSeq> Next;
+    for (const LocOpSeq &Prefix : Frontier) {
+      for (const LocOp &Op : Pool) {
+        LocOpSeq Seq = Prefix;
+        Seq.push_back(Op);
+        Next.push_back(Seq);
+      }
+    }
+    Out.insert(Out.end(), Next.begin(), Next.end());
+    Frontier = std::move(Next);
+  }
+  return Out;
+}
+
+/// One scope: the entry values and the op pool enumerated together.
+struct Scope {
+  const char *Name;
+  std::vector<Value> Entries;
+  std::vector<LocOp> Pool;
+};
+
+/// The two replay scopes (see the file header of SpecCheck.h): the
+/// integer scope may apply Adds to any enumerated value (ints and
+/// Absent only, so applyLocOp stays defined), the opaque scope has no
+/// Adds and may store bools/strings.
+std::vector<Scope> makeScopes(const SpecCheckConfig &Config) {
+  Scope IntScope;
+  IntScope.Name = "int";
+  IntScope.Entries.push_back(Value::absent());
+  for (int64_t V = -Config.IntScope; V <= Config.IntScope + 1; ++V)
+    IntScope.Entries.push_back(Value::of(V));
+  IntScope.Pool.push_back(LocOp::read());
+  IntScope.Pool.push_back(LocOp::write(Value::of(int64_t(0))));
+  IntScope.Pool.push_back(LocOp::write(Value::of(int64_t(1))));
+  IntScope.Pool.push_back(LocOp::write(Value::absent()));
+  for (int64_t D = -Config.IntScope; D <= Config.IntScope; ++D)
+    IntScope.Pool.push_back(LocOp::add(D));
+
+  Scope OpaqueScope;
+  OpaqueScope.Name = "opaque";
+  OpaqueScope.Entries = {Value::absent(), Value::of(true), Value::of(false),
+                         Value::of(std::string("s")),
+                         Value::of(int64_t(0))};
+  OpaqueScope.Pool = {LocOp::read(), LocOp::write(Value::of(true)),
+                      LocOp::write(Value::of(false)),
+                      LocOp::write(Value::of(std::string("s"))),
+                      LocOp::write(Value::absent())};
+  return {std::move(IntScope), std::move(OpaqueScope)};
+}
+
+/// The four relaxation combinations of Figure 8's checks.
+std::vector<ChecksSpec> allChecks() {
+  std::vector<ChecksSpec> Out;
+  for (int RAW = 0; RAW != 2; ++RAW)
+    for (int WAW = 0; WAW != 2; ++WAW) {
+      ChecksSpec C;
+      if (RAW) { // Tolerate-RAW drops both SAMEREAD tests.
+        C.SameReadA = false;
+        C.SameReadB = false;
+      }
+      if (WAW) // Tolerate-WAW drops COMMUTE.
+        C.Commute = false;
+      Out.push_back(C);
+    }
+  return Out;
+}
+
+std::string renderPoint(const Value &Entry, const LocOpSeq &Mine,
+                        const LocOpSeq &Theirs, const ChecksSpec &Checks,
+                        SpecVerdict Got, bool RefConflict) {
+  std::ostringstream S;
+  S << "entry=" << Entry.toString() << " mine=[" << sequenceToString(Mine)
+    << "] theirs=[" << sequenceToString(Theirs) << "] checks={"
+    << (Checks.SameReadA ? "SRA " : "") << (Checks.SameReadB ? "SRB " : "")
+    << (Checks.Commute ? "COMMUTE" : "") << "} spec="
+    << (Got == SpecVerdict::Commutes ? "Commutes" : "Conflicts")
+    << " reference=" << (RefConflict ? "conflict" : "commutes");
+  return S.str();
+}
+
+SpecVerdict alwaysCommutes(const Value &, const LocOpSeq &,
+                           const LocOpSeq &, const ChecksSpec &) noexcept {
+  return SpecVerdict::Commutes;
+}
+
+} // namespace
+
+SpecTableEntry verify::seededUnsoundSpecEntry() {
+  return SpecTableEntry{AdtKind::None, &alwaysCommutes, "seeded-unsound"};
+}
+
+SpecReport verify::checkSpecTables(const SpecTableEntry *Tables,
+                                   size_t Count,
+                                   const SpecCheckConfig &Config) {
+  SpecReport Report;
+  const std::vector<Scope> Scopes = makeScopes(Config);
+  const std::vector<ChecksSpec> Checks = allChecks();
+
+  for (size_t T = 0; T != Count; ++T) {
+    const SpecTableEntry &Entry = Tables[T];
+    SpecTableResult Result;
+    Result.Table = Entry.Name;
+
+    for (const Scope &S : Scopes) {
+      std::vector<LocOpSeq> Seqs = enumerateSeqs(S.Pool, Config.MaxSeqLen);
+      for (const Value &EntryVal : S.Entries) {
+        for (const LocOpSeq &Mine : Seqs) {
+          for (const LocOpSeq &Theirs : Seqs) {
+            for (const ChecksSpec &C : Checks) {
+              if (Result.PointsChecked >= Config.MaxPoints) {
+                Result.Truncated = true;
+                goto tableDone;
+              }
+              ++Result.PointsChecked;
+              SpecVerdict Got = Entry.Fn(EntryVal, Mine, Theirs, C);
+              if (Got == SpecVerdict::Abstain) {
+                ++Result.Abstains;
+                continue;
+              }
+              ++Result.Verdicts;
+              bool RefConflict =
+                  conflict::conflictOnline(EntryVal, Mine, Theirs, C);
+              bool SpecConflict = Got == SpecVerdict::Conflicts;
+              if (SpecConflict == RefConflict)
+                continue;
+              ++Result.Convictions;
+              // A broken table contradicts the reference on thousands
+              // of points; keep a representative sample of rendered
+              // counterexamples and count the rest.
+              if (Result.Convictions > MaxRenderedFindings)
+                continue;
+              SpecFinding F;
+              F.Table = Entry.Name;
+              F.Unsound = !SpecConflict; // Commutes on a conflicting pair.
+              F.Text = renderPoint(EntryVal, Mine, Theirs, C, Got,
+                                   RefConflict);
+              Report.Findings.push_back(std::move(F));
+            }
+          }
+        }
+      }
+    }
+  tableDone:
+    Report.Tables.push_back(std::move(Result));
+  }
+  return Report;
+}
+
+SpecReport verify::checkShippedSpecTables(const SpecCheckConfig &Config) {
+  return checkSpecTables(conflict::SpecTables,
+                         std::size(conflict::SpecTables), Config);
+}
+
+std::string SpecReport::toText(bool Verbose) const {
+  std::ostringstream S;
+  uint64_t Convictions = 0;
+  if (Verbose || !clean())
+    for (const SpecTableResult &T : Tables) {
+      Convictions += T.Convictions;
+      S << "spec " << T.Table << ": " << T.Verdicts << " verdicts over "
+        << T.PointsChecked << " points, " << T.Abstains << " abstains"
+        << (T.Convictions
+                ? ", " + std::to_string(T.Convictions) + " CONVICTIONS"
+                : std::string())
+        << (T.Truncated ? " (truncated)" : "") << "\n";
+    }
+  for (const SpecFinding &F : Findings)
+    S << "  " << (F.Unsound ? "UNSOUND" : "INEXACT") << " spec "
+      << F.Table << ": " << F.Text << "\n";
+  if (Convictions > Findings.size())
+    S << "  ... and " << (Convictions - Findings.size())
+      << " more convictions (sample shown)\n";
+  return S.str();
+}
+
+std::string SpecReport::toJson() const {
+  JsonWriter W;
+  W.beginObject();
+  W.key("tables");
+  W.beginArray();
+  for (const SpecTableResult &T : Tables) {
+    W.beginObject();
+    W.field("table", std::string_view(T.Table));
+    W.field("points_checked", T.PointsChecked);
+    W.field("verdicts", T.Verdicts);
+    W.field("abstains", T.Abstains);
+    W.field("convictions", T.Convictions);
+    W.field("truncated", T.Truncated);
+    W.endObject();
+  }
+  W.endArray();
+  W.key("findings");
+  W.beginArray();
+  for (const SpecFinding &F : Findings) {
+    W.beginObject();
+    W.field("table", std::string_view(F.Table));
+    W.field("unsound", F.Unsound);
+    W.field("counterexample", std::string_view(F.Text));
+    W.endObject();
+  }
+  W.endArray();
+  W.field("clean", clean());
+  W.endObject();
+  return W.str();
+}

@@ -1,0 +1,113 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bounded-exhaustive vetting of the hand-written spec tables.
+///
+/// The per-ADT spec tables (conflict/SpecTable.h) short-circuit the
+/// learned detection pipeline with hand-written verdicts, so they carry
+/// the same safety obligation as a cached condition: a spec claiming
+/// Commutes on a pair that the reference semantics (Figure 8's checks
+/// evaluated concretely by conflictOnline) convicts would silently
+/// break serializability. The tables also claim *exactness* — a
+/// Conflicts verdict on a commuting pair never breaks safety but would
+/// regress the fast path below the learned cache, so it is convicted
+/// too.
+///
+/// The check replays every table over a deterministic small scope:
+/// every pair of concrete operation sequences (lengths 0..MaxSeqLen)
+/// drawn from two pools — an integer pool exercising Read/Write/Add
+/// shapes and an opaque-value pool exercising Write-only shapes over
+/// bools/strings/Absent — against every in-scope entry value and all
+/// four relaxation combinations. The pools avoid the one undefined
+/// corner of the reference semantics (Add applied to a bool/string
+/// value asserts) by construction: the integer pool writes only
+/// integers or Absent, and the opaque pool contains no Add.
+///
+/// Surfaced through `janus verify` (which exits 4 on any conviction)
+/// and gated in CI together with the seeded-unsound probe.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_VERIFY_SPECCHECK_H
+#define JANUS_VERIFY_SPECCHECK_H
+
+#include "janus/conflict/SpecTable.h"
+#include "janus/symbolic/LocOp.h"
+#include "janus/symbolic/SymSeq.h"
+
+#include <string>
+#include <vector>
+
+namespace janus {
+namespace verify {
+
+/// Bounds for the spec-table replay.
+struct SpecCheckConfig {
+  /// Integer entry values and Add deltas range over [-IntScope, IntScope].
+  int64_t IntScope = 1;
+  /// Concrete operations per side (sequences of length 0..MaxSeqLen).
+  size_t MaxSeqLen = 2;
+  /// Cap on replayed (entry, pair, checks) points per table; the
+  /// enumeration order is deterministic, so the checked prefix is
+  /// stable across runs.
+  uint64_t MaxPoints = 2000000;
+};
+
+/// One conviction: a spec verdict contradicting the reference
+/// semantics.
+struct SpecFinding {
+  std::string Table; ///< SpecTableEntry::Name.
+  /// True when the spec said Commutes on a conflicting pair (breaks
+  /// serializability); false when it said Conflicts on a commuting
+  /// pair (breaks exactness, costs parallelism).
+  bool Unsound = false;
+  std::string Text; ///< Rendered counterexample.
+};
+
+/// Replay outcome for one spec table.
+struct SpecTableResult {
+  std::string Table;
+  uint64_t PointsChecked = 0; ///< (entry, pair, checks) points replayed.
+  uint64_t Verdicts = 0;      ///< Non-abstain spec answers checked.
+  uint64_t Abstains = 0;
+  uint64_t Convictions = 0; ///< Verdicts contradicting the reference.
+  bool Truncated = false; ///< MaxPoints cut the enumeration short.
+};
+
+/// Report over a set of spec tables.
+struct SpecReport {
+  std::vector<SpecTableResult> Tables;
+  std::vector<SpecFinding> Findings;
+
+  /// Clean = no conviction of either kind.
+  bool clean() const { return Findings.empty(); }
+  /// True when some finding breaks safety (Commutes on a conflicting
+  /// pair), not merely exactness.
+  bool unsound() const {
+    for (const SpecFinding &F : Findings)
+      if (F.Unsound)
+        return true;
+    return false;
+  }
+
+  std::string toText(bool Verbose = false) const;
+  /// JSON fragment (an object; embedded in the `janus verify` report).
+  std::string toJson() const;
+};
+
+/// Replays \p Tables against the reference semantics.
+SpecReport checkSpecTables(const conflict::SpecTableEntry *Tables,
+                           size_t Count,
+                           const SpecCheckConfig &Config = {});
+
+/// Replays the shipped conflict::SpecTables.
+SpecReport checkShippedSpecTables(const SpecCheckConfig &Config = {});
+
+/// A deliberately-unsound table entry (always Commutes) for the CI
+/// conviction probe: checkSpecTables over it must report unsound().
+conflict::SpecTableEntry seededUnsoundSpecEntry();
+
+} // namespace verify
+} // namespace janus
+
+#endif // JANUS_VERIFY_SPECCHECK_H

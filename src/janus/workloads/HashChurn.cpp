@@ -1,0 +1,120 @@
+#include "janus/workloads/HashChurn.h"
+
+#include "janus/support/Rng.h"
+
+#include <thread>
+
+using namespace janus;
+using namespace janus::workloads;
+using stm::TaskFn;
+using stm::TxContext;
+
+std::vector<ChurnScript>
+HashChurnWorkload::generateScripts(const PayloadSpec &Payload) {
+  const int NumTasks = Payload.Production ? 32 : 8;
+  const int OwnKeys = Payload.Production ? 8 : 4;
+  Rng R(Payload.Seed * 7877 + (Payload.Production ? 17 : 0));
+  std::vector<ChurnScript> Scripts;
+  Scripts.reserve(NumTasks);
+  for (int T = 0; T != NumTasks; ++T) {
+    ChurnScript S;
+    S.Owner = T;
+    S.OwnKeys = OwnKeys;
+    S.OwnCycles = static_cast<int>(R.range(1, 3));
+    int Bumps = static_cast<int>(R.range(2, 6));
+    for (int B = 0; B != Bumps; ++B)
+      S.HotBumps.push_back(static_cast<int>(R.below(NumHotKeys)));
+    int Gets = static_cast<int>(R.range(1, 3));
+    for (int G = 0; G != Gets; ++G)
+      S.StableGets.push_back(static_cast<int>(R.below(NumStableKeys)));
+    Scripts.push_back(std::move(S));
+  }
+  return Scripts;
+}
+
+void HashChurnWorkload::setup(core::Janus &J) {
+  ObjectRegistry &Reg = J.registry();
+  Table = adt::TxMap::create(Reg, "churn.table");
+  Ops = adt::TxCounter::create(Reg, "churn.ops");
+  // Seed the stable keys the tasks read but never mutate.
+  for (int K = 0; K != NumStableKeys; ++K)
+    J.setInitial(Table.locationAt("stable." + std::to_string(K)),
+                 Value::of(static_cast<int64_t>(100 + K)));
+}
+
+std::vector<TaskFn>
+HashChurnWorkload::makeTasks(const PayloadSpec &Payload) {
+  std::vector<ChurnScript> Scripts = generateScripts(Payload);
+  std::vector<TaskFn> Tasks;
+  Tasks.reserve(Scripts.size());
+  for (const ChurnScript &S : Scripts) {
+    Tasks.push_back([this, S](TxContext &Tx) {
+      const std::string Own = "own." + std::to_string(S.Owner) + ".";
+      // Churn the owned range: insert, erase, re-insert. Cross-task
+      // pairs land on different keys, hence different locations.
+      for (int C = 0; C != S.OwnCycles; ++C) {
+        for (int K = 0; K != S.OwnKeys; ++K) {
+          const std::string Key = Own + std::to_string(K);
+          Table.put(Tx, Key, Value::of(static_cast<int64_t>(C * 10 + K)));
+          Ops.add(Tx, 1);
+          if (C + 1 != S.OwnCycles) {
+            Table.erase(Tx, Key);
+            Ops.add(Tx, 1);
+          }
+        }
+      }
+      // Yield mid-body so begin..commit windows overlap across workers
+      // even on a single hardware core (micro_commit does the same) —
+      // without overlap the threaded engine never consults the
+      // detector and the spec tier has nothing to answer.
+      std::this_thread::yield();
+      // Hot-key reductions: pure adds on shared entries.
+      for (int Hot : S.HotBumps) {
+        Table.addAt(Tx, "hot." + std::to_string(Hot), 1);
+        Ops.add(Tx, 1);
+      }
+      // Stable reads: values nothing mutates after setup.
+      for (int K : S.StableGets) {
+        (void)Table.get(Tx, "stable." + std::to_string(K));
+        Ops.add(Tx, 1);
+      }
+      Tx.localWork(2.0);
+    });
+  }
+  return Tasks;
+}
+
+bool HashChurnWorkload::verify(core::Janus &J, const PayloadSpec &Payload) {
+  std::vector<ChurnScript> Scripts = generateScripts(Payload);
+  int64_t ExpectedOps = 0;
+  std::vector<int64_t> HotCounts(NumHotKeys, 0);
+  for (const ChurnScript &S : Scripts) {
+    // Each cycle puts every key; every cycle but the last erases it.
+    ExpectedOps += static_cast<int64_t>(S.OwnCycles) * S.OwnKeys * 2 -
+                   S.OwnKeys;
+    ExpectedOps +=
+        static_cast<int64_t>(S.HotBumps.size() + S.StableGets.size());
+    for (int Hot : S.HotBumps)
+      ++HotCounts[Hot];
+    // The owner's program order decides its keys: the last cycle's put
+    // survives.
+    const std::string Own = "own." + std::to_string(S.Owner) + ".";
+    for (int K = 0; K != S.OwnKeys; ++K) {
+      Value Got = J.valueAt(Table.locationAt(Own + std::to_string(K)));
+      if (Got != Value::of(static_cast<int64_t>((S.OwnCycles - 1) * 10 + K)))
+        return false;
+    }
+  }
+  for (int Hot = 0; Hot != NumHotKeys; ++Hot) {
+    Value Got = J.valueAt(Table.locationAt("hot." + std::to_string(Hot)));
+    int64_t N = Got.isInt() ? Got.asInt() : 0;
+    if (N != HotCounts[Hot])
+      return false;
+  }
+  for (int K = 0; K != NumStableKeys; ++K) {
+    Value Got = J.valueAt(Table.locationAt("stable." + std::to_string(K)));
+    if (Got != Value::of(static_cast<int64_t>(100 + K)))
+      return false;
+  }
+  return J.valueAt(Ops.location()) == Value::of(ExpectedOps);
+}

@@ -1,0 +1,86 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The HashChurn kernel: concurrent hash-table churn.
+///
+/// A stress kernel for the per-ADT conflict abstractions (DESIGN.md
+/// §14) rather than a paper benchmark: every shared location belongs to
+/// a spec-covered ADT (TxMap entries and a TxCounter), so with
+/// `--specs on` the entire detection load is answered by the spec-table
+/// fast path — no symbolization, no cache probes, no SAT.
+///
+/// Each task:
+///   - churns its *own* key range: put/erase/put cycles on keys no
+///     other task touches (cross-key pairs commute by projection —
+///     TxMap maps each key to its own location);
+///   - bumps a handful of *hot* shared keys with `addAt` (the
+///     reduction pattern: pure integer adds commute);
+///   - reads a few *stable* keys that setup seeded and nothing
+///     mutates (read/read commutes);
+///   - counts every operation in a shared TxCounter reduction.
+///
+/// Tasks are out-of-order and the final state is order-independent:
+/// own-key values are decided by their owner's program order, hot keys
+/// and the op counter are sums.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_WORKLOADS_HASHCHURN_H
+#define JANUS_WORKLOADS_HASHCHURN_H
+
+#include "janus/adt/TxCounter.h"
+#include "janus/adt/TxMap.h"
+#include "janus/workloads/Workload.h"
+
+namespace janus {
+namespace workloads {
+
+/// One task's generated churn script.
+struct ChurnScript {
+  int Owner = 0;              ///< Task index (owns key range "own.O.*").
+  int OwnCycles = 0;          ///< put/erase/put cycles per owned key.
+  int OwnKeys = 0;            ///< Owned keys churned.
+  std::vector<int> HotBumps;  ///< Hot-key index per addAt(+1).
+  std::vector<int> StableGets; ///< Stable-key index per read.
+};
+
+/// The hash-churn kernel.
+class HashChurnWorkload : public Workload {
+public:
+  std::string name() const override { return "HashChurn"; }
+  std::string description() const override {
+    return "Hash-table churn kernel (spec-table fast path)";
+  }
+  std::string patterns() const override {
+    // Own-key churn cycles read back what they wrote (Identity); the
+    // hot-key bumps are a pure Reduction.
+    return "Identity, Reduction";
+  }
+  std::string trainingInputDesc() const override {
+    return "8 tasks churning 4 owned keys each, 4 hot keys";
+  }
+  std::string productionInputDesc() const override {
+    return "32 tasks churning 8 owned keys each, 4 hot keys";
+  }
+  bool ordered() const override { return false; }
+
+  void setup(core::Janus &J) override;
+  std::vector<stm::TaskFn> makeTasks(const PayloadSpec &Payload) override;
+  bool verify(core::Janus &J, const PayloadSpec &Payload) override;
+
+  static std::vector<ChurnScript> generateScripts(const PayloadSpec &Payload);
+
+  /// Hot shared reduction keys ("hot.0" .. "hot.3").
+  static constexpr int NumHotKeys = 4;
+  /// Stable read-only keys seeded by setup ("stable.0" .. "stable.3").
+  static constexpr int NumStableKeys = 4;
+
+private:
+  adt::TxMap Table;    ///< The churned table.
+  adt::TxCounter Ops;  ///< Total operations applied (reduction).
+};
+
+} // namespace workloads
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_HASHCHURN_H

@@ -1,0 +1,80 @@
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The SSCA2 kernel: parallel weighted-graph accumulation.
+///
+/// Modeled on the graph-construction/statistics kernels of the SSCA#2
+/// benchmark: the edge list is split into batches, and each batch task
+/// folds its edges into shared per-node statistics —
+///   - `weights`, a TxMap accumulating each endpoint's weighted degree
+///     via `addAt` (reduction);
+///   - `visited`, a TxBitSet marking endpoints touched (equal writes:
+///     every setter stores true);
+///   - `edges`, a TxCounter counting processed edges (reduction).
+///
+/// Like HashChurn this is a showcase for the per-ADT spec tables
+/// (DESIGN.md §14): every shared location belongs to a spec-covered
+/// ADT, so `--specs on` answers the whole detection load from the
+/// tables. Batches are out-of-order and the final state is a sum/union,
+/// hence order-independent.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JANUS_WORKLOADS_SSCA2_H
+#define JANUS_WORKLOADS_SSCA2_H
+
+#include "janus/adt/TxBitSet.h"
+#include "janus/adt/TxCounter.h"
+#include "janus/adt/TxMap.h"
+#include "janus/workloads/GraphColor.h"
+#include "janus/workloads/Workload.h"
+
+namespace janus {
+namespace workloads {
+
+/// One undirected edge with its synthetic weight.
+struct WeightedEdge {
+  int64_t U = 0;
+  int64_t V = 0;
+  int64_t Weight = 0;
+};
+
+/// The SSCA2 accumulation kernel.
+class Ssca2Workload : public Workload {
+public:
+  std::string name() const override { return "SSCA2"; }
+  std::string description() const override {
+    return "Weighted-graph accumulation kernel (spec-table fast path)";
+  }
+  std::string patterns() const override {
+    return "Reduction, Equal-writes";
+  }
+  std::string trainingInputDesc() const override {
+    return "Random simple graph: 64 nodes, average degree 4";
+  }
+  std::string productionInputDesc() const override {
+    return "Random simple graph: 512 nodes, average degree 4";
+  }
+  bool ordered() const override { return false; }
+
+  void setup(core::Janus &J) override;
+  std::vector<stm::TaskFn> makeTasks(const PayloadSpec &Payload) override;
+  bool verify(core::Janus &J, const PayloadSpec &Payload) override;
+
+  /// The deterministic weighted edge list of \p Payload (each
+  /// undirected edge listed once, U < V).
+  static std::vector<WeightedEdge> generateEdges(const PayloadSpec &Payload);
+
+  /// Node capacity of the production graphs (bit-set bound).
+  static constexpr int64_t MaxNodes = 512;
+
+private:
+  adt::TxMap Weights;    ///< node -> accumulated weighted degree.
+  adt::TxBitSet Visited; ///< Endpoints touched by any edge.
+  adt::TxCounter Edges;  ///< Processed-edge count.
+};
+
+} // namespace workloads
+} // namespace janus
+
+#endif // JANUS_WORKLOADS_SSCA2_H

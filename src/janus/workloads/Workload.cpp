@@ -3,8 +3,10 @@
 #include "janus/workloads/CodeScan.h"
 #include "janus/workloads/FileSync.h"
 #include "janus/workloads/GraphColor.h"
+#include "janus/workloads/HashChurn.h"
 #include "janus/workloads/Render.h"
 #include "janus/workloads/Saturation.h"
+#include "janus/workloads/Ssca2.h"
 
 using namespace janus;
 using namespace janus::workloads;
@@ -32,6 +34,10 @@ std::vector<std::unique_ptr<Workload>> workloads::allWorkloads() {
   Out.push_back(std::make_unique<SaturationWorkload>());
   Out.push_back(std::make_unique<CodeScanWorkload>());
   Out.push_back(std::make_unique<RenderWorkload>());
+  // The spec-table stress kernels (DESIGN.md §14) follow the five
+  // paper benchmarks.
+  Out.push_back(std::make_unique<HashChurnWorkload>());
+  Out.push_back(std::make_unique<Ssca2Workload>());
   return Out;
 }
 

@@ -82,11 +82,13 @@ public:
   std::vector<PayloadSpec> productionPayloads(int Count = 10) const;
 };
 
-/// \returns fresh instances of all five workloads, in the paper's
-/// Table 5 order: JFileSync, JGraphT-1, JGraphT-2, PMD, Weka.
+/// \returns fresh instances of all workloads: the five paper
+/// benchmarks in Table 5 order (JFileSync, JGraphT-1, JGraphT-2, PMD,
+/// Weka) followed by the spec-table stress kernels (HashChurn, SSCA2;
+/// DESIGN.md §14).
 std::vector<std::unique_ptr<Workload>> allWorkloads();
 
-/// \returns one workload by its Table 5 name, or nullptr.
+/// \returns one workload by name, or nullptr.
 std::unique_ptr<Workload> workloadByName(const std::string &Name);
 
 } // namespace workloads

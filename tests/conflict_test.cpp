@@ -14,6 +14,7 @@
 #include "janus/conflict/Explain.h"
 #include "janus/conflict/OnlineConflict.h"
 #include "janus/conflict/SequenceDetector.h"
+#include "janus/conflict/SpecTable.h"
 #include "janus/support/Rng.h"
 
 #include <gtest/gtest.h>
@@ -618,4 +619,201 @@ TEST(SequenceDetectorTest, RetriedLogRevalidatesDeterministically) {
   EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Reader, {}, W.Reg));
   EXPECT_TRUE(D.detectConflicts(stm::Snapshot(), Reader,
                                 {First, Clobber}, W.Reg));
+}
+
+// ---------------------------------------------------------------------------
+// SPEC TABLES (tier-1 dispatch, DESIGN.md §14).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Evaluates the spec for \p Kind on one (entry, mine, theirs) point
+/// with the default (all-on) checks.
+SpecVerdict specOn(AdtKind Kind, const Value &Entry, const LocOpSeq &Mine,
+                   const LocOpSeq &Theirs) {
+  SpecFn Fn = specFor(Kind);
+  EXPECT_NE(Fn, nullptr);
+  return Fn(Entry, Mine, Theirs, ChecksSpec{});
+}
+
+} // namespace
+
+TEST(SpecTableTest, CounterAddsAlwaysCommute) {
+  EXPECT_EQ(specOn(AdtKind::Counter, Value::of(int64_t(5)),
+                   {LocOp::add(1)}, {LocOp::add(-7)}),
+            SpecVerdict::Commutes);
+  EXPECT_EQ(specOn(AdtKind::Counter, Value::absent(),
+                   {LocOp::add(2), LocOp::add(3)}, {LocOp::add(4)}),
+            SpecVerdict::Commutes);
+}
+
+TEST(SpecTableTest, CounterReadVsNonzeroAddConflicts) {
+  EXPECT_EQ(specOn(AdtKind::Counter, Value::of(int64_t(0)),
+                   {LocOp::read()}, {LocOp::add(1)}),
+            SpecVerdict::Conflicts);
+  // A zero net add leaves the read stable.
+  EXPECT_EQ(specOn(AdtKind::Counter, Value::of(int64_t(0)),
+                   {LocOp::read()}, {LocOp::add(3), LocOp::add(-3)}),
+            SpecVerdict::Commutes);
+}
+
+TEST(SpecTableTest, CounterAbstainsOnWrites) {
+  // The counter table only claims add/read shapes; writes defer to the
+  // learned tiers.
+  EXPECT_EQ(specOn(AdtKind::Counter, Value::of(int64_t(0)),
+                   {LocOp::write(Value::of(int64_t(1)))}, {LocOp::add(1)}),
+            SpecVerdict::Abstain);
+}
+
+TEST(SpecTableTest, MapEqualPutsCommuteUnequalConflict) {
+  LocOpSeq PutA{LocOp::write(Value::of("a"))};
+  LocOpSeq PutB{LocOp::write(Value::of("b"))};
+  EXPECT_EQ(specOn(AdtKind::Map, Value::of("x"), PutA, PutA),
+            SpecVerdict::Commutes);
+  EXPECT_EQ(specOn(AdtKind::Map, Value::of("x"), PutA, PutB),
+            SpecVerdict::Conflicts);
+}
+
+TEST(SpecTableTest, MapGetVsPutDependsOnEntryPreservation) {
+  LocOpSeq Get{LocOp::read()};
+  // Overwriting the entry with its current value preserves the read.
+  EXPECT_EQ(specOn(AdtKind::Map, Value::of("x"),
+                   Get, {LocOp::write(Value::of("x"))}),
+            SpecVerdict::Commutes);
+  EXPECT_EQ(specOn(AdtKind::Map, Value::of("x"),
+                   Get, {LocOp::write(Value::of("y"))}),
+            SpecVerdict::Conflicts);
+}
+
+TEST(SpecTableTest, QueueDequeueVsDequeueConflicts) {
+  // Competing dequeues both consume the same cell (write Absent after
+  // reading it): order-dependent.
+  LocOpSeq Dequeue{LocOp::read(), LocOp::write(Value::absent())};
+  EXPECT_EQ(specOn(AdtKind::Queue, Value::of(int64_t(42)), Dequeue, Dequeue),
+            SpecVerdict::Conflicts);
+}
+
+TEST(SpecTableTest, QueueAbstainsOnAdds) {
+  EXPECT_EQ(specOn(AdtKind::Queue, Value::of(int64_t(0)),
+                   {LocOp::add(1)}, {LocOp::add(1)}),
+            SpecVerdict::Abstain);
+}
+
+TEST(SpecTableTest, BitSetIdempotentSetsCommuteSetVsClearConflicts) {
+  LocOpSeq Set{LocOp::write(Value::of(true))};
+  LocOpSeq Clear{LocOp::write(Value::of(false))};
+  EXPECT_EQ(specOn(AdtKind::BitSet, Value::of(false), Set, Set),
+            SpecVerdict::Commutes);
+  EXPECT_EQ(specOn(AdtKind::BitSet, Value::of(false), Set, Clear),
+            SpecVerdict::Conflicts);
+}
+
+TEST(SpecTableTest, EveryTableEntryHasNameAndFn) {
+  for (const SpecTableEntry &E : SpecTables) {
+    EXPECT_NE(E.Fn, nullptr);
+    EXPECT_NE(E.Name, nullptr);
+    EXPECT_EQ(specFor(E.Kind), E.Fn);
+  }
+  EXPECT_EQ(specFor(AdtKind::None), nullptr);
+}
+
+TEST(SpecDispatchTest, SpecHitSkipsCacheAndOnline) {
+  DetectorWorld W;
+  W.Reg.declareAdt(W.Work, AdtKind::Counter);
+  SequenceDetectorConfig Cfg;
+  Cfg.Specs = SpecMode::On;
+  Cfg.OnlineFallback = true;
+  SequenceDetector D(W.Cache, Cfg);
+  TxLog Mine{{Location(W.Work), LocOp::add(1)}};
+  auto Theirs = logOf({{Location(W.Work), LocOp::add(2)}});
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg));
+  EXPECT_EQ(D.stats().SpecHits.load(), 1u);
+  EXPECT_EQ(D.stats().CacheHits.load(), 0u);
+  EXPECT_EQ(D.stats().CacheMisses.load(), 0u);
+  EXPECT_EQ(D.stats().OnlineChecks.load(), 0u);
+}
+
+TEST(SpecDispatchTest, AbstainFallsThroughToLearnedTier) {
+  DetectorWorld W;
+  W.Reg.declareAdt(W.Work, AdtKind::Counter);
+  SequenceDetectorConfig Cfg;
+  Cfg.Specs = SpecMode::On;
+  Cfg.OnlineFallback = true;
+  SequenceDetector D(W.Cache, Cfg);
+  // Writes make the counter table abstain; the online tier answers.
+  TxLog Mine{{Location(W.Work), LocOp::write(Value::of(int64_t(1)))}};
+  auto Theirs = logOf({{Location(W.Work), LocOp::add(2)}});
+  EXPECT_TRUE(D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg));
+  EXPECT_EQ(D.stats().SpecAbstains.load(), 1u);
+  EXPECT_EQ(D.stats().SpecHits.load(), 0u);
+  EXPECT_EQ(D.stats().OnlineChecks.load(), 1u);
+}
+
+TEST(SpecDispatchTest, SpecsOffNeverConsultTables) {
+  DetectorWorld W;
+  W.Reg.declareAdt(W.Work, AdtKind::Counter);
+  SequenceDetectorConfig Cfg;
+  Cfg.Specs = SpecMode::Off;
+  Cfg.OnlineFallback = true;
+  SequenceDetector D(W.Cache, Cfg);
+  TxLog Mine{{Location(W.Work), LocOp::add(1)}};
+  auto Theirs = logOf({{Location(W.Work), LocOp::add(2)}});
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg));
+  EXPECT_EQ(D.stats().SpecHits.load(), 0u);
+  EXPECT_EQ(D.stats().SpecAbstains.load(), 0u);
+}
+
+TEST(SpecDispatchTest, OnlyModeBypassesLearnedTiersOnAbstain) {
+  DetectorWorld W;
+  W.Reg.declareAdt(W.Work, AdtKind::Counter);
+  SequenceDetectorConfig Cfg;
+  Cfg.Specs = SpecMode::Only;
+  Cfg.OnlineFallback = true;
+  SequenceDetector D(W.Cache, Cfg);
+  // Abstain in Only mode goes straight to the write-set test — the
+  // write/add pair conflicts there, and no learned tier runs.
+  TxLog Mine{{Location(W.Work), LocOp::write(Value::of(int64_t(1)))}};
+  auto Theirs = logOf({{Location(W.Work), LocOp::add(2)}});
+  EXPECT_TRUE(D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg));
+  EXPECT_EQ(D.stats().SpecAbstains.load(), 1u);
+  EXPECT_EQ(D.stats().WriteSetChecks.load(), 1u);
+  EXPECT_EQ(D.stats().OnlineChecks.load(), 0u);
+  EXPECT_EQ(D.stats().CacheMisses.load(), 0u);
+}
+
+TEST(SpecDispatchTest, UndeclaredObjectsSkipSpecTier) {
+  DetectorWorld W; // No declareAdt: AdtKind::None.
+  SequenceDetectorConfig Cfg;
+  Cfg.Specs = SpecMode::On;
+  Cfg.OnlineFallback = true;
+  SequenceDetector D(W.Cache, Cfg);
+  TxLog Mine{{Location(W.Work), LocOp::add(1)}};
+  auto Theirs = logOf({{Location(W.Work), LocOp::add(2)}});
+  EXPECT_FALSE(D.detectConflicts(stm::Snapshot(), Mine, {Theirs}, W.Reg));
+  EXPECT_EQ(D.stats().SpecHits.load(), 0u);
+  EXPECT_EQ(D.stats().SpecAbstains.load(), 0u);
+  EXPECT_EQ(D.stats().OnlineChecks.load(), 1u);
+}
+
+TEST(SpecDispatchTest, SpecVerdictsMatchOnlineReference) {
+  // On spec-covered pairs the tier-1 verdict must agree with the exact
+  // online check (soundness AND exactness, the same obligation the
+  // verify gate replays exhaustively).
+  std::vector<LocOpSeq> Seqs = {
+      {},
+      {LocOp::read()},
+      {LocOp::add(1)},
+      {LocOp::add(-1), LocOp::add(1)},
+      {LocOp::read(), LocOp::add(2)},
+  };
+  for (const LocOpSeq &Mine : Seqs)
+    for (const LocOpSeq &Theirs : Seqs) {
+      Value Entry = Value::of(int64_t(3));
+      SpecVerdict V = specOn(AdtKind::Counter, Entry, Mine, Theirs);
+      if (V == SpecVerdict::Abstain)
+        continue;
+      bool Ref = conflictOnline(Entry, Mine, Theirs);
+      EXPECT_EQ(V == SpecVerdict::Conflicts, Ref)
+          << sequenceToString(Mine) << " vs " << sequenceToString(Theirs);
+    }
 }

@@ -9,6 +9,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "janus/verify/SigParser.h"
+#include "janus/verify/SpecCheck.h"
 #include "janus/verify/Verify.h"
 
 #include "janus/conflict/SequenceDetector.h"
@@ -292,6 +293,60 @@ TEST(PublishGateTest, TrainerRunsVerifierBeforeCaching) {
   EXPECT_GT(T.stats().VerifyChecks, 0u);
   EXPECT_EQ(T.stats().VerifyRejected, 0u); // Honest conditions survive.
   EXPECT_GT(Cache->size(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Spec-table vetting (SpecCheck): the hand-written tier-1 tables replay
+// clean against the reference semantics, and a deliberately-unsound
+// table is convicted.
+//===----------------------------------------------------------------------===//
+
+TEST(SpecCheckTest, ShippedTablesReplayClean) {
+  verify::SpecReport R = verify::checkShippedSpecTables();
+  EXPECT_TRUE(R.clean()) << R.toText(/*Verbose=*/true);
+  EXPECT_FALSE(R.unsound());
+  // Every shipped table was exercised and answered on real points.
+  ASSERT_EQ(R.Tables.size(), std::size(conflict::SpecTables));
+  for (const verify::SpecTableResult &T : R.Tables) {
+    EXPECT_GT(T.PointsChecked, 0u) << T.Table;
+    EXPECT_GT(T.Verdicts, 0u) << T.Table;
+    EXPECT_EQ(T.Convictions, 0u) << T.Table;
+  }
+}
+
+TEST(SpecCheckTest, SeededUnsoundSpecConvicted) {
+  conflict::SpecTableEntry Bad = verify::seededUnsoundSpecEntry();
+  verify::SpecReport R = verify::checkSpecTables(&Bad, 1);
+  EXPECT_FALSE(R.clean());
+  EXPECT_TRUE(R.unsound());
+  ASSERT_EQ(R.Tables.size(), 1u);
+  EXPECT_GT(R.Tables[0].Convictions, 0u);
+  // The rendered sample is bounded even though convictions are not.
+  EXPECT_LE(R.Findings.size(), 10u);
+  EXPECT_NE(R.toJson().find("\"clean\":false"), std::string::npos);
+}
+
+TEST(SpecCheckTest, ReplayIsDeterministic) {
+  verify::SpecCheckConfig Small;
+  Small.MaxSeqLen = 1; // Keep the repeated replay cheap.
+  verify::SpecReport A = verify::checkShippedSpecTables(Small);
+  verify::SpecReport B = verify::checkShippedSpecTables(Small);
+  ASSERT_EQ(A.Tables.size(), B.Tables.size());
+  for (size_t I = 0; I != A.Tables.size(); ++I) {
+    EXPECT_EQ(A.Tables[I].PointsChecked, B.Tables[I].PointsChecked);
+    EXPECT_EQ(A.Tables[I].Verdicts, B.Tables[I].Verdicts);
+    EXPECT_EQ(A.Tables[I].Abstains, B.Tables[I].Abstains);
+  }
+}
+
+TEST(SpecCheckTest, MaxPointsTruncatesDeterministically) {
+  verify::SpecCheckConfig Tight;
+  Tight.MaxPoints = 100;
+  verify::SpecReport R = verify::checkShippedSpecTables(Tight);
+  for (const verify::SpecTableResult &T : R.Tables) {
+    EXPECT_TRUE(T.Truncated) << T.Table;
+    EXPECT_EQ(T.PointsChecked, 100u) << T.Table;
+  }
 }
 
 } // namespace

@@ -9,10 +9,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "janus/analysis/Auditor.h"
 #include "janus/workloads/CodeScan.h"
 #include "janus/workloads/FileSync.h"
 #include "janus/workloads/GraphColor.h"
+#include "janus/workloads/HashChurn.h"
 #include "janus/workloads/Render.h"
+#include "janus/workloads/Ssca2.h"
 #include "janus/workloads/Workload.h"
 
 #include <gtest/gtest.h>
@@ -51,15 +54,18 @@ void trainWorkload(Workload &W, Janus &J, int Rounds = 3) {
 
 } // namespace
 
-TEST(WorkloadCatalogTest, FiveWorkloadsInPaperOrder) {
+TEST(WorkloadCatalogTest, PaperBenchmarksThenKernels) {
   auto All = allWorkloads();
-  ASSERT_EQ(All.size(), 5u);
+  ASSERT_EQ(All.size(), 7u);
   EXPECT_EQ(All[0]->name(), "JFileSync");
   EXPECT_EQ(All[1]->name(), "JGraphT-1");
   EXPECT_EQ(All[2]->name(), "JGraphT-2");
   EXPECT_EQ(All[3]->name(), "PMD");
   EXPECT_EQ(All[4]->name(), "Weka");
+  EXPECT_EQ(All[5]->name(), "HashChurn");
+  EXPECT_EQ(All[6]->name(), "SSCA2");
   EXPECT_NE(workloadByName("PMD"), nullptr);
+  EXPECT_NE(workloadByName("HashChurn"), nullptr);
   EXPECT_EQ(workloadByName("nope"), nullptr);
   for (const auto &W : All) {
     EXPECT_FALSE(W->description().empty());
@@ -168,8 +174,8 @@ TEST_P(WorkloadEndToEnd, SequenceRetriesLessThanWriteSet) {
       << WS.name() << " seq=" << SeqRetries << " ws=" << WsRetries;
 }
 
-INSTANTIATE_TEST_SUITE_P(AllFive, WorkloadEndToEnd,
-                         ::testing::Range(0, 5));
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadEndToEnd,
+                         ::testing::Range(0, 7));
 
 TEST(WorkloadThreadedTest, FileSyncOnRealThreads) {
   auto W = workloadByName("JFileSync");
@@ -273,6 +279,84 @@ TEST(WorkloadEdgeTest, AllWorkloadsSurviveSingleThread) {
     W->runOn(J, P);
     EXPECT_TRUE(W->verify(J, P)) << W->name();
     EXPECT_EQ(J.runStats().Retries.load(), 0u) << W->name();
+  }
+}
+
+TEST(KernelWorkloadTest, GeneratorsAreDeterministic) {
+  PayloadSpec P{11, true};
+  auto A = HashChurnWorkload::generateScripts(P);
+  auto B = HashChurnWorkload::generateScripts(P);
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    EXPECT_EQ(A[I].OwnCycles, B[I].OwnCycles);
+    EXPECT_EQ(A[I].HotBumps, B[I].HotBumps);
+    EXPECT_EQ(A[I].StableGets, B[I].StableGets);
+  }
+  auto E1 = Ssca2Workload::generateEdges(P);
+  auto E2 = Ssca2Workload::generateEdges(P);
+  ASSERT_EQ(E1.size(), E2.size());
+  for (size_t I = 0; I != E1.size(); ++I) {
+    EXPECT_EQ(E1[I].U, E2[I].U);
+    EXPECT_EQ(E1[I].V, E2[I].V);
+    EXPECT_EQ(E1[I].Weight, E2[I].Weight);
+  }
+  // Training inputs stay smaller than production inputs.
+  PayloadSpec Train{11, false};
+  EXPECT_LT(HashChurnWorkload::generateScripts(Train).size(), A.size());
+  EXPECT_LT(Ssca2Workload::generateEdges(Train).size(), E1.size());
+}
+
+/// Both kernels, both engines: the recorded run passes the full
+/// hindsight audit with the spec tier answering the detection queries.
+TEST(KernelWorkloadTest, KernelsAuditCleanOnBothEngines) {
+  for (const char *Name : {"HashChurn", "SSCA2"}) {
+    for (EngineKind Engine :
+         {EngineKind::Simulated, EngineKind::Threaded}) {
+      auto W = workloadByName(Name);
+      JanusConfig Cfg = seqConfig(4);
+      Cfg.Engine = Engine;
+      Cfg.Sequence.Specs = conflict::SpecMode::On;
+      Cfg.RecordTrace = true;
+      Janus J(Cfg);
+      W->setup(J);
+      trainWorkload(*W, J);
+      PayloadSpec P{100, false};
+      std::vector<stm::TaskFn> Tasks = W->makeTasks(P);
+      J.runOutOfOrder(Tasks);
+      EXPECT_TRUE(W->verify(J, P)) << Name;
+      analysis::AuditReport Report =
+          analysis::audit(J.lastTrace(), Tasks, J.registry());
+      EXPECT_TRUE(Report.clean()) << Name << ": " << Report.summary();
+    }
+  }
+}
+
+/// `--specs only` (spec tables + write-set for abstains, learned tiers
+/// bypassed) must produce the same verified final state as
+/// `--specs off` (the paper's original pipeline) on the kernels.
+TEST(KernelWorkloadTest, SpecOnlyMatchesSpecOffFinalState) {
+  for (const char *Name : {"HashChurn", "SSCA2"}) {
+    PayloadSpec P{42, false};
+    auto runWith = [&](conflict::SpecMode Mode, uint64_t &SpecHits) {
+      auto W = workloadByName(Name);
+      JanusConfig Cfg = seqConfig(4);
+      Cfg.Sequence.Specs = Mode;
+      Janus J(Cfg);
+      W->setup(J);
+      trainWorkload(*W, J);
+      W->runOn(J, P);
+      SpecHits = J.detectorStats().SpecHits.load();
+      EXPECT_TRUE(W->verify(J, P)) << Name;
+      return J.sharedState();
+    };
+    uint64_t OnlyHits = 0, OffHits = 0;
+    stm::Snapshot OnlyState = runWith(conflict::SpecMode::Only, OnlyHits);
+    stm::Snapshot OffState = runWith(conflict::SpecMode::Off, OffHits);
+    EXPECT_EQ(OffHits, 0u) << Name;
+    OffState.forEach([&](const Location &Loc, const Value &Val) {
+      EXPECT_EQ(stm::snapshotValue(OnlyState, Loc), Val)
+          << Name << " diverges at " << Loc.toString();
+    });
   }
 }
 

@@ -4,7 +4,8 @@
 #   2. static analysis (tools/lint.sh; skipped when clang-tidy absent);
 #   3. ThreadSanitizer build + ctest (JANUS_SANITIZE=thread) — the
 #      dynamic complement of the hindsight auditor;
-#   4. `janus audit` over every workload on both engines, plus a
+#   4. `janus audit` over every workload (the paper's five plus the
+#      HashChurn/SSCA2 spec kernels) on both engines, plus a
 #      sharded pass (--shards 8, threads engine) — the location-
 #      sharded commit pipeline must stay audit-clean (DESIGN.md §11);
 #   5. chaos: the same audits under a canned JANUS_FAULTS plan that
@@ -13,8 +14,11 @@
 #      still produce a CLEAN audit (exit 0);
 #   6. static verification (`janus verify`): every workload's trained
 #      table is checked for condition soundness (DESIGN.md §10) and
-#      must come back clean; a deliberately seeded unsound entry must
-#      be convicted (nonzero exit) to prove the verifier has teeth;
+#      must come back clean — every run also replays the hand-written
+#      spec tables (DESIGN.md §14.3); a deliberately seeded unsound
+#      entry must be convicted (nonzero exit) to prove the verifier
+#      has teeth, and so must a seeded unsound spec table
+#      (--seed-unsound-spec);
 #   7. observability: one traced workload per engine; the emitted
 #      Chrome trace must satisfy tools/check_trace.py (known event
 #      types only, well-formed spans), and the --json report must be
@@ -78,7 +82,7 @@ cmake --build "$REPO_ROOT/build-tsan" -j "$JOBS"
 (cd "$REPO_ROOT/build-tsan" && ctest --output-on-failure -j "$JOBS")
 
 echo "== [4/10] hindsight audit of all workloads =="
-for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
+for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka HashChurn SSCA2; do
   for E in sim threads; do
     echo "-- audit $W ($E)"
     "$REPO_ROOT/build/tools/janus" audit --workload "$W" --engine "$E" \
@@ -96,7 +100,7 @@ echo "== [5/10] chaos audit under fault injection =="
 # every task and the hindsight audit must stay CLEAN.
 CHAOS_FAULTS='abort@*.1;throw@2.1;delay@*.2=3;satbudget=4'
 echo "-- JANUS_FAULTS=$CHAOS_FAULTS"
-for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
+for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka HashChurn SSCA2; do
   for E in sim threads; do
     echo "-- chaos audit $W ($E)"
     JANUS_FAULTS="$CHAOS_FAULTS" \
@@ -104,13 +108,15 @@ for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
       | tail -2
   done
 done
-echo "-- chaos audit JGraphT-1 (threads, 8 shards)"
-JANUS_FAULTS="$CHAOS_FAULTS" \
-  "$REPO_ROOT/build/tools/janus" audit --workload JGraphT-1 \
-  --engine threads --shards 8 | tail -2
+for W in JGraphT-1 HashChurn SSCA2; do
+  echo "-- chaos audit $W (threads, 8 shards)"
+  JANUS_FAULTS="$CHAOS_FAULTS" \
+    "$REPO_ROOT/build/tools/janus" audit --workload "$W" \
+    --engine threads --shards 8 | tail -2
+done
 
 echo "== [6/10] static verification of trained tables =="
-for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka; do
+for W in JFileSync JGraphT-1 JGraphT-2 PMD Weka HashChurn SSCA2; do
   TABLE="$REPO_ROOT/build/ci_table_$W.txt"
   echo "-- train + verify $W"
   "$REPO_ROOT/build/tools/janus" train --workload "$W" \
@@ -125,6 +131,13 @@ if "$REPO_ROOT/build/tools/janus" verify --workload JGraphT-1 --rounds 1 \
   exit 1
 fi
 echo "conviction probe: convicted as expected."
+echo "-- spec conviction probe (seeded unsound spec table must exit nonzero)"
+if "$REPO_ROOT/build/tools/janus" verify --workload HashChurn --rounds 1 \
+     --seed-unsound-spec >/dev/null; then
+  echo "ci.sh: verifier failed to convict the seeded-unsound spec table" >&2
+  exit 1
+fi
+echo "spec conviction probe: convicted as expected."
 
 echo "== [7/10] observability: traced runs + trace validation =="
 for E in sim threads; do

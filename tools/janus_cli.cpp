@@ -54,6 +54,13 @@
 ///                       selects the location-sharded engine, rounded
 ///                       up to a power of two; see DESIGN.md §11)
 ///   --detector seq|ws   conflict detection algorithm (default seq)
+///   --specs on|off|only per-ADT spec-table fast path (default on):
+///                       tier 1 answers commutativity from the
+///                       hand-written ADT tables before any
+///                       symbolization/cache/SAT work; `only` bypasses
+///                       the learned tiers entirely (abstains fall back
+///                       to the write-set test); `off` is the paper's
+///                       original pipeline
 ///   --engine sim|threads  execution engine (default sim)
 ///   --production        use the production-sized payload
 ///   --seed S            payload seed (default 100)
@@ -148,6 +155,10 @@
 ///   --seed-unsound      inject a deliberately-unsound always-commutes
 ///                       entry before verifying (CI uses this to prove
 ///                       the verifier convicts; exit must become 4)
+///   --seed-unsound-spec vet a deliberately-unsound always-commutes
+///                       spec table alongside the shipped ones (the
+///                       spec-table conviction probe; exit must become
+///                       4)
 ///
 /// Replay options:
 ///   --probe-divergence  tamper with the decoded schedule before
@@ -160,11 +171,13 @@
 
 #include "janus/analysis/Auditor.h"
 #include "janus/analysis/Divergence.h"
+#include "janus/conflict/SpecTable.h"
 #include "janus/obs/Attribution.h"
 #include "janus/obs/Recorder.h"
 #include "janus/serve/Frontend.h"
 #include "janus/stm/Replay.h"
 #include "janus/support/Json.h"
+#include "janus/verify/SpecCheck.h"
 #include "janus/verify/Verify.h"
 #include "janus/workloads/Workload.h"
 
@@ -225,6 +238,9 @@ struct CliOptions {
   unsigned Shards = 1;
   bool ByObject = false;
   DetectorKind Detector = DetectorKind::Sequence;
+  /// The CLI default is On (the config default is Off so library users
+  /// and the Figure 11 harnesses opt in explicitly).
+  conflict::SpecMode Specs = conflict::SpecMode::On;
   EngineKind Engine = EngineKind::Simulated;
   bool Production = false;
   uint64_t Seed = 100;
@@ -249,6 +265,7 @@ struct CliOptions {
   uint64_t VerifyMaxPoints = 100000;
   bool Verbose = false;
   bool SeedUnsound = false;
+  bool SeedUnsoundSpec = false;
 
   // Contention-manager knobs (defaults mirror ResilienceConfig).
   uint32_t SerialAfter = 16;
@@ -326,6 +343,18 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
         Opts.Detector = DetectorKind::WriteSet;
       else
         return false;
+    } else if (Arg == "--specs") {
+      const char *V = Next();
+      if (!V)
+        return false;
+      std::optional<conflict::SpecMode> Mode = conflict::parseSpecMode(V);
+      if (!Mode) {
+        std::fprintf(stderr,
+                     "janus: error: --specs expects on|off|only, got '%s'\n",
+                     V);
+        return false;
+      }
+      Opts.Specs = *Mode;
     } else if (Arg == "--engine") {
       const char *V = Next();
       if (!V)
@@ -421,6 +450,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Verbose = true;
     } else if (Arg == "--seed-unsound") {
       Opts.SeedUnsound = true;
+    } else if (Arg == "--seed-unsound-spec") {
+      Opts.SeedUnsoundSpec = true;
     } else if (Arg == "--serial-after") {
       const char *V = Next();
       if (!V || std::atoi(V) < 0)
@@ -527,6 +558,7 @@ JanusConfig configFor(const CliOptions &Opts) {
   Cfg.Engine = Opts.Engine;
   Cfg.Sequence.UseAbstraction = Opts.UseAbstraction;
   Cfg.Sequence.OnlineFallback = Opts.OnlineFallback;
+  Cfg.Sequence.Specs = Opts.Specs;
   Cfg.Training.InferWAWRelaxation = true;
   Cfg.Training.MaxConcat = 8;
   Cfg.Resilience.SpeculativeRetryBudget = Opts.SerialAfter;
@@ -657,12 +689,16 @@ std::string runReportJson(const std::string &Command,
   W.key("detector_stats");
   W.beginObject();
   W.field("pair_queries", DS.PairQueries.load());
+  W.field("spec_mode", conflict::specModeName(Opts.Specs));
+  W.field("spec_hits", DS.SpecHits.load());
+  W.field("spec_abstains", DS.SpecAbstains.load());
   W.field("cache_hits", DS.CacheHits.load());
   W.field("cache_misses", DS.CacheMisses.load());
   W.field("online_checks", DS.OnlineChecks.load());
   W.field("write_set_checks", DS.WriteSetChecks.load());
   W.field("conflicts_found", DS.ConflictsFound.load());
   W.field("degraded_queries", DS.DegradedQueries.load());
+  W.field("signature_intern_hits", DS.SignatureInternHits.load());
   if (auto *SD = J.sequenceDetector()) {
     W.field("unique_queries", static_cast<uint64_t>(SD->uniqueQueries()));
     W.field("unique_misses", static_cast<uint64_t>(SD->uniqueMisses()));
@@ -804,16 +840,39 @@ int cmdVerify(const CliOptions &Opts) {
   VC.MaxPoints = Opts.VerifyMaxPoints;
   verify::TableReport R = verify::verifyTable(*J.cache(), J.registry(), VC);
 
+  // The hand-written spec tables carry the same safety obligation as
+  // the learned conditions; replay them against the reference
+  // semantics on every verify (they gate the tier-1 fast path).
+  std::vector<conflict::SpecTableEntry> SpecEntries(
+      std::begin(conflict::SpecTables), std::end(conflict::SpecTables));
+  if (Opts.SeedUnsoundSpec)
+    SpecEntries.push_back(verify::seededUnsoundSpecEntry());
+  verify::SpecReport SR = verify::checkSpecTables(
+      SpecEntries.data(), SpecEntries.size(), verify::SpecCheckConfig{});
+
   if (!Opts.Json) {
     std::printf("workload   : %s (%zu cache entries)\n",
                 W->name().c_str(), J.cache()->size());
     std::printf("%s", R.toText(Opts.Verbose).c_str());
+    std::printf("%s", SR.toText(Opts.Verbose).c_str());
     std::printf("table      : %s\n", R.clean() ? "SOUND" : "UNSOUND");
+    std::printf("spec tables: %s\n", SR.clean() ? "SOUND" : "CONVICTED");
   }
-  if ((Opts.Json || !Opts.JsonOut.empty()) &&
-      !emitJsonReport(R.toJson(), Opts))
-    return 1;
-  return R.clean() ? 0 : 4;
+  if (Opts.Json || !Opts.JsonOut.empty()) {
+    JsonWriter Wr;
+    Wr.beginObject();
+    Wr.field("schema_version", JsonSchemaVersion);
+    Wr.field("tool", "janus");
+    Wr.field("command", "verify");
+    Wr.key("conditions");
+    Wr.raw(R.toJson());
+    Wr.key("spec_tables");
+    Wr.raw(SR.toJson());
+    Wr.endObject();
+    if (!emitJsonReport(Wr.str(), Opts))
+      return 1;
+  }
+  return R.clean() && SR.clean() ? 0 : 4;
 }
 
 int cmdRun(const CliOptions &Opts) {
@@ -891,6 +950,12 @@ int cmdRun(const CliOptions &Opts) {
                   (unsigned long long)DS.OnlineChecks.load(),
                   (unsigned long long)DS.WriteSetChecks.load(),
                   (unsigned long long)DS.DegradedQueries.load());
+      std::printf("specs      : %s mode, %llu hits, %llu abstains, "
+                  "%llu interned-signature hits\n",
+                  conflict::specModeName(Opts.Specs),
+                  (unsigned long long)DS.SpecHits.load(),
+                  (unsigned long long)DS.SpecAbstains.load(),
+                  (unsigned long long)DS.SignatureInternHits.load());
       std::printf("unique     : %zu queries, %zu misses\n",
                   SD->uniqueQueries(), SD->uniqueMisses());
       if (Opts.PrintMisses)
@@ -1247,6 +1312,15 @@ int cmdExplain(const CliOptions &Opts) {
                 (unsigned long long)J.runStats().Retries.load(),
                 O.speedup());
     printResilience(J, O);
+    if (J.sequenceDetector()) {
+      const stm::DetectorStats &DS = J.detectorStats();
+      std::printf("detection  : %llu pair queries (%llu spec hits, %llu "
+                  "spec abstains, %llu cache hits)\n",
+                  (unsigned long long)DS.PairQueries.load(),
+                  (unsigned long long)DS.SpecHits.load(),
+                  (unsigned long long)DS.SpecAbstains.load(),
+                  (unsigned long long)DS.CacheHits.load());
+    }
     std::printf("%s", A.toTable(Opts.Top).c_str());
     if (Opts.ByObject)
       std::printf("%s", Heat.toTable(Opts.Top).c_str());

@@ -42,6 +42,18 @@ correctness argument depends on but that no compiler checks:
      that obtained its observer through the `janusObs(...)` gate (which
      folds to nullptr under JANUS_OBS=OFF).
 
+  R5 spec-table-discipline
+     Every entry in `conflict::SpecTables[]` (SpecTable.h) is a
+     hand-written commutativity verdict sitting on the detector's
+     hot path AND carrying a safety obligation, so each entry's
+     function must be declared `constexpr` (evaluable at compile
+     time, no hidden state) and `noexcept` (the detector calls it
+     under commit-critical sections), and the shipped tables must be
+     replayed by a verify test (tests/verify_test.cpp must call
+     checkShippedSpecTables) so an unsound entry cannot land
+     unconvicted. Checked repo-wide, independent of the scanned
+     roots.
+
 A finding can be waived with `// JANUS_LINT_ALLOW(<rule>): <reason>`
 on the same line, or on a comment-only line above (the waiver then
 applies to the next code line); the reason is mandatory.
@@ -284,6 +296,79 @@ def lint_file(path, raw_lines):
     return findings
 
 
+SPEC_ENTRY = re.compile(r"\{AdtKind::(\w+),\s*&(\w+),\s*\"([^\"]+)\"\}")
+
+
+def lint_spec_tables(repo_root):
+    """R5: SpecTables[] entries constexpr/noexcept + verify coverage."""
+    findings = []
+    header = repo_root / "src" / "janus" / "conflict" / "SpecTable.h"
+    if not header.exists():
+        return findings
+    try:
+        text = header.read_text(encoding="utf-8")
+    except OSError:
+        return findings
+
+    def line_of(substr):
+        for i, line in enumerate(text.splitlines()):
+            if substr in line:
+                return i + 1
+        return 1
+
+    entries = SPEC_ENTRY.findall(text)
+    if not entries:
+        findings.append(
+            Finding(
+                str(header),
+                line_of("SpecTables[]"),
+                "spec-table-discipline",
+                "SpecTables[] initializer not found or not parsable "
+                "({AdtKind::K, &fn, \"name\"} entries expected)",
+            )
+        )
+        return findings
+    for _kind, fn, name in entries:
+        decl = re.search(rf"^[^\n]*\bSpecVerdict\s+{fn}\s*\(", text, re.M)
+        if not decl or "constexpr" not in decl.group(0):
+            findings.append(
+                Finding(
+                    str(header),
+                    line_of(f"SpecVerdict {fn}"),
+                    "spec-table-discipline",
+                    f"spec table '{name}' ({fn}) is not declared constexpr",
+                )
+            )
+        head = text[decl.end():].split("{", 1)[0] if decl else ""
+        if "noexcept" not in head:
+            findings.append(
+                Finding(
+                    str(header),
+                    line_of(f"SpecVerdict {fn}"),
+                    "spec-table-discipline",
+                    f"spec table '{name}' ({fn}) is not declared noexcept",
+                )
+            )
+    verify_test = repo_root / "tests" / "verify_test.cpp"
+    try:
+        covered = "checkShippedSpecTables" in verify_test.read_text(
+            encoding="utf-8"
+        )
+    except OSError:
+        covered = False
+    if not covered:
+        findings.append(
+            Finding(
+                str(header),
+                line_of("SpecTables[]"),
+                "spec-table-discipline",
+                "shipped SpecTables are not replayed by a verify test "
+                "(tests/verify_test.cpp must call checkShippedSpecTables)",
+            )
+        )
+    return findings
+
+
 def main(argv):
     roots = [Path(a) for a in argv[1:]] or [Path("src"), Path("tools")]
     files = []
@@ -304,6 +389,7 @@ def main(argv):
             print(f"janus_lint: cannot read {f}: {e}", file=sys.stderr)
             return 2
         findings.extend(lint_file(str(f), raw))
+    findings.extend(lint_spec_tables(Path(__file__).resolve().parents[1]))
     for fi in findings:
         print(fi)
     print(

@@ -4,9 +4,14 @@ schema) row by row and report the perf deltas.
 
 Rows are matched on their configuration identity — engine, detector,
 scenario, ordered, threads, shards — and compared on the measurements:
-ns_per_commit (relative delta) and the retry ratio retries/commits
+ns_per_commit (relative delta, falling back to ns_per_query for
+detection-side reports) and the retry ratio retries/commits
 (absolute delta). Rows present on only one side are listed, not
 counted as regressions.
+
+google-benchmark JSON (BENCH_micro_detection.json) is also accepted:
+its "benchmarks" array is adapted into rows keyed by benchmark name
+with real_time as ns_per_query.
 
 Usage:
   perfdiff.py BASELINE.json CURRENT.json [--threshold=PCT]
@@ -49,6 +54,13 @@ def load_rows(path):
     except (OSError, json.JSONDecodeError) as e:
         sys.exit(f"perfdiff: {path}: unreadable or invalid JSON: {e}")
     rows = doc.get("rows")
+    if not isinstance(rows, list) and isinstance(doc.get("benchmarks"), list):
+        # google-benchmark output (bench/micro_detection --json): adapt
+        # each timed benchmark into a row keyed by its name.
+        rows = [{"scenario": b.get("name"), "ns_per_query": b.get("real_time")}
+                for b in doc["benchmarks"]
+                if b.get("run_type", "iteration") == "iteration"]
+        doc.setdefault("bench", "google-benchmark")
     if not isinstance(rows, list):
         sys.exit(f"perfdiff: {path}: no rows array")
     out = {}
@@ -112,7 +124,8 @@ def main(argv):
             print(f"  new row: {fmt_key(key)}")
             continue
         b, c = base[key], cur[key]
-        bn, cn = b.get("ns_per_commit"), c.get("ns_per_commit")
+        bn = b.get("ns_per_commit", b.get("ns_per_query"))
+        cn = c.get("ns_per_commit", c.get("ns_per_query"))
         if not isinstance(bn, (int, float)) or not bn or \
            not isinstance(cn, (int, float)):
             continue
